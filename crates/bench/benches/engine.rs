@@ -1,0 +1,32 @@
+//! Criterion bench: flooding-engine step throughput vs `n`.
+//!
+//! Measures one full move-then-transmit step of the MRWP flooding
+//! simulator at several network sizes — the hot loop of every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastflood_core::{FloodingSim, SimConfig, SimParams, SourcePlacement};
+use fastflood_mobility::Mrwp;
+
+fn engine_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_step");
+    for &n in &[1_000usize, 10_000, 40_000] {
+        let params = SimParams::standard(n, 4.0 * ((n as f64).ln() / n as f64).sqrt() * (n as f64).sqrt(), 0.5)
+            .expect("valid params");
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let model = Mrwp::new(params.side(), params.speed()).expect("valid");
+            let mut sim = FloodingSim::new(
+                model,
+                SimConfig::new(params.n(), params.radius())
+                    .seed(1)
+                    .source(SourcePlacement::Center),
+            )
+            .expect("valid config");
+            b.iter(|| sim.step());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_step);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: full flooding runs end to end.
+//!
+//! A complete flood (init, run until everyone is informed) at two small
+//! network sizes and in both the dense (fast) and sparse (suburb-bound)
+//! regimes — the unit of work every table in EXPERIMENTS.md repeats.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastflood_core::{FloodingSim, SimConfig, SimParams, SourcePlacement};
+use fastflood_mobility::Mrwp;
+use std::hint::black_box;
+
+fn full_flood(params: &SimParams, seed: u64) -> u32 {
+    let model = Mrwp::new(params.side(), params.speed()).expect("valid");
+    let mut sim = FloodingSim::new(
+        model,
+        SimConfig::new(params.n(), params.radius())
+            .seed(seed)
+            .source(SourcePlacement::Center),
+    )
+    .expect("valid config");
+    sim.run(1_000_000).flooding_time.expect("completes")
+}
+
+fn flood_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_flood");
+    group.sample_size(10);
+    for &(n, c1, label) in &[
+        (500usize, 6.0, "dense"),
+        (500, 2.0, "sparse"),
+        (2_000, 6.0, "dense"),
+        (2_000, 2.0, "sparse"),
+    ] {
+        let scale = SimParams::standard(n, 1.0, 0.0).expect("valid").radius_scale();
+        let radius = c1 * scale;
+        let params = SimParams::standard(n, radius, 0.3 * radius).expect("valid");
+        group.bench_with_input(
+            BenchmarkId::new(label, n),
+            &params,
+            |b, p| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(full_flood(p, seed))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, flood_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench: disk-graph construction and component analytics.
+//!
+//! The connectivity-threshold experiment (E11) builds thousands of disk
+//! graphs; this bench tracks that substrate's cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastflood_geom::{Point, Rect};
+use fastflood_graph::{bfs_hops, DiskGraph, UnionFind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn cloud(n: usize, side: f64, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect()
+}
+
+fn graph(c: &mut Criterion) {
+    let side = 316.0; // ~√100000
+    let region = Rect::square(side).expect("valid");
+    let r = 6.0;
+
+    let mut group = c.benchmark_group("disk_graph");
+    for &n in &[1_000usize, 10_000] {
+        let pts = cloud(n, side, n as u64);
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| black_box(DiskGraph::build(region, r, &pts).expect("valid")));
+        });
+        let g = DiskGraph::build(region, r, &pts).expect("valid");
+        group.bench_with_input(BenchmarkId::new("components", n), &n, |b, _| {
+            b.iter(|| black_box(g.components()));
+        });
+        group.bench_with_input(BenchmarkId::new("bfs_hops", n), &n, |b, _| {
+            b.iter(|| black_box(bfs_hops(&g, &[0])));
+        });
+    }
+    group.finish();
+
+    c.bench_function("union_find_100k_unions", |b| {
+        b.iter(|| {
+            let n = 100_000;
+            let mut uf = UnionFind::new(n);
+            for i in 0..n - 1 {
+                uf.union(i, i + 1);
+            }
+            black_box(uf.num_sets())
+        });
+    });
+}
+
+criterion_group!(benches, graph);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: stationary samplers and MRWP stepping.
+//!
+//! The exact Theorem 1 position sampler (median-of-three Beta(2,2)
+//! mixture), the length-biased stationary trip sampler (rejection,
+//! acceptance 1/3), and single-agent stepping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastflood_mobility::distributions::{sample_spatial, sample_trip_length_biased};
+use fastflood_mobility::{Mobility, Mrwp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn samplers(c: &mut Criterion) {
+    let l = 1000.0;
+    c.bench_function("sample_spatial_theorem1", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(sample_spatial(l, &mut rng)));
+    });
+    c.bench_function("sample_trip_length_biased", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(sample_trip_length_biased(l, &mut rng)));
+    });
+    c.bench_function("mrwp_init_stationary", |b| {
+        let model = Mrwp::new(l, 1.0).expect("valid");
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(model.init_stationary(&mut rng)));
+    });
+    c.bench_function("mrwp_step", |b| {
+        let model = Mrwp::new(l, 1.0).expect("valid");
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut st = model.init_stationary(&mut rng);
+        b.iter(|| black_box(model.step(&mut st, &mut rng)));
+    });
+}
+
+criterion_group!(benches, samplers);
+criterion_main!(benches);

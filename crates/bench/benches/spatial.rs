@@ -1,0 +1,63 @@
+//! Criterion bench: grid index vs brute force for radius queries.
+//!
+//! Justifies the `fastflood-spatial` substrate: the per-step neighbor
+//! queries of the flooding engine must beat `O(n²)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastflood_geom::{Point, Rect};
+use fastflood_spatial::{BruteForceIndex, GridIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn cloud(n: usize, side: f64, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect()
+}
+
+fn spatial(c: &mut Criterion) {
+    let side = 1000.0;
+    let region = Rect::square(side).expect("valid");
+    let r = 10.0;
+
+    let mut build = c.benchmark_group("index_build");
+    for &n in &[1_000usize, 10_000] {
+        let pts = cloud(n, side, n as u64);
+        build.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(GridIndex::for_radius(region, r, &pts).expect("valid")));
+        });
+    }
+    build.finish();
+
+    let mut query = c.benchmark_group("radius_query_1000x");
+    for &n in &[1_000usize, 10_000] {
+        let pts = cloud(n, side, n as u64);
+        let grid = GridIndex::for_radius(region, r, &pts).expect("valid");
+        let brute = BruteForceIndex::build(&pts);
+        let probes = cloud(1_000, side, 77);
+        query.bench_with_input(BenchmarkId::new("grid", n), &n, |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &p in &probes {
+                    total += grid.count_within(p, r);
+                }
+                black_box(total)
+            });
+        });
+        query.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &p in &probes {
+                    total += brute.count_within(p, r);
+                }
+                black_box(total)
+            });
+        });
+    }
+    query.finish();
+}
+
+criterion_group!(benches, spatial);
+criterion_main!(benches);

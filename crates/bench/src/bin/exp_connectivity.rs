@@ -1,0 +1,20 @@
+//! Binary wrapper for the `connectivity` experiment; see the module docs of
+//! [`fastflood_bench::experiments::connectivity`] for what it reproduces.
+//!
+//! Usage: `cargo run --release -p fastflood-bench --bin exp_connectivity [--quick] [--seed N] [--trials N] [--threads N]`
+
+use fastflood_bench::cli::ExpArgs;
+use fastflood_bench::experiments::connectivity;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut config = if args.quick {
+        connectivity::Config::quick()
+    } else {
+        connectivity::Config::default()
+    };
+    config.seed = args.seed;
+    let output = connectivity::run(&config);
+    println!("{output}");
+}
+

@@ -1,0 +1,20 @@
+//! Binary wrapper for the `convergence` experiment; see the module docs of
+//! [`fastflood_bench::experiments::convergence`] for what it reproduces.
+//!
+//! Usage: `cargo run --release -p fastflood-bench --bin exp_convergence [--quick] [--seed N] [--trials N] [--threads N]`
+
+use fastflood_bench::cli::ExpArgs;
+use fastflood_bench::experiments::convergence;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut config = if args.quick {
+        convergence::Config::quick()
+    } else {
+        convergence::Config::default()
+    };
+    config.seed = args.seed;
+    let output = convergence::run(&config);
+    println!("{output}");
+}
+

@@ -1,0 +1,20 @@
+//! Binary wrapper for the `fig1_density` experiment; see the module docs of
+//! [`fastflood_bench::experiments::fig1_density`] for what it reproduces.
+//!
+//! Usage: `cargo run --release -p fastflood-bench --bin exp_fig1_density [--quick] [--seed N] [--trials N] [--threads N]`
+
+use fastflood_bench::cli::ExpArgs;
+use fastflood_bench::experiments::fig1_density;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut config = if args.quick {
+        fig1_density::Config::quick()
+    } else {
+        fig1_density::Config::default()
+    };
+    config.seed = args.seed;
+    let output = fig1_density::run(&config);
+    println!("{output}");
+}
+

@@ -1,0 +1,20 @@
+//! Binary wrapper for the `fig1_destination` experiment; see the module docs of
+//! [`fastflood_bench::experiments::fig1_destination`] for what it reproduces.
+//!
+//! Usage: `cargo run --release -p fastflood-bench --bin exp_fig1_destination [--quick] [--seed N] [--trials N] [--threads N]`
+
+use fastflood_bench::cli::ExpArgs;
+use fastflood_bench::experiments::fig1_destination;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut config = if args.quick {
+        fig1_destination::Config::quick()
+    } else {
+        fig1_destination::Config::default()
+    };
+    config.seed = args.seed;
+    let output = fig1_destination::run(&config);
+    println!("{output}");
+}
+

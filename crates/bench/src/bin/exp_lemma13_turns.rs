@@ -1,0 +1,20 @@
+//! Binary wrapper for the `lemma13_turns` experiment; see the module docs of
+//! [`fastflood_bench::experiments::lemma13_turns`] for what it reproduces.
+//!
+//! Usage: `cargo run --release -p fastflood-bench --bin exp_lemma13_turns [--quick] [--seed N] [--trials N] [--threads N]`
+
+use fastflood_bench::cli::ExpArgs;
+use fastflood_bench::experiments::lemma13_turns;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut config = if args.quick {
+        lemma13_turns::Config::quick()
+    } else {
+        lemma13_turns::Config::default()
+    };
+    config.seed = args.seed;
+    let output = lemma13_turns::run(&config);
+    println!("{output}");
+}
+

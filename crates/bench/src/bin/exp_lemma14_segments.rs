@@ -1,0 +1,20 @@
+//! Binary wrapper for the `lemma14_segments` experiment; see the module
+//! docs of [`fastflood_bench::experiments::lemma14_segments`] for what it
+//! reproduces.
+//!
+//! Usage: `cargo run --release -p fastflood-bench --bin exp_lemma14_segments [--quick] [--seed N]`
+
+use fastflood_bench::cli::ExpArgs;
+use fastflood_bench::experiments::lemma14_segments;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut config = if args.quick {
+        lemma14_segments::Config::quick()
+    } else {
+        lemma14_segments::Config::default()
+    };
+    config.seed = args.seed;
+    let output = lemma14_segments::run(&config);
+    println!("{output}");
+}

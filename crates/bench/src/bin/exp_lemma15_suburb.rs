@@ -1,0 +1,20 @@
+//! Binary wrapper for the `lemma15_suburb` experiment; see the module docs of
+//! [`fastflood_bench::experiments::lemma15_suburb`] for what it reproduces.
+//!
+//! Usage: `cargo run --release -p fastflood-bench --bin exp_lemma15_suburb [--quick] [--seed N] [--trials N] [--threads N]`
+
+use fastflood_bench::cli::ExpArgs;
+use fastflood_bench::experiments::lemma15_suburb;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let config = if args.quick {
+        lemma15_suburb::Config::quick()
+    } else {
+        lemma15_suburb::Config::default()
+    };
+    let _ = &args; // purely analytic: no seed/trials to override
+    let output = lemma15_suburb::run(&config);
+    println!("{output}");
+}
+

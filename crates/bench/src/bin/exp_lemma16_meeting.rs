@@ -1,0 +1,20 @@
+//! Binary wrapper for the `lemma16_meeting` experiment; see the module
+//! docs of [`fastflood_bench::experiments::lemma16_meeting`] for what it
+//! reproduces.
+//!
+//! Usage: `cargo run --release -p fastflood-bench --bin exp_lemma16_meeting [--quick] [--seed N]`
+
+use fastflood_bench::cli::ExpArgs;
+use fastflood_bench::experiments::lemma16_meeting;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut config = if args.quick {
+        lemma16_meeting::Config::quick()
+    } else {
+        lemma16_meeting::Config::default()
+    };
+    config.seed = args.seed;
+    let output = lemma16_meeting::run(&config);
+    println!("{output}");
+}

@@ -1,0 +1,20 @@
+//! Binary wrapper for the `lemma7_density` experiment; see the module docs of
+//! [`fastflood_bench::experiments::lemma7_density`] for what it reproduces.
+//!
+//! Usage: `cargo run --release -p fastflood-bench --bin exp_lemma7_density [--quick] [--seed N] [--trials N] [--threads N]`
+
+use fastflood_bench::cli::ExpArgs;
+use fastflood_bench::experiments::lemma7_density;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut config = if args.quick {
+        lemma7_density::Config::quick()
+    } else {
+        lemma7_density::Config::default()
+    };
+    config.seed = args.seed;
+    let output = lemma7_density::run(&config);
+    println!("{output}");
+}
+

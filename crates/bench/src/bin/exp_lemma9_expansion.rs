@@ -1,0 +1,20 @@
+//! Binary wrapper for the `lemma9_expansion` experiment; see the module docs of
+//! [`fastflood_bench::experiments::lemma9_expansion`] for what it reproduces.
+//!
+//! Usage: `cargo run --release -p fastflood-bench --bin exp_lemma9_expansion [--quick] [--seed N] [--trials N] [--threads N]`
+
+use fastflood_bench::cli::ExpArgs;
+use fastflood_bench::experiments::lemma9_expansion;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut config = if args.quick {
+        lemma9_expansion::Config::quick()
+    } else {
+        lemma9_expansion::Config::default()
+    };
+    config.seed = args.seed;
+    let output = lemma9_expansion::run(&config);
+    println!("{output}");
+}
+

@@ -1,0 +1,22 @@
+//! Binary wrapper for the `model_comparison` experiment; see the module docs of
+//! [`fastflood_bench::experiments::model_comparison`] for what it reproduces.
+//!
+//! Usage: `cargo run --release -p fastflood-bench --bin exp_model_comparison [--quick] [--seed N] [--trials N] [--threads N]`
+
+use fastflood_bench::cli::ExpArgs;
+use fastflood_bench::experiments::model_comparison;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut config = if args.quick {
+        model_comparison::Config::quick()
+    } else {
+        model_comparison::Config::default()
+    };
+    config.seed = args.seed;
+    config.threads = args.threads;
+    config.trials = args.trials_or(config.trials);
+    let output = model_comparison::run(&config);
+    println!("{output}");
+}
+

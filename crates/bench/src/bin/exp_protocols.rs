@@ -1,0 +1,22 @@
+//! Binary wrapper for the `protocols` experiment; see the module docs of
+//! [`fastflood_bench::experiments::protocols`] for what it reproduces.
+//!
+//! Usage: `cargo run --release -p fastflood-bench --bin exp_protocols [--quick] [--seed N] [--trials N] [--threads N]`
+
+use fastflood_bench::cli::ExpArgs;
+use fastflood_bench::experiments::protocols;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut config = if args.quick {
+        protocols::Config::quick()
+    } else {
+        protocols::Config::default()
+    };
+    config.seed = args.seed;
+    config.threads = args.threads;
+    config.trials = args.trials_or(config.trials);
+    let output = protocols::run(&config);
+    println!("{output}");
+}
+

@@ -1,0 +1,22 @@
+//! Binary wrapper for the `suburb_vs_center` experiment; see the module docs of
+//! [`fastflood_bench::experiments::suburb_vs_center`] for what it reproduces.
+//!
+//! Usage: `cargo run --release -p fastflood-bench --bin exp_suburb_vs_center [--quick] [--seed N] [--trials N] [--threads N]`
+
+use fastflood_bench::cli::ExpArgs;
+use fastflood_bench::experiments::suburb_vs_center;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut config = if args.quick {
+        suburb_vs_center::Config::quick()
+    } else {
+        suburb_vs_center::Config::default()
+    };
+    config.seed = args.seed;
+    config.threads = args.threads;
+    config.trials = args.trials_or(config.trials);
+    let output = suburb_vs_center::run(&config);
+    println!("{output}");
+}
+

@@ -1,0 +1,22 @@
+//! Binary wrapper for the `thm10_cor12` experiment; see the module docs of
+//! [`fastflood_bench::experiments::thm10_cor12`] for what it reproduces.
+//!
+//! Usage: `cargo run --release -p fastflood-bench --bin exp_thm10_cor12 [--quick] [--seed N] [--trials N] [--threads N]`
+
+use fastflood_bench::cli::ExpArgs;
+use fastflood_bench::experiments::thm10_cor12;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut config = if args.quick {
+        thm10_cor12::Config::quick()
+    } else {
+        thm10_cor12::Config::default()
+    };
+    config.seed = args.seed;
+    config.threads = args.threads;
+    config.trials = args.trials_or(config.trials);
+    let output = thm10_cor12::run(&config);
+    println!("{output}");
+}
+

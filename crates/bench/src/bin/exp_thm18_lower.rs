@@ -1,0 +1,22 @@
+//! Binary wrapper for the `thm18_lower` experiment; see the module docs of
+//! [`fastflood_bench::experiments::thm18_lower`] for what it reproduces.
+//!
+//! Usage: `cargo run --release -p fastflood-bench --bin exp_thm18_lower [--quick] [--seed N] [--trials N] [--threads N]`
+
+use fastflood_bench::cli::ExpArgs;
+use fastflood_bench::experiments::thm18_lower;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut config = if args.quick {
+        thm18_lower::Config::quick()
+    } else {
+        thm18_lower::Config::default()
+    };
+    config.seed = args.seed;
+    config.threads = args.threads;
+    config.flood_trials = args.trials_or(config.flood_trials);
+    let output = thm18_lower::run(&config);
+    println!("{output}");
+}
+

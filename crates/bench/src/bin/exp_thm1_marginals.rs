@@ -1,0 +1,20 @@
+//! Binary wrapper for the `thm1_marginals` experiment; see the module docs of
+//! [`fastflood_bench::experiments::thm1_marginals`] for what it reproduces.
+//!
+//! Usage: `cargo run --release -p fastflood-bench --bin exp_thm1_marginals [--quick] [--seed N] [--trials N] [--threads N]`
+
+use fastflood_bench::cli::ExpArgs;
+use fastflood_bench::experiments::thm1_marginals;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut config = if args.quick {
+        thm1_marginals::Config::quick()
+    } else {
+        thm1_marginals::Config::default()
+    };
+    config.seed = args.seed;
+    let output = thm1_marginals::run(&config);
+    println!("{output}");
+}
+

@@ -1,0 +1,22 @@
+//! Binary wrapper for the `thm3_sweep` experiment; see the module docs of
+//! [`fastflood_bench::experiments::thm3_sweep`] for what it reproduces.
+//!
+//! Usage: `cargo run --release -p fastflood-bench --bin exp_thm3_sweep [--quick] [--seed N] [--trials N] [--threads N]`
+
+use fastflood_bench::cli::ExpArgs;
+use fastflood_bench::experiments::thm3_sweep;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut config = if args.quick {
+        thm3_sweep::Config::quick()
+    } else {
+        thm3_sweep::Config::default()
+    };
+    config.seed = args.seed;
+    config.threads = args.threads;
+    config.trials = args.trials_or(config.trials);
+    let output = thm3_sweep::run(&config);
+    println!("{output}");
+}
+

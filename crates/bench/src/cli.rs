@@ -1,0 +1,130 @@
+//! Tiny command-line parsing shared by the experiment binaries.
+
+/// Common arguments accepted by every experiment binary:
+///
+/// * `--quick` — run a reduced configuration (used by smoke tests);
+/// * `--seed <u64>` — master seed (default 2010, the paper's year);
+/// * `--trials <usize>` — trials per configuration (experiment-specific
+///   default);
+/// * `--threads <usize>` — worker threads (default: available
+///   parallelism).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpArgs {
+    /// Reduced configuration for smoke runs.
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Trials override (None = experiment default).
+    pub trials: Option<usize>,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs {
+            quick: false,
+            seed: 2010,
+            trials: None,
+            threads: default_threads(),
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+impl ExpArgs {
+    /// Parses the process arguments, panicking with a usage message on
+    /// unknown flags (these are internal tools; failing fast is a
+    /// feature).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed arguments.
+    pub fn parse() -> ExpArgs {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable form of
+    /// [`ExpArgs::parse`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed arguments.
+    pub fn from_iter<I, S>(args: I) -> ExpArgs
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut out = ExpArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_ref() {
+                "--quick" => out.quick = true,
+                "--seed" => {
+                    let v = it.next().expect("--seed requires a value");
+                    out.seed = v.as_ref().parse().expect("--seed must be a u64");
+                }
+                "--trials" => {
+                    let v = it.next().expect("--trials requires a value");
+                    out.trials = Some(v.as_ref().parse().expect("--trials must be a usize"));
+                }
+                "--threads" => {
+                    let v = it.next().expect("--threads requires a value");
+                    out.threads = v.as_ref().parse().expect("--threads must be a usize");
+                    assert!(out.threads > 0, "--threads must be positive");
+                }
+                other => panic!(
+                    "unknown argument {other:?}; supported: --quick --seed <u64> --trials <n> --threads <n>"
+                ),
+            }
+        }
+        out
+    }
+
+    /// The trial count to use given an experiment default.
+    pub fn trials_or(&self, default: usize) -> usize {
+        self.trials.unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let a = ExpArgs::from_iter(Vec::<String>::new());
+        assert!(!a.quick);
+        assert_eq!(a.seed, 2010);
+        assert_eq!(a.trials, None);
+        assert!(a.threads >= 1);
+        assert_eq!(a.trials_or(7), 7);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = ExpArgs::from_iter(["--quick", "--seed", "9", "--trials", "3", "--threads", "2"]);
+        assert!(a.quick);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.trials, Some(3));
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.trials_or(7), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn rejects_unknown() {
+        ExpArgs::from_iter(["--nope"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a value")]
+    fn rejects_missing_value() {
+        ExpArgs::from_iter(["--seed"]);
+    }
+}

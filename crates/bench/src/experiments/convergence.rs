@@ -1,0 +1,200 @@
+//! **E12 — Convergence to the stationary phase.**
+//!
+//! The paper analyzes flooding *in the stationary phase* and the
+//! simulator enters it directly via perfect simulation. This experiment
+//! justifies both: starting from a uniform cold start, the empirical
+//! position distribution converges to the Theorem 1 density (total
+//! variation against exact cell masses decays to the sampling-noise
+//! floor), while a perfect-simulation start sits at the floor from step 0.
+
+use crate::table::{fmt_f64, Table};
+use fastflood_geom::{Point, Rect};
+use fastflood_mobility::distributions::rect_mass;
+use fastflood_mobility::{Mobility, Mrwp};
+use fastflood_stats::Histogram2d;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// TV distance at one checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Time step of the measurement.
+    pub t: u32,
+    /// TV distance of the cold-start ensemble vs Theorem 1 masses.
+    pub tv_cold: f64,
+    /// TV distance of the stationary-start ensemble vs Theorem 1 masses.
+    pub tv_stationary: f64,
+}
+
+/// Configuration for the convergence experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Agents per ensemble.
+    pub n: usize,
+    /// Region side `L`.
+    pub side: f64,
+    /// Agent speed.
+    pub speed: f64,
+    /// Histogram bins per axis.
+    pub grid: usize,
+    /// Measurement checkpoints (time steps).
+    pub checkpoints: Vec<u32>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 100_000,
+            side: 100.0,
+            speed: 1.0,
+            grid: 10,
+            checkpoints: vec![0, 10, 25, 50, 100, 200, 400],
+            seed: 2010,
+        }
+    }
+}
+
+impl Config {
+    /// A reduced configuration for smoke tests.
+    pub fn quick() -> Config {
+        Config {
+            n: 20_000,
+            checkpoints: vec![0, 20, 80, 200],
+            ..Config::default()
+        }
+    }
+}
+
+/// The experiment results.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// The configuration used.
+    pub config: Config,
+    /// TV distances at each checkpoint.
+    pub checkpoints: Vec<Checkpoint>,
+}
+
+fn tv_against_theorem1(positions: &[Point], side: f64, grid: usize) -> f64 {
+    let mut hist = Histogram2d::new((0.0, side), (0.0, side), grid, grid).expect("valid");
+    for p in positions {
+        hist.add(p.x, p.y);
+    }
+    let mut expected = Vec::with_capacity(grid * grid);
+    for row in 0..grid {
+        for col in 0..grid {
+            let ((x0, x1), (y0, y1)) = hist.bin_rect(row, col);
+            let rect = Rect::new(Point::new(x0, y0), Point::new(x1, y1)).expect("valid");
+            expected.push(rect_mass(side, &rect));
+        }
+    }
+    hist.tv_distance(&expected).expect("matching bins")
+}
+
+/// Runs the experiment.
+pub fn run(config: &Config) -> Output {
+    let model = Mrwp::new(config.side, config.speed).expect("valid");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut cold: Vec<_> = (0..config.n)
+        .map(|_| {
+            let p = Point::new(
+                config.side * rng.gen::<f64>(),
+                config.side * rng.gen::<f64>(),
+            );
+            model.init_at(p, &mut rng)
+        })
+        .collect();
+    let mut stat: Vec<_> = (0..config.n)
+        .map(|_| model.init_stationary(&mut rng))
+        .collect();
+
+    let mut checkpoints = Vec::new();
+    let mut t = 0u32;
+    let mut sorted = config.checkpoints.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    for &cp in &sorted {
+        while t < cp {
+            for st in &mut cold {
+                model.step(st, &mut rng);
+            }
+            for st in &mut stat {
+                model.step(st, &mut rng);
+            }
+            t += 1;
+        }
+        let cold_pos: Vec<Point> = cold.iter().map(|s| model.position(s)).collect();
+        let stat_pos: Vec<Point> = stat.iter().map(|s| model.position(s)).collect();
+        checkpoints.push(Checkpoint {
+            t: cp,
+            tv_cold: tv_against_theorem1(&cold_pos, config.side, config.grid),
+            tv_stationary: tv_against_theorem1(&stat_pos, config.side, config.grid),
+        });
+    }
+    Output {
+        config: config.clone(),
+        checkpoints,
+    }
+}
+
+impl Output {
+    /// Whether the cold start converged: final TV within `factor` of the
+    /// stationary ensemble's TV (the sampling-noise floor).
+    pub fn converged(&self, factor: f64) -> bool {
+        match self.checkpoints.last() {
+            Some(cp) => cp.tv_cold <= cp.tv_stationary * factor,
+            None => false,
+        }
+    }
+
+    /// Whether the stationary ensemble stayed at the noise floor the whole
+    /// time (max/min TV ratio below `band`).
+    pub fn stationary_is_flat(&self, band: f64) -> bool {
+        let tvs: Vec<f64> = self.checkpoints.iter().map(|c| c.tv_stationary).collect();
+        let max = tvs.iter().copied().fold(f64::MIN, f64::max);
+        let min = tvs.iter().copied().fold(f64::MAX, f64::min);
+        min > 0.0 && max / min <= band
+    }
+}
+
+impl fmt::Display for Output {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E12 / convergence to stationarity: n = {}, L = {}, v = {} (TV vs exact Thm 1 cell masses)",
+            self.config.n, self.config.side, self.config.speed
+        )?;
+        let mut t = Table::new(["t", "TV cold start", "TV stationary start"]);
+        for cp in &self.checkpoints {
+            t.row([cp.t.to_string(), fmt_f64(cp.tv_cold), fmt_f64(cp.tv_stationary)]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "cold start converged to the noise floor: {}; stationary flat: {}",
+            self.converged(1.5),
+            self.stationary_is_flat(3.0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_start_converges_stationary_stays_flat() {
+        let out = run(&Config::quick());
+        // cold start begins visibly off (uniform vs center-heavy)
+        let first = &out.checkpoints[0];
+        assert!(
+            first.tv_cold > 4.0 * first.tv_stationary,
+            "uniform start must differ strongly at t=0: {first:?}"
+        );
+        assert!(out.converged(1.6), "{out}");
+        assert!(out.stationary_is_flat(4.0), "{out}");
+        assert!(!out.to_string().is_empty());
+    }
+}

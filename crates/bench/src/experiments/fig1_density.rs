@@ -1,0 +1,207 @@
+//! **E1 — Figure 1 (left): the stationary spatial density.**
+//!
+//! The paper's Figure 1 shades the square by the Theorem 1 stationary
+//! density: dark (dense) in the central zone, white (sparse) at the four
+//! corners. This experiment draws stationary positions from the exact
+//! sampler, bins them into a `grid × grid` histogram, and compares against
+//! the analytic cell masses with a chi-square test and a total-variation
+//! distance, then renders the empirical density as the ASCII analogue of
+//! the figure.
+
+use crate::table::{fmt_f64, Table};
+use fastflood_geom::{Point, Rect};
+use fastflood_mobility::distributions::{rect_mass, sample_spatial};
+use fastflood_stats::chi2::chi2_gof_masses;
+use fastflood_stats::Histogram2d;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Configuration for the spatial-density experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Region side `L`.
+    pub side: f64,
+    /// Number of stationary position samples.
+    pub samples: usize,
+    /// Histogram bins per axis.
+    pub grid: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            side: 1000.0,
+            samples: 2_000_000,
+            grid: 24,
+            seed: 2010,
+        }
+    }
+}
+
+impl Config {
+    /// A reduced configuration for smoke tests.
+    pub fn quick() -> Config {
+        Config {
+            samples: 100_000,
+            grid: 12,
+            ..Config::default()
+        }
+    }
+}
+
+/// Result of the spatial-density experiment.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// The configuration used.
+    pub config: Config,
+    /// Chi-square p-value of empirical counts vs analytic masses.
+    pub chi2_p_value: f64,
+    /// Total-variation distance between empirical and analytic masses.
+    pub tv_distance: f64,
+    /// Max relative error of per-cell empirical mass (cells with
+    /// analytic mass above 1/(4·grid²) to avoid division blowups).
+    pub max_rel_error: f64,
+    /// Empirical center-cell density over corner-cell density.
+    pub center_corner_ratio: f64,
+    /// Analytic version of the same ratio.
+    pub center_corner_ratio_analytic: f64,
+    /// ASCII rendering of the empirical density (row 0 = south).
+    pub ascii: String,
+}
+
+/// Runs the experiment.
+pub fn run(config: &Config) -> Output {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let l = config.side;
+    let g = config.grid;
+    let mut hist = Histogram2d::new((0.0, l), (0.0, l), g, g).expect("valid config");
+    for _ in 0..config.samples {
+        let p = sample_spatial(l, &mut rng);
+        hist.add(p.x, p.y);
+    }
+
+    // analytic masses, row-major (row = y bin)
+    let mut expected = Vec::with_capacity(g * g);
+    for row in 0..g {
+        for col in 0..g {
+            let ((x0, x1), (y0, y1)) = hist.bin_rect(row, col);
+            let rect = Rect::new(Point::new(x0, y0), Point::new(x1, y1)).expect("bin rect");
+            expected.push(rect_mass(l, &rect));
+        }
+    }
+
+    let observed: Vec<f64> = hist.counts().iter().map(|&c| c as f64).collect();
+    let chi2 = chi2_gof_masses(&observed, &expected, 0).expect("well-formed test");
+    let tv = hist.tv_distance(&expected).expect("matching bins");
+
+    let total = hist.total_in_range() as f64;
+    let mut max_rel = 0.0_f64;
+    let floor = 0.25 / (g * g) as f64;
+    for (i, &e) in expected.iter().enumerate() {
+        if e < floor {
+            continue;
+        }
+        let emp = observed[i] / total;
+        max_rel = max_rel.max((emp - e).abs() / e);
+    }
+
+    let center = hist.mass(g / 2, g / 2);
+    let corner = hist.mass(0, 0).max(1.0 / total);
+    let ((cx0, cx1), (cy0, cy1)) = hist.bin_rect(g / 2, g / 2);
+    let center_rect = Rect::new(Point::new(cx0, cy0), Point::new(cx1, cy1)).unwrap();
+    let ((kx0, kx1), (ky0, ky1)) = hist.bin_rect(0, 0);
+    let corner_rect = Rect::new(Point::new(kx0, ky0), Point::new(kx1, ky1)).unwrap();
+    let analytic_ratio = rect_mass(l, &center_rect) / rect_mass(l, &corner_rect).max(1e-300);
+
+    // ASCII gradient, north row first (like the figure)
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let max_mass = (0..g)
+        .flat_map(|r| (0..g).map(move |c| (r, c)))
+        .map(|(r, c)| hist.mass(r, c))
+        .fold(0.0_f64, f64::max)
+        .max(1e-300);
+    let mut ascii = String::new();
+    for row in (0..g).rev() {
+        for col in 0..g {
+            let frac = hist.mass(row, col) / max_mass;
+            let idx = ((frac * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
+            ascii.push(SHADES[idx] as char);
+            ascii.push(SHADES[idx] as char); // double width: squarer aspect
+        }
+        ascii.push('\n');
+    }
+
+    Output {
+        config: config.clone(),
+        chi2_p_value: chi2.p_value,
+        tv_distance: tv,
+        max_rel_error: max_rel,
+        center_corner_ratio: center / corner,
+        center_corner_ratio_analytic: analytic_ratio,
+        ascii,
+    }
+}
+
+impl Output {
+    /// Whether the empirical distribution is consistent with Theorem 1 at
+    /// significance `alpha` (chi-square) and TV below `tv_limit`.
+    pub fn matches_theorem1(&self, alpha: f64, tv_limit: f64) -> bool {
+        self.chi2_p_value >= alpha && self.tv_distance <= tv_limit
+    }
+}
+
+impl fmt::Display for Output {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E1 / Figure 1 (left): stationary spatial density, {} samples on a {}x{} grid, L = {}",
+            self.config.samples, self.config.grid, self.config.grid, self.config.side
+        )?;
+        writeln!(f, "\nEmpirical density (dark = dense, like Fig. 1):\n")?;
+        writeln!(f, "{}", self.ascii)?;
+        let mut t = Table::new(["metric", "value", "paper / analytic"]);
+        t.row(["chi² p-value vs Thm 1 masses", &fmt_f64(self.chi2_p_value), "consistent if ≥ 0.01"]);
+        t.row(["TV distance", &fmt_f64(self.tv_distance), "→ 0 with samples"]);
+        t.row(["max relative cell error", &fmt_f64(self.max_rel_error), "→ 0 with samples"]);
+        t.row([
+            "center/corner density ratio",
+            &fmt_f64(self.center_corner_ratio),
+            &fmt_f64(self.center_corner_ratio_analytic),
+        ]);
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_matches_theorem1() {
+        let out = run(&Config::quick());
+        assert!(
+            out.matches_theorem1(0.001, 0.02),
+            "chi2 p = {}, tv = {}",
+            out.chi2_p_value,
+            out.tv_distance
+        );
+        assert!(out.center_corner_ratio > 3.0, "corner must be much sparser");
+        // analytic and empirical ratios in the same ballpark
+        let rel = (out.center_corner_ratio - out.center_corner_ratio_analytic).abs()
+            / out.center_corner_ratio_analytic;
+        assert!(rel < 0.5, "ratio off by {rel}");
+        assert!(out.ascii.lines().count() == out.config.grid);
+        assert!(!out.to_string().is_empty());
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = run(&Config::quick());
+        let b = run(&Config::quick());
+        assert_eq!(a.chi2_p_value, b.chi2_p_value);
+        assert_eq!(a.ascii, b.ascii);
+    }
+}

@@ -1,0 +1,218 @@
+//! **E2 — Figure 1 (cross): the stationary destination distribution.**
+//!
+//! Theorem 2 says an agent's destination, conditioned on its position
+//! `(x0, y0)`, is piecewise-uniform over the four quadrants plus *atoms on
+//! the cross* (the four axis-parallel segments through the agent) whose
+//! probabilities are the `φ` formulas of Eqs. 4–5 and total exactly 1/2.
+//! This experiment samples stationary MRWP states, conditions on positions
+//! near the paper's Figure-1 point `(L/3, L/4)`, and compares the
+//! empirical quadrant/segment frequencies against the closed forms.
+
+use crate::table::{fmt_f64, Table};
+use fastflood_geom::{Cardinal, Point};
+use fastflood_mobility::distributions::{phi_segment, quadrant_probability, Quadrant};
+use fastflood_mobility::{Mobility, Mrwp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Configuration for the destination-distribution experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Region side `L`.
+    pub side: f64,
+    /// Stationary states to sample.
+    pub samples: usize,
+    /// Conditioning box half-width around the Figure-1 point, as a
+    /// fraction of `L`.
+    pub box_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            side: 120.0,
+            samples: 4_000_000,
+            box_frac: 0.04,
+            seed: 2010,
+        }
+    }
+}
+
+impl Config {
+    /// A reduced configuration for smoke tests.
+    pub fn quick() -> Config {
+        Config {
+            samples: 400_000,
+            box_frac: 0.08,
+            ..Config::default()
+        }
+    }
+}
+
+/// Empirical vs analytic destination masses at the Figure-1 point.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// The configuration used.
+    pub config: Config,
+    /// Conditioned sample count (states whose position fell in the box).
+    pub conditioned: usize,
+    /// Global cross fraction over all samples (analytic value: 1/2).
+    pub global_cross_fraction: f64,
+    /// `(empirical, analytic)` per quadrant, order SW, SE, NW, NE.
+    pub quadrants: [(f64, f64); 4],
+    /// `(empirical, analytic)` for the cross split by direction,
+    /// order N, S, E, W.
+    pub segments: [(f64, f64); 4],
+}
+
+/// Runs the experiment.
+pub fn run(config: &Config) -> Output {
+    let l = config.side;
+    let fig_point = Point::new(l / 3.0, l / 4.0);
+    let half = config.box_frac * l;
+    let model = Mrwp::new(l, 1.0).expect("valid side");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut on_cross_total = 0usize;
+    let mut conditioned = 0usize;
+    let mut quad_counts = [0usize; 4];
+    let mut seg_counts = [0usize; 4];
+
+    for _ in 0..config.samples {
+        let st = model.init_stationary(&mut rng);
+        let pos = model.position(&st);
+        // "destination" in Theorem 2's sense: where the agent is heading.
+        // On the second leg the destination lies on the agent's own axis
+        // cross; on the first leg it is in one of the open quadrants.
+        let dest = st.dest();
+        let on_cross = st.on_second_leg();
+        if on_cross {
+            on_cross_total += 1;
+        }
+        if (pos.x - fig_point.x).abs() <= half && (pos.y - fig_point.y).abs() <= half {
+            conditioned += 1;
+            if on_cross {
+                // classify segment by travel direction toward dest
+                let d = if (dest.x - pos.x).abs() > (dest.y - pos.y).abs() {
+                    if dest.x >= pos.x {
+                        Cardinal::East
+                    } else {
+                        Cardinal::West
+                    }
+                } else if dest.y >= pos.y {
+                    Cardinal::North
+                } else {
+                    Cardinal::South
+                };
+                let idx = match d {
+                    Cardinal::North => 0,
+                    Cardinal::South => 1,
+                    Cardinal::East => 2,
+                    Cardinal::West => 3,
+                };
+                seg_counts[idx] += 1;
+            } else {
+                let idx = match Quadrant::classify(pos, dest) {
+                    Some(Quadrant::Sw) => 0,
+                    Some(Quadrant::Se) => 1,
+                    Some(Quadrant::Nw) => 2,
+                    Some(Quadrant::Ne) => 3,
+                    // measure-zero alignment while on the first leg:
+                    // count as cross-adjacent, skip
+                    None => continue,
+                };
+                quad_counts[idx] += 1;
+            }
+        }
+    }
+
+    let denom = conditioned.max(1) as f64;
+    let quadrants = [
+        (quad_counts[0] as f64 / denom, quadrant_probability(l, fig_point, Quadrant::Sw)),
+        (quad_counts[1] as f64 / denom, quadrant_probability(l, fig_point, Quadrant::Se)),
+        (quad_counts[2] as f64 / denom, quadrant_probability(l, fig_point, Quadrant::Nw)),
+        (quad_counts[3] as f64 / denom, quadrant_probability(l, fig_point, Quadrant::Ne)),
+    ];
+    let segments = [
+        (seg_counts[0] as f64 / denom, phi_segment(l, fig_point, Cardinal::North)),
+        (seg_counts[1] as f64 / denom, phi_segment(l, fig_point, Cardinal::South)),
+        (seg_counts[2] as f64 / denom, phi_segment(l, fig_point, Cardinal::East)),
+        (seg_counts[3] as f64 / denom, phi_segment(l, fig_point, Cardinal::West)),
+    ];
+
+    Output {
+        config: config.clone(),
+        conditioned,
+        global_cross_fraction: on_cross_total as f64 / config.samples as f64,
+        quadrants,
+        segments,
+    }
+}
+
+impl Output {
+    /// Largest absolute error between empirical and analytic masses.
+    pub fn max_abs_error(&self) -> f64 {
+        self.quadrants
+            .iter()
+            .chain(self.segments.iter())
+            .map(|(e, a)| (e - a).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for Output {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E2 / Figure 1 (cross): destination distribution at (L/3, L/4), L = {}, {} conditioned states",
+            self.config.side, self.conditioned
+        )?;
+        writeln!(
+            f,
+            "global cross mass: {} (Theorem 2: exactly 0.5)",
+            fmt_f64(self.global_cross_fraction)
+        )?;
+        let mut t = Table::new(["destination region", "empirical", "Theorem 2"]);
+        let names = ["quadrant SW", "quadrant SE", "quadrant NW", "quadrant NE"];
+        for (name, (e, a)) in names.iter().zip(self.quadrants.iter()) {
+            t.row([*name, &fmt_f64(*e), &fmt_f64(*a)]);
+        }
+        let segs = ["segment N (φ_N)", "segment S (φ_S)", "segment E (φ_E)", "segment W (φ_W)"];
+        for (name, (e, a)) in segs.iter().zip(self.segments.iter()) {
+            t.row([*name, &fmt_f64(*e), &fmt_f64(*a)]);
+        }
+        write!(f, "{t}")?;
+        writeln!(f, "max |empirical − analytic| = {}", fmt_f64(self.max_abs_error()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_matches_theorem2() {
+        let out = run(&Config::quick());
+        assert!(out.conditioned > 500, "need conditioned mass, got {}", out.conditioned);
+        assert!(
+            (out.global_cross_fraction - 0.5).abs() < 0.01,
+            "cross mass {}",
+            out.global_cross_fraction
+        );
+        // each region within a few points of the analytic value (the
+        // conditioning box smears positions, so tolerance is generous)
+        assert!(out.max_abs_error() < 0.05, "max error {}", out.max_abs_error());
+        // sanity on the analytic side: all masses total 1
+        let total: f64 = out
+            .quadrants
+            .iter()
+            .chain(out.segments.iter())
+            .map(|(_, a)| a)
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(!out.to_string().is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! **E9 — Lemma 15: the Suburb diameter.**
+//!
+//! Lemma 15: every point of the SW Suburb corner has both coordinates at
+//! most `S = (3/2)·L³·log n/(ℓ²·n)`. The experiment sweeps `(n, R)` and
+//! compares the *measured* extent of the SW Suburb region (from the exact
+//! cell classification) against `S`.
+
+use crate::table::{fmt_f64, Table};
+use fastflood_core::{SimParams, ZoneMap};
+use std::fmt;
+
+/// One `(n, c1)` point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Agents.
+    pub n: usize,
+    /// Radius multiplier over the natural scale.
+    pub c1: f64,
+    /// Resolved parameters.
+    pub params: SimParams,
+    /// Measured max coordinate of the SW Suburb (0 when empty).
+    pub extent: f64,
+    /// The Lemma 15 bound `S`.
+    pub s_bound: f64,
+    /// Cell side `ℓ` (measurement granularity).
+    pub cell_len: f64,
+    /// Number of suburb cells (all four corners).
+    pub suburb_cells: usize,
+}
+
+/// Configuration for the Suburb-diameter experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Values of `n`.
+    pub ns: Vec<usize>,
+    /// Radius multipliers over the natural scale.
+    pub c1s: Vec<f64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            ns: vec![2_500, 10_000, 40_000, 160_000],
+            c1s: vec![2.5, 4.0, 6.0],
+        }
+    }
+}
+
+impl Config {
+    /// A reduced configuration for smoke tests.
+    pub fn quick() -> Config {
+        Config {
+            ns: vec![2_500, 10_000],
+            c1s: vec![3.0, 5.0],
+        }
+    }
+}
+
+/// The sweep results.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// The configuration used.
+    pub config: Config,
+    /// One row per `(n, c1)` point.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the experiment (purely analytic; no randomness).
+pub fn run(config: &Config) -> Output {
+    let mut rows = Vec::new();
+    for &n in &config.ns {
+        for &c1 in &config.c1s {
+            let scale = SimParams::standard(n, 1.0, 0.0).expect("valid").radius_scale();
+            let params = SimParams::standard(n, c1 * scale, 0.1).expect("valid");
+            let zones = ZoneMap::new(&params).expect("valid");
+            rows.push(Row {
+                n,
+                c1,
+                extent: zones.suburb_extent_sw(),
+                s_bound: params.suburb_diameter_bound(),
+                cell_len: zones.grid().cell_len(),
+                suburb_cells: zones.num_suburb(),
+                params,
+            });
+        }
+    }
+    Output {
+        config: config.clone(),
+        rows,
+    }
+}
+
+impl Output {
+    /// Whether the Lemma 15 bound (with the one-cell measurement
+    /// granularity) held everywhere.
+    pub fn bound_holds(&self) -> bool {
+        self.rows
+            .iter()
+            .all(|r| r.extent <= r.s_bound + r.cell_len + 1e-9)
+    }
+}
+
+impl fmt::Display for Output {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E9 / Lemma 15: SW Suburb extent vs S = (3/2)·L³·ln n/(ℓ²·n)")?;
+        let mut t = Table::new([
+            "n",
+            "c1",
+            "R",
+            "suburb cells",
+            "measured extent",
+            "S bound",
+            "extent ≤ S + ℓ",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.n.to_string(),
+                fmt_f64(r.c1),
+                fmt_f64(r.params.radius()),
+                r.suburb_cells.to_string(),
+                fmt_f64(r.extent),
+                fmt_f64(r.s_bound),
+                (r.extent <= r.s_bound + r.cell_len + 1e-9).to_string(),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(f, "Lemma 15 holds everywhere: {}", self.bound_holds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_bound_holds() {
+        let out = run(&Config::quick());
+        assert_eq!(out.rows.len(), 4);
+        assert!(out.bound_holds(), "{out}");
+        // at least one configuration has a real suburb to measure
+        assert!(out.rows.iter().any(|r| r.suburb_cells > 0));
+        assert!(!out.to_string().is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(&Config::quick());
+        let b = run(&Config::quick());
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(x.extent, y.extent);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! **E14 — Lemma 9: boundary expansion of the Central Zone.**
+//!
+//! Lemma 9: for any subset `B` of Central-Zone cells,
+//! `|∂B| ≥ √min(|B|, |CZ|−|B|)`. The experiment attacks the bound with
+//! three adversarial subset families (uniform, BFS-grown blobs, row
+//! slabs) and reports the *worst* observed expansion ratio
+//! `|∂B| / √min(|B|, |CZ|−|B|)` — Lemma 9 says it never dips below 1.
+
+use crate::table::{fmt_f64, Table};
+use fastflood_core::{SimParams, ZoneMap};
+use fastflood_geom::Cell;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Worst-case ratio per subset family.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Family name.
+    pub family: &'static str,
+    /// Subsets tested.
+    pub subsets: usize,
+    /// Worst (smallest) expansion ratio observed.
+    pub worst_ratio: f64,
+}
+
+/// Configuration for the expansion experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Agents (side is `√n`).
+    pub n: usize,
+    /// Radius multiplier over the natural scale.
+    pub c1: f64,
+    /// Subsets per family.
+    pub subsets: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 10_000,
+            c1: 3.0,
+            subsets: 500,
+            seed: 2010,
+        }
+    }
+}
+
+impl Config {
+    /// A reduced configuration for smoke tests.
+    pub fn quick() -> Config {
+        Config {
+            n: 2_500,
+            subsets: 120,
+            ..Config::default()
+        }
+    }
+}
+
+/// The experiment results.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// The configuration used.
+    pub config: Config,
+    /// Central-Zone size (cells).
+    pub cz_cells: usize,
+    /// One row per family.
+    pub rows: Vec<Row>,
+}
+
+fn ratio(zones: &ZoneMap, b: &[Cell]) -> f64 {
+    let boundary = zones.boundary(b).len() as f64;
+    let b_len = b.len() as f64;
+    let other = zones.num_central() as f64 - b_len;
+    let denom = b_len.min(other).sqrt();
+    if denom <= 0.0 {
+        f64::INFINITY
+    } else {
+        boundary / denom
+    }
+}
+
+/// Runs the experiment.
+pub fn run(config: &Config) -> Output {
+    let scale = SimParams::standard(config.n, 1.0, 0.0)
+        .expect("valid")
+        .radius_scale();
+    let params = SimParams::standard(config.n, config.c1 * scale, 0.1).expect("valid");
+    let zones = ZoneMap::new(&params).expect("valid");
+    let central: Vec<Cell> = zones.central_cells().collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // family 1: uniform random subsets
+    let mut worst_uniform = f64::INFINITY;
+    for k in 0..config.subsets {
+        let size = 1 + (k * 17) % (central.len() - 1);
+        let mut cells = central.clone();
+        cells.shuffle(&mut rng);
+        cells.truncate(size);
+        worst_uniform = worst_uniform.min(ratio(&zones, &cells));
+    }
+
+    // family 2: BFS-grown blobs
+    let mut worst_blob = f64::INFINITY;
+    for k in 0..config.subsets {
+        let target = 1 + (k * 23) % (central.len() - 1);
+        let start = central[rng.gen_range(0..central.len())];
+        let mut in_blob = vec![false; zones.grid().num_cells()];
+        let mut blob = vec![start];
+        in_blob[zones.grid().index_of(start)] = true;
+        let mut head = 0;
+        while blob.len() < target && head < blob.len() {
+            let cur = blob[head];
+            head += 1;
+            for nb in zones.grid().neighbors4(cur) {
+                if zones.is_central(nb) && !in_blob[zones.grid().index_of(nb)] {
+                    in_blob[zones.grid().index_of(nb)] = true;
+                    blob.push(nb);
+                    if blob.len() >= target {
+                        break;
+                    }
+                }
+            }
+        }
+        worst_blob = worst_blob.min(ratio(&zones, &blob));
+    }
+
+    // family 3: row slabs (the extremal shape in the paper's proof)
+    let mut worst_slab = f64::INFINITY;
+    let m = zones.grid().m();
+    let mut slabs = 0usize;
+    for rows in 1..m {
+        let slab: Vec<Cell> = central.iter().copied().filter(|c| c.row < rows).collect();
+        if slab.is_empty() || slab.len() == central.len() {
+            continue;
+        }
+        slabs += 1;
+        worst_slab = worst_slab.min(ratio(&zones, &slab));
+    }
+
+    Output {
+        config: config.clone(),
+        cz_cells: central.len(),
+        rows: vec![
+            Row {
+                family: "uniform subsets",
+                subsets: config.subsets,
+                worst_ratio: worst_uniform,
+            },
+            Row {
+                family: "BFS blobs",
+                subsets: config.subsets,
+                worst_ratio: worst_blob,
+            },
+            Row {
+                family: "row slabs",
+                subsets: slabs,
+                worst_ratio: worst_slab,
+            },
+        ],
+    }
+}
+
+impl Output {
+    /// Whether Lemma 9 held for every tested subset.
+    pub fn lemma9_holds(&self) -> bool {
+        self.rows.iter().all(|r| r.worst_ratio >= 1.0 - 1e-12)
+    }
+}
+
+impl fmt::Display for Output {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E14 / Lemma 9: |∂B| / √min(|B|, |CZ|−|B|) over adversarial B (CZ = {} cells)",
+            self.cz_cells
+        )?;
+        let mut t = Table::new(["subset family", "subsets tested", "worst ratio (must be ≥ 1)"]);
+        for r in &self.rows {
+            t.row([r.family.to_string(), r.subsets.to_string(), fmt_f64(r.worst_ratio)]);
+        }
+        write!(f, "{t}")?;
+        writeln!(f, "Lemma 9 held for every subset: {}", self.lemma9_holds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma9_holds_on_quick_families() {
+        let out = run(&Config::quick());
+        assert!(out.lemma9_holds(), "{out}");
+        assert!(out.cz_cells > 10);
+        assert_eq!(out.rows.len(), 3);
+        assert!(!out.to_string().is_empty());
+    }
+}

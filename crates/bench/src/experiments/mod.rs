@@ -1,0 +1,21 @@
+//! One module per reproduced figure/claim; see DESIGN.md §3 for the
+//! experiment index and EXPERIMENTS.md for recorded outcomes.
+
+pub mod connectivity;
+pub mod convergence;
+pub mod fig1_density;
+pub mod fig1_destination;
+pub mod lemma13_turns;
+pub mod lemma14_segments;
+pub mod lemma15_suburb;
+pub mod lemma16_meeting;
+pub mod lemma7_density;
+pub mod lemma9_expansion;
+pub mod model_comparison;
+pub mod protocols;
+pub mod suburb_vs_center;
+pub mod support;
+pub mod thm10_cor12;
+pub mod thm18_lower;
+pub mod thm1_marginals;
+pub mod thm3_sweep;

@@ -1,0 +1,212 @@
+//! **E13 — MRWP vs the random-walk MANETs of \[10, 11\] (and RWP).**
+//!
+//! The paper's introduction contrasts the MRWP's non-uniform stationary
+//! distribution against the earlier random-walk models whose stationary
+//! distributions are almost uniform. The experiment floods the same
+//! `(n, L, R, v)` configuration under four mobility models — MRWP,
+//! classical RWP, the disk-walk of \[10, 11\], and a frozen (static) MRWP
+//! snapshot — and compares completion rates and times. The static model
+//! shows *why* mobility matters: below the connectivity threshold it
+//! simply never finishes.
+
+use crate::table::{fmt_f64, Table};
+use fastflood_core::{run_trials, FloodingReport, FloodingSim, SimConfig, SimParams, SourcePlacement};
+use fastflood_mobility::{DiskWalk, Mobility, Mrwp, Placement, Rwp, Static};
+use std::fmt;
+
+use super::support::FloodStats;
+
+/// One mobility model's aggregated outcome.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Model name.
+    pub model: &'static str,
+    /// Aggregated stats.
+    pub stats: FloodStats,
+}
+
+/// Configuration for the model-comparison experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Agents (side is `√n`).
+    pub n: usize,
+    /// Radius multiplier over the natural scale.
+    pub c1: f64,
+    /// Speed as a fraction of `R`.
+    pub v_frac: f64,
+    /// Disk-walk move radius as a multiple of `R`.
+    pub walk_radius_mult: f64,
+    /// Trials per model.
+    pub trials: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Step budget per trial (static runs stop here).
+    pub max_steps: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            // R = 1.0·scale sits *below* the MRWP snapshot connectivity
+            // threshold (corner agents are typically isolated): the
+            // paper's interesting regime, where static snapshots cannot
+            // flood but mobility can.
+            n: 10_000,
+            c1: 1.0,
+            v_frac: 0.3,
+            walk_radius_mult: 4.0,
+            trials: 8,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            max_steps: 100_000,
+            seed: 2010,
+        }
+    }
+}
+
+impl Config {
+    /// A reduced configuration for smoke tests.
+    pub fn quick() -> Config {
+        Config {
+            n: 1_600,
+            c1: 0.7,
+            trials: 3,
+            max_steps: 100_000,
+            ..Config::default()
+        }
+    }
+}
+
+/// The experiment results.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// The configuration used.
+    pub config: Config,
+    /// Resolved parameters.
+    pub params: SimParams,
+    /// One row per mobility model.
+    pub rows: Vec<Row>,
+}
+
+fn flood_with<M, F>(config: &Config, params: &SimParams, build: F) -> FloodStats
+where
+    M: Mobility,
+    F: Fn() -> M + Sync,
+{
+    let reports: Vec<FloodingReport> =
+        run_trials(config.trials, config.threads, config.seed, |_, seed| {
+            let mut sim = FloodingSim::new(
+                build(),
+                SimConfig::new(params.n(), params.radius())
+                    .seed(seed)
+                    .source(SourcePlacement::Random),
+            )
+            .expect("valid config");
+            sim.run(config.max_steps)
+        });
+    FloodStats::from_reports(&reports)
+}
+
+/// Runs the experiment.
+pub fn run(config: &Config) -> Output {
+    let scale = SimParams::standard(config.n, 1.0, 0.0)
+        .expect("valid")
+        .radius_scale();
+    let radius = config.c1 * scale;
+    let speed = config.v_frac * radius;
+    let params = SimParams::standard(config.n, radius, speed).expect("valid");
+    let side = params.side();
+
+    let rows = vec![
+        Row {
+            model: "MRWP (paper)",
+            stats: flood_with(config, &params, || Mrwp::new(side, speed).expect("valid")),
+        },
+        Row {
+            model: "RWP (straight-line)",
+            stats: flood_with(config, &params, || Rwp::new(side, speed).expect("valid")),
+        },
+        Row {
+            model: "disk-walk [10,11]",
+            stats: flood_with(config, &params, || {
+                DiskWalk::new(side, speed, config.walk_radius_mult * radius).expect("valid")
+            }),
+        },
+        Row {
+            model: "static MRWP snapshot",
+            stats: flood_with(config, &params, || {
+                Static::new(side, Placement::MrwpStationary).expect("valid")
+            }),
+        },
+    ];
+
+    Output {
+        config: config.clone(),
+        params,
+        rows,
+    }
+}
+
+impl Output {
+    /// Stats by model name.
+    pub fn stats_for(&self, model: &str) -> Option<&FloodStats> {
+        self.rows.iter().find(|r| r.model == model).map(|r| &r.stats)
+    }
+
+    /// Whether every *mobile* model completed all trials while the static
+    /// snapshot failed at least once (mobility as a resource).
+    pub fn mobility_wins(&self) -> bool {
+        let mobile_ok = self
+            .rows
+            .iter()
+            .filter(|r| r.model != "static MRWP snapshot")
+            .all(|r| r.stats.completion_rate() == 1.0);
+        let static_fails = self
+            .stats_for("static MRWP snapshot")
+            .is_some_and(|s| s.completion_rate() < 1.0);
+        mobile_ok && static_fails
+    }
+}
+
+impl fmt::Display for Output {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E13 / model comparison: {} ({} trials each, budget {} steps)",
+            self.params, self.config.trials, self.config.max_steps
+        )?;
+        let mut t = Table::new(["mobility model", "completed", "T mean±sd", "T max"]);
+        for r in &self.rows {
+            t.row([
+                r.model.to_string(),
+                format!("{}/{}", r.stats.completed, r.stats.trials),
+                if r.stats.completed > 0 {
+                    format!("{}±{}", fmt_f64(r.stats.mean), fmt_f64(r.stats.sd))
+                } else {
+                    "-".into()
+                },
+                if r.stats.completed > 0 {
+                    fmt_f64(r.stats.max)
+                } else {
+                    "-".into()
+                },
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(f, "mobility beats static snapshots: {}", self.mobility_wins())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobile_models_flood_static_does_not() {
+        let out = run(&Config::quick());
+        assert_eq!(out.rows.len(), 4);
+        assert!(out.mobility_wins(), "{out}");
+        assert!(!out.to_string().is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! **E15 — Ablation: protocol variants.**
+//!
+//! The paper analyzes full flooding (every informed agent transmits every
+//! step), the natural upper envelope for broadcast. This ablation measures
+//! how much completion time inflates under parsimonious flooding
+//! (transmit with probability `p`, cf. \[3\]) and bounded push gossip
+//! (inform at most `k` neighbors per step), on the same MRWP scenario.
+
+use super::support::FloodStats;
+use crate::table::{fmt_f64, Table};
+use fastflood_core::{run_trials, FloodingSim, Protocol, SimConfig, SimParams, SourcePlacement};
+use fastflood_mobility::Mrwp;
+use std::fmt;
+
+/// One protocol's aggregated outcome.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Protocol label.
+    pub label: String,
+    /// The protocol run.
+    pub protocol: Protocol,
+    /// Aggregated stats.
+    pub stats: FloodStats,
+    /// Mean time relative to full flooding.
+    pub slowdown: f64,
+}
+
+/// Configuration for the protocol ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Agents (side is `√n`).
+    pub n: usize,
+    /// Radius multiplier over the natural scale.
+    pub c1: f64,
+    /// Speed as a fraction of `R`.
+    pub v_frac: f64,
+    /// Parsimonious transmission probabilities to test.
+    pub ps: Vec<f64>,
+    /// Gossip fan-outs to test.
+    pub ks: Vec<usize>,
+    /// Trials per protocol.
+    pub trials: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Step budget per trial.
+    pub max_steps: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 10_000,
+            c1: 4.0,
+            v_frac: 0.3,
+            ps: vec![0.5, 0.2, 0.05],
+            ks: vec![1, 3],
+            trials: 8,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            max_steps: 300_000,
+            seed: 2010,
+        }
+    }
+}
+
+impl Config {
+    /// A reduced configuration for smoke tests.
+    pub fn quick() -> Config {
+        Config {
+            n: 1_000,
+            ps: vec![0.2],
+            ks: vec![1],
+            trials: 3,
+            max_steps: 100_000,
+            ..Config::default()
+        }
+    }
+}
+
+/// The ablation results.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// The configuration used.
+    pub config: Config,
+    /// Resolved parameters.
+    pub params: SimParams,
+    /// One row per protocol, full flooding first.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the ablation.
+pub fn run(config: &Config) -> Output {
+    let scale = SimParams::standard(config.n, 1.0, 0.0)
+        .expect("valid")
+        .radius_scale();
+    let radius = config.c1 * scale;
+    let params =
+        SimParams::standard(config.n, radius, config.v_frac * radius).expect("valid");
+
+    let run_protocol = |protocol: Protocol, salt: u64| -> FloodStats {
+        let reports = run_trials(
+            config.trials,
+            config.threads,
+            config.seed.wrapping_add(salt << 32),
+            |_, seed| {
+                let model = Mrwp::new(params.side(), params.speed()).expect("valid");
+                let mut sim = FloodingSim::new(
+                    model,
+                    SimConfig::new(params.n(), params.radius())
+                        .seed(seed)
+                        .source(SourcePlacement::Center)
+                        .protocol(protocol),
+                )
+                .expect("valid config");
+                sim.run(config.max_steps)
+            },
+        );
+        FloodStats::from_reports(&reports)
+    };
+
+    let mut rows = Vec::new();
+    let full = run_protocol(Protocol::Flooding, 0);
+    let full_mean = full.mean;
+    rows.push(Row {
+        label: "flooding (paper)".into(),
+        protocol: Protocol::Flooding,
+        slowdown: 1.0,
+        stats: full,
+    });
+    for (i, &p) in config.ps.iter().enumerate() {
+        let stats = run_protocol(Protocol::Parsimonious { p }, 1 + i as u64);
+        rows.push(Row {
+            label: format!("parsimonious p={p}"),
+            protocol: Protocol::Parsimonious { p },
+            slowdown: stats.mean / full_mean,
+            stats,
+        });
+    }
+    for (i, &k) in config.ks.iter().enumerate() {
+        let stats = run_protocol(Protocol::Gossip { k }, 100 + i as u64);
+        rows.push(Row {
+            label: format!("gossip k={k}"),
+            protocol: Protocol::Gossip { k },
+            slowdown: stats.mean / full_mean,
+            stats,
+        });
+    }
+
+    Output {
+        config: config.clone(),
+        params,
+        rows,
+    }
+}
+
+impl Output {
+    /// Whether full flooding was (weakly) the fastest protocol.
+    pub fn flooding_is_fastest(&self) -> bool {
+        self.rows.iter().all(|r| r.slowdown >= 1.0 - 0.15)
+    }
+}
+
+impl fmt::Display for Output {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E15 / protocol ablation: {} ({} trials each)",
+            self.params, self.config.trials
+        )?;
+        let mut t = Table::new(["protocol", "completed", "T mean±sd", "slowdown vs flooding"]);
+        for r in &self.rows {
+            t.row([
+                r.label.clone(),
+                format!("{}/{}", r.stats.completed, r.stats.trials),
+                format!("{}±{}", fmt_f64(r.stats.mean), fmt_f64(r.stats.sd)),
+                fmt_f64(r.slowdown),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "flooding is the fastest protocol (the natural envelope): {}",
+            self.flooding_is_fastest()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocols_complete_and_flooding_leads() {
+        let out = run(&Config::quick());
+        assert_eq!(out.rows.len(), 3);
+        for r in &out.rows {
+            assert_eq!(
+                r.stats.completion_rate(),
+                1.0,
+                "protocol {} did not complete",
+                r.label
+            );
+        }
+        assert!(out.flooding_is_fastest(), "{out}");
+        assert!(!out.to_string().is_empty());
+    }
+}

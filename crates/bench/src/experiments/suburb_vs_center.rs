@@ -1,0 +1,174 @@
+//! **E5 — Flooding over the Suburb is as fast as over the Central Zone.**
+//!
+//! The abstract's striking consequence: "flooding over the sparse and
+//! highly-disconnected suburb can be as fast as flooding over the dense
+//! and connected central zone … even when R is exponentially below the
+//! connectivity threshold". We place the source (a) at the region center
+//! and (b) in the deep SW Suburb corner, with `R` far below the MRWP
+//! connectivity threshold, and compare completion times; the paper
+//! predicts the same order of magnitude.
+
+use super::support::{mrwp_flood_trials, FloodStats};
+use crate::table::{fmt_f64, Table};
+use fastflood_core::{SimParams, SourcePlacement, ZoneMap};
+use std::fmt;
+
+/// Configuration for the suburb-vs-center experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Agents (side is `√n`).
+    pub n: usize,
+    /// Radius multiplier over the natural scale.
+    pub c1: f64,
+    /// Speed as a fraction of `R`.
+    pub v_frac: f64,
+    /// Trials per placement.
+    pub trials: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Step budget per trial.
+    pub max_steps: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 10_000,
+            c1: 4.0,
+            v_frac: 0.3,
+            trials: 10,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            max_steps: 500_000,
+            seed: 2010,
+        }
+    }
+}
+
+impl Config {
+    /// A reduced configuration for smoke tests.
+    pub fn quick() -> Config {
+        Config {
+            n: 1_600,
+            // at n = 1600 the Definition 4 suburb empties above c1 ≈ 3;
+            // keep the radius low enough that the contrast is real
+            c1: 2.5,
+            trials: 4,
+            ..Config::default()
+        }
+    }
+}
+
+/// Result of the suburb-vs-center experiment.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// The configuration used.
+    pub config: Config,
+    /// Resolved parameters.
+    pub params: SimParams,
+    /// Stats with the source at the center.
+    pub center: FloodStats,
+    /// Stats with the source in the SW Suburb corner.
+    pub suburb: FloodStats,
+    /// Whether the suburb was non-empty (sanity: otherwise the contrast
+    /// is vacuous).
+    pub suburb_nonempty: bool,
+}
+
+/// Runs the experiment.
+pub fn run(config: &Config) -> Output {
+    let scale = SimParams::standard(config.n, 1.0, 0.0)
+        .expect("valid params")
+        .radius_scale();
+    let radius = config.c1 * scale;
+    let params = SimParams::standard(config.n, radius, config.v_frac * radius).expect("valid");
+    let zones = ZoneMap::new(&params).expect("valid params");
+    let center = FloodStats::from_reports(&mrwp_flood_trials(
+        &params,
+        SourcePlacement::Center,
+        config.trials,
+        config.threads,
+        config.seed,
+        config.max_steps,
+        true,
+    ));
+    let suburb = FloodStats::from_reports(&mrwp_flood_trials(
+        &params,
+        SourcePlacement::SwCorner,
+        config.trials,
+        config.threads,
+        config.seed.wrapping_add(1 << 32),
+        config.max_steps,
+        true,
+    ));
+    Output {
+        config: config.clone(),
+        params,
+        center,
+        suburb,
+        suburb_nonempty: !zones.suburb_is_empty(),
+    }
+}
+
+impl Output {
+    /// Suburb-source mean time over center-source mean time.
+    pub fn slowdown(&self) -> f64 {
+        self.suburb.mean / self.center.mean
+    }
+}
+
+impl fmt::Display for Output {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E5 / suburb-as-fast-as-center: {} (suburb nonempty: {})",
+            self.params, self.suburb_nonempty
+        )?;
+        let mut t = Table::new([
+            "source placement",
+            "completed",
+            "T mean±sd",
+            "T max",
+            "CZ time",
+            "suburb time",
+        ]);
+        for (name, s) in [("Central Zone", &self.center), ("SW Suburb corner", &self.suburb)] {
+            t.row([
+                name.to_string(),
+                format!("{}/{}", s.completed, s.trials),
+                format!("{}±{}", fmt_f64(s.mean), fmt_f64(s.sd)),
+                fmt_f64(s.max),
+                s.mean_cz.map(fmt_f64).unwrap_or_else(|| "-".into()),
+                s.mean_suburb.map(fmt_f64).unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "suburb-source slowdown: {}x (paper: same asymptotic order)",
+            fmt_f64(self.slowdown())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suburb_source_is_same_order_as_center() {
+        let out = run(&Config::quick());
+        assert!(out.suburb_nonempty, "contrast requires a suburb");
+        assert_eq!(out.center.completion_rate(), 1.0);
+        assert_eq!(out.suburb.completion_rate(), 1.0);
+        // "as fast as": same order of magnitude — generous 4x gate at
+        // this small scale
+        let slow = out.slowdown();
+        assert!(
+            slow < 4.0 && slow > 0.25,
+            "suburb/center ratio {slow} out of the same-order band"
+        );
+        assert!(!out.to_string().is_empty());
+    }
+}

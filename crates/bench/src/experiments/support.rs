@@ -1,0 +1,145 @@
+//! Shared helpers for the flooding experiments.
+
+use fastflood_core::{run_trials, FloodingReport, FloodingSim, SimConfig, SimParams, SourcePlacement};
+use fastflood_mobility::Mrwp;
+
+/// Aggregated flooding times over a batch of trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloodStats {
+    /// Trials run.
+    pub trials: usize,
+    /// Trials that completed within the step budget.
+    pub completed: usize,
+    /// Mean flooding time over completed trials (NaN when none).
+    pub mean: f64,
+    /// Standard deviation over completed trials.
+    pub sd: f64,
+    /// Maximum flooding time over completed trials.
+    pub max: f64,
+    /// Mean Central-Zone completion time, when tracked.
+    pub mean_cz: Option<f64>,
+    /// Mean Suburb completion time, when tracked.
+    pub mean_suburb: Option<f64>,
+}
+
+impl FloodStats {
+    /// Aggregates a batch of reports.
+    pub fn from_reports(reports: &[FloodingReport]) -> FloodStats {
+        let times: Vec<f64> = reports
+            .iter()
+            .filter_map(|r| r.flooding_time)
+            .map(f64::from)
+            .collect();
+        let completed = times.len();
+        let (mean, sd, max) = if completed == 0 {
+            (f64::NAN, f64::NAN, f64::NAN)
+        } else {
+            let s = fastflood_stats::Summary::from_slice(&times).expect("nonempty");
+            (s.mean(), s.std_dev(), s.max())
+        };
+        let collect_opt = |f: fn(&FloodingReport) -> Option<u32>| -> Option<f64> {
+            let vals: Vec<f64> = reports.iter().filter_map(f).map(f64::from).collect();
+            if vals.len() == reports.len() && !vals.is_empty() {
+                Some(vals.iter().sum::<f64>() / vals.len() as f64)
+            } else {
+                None
+            }
+        };
+        FloodStats {
+            trials: reports.len(),
+            completed,
+            mean,
+            sd,
+            max,
+            mean_cz: collect_opt(|r| r.central_zone_time),
+            mean_suburb: collect_opt(|r| r.suburb_time),
+        }
+    }
+
+    /// Fraction of trials that completed.
+    pub fn completion_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.trials as f64
+        }
+    }
+}
+
+/// Runs `trials` MRWP flooding simulations of `params` in parallel and
+/// returns the per-trial reports (in trial order, deterministic in
+/// `master_seed`).
+///
+/// # Panics
+///
+/// Panics if the parameters reject model or simulator construction.
+pub fn mrwp_flood_trials(
+    params: &SimParams,
+    source: SourcePlacement,
+    trials: usize,
+    threads: usize,
+    master_seed: u64,
+    max_steps: u32,
+    track_zones: bool,
+) -> Vec<FloodingReport> {
+    let zones = track_zones
+        .then(|| fastflood_core::ZoneMap::new(params).expect("valid params"));
+    run_trials(trials, threads, master_seed, |_, seed| {
+        let model = Mrwp::new(params.side(), params.speed()).expect("valid params");
+        let mut sim = FloodingSim::new(
+            model,
+            SimConfig::new(params.n(), params.radius())
+                .seed(seed)
+                .source(source),
+        )
+        .expect("valid config");
+        if let Some(z) = &zones {
+            sim = sim.with_zones(z.clone());
+        }
+        sim.run(max_steps)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_aggregate_correctly() {
+        let params = SimParams::standard(100, 4.0, 0.5).unwrap();
+        let reports = mrwp_flood_trials(&params, SourcePlacement::Random, 4, 2, 1, 20_000, false);
+        assert_eq!(reports.len(), 4);
+        let stats = FloodStats::from_reports(&reports);
+        assert_eq!(stats.trials, 4);
+        assert_eq!(stats.completed, 4, "tiny dense network must flood");
+        assert!(stats.mean >= 1.0);
+        assert!(stats.max >= stats.mean);
+        assert_eq!(stats.completion_rate(), 1.0);
+        assert!(stats.mean_cz.is_none(), "zones not tracked");
+    }
+
+    #[test]
+    fn zone_tracking_populates_means() {
+        let params = SimParams::standard(200, 5.0, 0.5).unwrap();
+        let reports = mrwp_flood_trials(&params, SourcePlacement::Center, 2, 1, 2, 50_000, true);
+        let stats = FloodStats::from_reports(&reports);
+        assert!(stats.mean_cz.is_some());
+        assert!(stats.mean_suburb.is_some());
+    }
+
+    #[test]
+    fn deterministic_in_master_seed() {
+        let params = SimParams::standard(80, 4.0, 0.5).unwrap();
+        let a = mrwp_flood_trials(&params, SourcePlacement::Random, 3, 1, 7, 20_000, false);
+        let b = mrwp_flood_trials(&params, SourcePlacement::Random, 3, 3, 7, 20_000, false);
+        assert_eq!(a, b, "thread count must not change results");
+    }
+
+    #[test]
+    fn empty_reports() {
+        let stats = FloodStats::from_reports(&[]);
+        assert_eq!(stats.trials, 0);
+        assert!(stats.mean.is_nan());
+        assert_eq!(stats.completion_rate(), 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! **E6 — Theorem 10 and Corollary 12: the Central Zone floods in
+//! `O(L/R)`, and for large `R` so does everything.**
+//!
+//! Theorem 10: once an informed agent is in the Central Zone, all CZ cells
+//! are informed within `18·L/R` steps w.h.p. Corollary 12: when
+//! `R ≥ (1+√5)/2·L·(3 log n/n)^{1/3}` the Suburb is empty and total
+//! flooding time is at most `18·L/R`.
+//!
+//! The sweep crosses the Corollary 12 threshold: below it, the Central
+//! Zone completes fast but total time is dominated by the Suburb term;
+//! above it, total time collapses to the `O(L/R)` regime.
+
+use super::support::{mrwp_flood_trials, FloodStats};
+use crate::table::{fmt_f64, Table};
+use fastflood_core::{SimParams, SourcePlacement, ZoneMap};
+use std::fmt;
+
+/// One radius point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Radius as a fraction of the Corollary 12 threshold.
+    pub r_over_threshold: f64,
+    /// Resolved parameters.
+    pub params: SimParams,
+    /// Whether the suburb is empty at this radius (Cor. 12 predicts empty
+    /// iff `r_over_threshold ≥ 1`).
+    pub suburb_empty: bool,
+    /// Aggregated stats (zone-tracked).
+    pub stats: FloodStats,
+    /// The `18·L/R` bound of Theorem 10 / Corollary 12.
+    pub bound_18lr: f64,
+}
+
+/// Configuration for the Theorem 10 / Corollary 12 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Agents (side is `√n`).
+    pub n: usize,
+    /// Radius points as fractions of the Corollary 12 threshold.
+    pub fractions: Vec<f64>,
+    /// Speed as a fraction of `R`.
+    pub v_frac: f64,
+    /// Trials per point.
+    pub trials: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Step budget per trial.
+    pub max_steps: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 10_000,
+            fractions: vec![0.2, 0.4, 0.7, 1.05, 1.5],
+            v_frac: 0.3,
+            trials: 8,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            max_steps: 500_000,
+            seed: 2010,
+        }
+    }
+}
+
+impl Config {
+    /// A reduced configuration for smoke tests.
+    pub fn quick() -> Config {
+        Config {
+            n: 1_600,
+            fractions: vec![0.5, 1.1],
+            trials: 3,
+            ..Config::default()
+        }
+    }
+}
+
+/// The sweep results.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// The configuration used.
+    pub config: Config,
+    /// One row per radius point.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the sweep.
+pub fn run(config: &Config) -> Output {
+    let base = SimParams::standard(config.n, 1.0, 0.0).expect("valid params");
+    let threshold = base.large_radius_threshold();
+    let mut rows = Vec::new();
+    for (i, &frac) in config.fractions.iter().enumerate() {
+        let radius = frac * threshold;
+        let params =
+            SimParams::standard(config.n, radius, config.v_frac * radius).expect("valid params");
+        let zones = ZoneMap::new(&params).expect("valid params");
+        let reports = mrwp_flood_trials(
+            &params,
+            SourcePlacement::Center,
+            config.trials,
+            config.threads,
+            config.seed.wrapping_add((i as u64) << 32),
+            config.max_steps,
+            true,
+        );
+        rows.push(Row {
+            r_over_threshold: frac,
+            bound_18lr: params.central_zone_time_bound(),
+            suburb_empty: zones.suburb_is_empty(),
+            params,
+            stats: FloodStats::from_reports(&reports),
+        });
+    }
+    Output {
+        config: config.clone(),
+        rows,
+    }
+}
+
+impl Output {
+    /// Corollary 12 check: above the threshold the suburb is empty and
+    /// total time fits within `18·L/R`. (Below the threshold the
+    /// corollary claims nothing — the constant is loose, so the suburb
+    /// typically empties somewhat earlier; the table records where.)
+    pub fn corollary12_holds(&self) -> bool {
+        self.rows.iter().all(|r| {
+            r.r_over_threshold < 1.0
+                || (r.suburb_empty
+                    && r.stats.completed == r.stats.trials
+                    && r.stats.max <= r.bound_18lr)
+        })
+    }
+
+    /// Whether the smallest-radius row still has a suburb (so the sweep
+    /// actually crosses the emptiness transition).
+    pub fn sweep_crosses_transition(&self) -> bool {
+        self.rows.first().is_some_and(|r| !r.suburb_empty)
+            && self.rows.last().is_some_and(|r| r.suburb_empty)
+    }
+
+    /// Theorem 10 shape check: the Central Zone completes within
+    /// `18·L/R` for every point (when tracked).
+    pub fn theorem10_holds(&self) -> bool {
+        self.rows.iter().all(|r| match r.stats.mean_cz {
+            Some(cz) => cz <= r.bound_18lr,
+            None => false,
+        })
+    }
+}
+
+impl fmt::Display for Output {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E6 / Theorem 10 + Corollary 12: n = {}, v = {}·R, {} trials per point",
+            self.config.n, self.config.v_frac, self.config.trials
+        )?;
+        let mut t = Table::new([
+            "R/threshold",
+            "R",
+            "suburb empty",
+            "T total mean",
+            "T CZ mean",
+            "18·L/R",
+        ]);
+        for r in &self.rows {
+            t.row([
+                fmt_f64(r.r_over_threshold),
+                fmt_f64(r.params.radius()),
+                r.suburb_empty.to_string(),
+                fmt_f64(r.stats.mean),
+                r.stats.mean_cz.map(fmt_f64).unwrap_or_else(|| "-".into()),
+                fmt_f64(r.bound_18lr),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "Corollary 12 shape holds: {}; Theorem 10 (CZ ≤ 18L/R) holds: {}",
+            self.corollary12_holds(),
+            self.theorem10_holds()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_confirms_both_claims() {
+        let out = run(&Config::quick());
+        assert_eq!(out.rows.len(), 2);
+        assert!(out.corollary12_holds(), "{out}");
+        assert!(out.sweep_crosses_transition(), "{out}");
+        assert!(out.theorem10_holds(), "{out}");
+        // below threshold, total time exceeds the CZ time (suburb term)
+        let below = &out.rows[0];
+        assert!(!below.suburb_empty);
+        if let Some(cz) = below.stats.mean_cz {
+            assert!(below.stats.mean >= cz);
+        }
+        assert!(!out.to_string().is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! **E3 — Theorem 1 marginals under perfect simulation and stepping.**
+//!
+//! Kolmogorov–Smirnov tests of the empirical coordinate marginals against
+//! the analytic Theorem 1 marginal CDF, (a) immediately after perfect
+//! simulation and (b) after stepping the model, confirming both that the
+//! sampler is exact and that stepping preserves stationarity. A third test
+//! confirms the marginal is *not* uniform (the whole point of the paper's
+//! Figure 1).
+
+use crate::table::{fmt_f64, Table};
+use fastflood_mobility::distributions::spatial_marginal_cdf;
+use fastflood_mobility::{Mobility, Mrwp};
+use fastflood_stats::ks::{ks_one_sample, KsResult};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Configuration for the marginal-distribution experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Region side `L`.
+    pub side: f64,
+    /// Agent speed while stepping.
+    pub speed: f64,
+    /// Number of sampled agents.
+    pub samples: usize,
+    /// Steps to run before the "after stepping" test.
+    pub steps: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            side: 200.0,
+            speed: 2.0,
+            samples: 50_000,
+            steps: 100,
+            seed: 2010,
+        }
+    }
+}
+
+impl Config {
+    /// A reduced configuration for smoke tests.
+    pub fn quick() -> Config {
+        Config {
+            samples: 8_000,
+            steps: 25,
+            ..Config::default()
+        }
+    }
+}
+
+/// KS results for the marginal tests.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// The configuration used.
+    pub config: Config,
+    /// X marginal at t = 0 vs Theorem 1 CDF.
+    pub x_at_init: KsResult,
+    /// Y marginal at t = 0 vs Theorem 1 CDF.
+    pub y_at_init: KsResult,
+    /// X marginal after stepping vs Theorem 1 CDF.
+    pub x_after_steps: KsResult,
+    /// X marginal at t = 0 vs the *uniform* CDF (must reject).
+    pub x_vs_uniform: KsResult,
+}
+
+/// Runs the experiment.
+pub fn run(config: &Config) -> Output {
+    let model = Mrwp::new(config.side, config.speed).expect("valid params");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut states: Vec<_> = (0..config.samples)
+        .map(|_| model.init_stationary(&mut rng))
+        .collect();
+    let xs0: Vec<f64> = states.iter().map(|s| model.position(s).x).collect();
+    let ys0: Vec<f64> = states.iter().map(|s| model.position(s).y).collect();
+    for _ in 0..config.steps {
+        for st in &mut states {
+            model.step(st, &mut rng);
+        }
+    }
+    let xs1: Vec<f64> = states.iter().map(|s| model.position(s).x).collect();
+
+    let l = config.side;
+    let cdf = |t: f64| spatial_marginal_cdf(l, t);
+    Output {
+        config: config.clone(),
+        x_at_init: ks_one_sample(&xs0, cdf).expect("valid sample"),
+        y_at_init: ks_one_sample(&ys0, cdf).expect("valid sample"),
+        x_after_steps: ks_one_sample(&xs1, cdf).expect("valid sample"),
+        x_vs_uniform: ks_one_sample(&xs0, |t| (t / l).clamp(0.0, 1.0)).expect("valid sample"),
+    }
+}
+
+impl Output {
+    /// Whether all stationarity tests pass at level `alpha` *and* the
+    /// uniform null is rejected at the same level.
+    pub fn confirms_theorem1(&self, alpha: f64) -> bool {
+        self.x_at_init.accepts(alpha)
+            && self.y_at_init.accepts(alpha)
+            && self.x_after_steps.accepts(alpha)
+            && !self.x_vs_uniform.accepts(alpha)
+    }
+}
+
+impl fmt::Display for Output {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E3 / Theorem 1 marginals: {} agents, L = {}, {} steps",
+            self.config.samples, self.config.side, self.config.steps
+        )?;
+        let mut t = Table::new(["test", "KS statistic", "p-value", "verdict"]);
+        let mut row = |name: &str, r: &KsResult, want_accept: bool| {
+            let ok = r.accepts(0.01) == want_accept;
+            t.row([
+                name.to_string(),
+                fmt_f64(r.statistic),
+                fmt_f64(r.p_value),
+                format!("{}{}", if want_accept { "consistent" } else { "rejected" }, if ok { " ✓" } else { " ✗" }),
+            ]);
+        };
+        row("x marginal @ t=0 vs Thm 1", &self.x_at_init, true);
+        row("y marginal @ t=0 vs Thm 1", &self.y_at_init, true);
+        row(
+            &format!("x marginal @ t={} vs Thm 1", self.config.steps),
+            &self.x_after_steps,
+            true,
+        );
+        row("x marginal @ t=0 vs uniform", &self.x_vs_uniform, false);
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_confirms() {
+        let out = run(&Config::quick());
+        assert!(
+            out.confirms_theorem1(0.001),
+            "init x: p={}, y: p={}, stepped: p={}, uniform: p={}",
+            out.x_at_init.p_value,
+            out.y_at_init.p_value,
+            out.x_after_steps.p_value,
+            out.x_vs_uniform.p_value
+        );
+        assert!(out.to_string().contains("KS statistic"));
+    }
+}

@@ -1,0 +1,272 @@
+//! **E4 — Theorem 3, the headline result.**
+//!
+//! Theorem 3: for `R ≥ c₁·L·√(log n/n)` and `v ≤ R/c₂`, flooding completes
+//! w.h.p. within `O(L/R + S/v)` steps, where `S = Θ(L³ log n/(R² n))` is
+//! the Suburb diameter. The bound *decreases in both `R` and `v`*, and is
+//! tight when `log n / R ≲ v ≲ R`.
+//!
+//! This experiment sweeps `n`, `R` (as multiples `c₁` of the natural
+//! radius scale `L√(ln n/n)`) and `v` (as fractions of `R`), measures mean
+//! flooding time from a Central-Zone source, and reports the measured time
+//! against the bound shape `L/R + S/v`. The reproduction checks:
+//!
+//! * every configuration floods (completion rate 1);
+//! * measured time is within a modest constant of `L/R + S/v`;
+//! * measured time decreases in `R` and in `v` (the paper's shape).
+
+use super::support::{mrwp_flood_trials, FloodStats};
+use crate::table::{fmt_f64, Table};
+use fastflood_core::{SimParams, SourcePlacement};
+use std::fmt;
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Agents.
+    pub n: usize,
+    /// Radius multiplier `c₁` (radius = `c₁·L√(ln n/n)`).
+    pub c1: f64,
+    /// Speed as a fraction of `R`.
+    pub v_frac: f64,
+    /// The resolved parameters.
+    pub params: SimParams,
+    /// Aggregated flooding times.
+    pub stats: FloodStats,
+    /// The traverse term `L/R`.
+    pub traverse_term: f64,
+    /// The suburb term `S/v`.
+    pub suburb_term: f64,
+    /// Measured mean over the bound `L/R + S/v`.
+    pub ratio: f64,
+}
+
+/// Configuration for the Theorem 3 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Values of `n` (side is always `√n`, the paper's standard case).
+    pub ns: Vec<usize>,
+    /// Radius multipliers `c₁`.
+    pub c1s: Vec<f64>,
+    /// Speeds as fractions of `R`.
+    pub v_fracs: Vec<f64>,
+    /// Trials per point.
+    pub trials: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Step budget per trial.
+    pub max_steps: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            ns: vec![1_000, 4_000, 16_000],
+            c1s: vec![1.5, 3.0, 5.0, 8.0],
+            v_fracs: vec![0.1, 0.3, 1.0],
+            trials: 10,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            max_steps: 500_000,
+            seed: 2010,
+        }
+    }
+}
+
+impl Config {
+    /// A reduced configuration for smoke tests.
+    pub fn quick() -> Config {
+        Config {
+            ns: vec![400, 1_600],
+            c1s: vec![3.0, 6.0],
+            v_fracs: vec![0.2, 1.0],
+            trials: 3,
+            max_steps: 200_000,
+            ..Config::default()
+        }
+    }
+}
+
+/// The sweep results.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// The configuration used.
+    pub config: Config,
+    /// One row per `(n, c1, v_frac)` point.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the sweep.
+pub fn run(config: &Config) -> Output {
+    let mut rows = Vec::new();
+    for (pi, &n) in config.ns.iter().enumerate() {
+        for (pj, &c1) in config.c1s.iter().enumerate() {
+            for (pk, &v_frac) in config.v_fracs.iter().enumerate() {
+                let scale = SimParams::standard(n, 1.0, 0.0)
+                    .expect("valid params")
+                    .radius_scale();
+                let radius = c1 * scale;
+                let speed = v_frac * radius;
+                let params = SimParams::standard(n, radius, speed).expect("valid params");
+                let seed = config
+                    .seed
+                    .wrapping_add((pi as u64) << 40)
+                    .wrapping_add((pj as u64) << 20)
+                    .wrapping_add(pk as u64);
+                let reports = mrwp_flood_trials(
+                    &params,
+                    SourcePlacement::Center,
+                    config.trials,
+                    config.threads,
+                    seed,
+                    config.max_steps,
+                    false,
+                );
+                let stats = FloodStats::from_reports(&reports);
+                let traverse = params.side() / params.radius();
+                let suburb = if params.radius() >= params.large_radius_threshold() {
+                    0.0
+                } else {
+                    params.suburb_diameter_bound() / params.speed()
+                };
+                let bound = traverse + suburb;
+                rows.push(Row {
+                    n,
+                    c1,
+                    v_frac,
+                    params,
+                    ratio: stats.mean / bound,
+                    stats,
+                    traverse_term: traverse,
+                    suburb_term: suburb,
+                });
+            }
+        }
+    }
+    Output {
+        config: config.clone(),
+        rows,
+    }
+}
+
+impl Output {
+    /// Whether every point completed all trials.
+    pub fn all_completed(&self) -> bool {
+        self.rows.iter().all(|r| r.stats.completion_rate() == 1.0)
+    }
+
+    /// Largest measured-over-bound ratio across the sweep (the empirical
+    /// constant of Theorem 3).
+    pub fn max_ratio(&self) -> f64 {
+        self.rows.iter().map(|r| r.ratio).fold(0.0, f64::max)
+    }
+
+    /// Checks the "decreasing in v" shape: for each `(n, c1)`, mean time
+    /// must not increase as `v` grows (within `slack` multiplicative
+    /// noise).
+    pub fn decreasing_in_v(&self, slack: f64) -> bool {
+        for &n in &self.config.ns {
+            for &c1 in &self.config.c1s {
+                let mut prev: Option<f64> = None;
+                for &vf in &self.config.v_fracs {
+                    let row = self
+                        .rows
+                        .iter()
+                        .find(|r| r.n == n && r.c1 == c1 && r.v_frac == vf)
+                        .expect("complete sweep");
+                    if let Some(p) = prev {
+                        if row.stats.mean > p * slack {
+                            return false;
+                        }
+                    }
+                    prev = Some(row.stats.mean);
+                }
+            }
+        }
+        true
+    }
+
+    /// Checks the "decreasing in R" shape analogously.
+    pub fn decreasing_in_r(&self, slack: f64) -> bool {
+        for &n in &self.config.ns {
+            for &vf in &self.config.v_fracs {
+                let mut prev: Option<f64> = None;
+                for &c1 in &self.config.c1s {
+                    let row = self
+                        .rows
+                        .iter()
+                        .find(|r| r.n == n && r.c1 == c1 && r.v_frac == vf)
+                        .expect("complete sweep");
+                    if let Some(p) = prev {
+                        if row.stats.mean > p * slack {
+                            return false;
+                        }
+                    }
+                    prev = Some(row.stats.mean);
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Output {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E4 / Theorem 3: flooding time vs O(L/R + S/v), {} trials per point, source in Central Zone",
+            self.config.trials
+        )?;
+        let mut t = Table::new([
+            "n", "L", "R (=c1·scale)", "v (=f·R)", "T measured (mean±sd)", "L/R", "S/v", "bound",
+            "T/bound",
+        ]);
+        for r in &self.rows {
+            let bound = r.traverse_term + r.suburb_term;
+            t.row([
+                r.n.to_string(),
+                fmt_f64(r.params.side()),
+                format!("{} (c1={})", fmt_f64(r.params.radius()), r.c1),
+                format!("{} (f={})", fmt_f64(r.params.speed()), r.v_frac),
+                format!("{}±{}", fmt_f64(r.stats.mean), fmt_f64(r.stats.sd)),
+                fmt_f64(r.traverse_term),
+                fmt_f64(r.suburb_term),
+                fmt_f64(bound),
+                fmt_f64(r.ratio),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "all completed: {}; max T/bound: {}; decreasing in v: {}; decreasing in R: {}",
+            self.all_completed(),
+            fmt_f64(self.max_ratio()),
+            self.decreasing_in_v(1.25),
+            self.decreasing_in_r(1.25),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_reproduces_theorem3_shape() {
+        let out = run(&Config::quick());
+        assert_eq!(out.rows.len(), 8);
+        assert!(out.all_completed(), "every configuration must flood");
+        // the empirical constant: measured time within a modest constant
+        // of the (unit-constant) bound L/R + S/v
+        assert!(
+            out.max_ratio() < 20.0,
+            "measured/bound ratio exploded: {}",
+            out.max_ratio()
+        );
+        // Theorem 3's shape: the bound is decreasing in v and R; allow
+        // generous noise slack at these small trial counts
+        assert!(out.decreasing_in_v(2.0), "{out}");
+        assert!(out.decreasing_in_r(2.5), "{out}");
+        assert!(!out.to_string().is_empty());
+    }
+}

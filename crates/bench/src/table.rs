@@ -1,0 +1,164 @@
+//! Minimal aligned-text table rendering for experiment output.
+
+use std::fmt;
+
+/// A simple text table: headers plus rows of strings, rendered with
+/// aligned columns (GitHub-flavored markdown, so experiment output can be
+/// pasted into EXPERIMENTS.md verbatim).
+///
+/// # Examples
+///
+/// ```
+/// use fastflood_bench::table::Table;
+///
+/// let mut t = Table::new(["n", "time"]);
+/// t.row(["100", "3.2"]);
+/// let s = t.to_string();
+/// assert!(s.contains("| n   | time |"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, " {:<width$} |", cell, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<width$}|", "", width = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        let _ = cols;
+        Ok(())
+    }
+}
+
+/// Formats a float compactly for table cells (3 significant decimals,
+/// scientific for very small/large magnitudes).
+pub fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let a = v.abs();
+    if a >= 1e5 || a < 1e-3 {
+        format!("{v:.2e}")
+    } else if a >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(["name", "v"]);
+        t.row(["alpha", "1"]).row(["b", "22"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("| name"));
+        assert!(lines[1].starts_with("|---"));
+        assert!(lines[2].contains("alpha"));
+        // all lines same width
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[0].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn fmt_f64_ranges() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(1.5), "1.500");
+        assert_eq!(fmt_f64(123.456), "123.5");
+        assert_eq!(fmt_f64(1e-5), "1.00e-5");
+        assert_eq!(fmt_f64(2.5e6), "2.50e6");
+        assert_eq!(fmt_f64(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(["x"]);
+        assert!(t.is_empty());
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,894 @@
+//! The flooding protocol engine over a mobile MANET.
+
+use crate::{CoreError, Zone, ZoneMap};
+use fastflood_geom::Point;
+use fastflood_mobility::{Mobility, TurnRecorder};
+use fastflood_spatial::GridIndex;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Where the initially informed source agent is placed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SourcePlacement {
+    /// A uniformly random agent.
+    Random,
+    /// The agent closest to the region center (deep Central Zone).
+    Center,
+    /// The agent closest to the SW corner `(0, 0)` (deep Suburb).
+    SwCorner,
+    /// The agent closest to the given point.
+    Nearest(Point),
+    /// A specific agent index.
+    Agent(usize),
+}
+
+/// How agents are initialized at time 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum InitMode {
+    /// Perfect simulation: draw each agent from the model's stationary
+    /// distribution (the paper analyzes flooding *in the stationary
+    /// phase*).
+    #[default]
+    Stationary,
+    /// Cold start: positions uniform, fresh trips (used by the
+    /// convergence experiment E12).
+    ColdUniform,
+}
+
+/// The information-propagation rule applied each step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Protocol {
+    /// The paper's flooding: every informed agent transmits every step;
+    /// any non-informed agent within distance `R` of an informed agent
+    /// becomes informed.
+    Flooding,
+    /// Parsimonious flooding (cf. Baumann–Crescenzi–Fraigniaud \[3\]):
+    /// each informed agent transmits each step independently with
+    /// probability `p`.
+    Parsimonious {
+        /// Per-step transmission probability in `(0, 1]`.
+        p: f64,
+    },
+    /// Push gossip: each informed agent pushes to at most `k` uniformly
+    /// chosen neighbors within `R` per step.
+    Gossip {
+        /// Fan-out per informed agent per step.
+        k: usize,
+    },
+}
+
+impl Default for Protocol {
+    fn default() -> Self {
+        Protocol::Flooding
+    }
+}
+
+/// Configuration of a [`FloodingSim`].
+///
+/// # Examples
+///
+/// ```
+/// use fastflood_core::{SimConfig, SourcePlacement};
+///
+/// let cfg = SimConfig::new(1000, 5.0)
+///     .seed(42)
+///     .source(SourcePlacement::SwCorner)
+///     .record_turns(true);
+/// assert_eq!(cfg.n, 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of agents.
+    pub n: usize,
+    /// Transmission radius `R`.
+    pub radius: f64,
+    /// Source placement (default: [`SourcePlacement::Random`]).
+    pub source: SourcePlacement,
+    /// Initialization mode (default: stationary).
+    pub init: InitMode,
+    /// Propagation protocol (default: full flooding).
+    pub protocol: Protocol,
+    /// RNG seed for everything in the simulation.
+    pub seed: u64,
+    /// Track direction changes in a [`TurnRecorder`] (Lemma 13).
+    pub turns: bool,
+}
+
+impl SimConfig {
+    /// Creates a config with `n` agents and radius `radius`; everything
+    /// else defaulted.
+    pub fn new(n: usize, radius: f64) -> SimConfig {
+        SimConfig {
+            n,
+            radius,
+            source: SourcePlacement::Random,
+            init: InitMode::Stationary,
+            protocol: Protocol::Flooding,
+            seed: 0,
+            turns: false,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> SimConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the source placement.
+    pub fn source(mut self, source: SourcePlacement) -> SimConfig {
+        self.source = source;
+        self
+    }
+
+    /// Sets the initialization mode.
+    pub fn init(mut self, init: InitMode) -> SimConfig {
+        self.init = init;
+        self
+    }
+
+    /// Sets the propagation protocol.
+    pub fn protocol(mut self, protocol: Protocol) -> SimConfig {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Enables or disables turn recording.
+    pub fn record_turns(mut self, on: bool) -> SimConfig {
+        self.turns = on;
+        self
+    }
+}
+
+/// Outcome of a flooding run.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FloodingReport {
+    /// Whether every agent was informed within the step budget.
+    pub completed: bool,
+    /// Steps at which the last agent was informed (when completed).
+    pub flooding_time: Option<u32>,
+    /// Total steps executed.
+    pub steps_run: u32,
+    /// Informed count after each step; `spread[0]` is the count at t=0
+    /// (always 1: the source).
+    pub spread: Vec<u32>,
+    /// First step at which every agent located in the Central Zone was
+    /// informed (when zone tracking was enabled and it happened).
+    pub central_zone_time: Option<u32>,
+    /// First step at which every agent located in the Suburb was informed.
+    pub suburb_time: Option<u32>,
+}
+
+impl FloodingReport {
+    /// Steps needed to inform a fraction `q` of all agents, if reached.
+    pub fn time_to_fraction(&self, q: f64) -> Option<u32> {
+        let n = *self.spread.first()?;
+        let _ = n;
+        let total = *self.spread.iter().max()? as f64;
+        let target = (q.clamp(0.0, 1.0) * total).ceil().max(1.0) as u32;
+        self.spread.iter().position(|&c| c >= target).map(|t| t as u32)
+    }
+}
+
+impl fmt::Display for FloodingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.flooding_time {
+            Some(t) => write!(f, "flooded in {t} steps"),
+            None => write!(f, "incomplete after {} steps", self.steps_run),
+        }
+    }
+}
+
+/// The synchronous move-then-transmit flooding simulator.
+///
+/// Each [`FloodingSim::step`]:
+///
+/// 1. advances every agent by one time unit under the mobility model;
+/// 2. applies the protocol on the post-move snapshot: with full flooding,
+///    a non-informed agent becomes informed iff some informed agent lies
+///    within Euclidean distance `R` — exactly the paper's rule;
+/// 3. updates the spread curve, per-agent inform times, and (if a
+///    [`ZoneMap`] is attached) the zone completion times.
+///
+/// Newly informed agents transmit from the *next* step (information
+/// travels one hop per time step, the paper's synchronous model).
+///
+/// # Examples
+///
+/// ```
+/// use fastflood_core::{FloodingSim, SimConfig};
+/// use fastflood_mobility::Mrwp;
+///
+/// let model = Mrwp::new(20.0, 0.5)?;
+/// let mut sim = FloodingSim::new(model, SimConfig::new(200, 3.0).seed(1))?;
+/// let report = sim.run(5_000);
+/// assert!(report.completed);
+/// assert_eq!(*report.spread.last().unwrap() as usize, 200);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct FloodingSim<M: Mobility> {
+    model: M,
+    radius: f64,
+    protocol: Protocol,
+    rng: StdRng,
+    states: Vec<M::State>,
+    positions: Vec<Point>,
+    informed: Vec<bool>,
+    /// Fail-stop agents: radios dead both ways, but still moving bodies.
+    crashed: Vec<bool>,
+    inform_time: Vec<u32>,
+    informed_count: usize,
+    time: u32,
+    spread: Vec<u32>,
+    zones: Option<ZoneMap>,
+    central_zone_time: Option<u32>,
+    suburb_time: Option<u32>,
+    turns: Option<TurnRecorder>,
+    source: usize,
+}
+
+impl<M: Mobility> FloodingSim<M> {
+    /// Builds the simulator: initializes agents, places the source, and
+    /// marks it informed at `t = 0`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadParameter`] when `n == 0`, the radius is not
+    /// positive/finite, a protocol parameter is out of range, or a fixed
+    /// source index is out of bounds.
+    pub fn new(model: M, config: SimConfig) -> Result<FloodingSim<M>, CoreError> {
+        if config.n == 0 {
+            return Err(CoreError::BadParameter("n must be at least 1"));
+        }
+        if !(config.radius > 0.0) || !config.radius.is_finite() {
+            return Err(CoreError::BadParameter("radius must be positive and finite"));
+        }
+        match config.protocol {
+            Protocol::Parsimonious { p } if !(p > 0.0 && p <= 1.0) => {
+                return Err(CoreError::BadParameter("parsimonious p must be in (0, 1]"));
+            }
+            Protocol::Gossip { k } if k == 0 => {
+                return Err(CoreError::BadParameter("gossip k must be at least 1"));
+            }
+            _ => {}
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let region = model.region();
+        let mut states = Vec::with_capacity(config.n);
+        for _ in 0..config.n {
+            let st = match config.init {
+                InitMode::Stationary => model.init_stationary(&mut rng),
+                InitMode::ColdUniform => {
+                    let p = Point::new(
+                        region.min().x + region.width() * rng.gen::<f64>(),
+                        region.min().y + region.height() * rng.gen::<f64>(),
+                    );
+                    model.init_at(p, &mut rng)
+                }
+            };
+            states.push(st);
+        }
+        let positions: Vec<Point> = states.iter().map(|s| model.position(s)).collect();
+
+        let source = match config.source {
+            SourcePlacement::Random => rng.gen_range(0..config.n),
+            SourcePlacement::Agent(i) => {
+                if i >= config.n {
+                    return Err(CoreError::BadParameter("source agent index out of range"));
+                }
+                i
+            }
+            SourcePlacement::Center => nearest_to(&positions, region.center()),
+            SourcePlacement::SwCorner => nearest_to(&positions, region.min()),
+            SourcePlacement::Nearest(p) => nearest_to(&positions, p),
+        };
+
+        let mut informed = vec![false; config.n];
+        informed[source] = true;
+        let mut inform_time = vec![u32::MAX; config.n];
+        inform_time[source] = 0;
+
+        Ok(FloodingSim {
+            model,
+            radius: config.radius,
+            protocol: config.protocol,
+            rng,
+            states,
+            positions,
+            informed,
+            crashed: vec![false; config.n],
+            inform_time,
+            informed_count: 1,
+            time: 0,
+            spread: vec![1],
+            zones: None,
+            central_zone_time: None,
+            suburb_time: None,
+            turns: if config.turns {
+                Some(TurnRecorder::new(config.n))
+            } else {
+                None
+            },
+            source,
+        })
+    }
+
+    /// Attaches a [`ZoneMap`] so zone completion times are tracked.
+    pub fn with_zones(mut self, zones: ZoneMap) -> FloodingSim<M> {
+        self.zones = Some(zones);
+        self.update_zone_completion();
+        self
+    }
+
+    /// The mobility model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Current simulation time (steps executed).
+    #[inline]
+    pub fn time(&self) -> u32 {
+        self.time
+    }
+
+    /// Number of agents.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of informed agents.
+    #[inline]
+    pub fn informed_count(&self) -> usize {
+        self.informed_count
+    }
+
+    /// Whether every *live* (non-crashed) agent is informed.
+    ///
+    /// Crashed agents (see [`FloodingSim::crash_agent`]) cannot receive,
+    /// so completion is defined over the survivors — the standard
+    /// fail-stop broadcast criterion.
+    #[inline]
+    pub fn all_informed(&self) -> bool {
+        self.informed_count + self.crashed_uninformed_count() == self.n()
+    }
+
+    fn crashed_uninformed_count(&self) -> usize {
+        self.crashed
+            .iter()
+            .zip(&self.informed)
+            .filter(|&(&c, &i)| c && !i)
+            .count()
+    }
+
+    /// Crashes `agent`: its radio goes silent both ways (it neither
+    /// transmits nor receives from now on), though it keeps moving. A
+    /// crashed source still counts as informed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range.
+    pub fn crash_agent(&mut self, agent: usize) {
+        self.crashed[agent] = true;
+    }
+
+    /// Whether `agent` has crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range.
+    pub fn is_crashed(&self, agent: usize) -> bool {
+        self.crashed[agent]
+    }
+
+    /// Number of crashed agents.
+    pub fn crashed_count(&self) -> usize {
+        self.crashed.iter().filter(|&&c| c).count()
+    }
+
+    /// The source agent index.
+    #[inline]
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// Current agent positions.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Per-agent informed flags.
+    pub fn informed(&self) -> &[bool] {
+        &self.informed
+    }
+
+    /// Per-agent inform times (`None` when not yet informed).
+    pub fn inform_time(&self, agent: usize) -> Option<u32> {
+        let t = self.inform_time[agent];
+        (t != u32::MAX).then_some(t)
+    }
+
+    /// The turn recorder (when enabled).
+    pub fn turn_recorder(&self) -> Option<&TurnRecorder> {
+        self.turns.as_ref()
+    }
+
+    /// Executes one move-then-transmit step; returns the number of newly
+    /// informed agents.
+    pub fn step(&mut self) -> usize {
+        self.time += 1;
+        // 1. move
+        for i in 0..self.states.len() {
+            let ev = self.model.step(&mut self.states[i], &mut self.rng);
+            self.positions[i] = self.model.position(&self.states[i]);
+            if let Some(rec) = &mut self.turns {
+                let changes = ev.direction_changes();
+                if changes > 0 {
+                    rec.record(i, self.time, changes);
+                }
+            }
+        }
+        // 2. transmit on the post-move snapshot
+        let newly = match self.protocol {
+            Protocol::Flooding => self.transmit_flooding(None),
+            Protocol::Parsimonious { p } => self.transmit_flooding(Some(p)),
+            Protocol::Gossip { k } => self.transmit_gossip(k),
+        };
+        for &i in &newly {
+            self.informed[i] = true;
+            self.inform_time[i] = self.time;
+        }
+        self.informed_count += newly.len();
+        self.spread.push(self.informed_count as u32);
+        // 3. zone completion
+        self.update_zone_completion();
+        newly.len()
+    }
+
+    /// Runs until everyone is informed or `max_steps` have been executed
+    /// (counting from the current time), returning the report.
+    pub fn run(&mut self, max_steps: u32) -> FloodingReport {
+        let deadline = self.time.saturating_add(max_steps);
+        while !self.all_informed() && self.time < deadline {
+            self.step();
+        }
+        self.report()
+    }
+
+    /// The report for the steps executed so far.
+    pub fn report(&self) -> FloodingReport {
+        FloodingReport {
+            completed: self.all_informed(),
+            flooding_time: self
+                .all_informed()
+                .then(|| self.inform_time.iter().copied().max().unwrap_or(0)),
+            steps_run: self.time,
+            spread: self.spread.clone(),
+            central_zone_time: self.central_zone_time,
+            suburb_time: self.suburb_time,
+        }
+    }
+
+    /// Full flooding (or parsimonious when `forward_probability` is set):
+    /// collect transmitting informed agents, index them, and test every
+    /// non-informed agent for coverage.
+    fn transmit_flooding(&mut self, forward_probability: Option<f64>) -> Vec<usize> {
+        let mut tx_positions = Vec::with_capacity(self.informed_count);
+        for i in 0..self.positions.len() {
+            if !self.informed[i] || self.crashed[i] {
+                continue;
+            }
+            let transmits = match forward_probability {
+                None => true,
+                Some(p) => self.rng.gen::<f64>() < p,
+            };
+            if transmits {
+                tx_positions.push(self.positions[i]);
+            }
+        }
+        if tx_positions.is_empty() {
+            return Vec::new();
+        }
+        let index = GridIndex::for_radius(self.model.region(), self.radius, &tx_positions)
+            .expect("positions are finite and radius validated");
+        let mut newly = Vec::new();
+        for i in 0..self.positions.len() {
+            if self.informed[i] || self.crashed[i] {
+                continue;
+            }
+            if index.any_within(self.positions[i], self.radius, |_| true) {
+                newly.push(i);
+            }
+        }
+        newly
+    }
+
+    /// Push gossip: each informed agent pushes to at most `k` random
+    /// non-informed neighbors.
+    fn transmit_gossip(&mut self, k: usize) -> Vec<usize> {
+        let index = GridIndex::for_radius(self.model.region(), self.radius, &self.positions)
+            .expect("positions are finite and radius validated");
+        let mut chosen: Vec<bool> = vec![false; self.positions.len()];
+        let mut scratch = Vec::new();
+        for i in 0..self.positions.len() {
+            if !self.informed[i] || self.crashed[i] {
+                continue;
+            }
+            scratch.clear();
+            index.for_each_within(self.positions[i], self.radius, |j, _| {
+                if j != i && !self.informed[j] && !self.crashed[j] {
+                    scratch.push(j);
+                }
+            });
+            if scratch.len() > k {
+                scratch.shuffle(&mut self.rng);
+                scratch.truncate(k);
+            }
+            for &j in &scratch {
+                chosen[j] = true;
+            }
+        }
+        chosen
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Records the first times at which all agents currently located in
+    /// the Central Zone (resp. Suburb) are informed.
+    fn update_zone_completion(&mut self) {
+        let Some(zones) = &self.zones else {
+            return;
+        };
+        if self.central_zone_time.is_none() {
+            let done = (0..self.positions.len()).all(|i| {
+                self.informed[i]
+                    || self.crashed[i]
+                    || zones.zone_of(self.positions[i]) != Zone::Central
+            });
+            if done {
+                self.central_zone_time = Some(self.time);
+            }
+        }
+        if self.suburb_time.is_none() {
+            let done = (0..self.positions.len()).all(|i| {
+                self.informed[i]
+                    || self.crashed[i]
+                    || zones.zone_of(self.positions[i]) != Zone::Suburb
+            });
+            if done {
+                self.suburb_time = Some(self.time);
+            }
+        }
+    }
+}
+
+fn nearest_to(positions: &[Point], target: Point) -> usize {
+    positions
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.euclid_sq(target)
+                .partial_cmp(&b.euclid_sq(target))
+                .expect("finite positions")
+        })
+        .map(|(i, _)| i)
+        .expect("at least one agent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimParams;
+    use fastflood_mobility::{Mrwp, Placement, Static};
+
+    fn mrwp_sim(n: usize, side: f64, r: f64, v: f64, seed: u64) -> FloodingSim<Mrwp> {
+        let model = Mrwp::new(side, v).unwrap();
+        FloodingSim::new(model, SimConfig::new(n, r).seed(seed)).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let model = Mrwp::new(10.0, 1.0).unwrap();
+        assert!(FloodingSim::new(model.clone(), SimConfig::new(0, 1.0)).is_err());
+        assert!(FloodingSim::new(model.clone(), SimConfig::new(5, 0.0)).is_err());
+        assert!(FloodingSim::new(model.clone(), SimConfig::new(5, f64::NAN)).is_err());
+        assert!(FloodingSim::new(
+            model.clone(),
+            SimConfig::new(5, 1.0).protocol(Protocol::Parsimonious { p: 0.0 })
+        )
+        .is_err());
+        assert!(FloodingSim::new(
+            model.clone(),
+            SimConfig::new(5, 1.0).protocol(Protocol::Gossip { k: 0 })
+        )
+        .is_err());
+        assert!(FloodingSim::new(
+            model,
+            SimConfig::new(5, 1.0).source(SourcePlacement::Agent(5))
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn starts_with_one_informed_source() {
+        let sim = mrwp_sim(50, 20.0, 2.0, 0.5, 1);
+        assert_eq!(sim.informed_count(), 1);
+        assert_eq!(sim.time(), 0);
+        assert!(sim.informed()[sim.source()]);
+        assert_eq!(sim.inform_time(sim.source()), Some(0));
+        assert_eq!(sim.spread, vec![1]);
+    }
+
+    #[test]
+    fn source_placements() {
+        let model = Mrwp::new(100.0, 1.0).unwrap();
+        let center = FloodingSim::new(
+            model.clone(),
+            SimConfig::new(300, 3.0).seed(2).source(SourcePlacement::Center),
+        )
+        .unwrap();
+        let p = center.positions()[center.source()];
+        assert!(p.euclid(Point::new(50.0, 50.0)) < 20.0);
+
+        let corner = FloodingSim::new(
+            model.clone(),
+            SimConfig::new(300, 3.0).seed(2).source(SourcePlacement::SwCorner),
+        )
+        .unwrap();
+        let q = corner.positions()[corner.source()];
+        assert!(q.euclid(Point::new(0.0, 0.0)) < 40.0);
+
+        let fixed = FloodingSim::new(
+            model,
+            SimConfig::new(300, 3.0).seed(2).source(SourcePlacement::Agent(7)),
+        )
+        .unwrap();
+        assert_eq!(fixed.source(), 7);
+    }
+
+    #[test]
+    fn flooding_completes_on_small_dense_network() {
+        let mut sim = mrwp_sim(200, 20.0, 4.0, 0.5, 3);
+        let report = sim.run(2_000);
+        assert!(report.completed, "{report}");
+        let t = report.flooding_time.unwrap();
+        assert!(t >= 1);
+        assert_eq!(*report.spread.last().unwrap(), 200);
+        // spread is nondecreasing
+        for w in report.spread.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let r1 = mrwp_sim(100, 20.0, 3.0, 0.5, 42).run(1_000);
+        let r2 = mrwp_sim(100, 20.0, 3.0, 0.5, 42).run(1_000);
+        assert_eq!(r1, r2);
+        let r3 = mrwp_sim(100, 20.0, 3.0, 0.5, 43).run(1_000);
+        assert_ne!(r1.spread, r3.spread, "different seed should differ");
+    }
+
+    #[test]
+    fn one_hop_per_step() {
+        // a static chain: 0 -- 1 -- 2 -- 3, spacing exactly R; information
+        // must take one step per hop
+        let model = Static::new(10.0, Placement::Uniform).unwrap();
+        let mut sim = FloodingSim::new(
+            model,
+            SimConfig::new(4, 1.0).source(SourcePlacement::Agent(0)).seed(5),
+        )
+        .unwrap();
+        // overwrite positions deterministically via init_at states
+        // (re-initialize states by hand: Static state is just the point)
+        let mut rng = StdRng::seed_from_u64(9);
+        for (i, x) in [0.0, 1.0, 2.0, 3.0].iter().enumerate() {
+            sim.states[i] = sim.model.init_at(Point::new(*x, 5.0), &mut rng);
+            sim.positions[i] = Point::new(*x, 5.0);
+        }
+        let report = sim.run(10);
+        assert!(report.completed);
+        assert_eq!(report.flooding_time, Some(3));
+        assert_eq!(sim.inform_time(1), Some(1));
+        assert_eq!(sim.inform_time(2), Some(2));
+        assert_eq!(sim.inform_time(3), Some(3));
+    }
+
+    #[test]
+    fn static_disconnected_never_completes() {
+        // two far-apart static agents: flooding can never finish (v = 0
+        // degenerate case from §5)
+        let model = Static::new(100.0, Placement::Uniform).unwrap();
+        let mut sim = FloodingSim::new(
+            model,
+            SimConfig::new(2, 1.0).source(SourcePlacement::Agent(0)).seed(1),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        sim.states[0] = sim.model.init_at(Point::new(0.0, 0.0), &mut rng);
+        sim.states[1] = sim.model.init_at(Point::new(90.0, 90.0), &mut rng);
+        sim.positions[0] = Point::new(0.0, 0.0);
+        sim.positions[1] = Point::new(90.0, 90.0);
+        let report = sim.run(200);
+        assert!(!report.completed);
+        assert_eq!(report.flooding_time, None);
+        assert_eq!(sim.informed_count(), 1);
+        assert_eq!(report.steps_run, 200);
+    }
+
+    #[test]
+    fn mobility_rescues_disconnected_network() {
+        // same sparse radius, but moving agents eventually meet (Thm 3's
+        // whole point): tiny n, tiny R, nonzero v
+        let mut sim = mrwp_sim(8, 10.0, 1.0, 0.5, 7);
+        let report = sim.run(50_000);
+        assert!(report.completed, "mobile agents must eventually flood");
+    }
+
+    #[test]
+    fn parsimonious_is_no_faster_than_flooding() {
+        let model = Mrwp::new(20.0, 0.5).unwrap();
+        let full = FloodingSim::new(model.clone(), SimConfig::new(150, 3.0).seed(11))
+            .unwrap()
+            .run(5_000);
+        let sparse = FloodingSim::new(
+            model,
+            SimConfig::new(150, 3.0)
+                .seed(11)
+                .protocol(Protocol::Parsimonious { p: 0.2 }),
+        )
+        .unwrap()
+        .run(5_000);
+        assert!(full.completed && sparse.completed);
+        assert!(sparse.flooding_time.unwrap() >= full.flooding_time.unwrap());
+    }
+
+    #[test]
+    fn gossip_with_large_k_matches_flooding_speed() {
+        let model = Mrwp::new(20.0, 0.5).unwrap();
+        let full = FloodingSim::new(model.clone(), SimConfig::new(100, 4.0).seed(13))
+            .unwrap()
+            .run(5_000);
+        let gossip = FloodingSim::new(
+            model,
+            SimConfig::new(100, 4.0)
+                .seed(13)
+                .protocol(Protocol::Gossip { k: 1_000 }),
+        )
+        .unwrap()
+        .run(5_000);
+        assert!(gossip.completed);
+        // k >= n gossip informs exactly the same set as flooding each step
+        assert_eq!(gossip.flooding_time, full.flooding_time);
+    }
+
+    #[test]
+    fn zone_tracking_reports_completion() {
+        let params = SimParams::standard(400, 4.0, 0.4).unwrap();
+        let zones = ZoneMap::new(&params).unwrap();
+        let model = Mrwp::new(params.side(), params.speed()).unwrap();
+        let mut sim = FloodingSim::new(
+            model,
+            SimConfig::new(params.n(), params.radius())
+                .seed(17)
+                .source(SourcePlacement::Center),
+        )
+        .unwrap()
+        .with_zones(zones);
+        let report = sim.run(20_000);
+        assert!(report.completed);
+        let cz = report.central_zone_time.expect("CZ completion tracked");
+        let sub = report.suburb_time.expect("suburb completion tracked");
+        let total = report.flooding_time.unwrap();
+        assert!(cz <= total);
+        assert!(sub <= total);
+    }
+
+    #[test]
+    fn turn_recorder_collects() {
+        let model = Mrwp::new(20.0, 2.0).unwrap();
+        let mut sim = FloodingSim::new(
+            model,
+            SimConfig::new(10, 2.0).seed(19).record_turns(true),
+        )
+        .unwrap();
+        for _ in 0..200 {
+            sim.step();
+        }
+        let rec = sim.turn_recorder().unwrap();
+        let total: usize = (0..10).map(|i| rec.total(i)).sum();
+        assert!(total > 0, "agents must have changed direction");
+    }
+
+    #[test]
+    fn report_time_to_fraction() {
+        let mut sim = mrwp_sim(100, 15.0, 3.0, 0.5, 23);
+        let report = sim.run(5_000);
+        assert!(report.completed);
+        let half = report.time_to_fraction(0.5).unwrap();
+        let full = report.time_to_fraction(1.0).unwrap();
+        assert!(half <= full);
+        assert_eq!(Some(full), report.flooding_time.map(|t| t));
+        assert_eq!(report.time_to_fraction(0.0), Some(0));
+    }
+
+    #[test]
+    fn crashed_agents_do_not_relay_or_receive() {
+        // static chain 0-1-2-3; crash agent 1: the message cannot cross
+        let model = Static::new(10.0, Placement::Uniform).unwrap();
+        let mut sim = FloodingSim::new(
+            model,
+            SimConfig::new(4, 1.0).source(SourcePlacement::Agent(0)).seed(31),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(32);
+        for (i, x) in [0.0, 1.0, 2.0, 3.0].iter().enumerate() {
+            sim.states[i] = sim.model.init_at(Point::new(*x, 5.0), &mut rng);
+            sim.positions[i] = Point::new(*x, 5.0);
+        }
+        sim.crash_agent(1);
+        assert!(sim.is_crashed(1));
+        assert_eq!(sim.crashed_count(), 1);
+        let report = sim.run(20);
+        // completion over survivors is impossible: 2 and 3 are cut off
+        assert!(!report.completed);
+        assert_eq!(sim.inform_time(1), None, "crashed agents never receive");
+        assert_eq!(sim.inform_time(2), None);
+    }
+
+    #[test]
+    fn flooding_completes_over_survivors() {
+        // mobile network, crash a third of the agents: the survivors
+        // still get informed and the run reports completion
+        let mut sim = mrwp_sim(90, 20.0, 3.0, 1.0, 33);
+        for i in 0..30 {
+            if i != sim.source() {
+                sim.crash_agent(i);
+            }
+        }
+        let report = sim.run(50_000);
+        assert!(report.completed, "survivors must be reachable via mobility");
+        for i in 0..90 {
+            if sim.is_crashed(i) {
+                assert_eq!(sim.inform_time(i), None);
+            } else {
+                assert!(sim.inform_time(i).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn crashing_everyone_but_source_completes_immediately() {
+        let mut sim = mrwp_sim(10, 20.0, 3.0, 1.0, 34);
+        let src = sim.source();
+        for i in 0..10 {
+            if i != src {
+                sim.crash_agent(i);
+            }
+        }
+        assert!(sim.all_informed(), "only the source is live and informed");
+        let report = sim.run(5);
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn run_respects_step_budget() {
+        let mut sim = mrwp_sim(500, 200.0, 1.0, 0.1, 29);
+        let report = sim.run(5);
+        assert_eq!(report.steps_run, 5);
+        assert!(!report.completed);
+        // continuing resumes from where it stopped
+        let report2 = sim.run(5);
+        assert_eq!(report2.steps_run, 10);
+    }
+}

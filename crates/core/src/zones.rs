@@ -1,0 +1,507 @@
+//! The Central Zone / Suburb cell machinery of §4.
+
+use crate::{CoreError, SimParams};
+use fastflood_geom::{Cell, CellGrid, Point, Rect};
+use fastflood_mobility::distributions::rect_mass;
+use std::fmt;
+
+/// Which zone a cell (or point) belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Zone {
+    /// Cells with stationary mass at least `(3/8)·ln n / n` (Definition 4).
+    Central,
+    /// Everything else: the four sparse corner regions.
+    Suburb,
+}
+
+/// The cell partition of the square with Definition 4 zone classification.
+///
+/// Cell masses are the *exact* integrals of the Theorem 1 density
+/// (see [`rect_mass`]), so the classification matches the paper's rather
+/// than a sampled approximation.
+///
+/// # Examples
+///
+/// ```
+/// use fastflood_core::{SimParams, Zone, ZoneMap};
+/// use fastflood_geom::Point;
+///
+/// let params = SimParams::standard(10_000, 10.0, 1.0)?;
+/// let zones = ZoneMap::new(&params)?;
+/// // corners are Suburb, the center is Central Zone
+/// assert_eq!(zones.zone_of(Point::new(0.5, 0.5)), Zone::Suburb);
+/// assert_eq!(zones.zone_of(Point::new(50.0, 50.0)), Zone::Central);
+/// assert!(!zones.suburb_is_empty());
+/// # Ok::<(), fastflood_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZoneMap {
+    grid: CellGrid,
+    /// `true` for Central-Zone cells, indexed by `grid.index_of`.
+    central: Vec<bool>,
+    masses: Vec<f64>,
+    threshold: f64,
+    num_central: usize,
+}
+
+impl ZoneMap {
+    /// Builds the zone map for `params` (grid from
+    /// [`SimParams::cell_grid`], threshold from
+    /// [`SimParams::central_zone_threshold`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates grid construction errors (cannot occur for validated
+    /// params).
+    pub fn new(params: &SimParams) -> Result<ZoneMap, CoreError> {
+        let grid = params.cell_grid()?;
+        Ok(ZoneMap::from_grid(
+            params.side(),
+            grid,
+            params.central_zone_threshold(),
+        ))
+    }
+
+    /// Builds a zone map from an explicit grid and mass threshold
+    /// (the general form used by ablation experiments).
+    pub fn from_grid(side: f64, grid: CellGrid, threshold: f64) -> ZoneMap {
+        let mut central = vec![false; grid.num_cells()];
+        let mut masses = vec![0.0; grid.num_cells()];
+        let mut num_central = 0;
+        for cell in grid.cells() {
+            let idx = grid.index_of(cell);
+            let mass = rect_mass(side, &grid.rect_of(cell));
+            masses[idx] = mass;
+            if mass >= threshold {
+                central[idx] = true;
+                num_central += 1;
+            }
+        }
+        ZoneMap {
+            grid,
+            central,
+            masses,
+            threshold,
+            num_central,
+        }
+    }
+
+    /// The underlying cell grid.
+    #[inline]
+    pub fn grid(&self) -> &CellGrid {
+        &self.grid
+    }
+
+    /// The Definition 4 mass threshold in use.
+    #[inline]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Exact stationary mass of `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is outside the grid.
+    pub fn mass(&self, cell: Cell) -> f64 {
+        self.masses[self.grid.index_of(cell)]
+    }
+
+    /// Whether `cell` belongs to the Central Zone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is outside the grid.
+    pub fn is_central(&self, cell: Cell) -> bool {
+        self.central[self.grid.index_of(cell)]
+    }
+
+    /// Zone of `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is outside the grid.
+    pub fn zone_of_cell(&self, cell: Cell) -> Zone {
+        if self.is_central(cell) {
+            Zone::Central
+        } else {
+            Zone::Suburb
+        }
+    }
+
+    /// Zone of the cell containing `p`.
+    pub fn zone_of(&self, p: Point) -> Zone {
+        self.zone_of_cell(self.grid.cell_of(p))
+    }
+
+    /// Number of Central-Zone cells.
+    #[inline]
+    pub fn num_central(&self) -> usize {
+        self.num_central
+    }
+
+    /// Number of Suburb cells.
+    #[inline]
+    pub fn num_suburb(&self) -> usize {
+        self.grid.num_cells() - self.num_central
+    }
+
+    /// Whether the Suburb is empty (every cell is Central Zone — the
+    /// Corollary 12 regime).
+    pub fn suburb_is_empty(&self) -> bool {
+        self.num_suburb() == 0
+    }
+
+    /// Iterates over Central-Zone cells.
+    pub fn central_cells(&self) -> impl Iterator<Item = Cell> + '_ {
+        self.grid.cells().filter(|&c| self.is_central(c))
+    }
+
+    /// Iterates over Suburb cells.
+    pub fn suburb_cells(&self) -> impl Iterator<Item = Cell> + '_ {
+        self.grid.cells().filter(|&c| !self.is_central(c))
+    }
+
+    /// Total stationary mass of the Central Zone.
+    pub fn central_mass(&self) -> f64 {
+        self.grid
+            .cells()
+            .filter(|&c| self.is_central(c))
+            .map(|c| self.mass(c))
+            .sum()
+    }
+
+    /// Total stationary mass of the Suburb.
+    pub fn suburb_mass(&self) -> f64 {
+        self.grid
+            .cells()
+            .filter(|&c| !self.is_central(c))
+            .map(|c| self.mass(c))
+            .sum()
+    }
+
+    /// Number of distinct rows containing at least one Central-Zone cell
+    /// (Lemma 6 guarantees at least `m/√2` of them).
+    pub fn central_rows(&self) -> usize {
+        (0..self.grid.m())
+            .filter(|&row| (0..self.grid.m()).any(|col| self.is_central(Cell::new(row, col))))
+            .count()
+    }
+
+    /// Number of distinct columns containing at least one Central-Zone
+    /// cell.
+    pub fn central_cols(&self) -> usize {
+        (0..self.grid.m())
+            .filter(|&col| (0..self.grid.m()).any(|row| self.is_central(Cell::new(row, col))))
+            .count()
+    }
+
+    /// The boundary `∂B` of a Central-Zone cell subset `B`: Central-Zone
+    /// cells *not* in `B` that are 4-adjacent to a cell of `B` (the
+    /// paper's definition before Lemma 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell of `b` is outside the grid or not in the Central
+    /// Zone (the boundary is only defined for `B ⊆ CZ`).
+    pub fn boundary(&self, b: &[Cell]) -> Vec<Cell> {
+        let mut in_b = vec![false; self.grid.num_cells()];
+        for &cell in b {
+            assert!(
+                self.is_central(cell),
+                "boundary requires B ⊆ Central Zone, got suburb cell {cell}"
+            );
+            in_b[self.grid.index_of(cell)] = true;
+        }
+        let mut out = Vec::new();
+        for cell in self.central_cells() {
+            if in_b[self.grid.index_of(cell)] {
+                continue;
+            }
+            let touches_b = self
+                .grid
+                .neighbors4(cell)
+                .any(|nb| self.is_central(nb) && in_b[self.grid.index_of(nb)]);
+            if touches_b {
+                out.push(cell);
+            }
+        }
+        out
+    }
+
+    /// The Lemma 9 expansion predicate:
+    /// `|∂B| ≥ √min(|B|, |CZ| − |B|)`.
+    pub fn expansion_holds(&self, b: &[Cell]) -> bool {
+        let boundary = self.boundary(b).len() as f64;
+        let b_len = b.len().min(self.num_central) as f64;
+        let other = (self.num_central as f64 - b_len).max(0.0);
+        boundary + 1e-12 >= b_len.min(other).sqrt()
+    }
+
+    /// The extent of the south-west Suburb corner: the largest coordinate
+    /// (x or y) reached by any Suburb cell in the SW quadrant. Lemma 15
+    /// bounds this by `S` (plus one cell side, since the paper bounds the
+    /// SW corner of the cell and any point is within `ℓ` of it).
+    ///
+    /// Returns 0 when the SW quadrant has no Suburb cells.
+    pub fn suburb_extent_sw(&self) -> f64 {
+        let half = self.grid.m() / 2;
+        self.suburb_cells()
+            .filter(|c| c.row < half.max(1) && c.col < half.max(1))
+            .map(|c| {
+                let r = self.grid.rect_of(c);
+                r.max().x.max(r.max().y)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// The bounding rectangle of the SW Suburb corner (None when empty).
+    pub fn suburb_sw_bounding_box(&self) -> Option<Rect> {
+        let half = self.grid.m() / 2;
+        let mut bbox: Option<Rect> = None;
+        for c in self.suburb_cells() {
+            if c.row >= half.max(1) || c.col >= half.max(1) {
+                continue;
+            }
+            let r = self.grid.rect_of(c);
+            bbox = Some(match bbox {
+                None => r,
+                Some(b) => Rect::spanning(b.min().min(r.min()), b.max().max(r.max()))
+                    .expect("finite corners"),
+            });
+        }
+        bbox
+    }
+
+    /// Whether `p` is in the *Extended Suburb*: within Manhattan distance
+    /// `2·s_bound` of some Suburb cell (the paper's definition with
+    /// `s_bound = S`).
+    pub fn in_extended_suburb(&self, p: Point, s_bound: f64) -> bool {
+        if self.zone_of(p) == Zone::Suburb {
+            return true;
+        }
+        self.suburb_cells()
+            .any(|c| self.grid.rect_of(c).manhattan_distance(p) <= 2.0 * s_bound)
+    }
+}
+
+impl fmt::Display for ZoneMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} central + {} suburb cells on {} (threshold {:.3e})",
+            self.num_central(),
+            self.num_suburb(),
+            self.grid,
+            self.threshold
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zones(n: usize, r: f64) -> ZoneMap {
+        let p = SimParams::standard(n, r, 1.0).unwrap();
+        ZoneMap::new(&p).unwrap()
+    }
+
+    #[test]
+    fn masses_sum_to_one() {
+        let z = zones(10_000, 10.0);
+        let total: f64 = z.grid().cells().map(|c| z.mass(c)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total mass {total}");
+        assert!((z.central_mass() + z.suburb_mass() - 1.0).abs() < 1e-9);
+        // the Central Zone carries most of the mass
+        assert!(z.central_mass() > 0.8);
+    }
+
+    #[test]
+    fn corners_are_suburb_center_is_central() {
+        let z = zones(10_000, 10.0);
+        let m = z.grid().m();
+        assert!(!z.is_central(Cell::new(0, 0)), "SW corner is Suburb");
+        assert!(!z.is_central(Cell::new(0, m - 1)));
+        assert!(!z.is_central(Cell::new(m - 1, 0)));
+        assert!(!z.is_central(Cell::new(m - 1, m - 1)));
+        assert!(z.is_central(Cell::new(m / 2, m / 2)), "center is CZ");
+        assert_eq!(z.num_central() + z.num_suburb(), z.grid().num_cells());
+        assert!(!z.suburb_is_empty());
+    }
+
+    #[test]
+    fn suburb_has_four_symmetric_corners() {
+        let z = zones(10_000, 10.0);
+        let m = z.grid().m();
+        // symmetry: cell (r, c) suburb iff (c, r), (m-1-r, c), ... suburb
+        for cell in z.suburb_cells() {
+            let (r, c) = (cell.row, cell.col);
+            for mirror in [
+                Cell::new(c, r),
+                Cell::new(m - 1 - r, c),
+                Cell::new(r, m - 1 - c),
+                Cell::new(m - 1 - r, m - 1 - c),
+            ] {
+                assert_eq!(
+                    z.is_central(mirror),
+                    false,
+                    "mirror {mirror} of suburb cell {cell} must be suburb"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn central_cross_is_fully_central() {
+        // the density f = 3(x(L−x) + y(L−y))/L⁴ is large along the full
+        // middle row and middle column (including the edge midpoints),
+        // so those cells are all Central Zone
+        let z = zones(10_000, 10.0);
+        let m = z.grid().m();
+        for k in 0..m {
+            assert!(
+                z.is_central(Cell::new(m / 2, k)),
+                "middle-row cell ({}, {k}) should be central",
+                m / 2
+            );
+            assert!(
+                z.is_central(Cell::new(k, m / 2)),
+                "middle-column cell ({k}, {}) should be central",
+                m / 2
+            );
+        }
+    }
+
+    #[test]
+    fn lemma6_rows_and_columns() {
+        for (n, r) in [(10_000usize, 6.0), (10_000, 10.0), (2_500, 9.0)] {
+            let z = zones(n, r);
+            let m = z.grid().m() as f64;
+            let bound = m / std::f64::consts::SQRT_2;
+            assert!(
+                z.central_rows() as f64 >= bound,
+                "Lemma 6 rows: {} < {bound} (n={n}, R={r})",
+                z.central_rows()
+            );
+            assert!(z.central_cols() as f64 >= bound);
+        }
+    }
+
+    #[test]
+    fn large_radius_empties_suburb() {
+        // R above the Corollary 12 threshold ⇒ all cells central
+        let p = SimParams::standard(10_000, 10.0, 1.0).unwrap();
+        let big = p.with_radius(p.large_radius_threshold() * 1.05).unwrap();
+        let z = ZoneMap::new(&big).unwrap();
+        assert!(z.suburb_is_empty(), "{z}");
+        // and comfortably below it, the suburb is nonempty
+        let small = p.with_radius(p.large_radius_threshold() * 0.3).unwrap();
+        let z2 = ZoneMap::new(&small).unwrap();
+        assert!(!z2.suburb_is_empty());
+    }
+
+    #[test]
+    fn boundary_of_singleton() {
+        let z = zones(10_000, 10.0);
+        let m = z.grid().m();
+        let center = Cell::new(m / 2, m / 2);
+        let b = z.boundary(&[center]);
+        assert_eq!(b.len(), 4, "interior CZ cell has 4 CZ neighbors");
+        for cell in &b {
+            assert!(z.is_central(*cell));
+            assert!(center.is_adjacent4(*cell));
+        }
+    }
+
+    #[test]
+    fn boundary_of_everything_is_empty() {
+        let z = zones(2_500, 8.0);
+        let all: Vec<Cell> = z.central_cells().collect();
+        assert!(z.boundary(&all).is_empty());
+        // expansion trivially holds for B = CZ (min is 0)
+        assert!(z.expansion_holds(&all));
+        assert!(z.expansion_holds(&[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "B ⊆ Central Zone")]
+    fn boundary_rejects_suburb_cells() {
+        let z = zones(10_000, 10.0);
+        z.boundary(&[Cell::new(0, 0)]);
+    }
+
+    #[test]
+    fn lemma9_expansion_on_structured_subsets() {
+        let z = zones(10_000, 8.0);
+        let m = z.grid().m();
+        // single cell
+        assert!(z.expansion_holds(&[Cell::new(m / 2, m / 2)]));
+        // a full central row band
+        let band: Vec<Cell> = z
+            .central_cells()
+            .filter(|c| c.row == m / 2 || c.row == m / 2 + 1)
+            .collect();
+        assert!(z.expansion_holds(&band));
+        // a square blob
+        let blob: Vec<Cell> = z
+            .central_cells()
+            .filter(|c| c.row.abs_diff(m / 2) <= 3 && c.col.abs_diff(m / 2) <= 3)
+            .collect();
+        assert!(z.expansion_holds(&blob));
+        // half of the CZ
+        let half: Vec<Cell> = z.central_cells().filter(|c| c.row < m / 2).collect();
+        assert!(z.expansion_holds(&half));
+    }
+
+    #[test]
+    fn suburb_extent_bounded_by_lemma15() {
+        for (n, r) in [(10_000usize, 8.0), (10_000, 12.0), (40_000, 10.0)] {
+            let p = SimParams::standard(n, r, 1.0).unwrap();
+            let z = ZoneMap::new(&p).unwrap();
+            if z.suburb_is_empty() {
+                continue;
+            }
+            let extent = z.suburb_extent_sw();
+            let ell = z.grid().cell_len();
+            let s = p.suburb_diameter_bound();
+            assert!(
+                extent <= s + ell + 1e-9,
+                "Lemma 15 violated: extent {extent} > S {s} + ℓ {ell} (n={n}, R={r})"
+            );
+        }
+    }
+
+    #[test]
+    fn sw_bounding_box_hugs_origin() {
+        let z = zones(10_000, 10.0);
+        let bbox = z.suburb_sw_bounding_box().expect("nonempty SW suburb");
+        assert_eq!(bbox.min(), Point::new(0.0, 0.0));
+        assert!(bbox.max().x < z.grid().side() / 2.0);
+    }
+
+    #[test]
+    fn extended_suburb_contains_suburb_and_fringe() {
+        let p = SimParams::standard(10_000, 10.0, 1.0).unwrap();
+        let z = ZoneMap::new(&p).unwrap();
+        let s = p.suburb_diameter_bound();
+        // a suburb point
+        assert!(z.in_extended_suburb(Point::new(0.5, 0.5), s));
+        // the exact center is far from every corner
+        assert!(!z.in_extended_suburb(Point::new(50.0, 50.0), s.min(5.0)));
+    }
+
+    #[test]
+    fn zone_of_point_matches_cell() {
+        let z = zones(10_000, 10.0);
+        let p = Point::new(3.0, 97.0);
+        assert_eq!(z.zone_of(p), z.zone_of_cell(z.grid().cell_of(p)));
+    }
+
+    #[test]
+    fn display_mentions_cells() {
+        let z = zones(2_500, 5.0);
+        assert!(z.to_string().contains("central"));
+    }
+}

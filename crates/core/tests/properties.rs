@@ -1,0 +1,205 @@
+//! Property tests for the simulation core, centered on the paper's
+//! combinatorial lemmas.
+
+use fastflood_core::{FloodingSim, SimConfig, SimParams, SourcePlacement, ZoneMap};
+use fastflood_geom::Cell;
+use fastflood_mobility::Mrwp;
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Lemma 9 asserts |∂B| ≥ √min(|B|, |CZ|−|B|) for every B ⊆ CZ.
+/// We attack it with three families of random subsets: uniform samples,
+/// connected blobs grown by BFS, and row-aligned slabs.
+#[test]
+fn lemma9_expansion_random_subsets() {
+    let params = SimParams::standard(10_000, 9.0, 1.0).unwrap();
+    let zones = ZoneMap::new(&params).unwrap();
+    let central: Vec<Cell> = zones.central_cells().collect();
+    assert!(central.len() > 50, "need a sizable CZ for this test");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+
+    // family 1: uniform random subsets of many sizes
+    for trial in 0..300 {
+        let size = 1 + (trial * 7) % (central.len() - 1);
+        let mut cells = central.clone();
+        cells.shuffle(&mut rng);
+        cells.truncate(size);
+        assert!(
+            zones.expansion_holds(&cells),
+            "uniform subset of size {size} violated Lemma 9"
+        );
+    }
+
+    // family 2: BFS-grown connected blobs (the adversarial shape for
+    // expansion bounds)
+    for trial in 0..100 {
+        let start = central[rng.gen_range(0..central.len())];
+        let target = 1 + (trial * 13) % (central.len() - 1);
+        let mut blob = vec![start];
+        let mut frontier = vec![start];
+        while blob.len() < target && !frontier.is_empty() {
+            let cur = frontier.remove(0);
+            for nb in zones.grid().neighbors4(cur) {
+                if zones.is_central(nb) && !blob.contains(&nb) {
+                    blob.push(nb);
+                    frontier.push(nb);
+                    if blob.len() >= target {
+                        break;
+                    }
+                }
+            }
+        }
+        assert!(
+            zones.expansion_holds(&blob),
+            "BFS blob of size {} violated Lemma 9",
+            blob.len()
+        );
+    }
+
+    // family 3: row slabs (the tight case in the paper's proof)
+    let m = zones.grid().m();
+    for rows in 1..m {
+        let slab: Vec<Cell> = central.iter().copied().filter(|c| c.row < rows).collect();
+        if slab.is_empty() || slab.len() == central.len() {
+            continue;
+        }
+        assert!(
+            zones.expansion_holds(&slab),
+            "row slab of {rows} rows violated Lemma 9"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn spread_curve_is_monotone_and_bounded(
+        n in 20usize..200,
+        r_frac in 0.05f64..0.4,
+        v_frac in 0.0f64..0.1,
+        seed in 0u64..500,
+    ) {
+        let side = 30.0;
+        let model = Mrwp::new(side, v_frac * side).unwrap();
+        let mut sim = FloodingSim::new(
+            model,
+            SimConfig::new(n, r_frac * side).seed(seed),
+        )
+        .unwrap();
+        let report = sim.run(200);
+        prop_assert_eq!(report.spread[0], 1, "starts with only the source");
+        for w in report.spread.windows(2) {
+            prop_assert!(w[0] <= w[1], "informed count must never decrease");
+        }
+        for &c in &report.spread {
+            prop_assert!(c as usize <= n);
+        }
+        if report.completed {
+            prop_assert_eq!(*report.spread.last().unwrap() as usize, n);
+            prop_assert!(report.flooding_time.unwrap() <= report.steps_run);
+        }
+    }
+
+    #[test]
+    fn flooding_time_monotone_in_radius(
+        n in 30usize..120,
+        seed in 0u64..200,
+    ) {
+        // same seed, same model: a larger radius can only flood (weakly)
+        // faster in distribution; we check the strong version on averages
+        // of 3 seeds to keep flakiness at zero for the sampled range
+        let side = 25.0;
+        let mut total_small = 0u64;
+        let mut total_large = 0u64;
+        for k in 0..3u64 {
+            let model = Mrwp::new(side, 1.0).unwrap();
+            let t_small = FloodingSim::new(
+                model.clone(),
+                SimConfig::new(n, 2.0).seed(seed * 31 + k),
+            )
+            .unwrap()
+            .run(100_000)
+            .flooding_time
+            .unwrap() as u64;
+            let t_large = FloodingSim::new(
+                model,
+                SimConfig::new(n, 8.0).seed(seed * 31 + k),
+            )
+            .unwrap()
+            .run(100_000)
+            .flooding_time
+            .unwrap() as u64;
+            total_small += t_small;
+            total_large += t_large;
+        }
+        prop_assert!(
+            total_large <= total_small,
+            "R=8 took {total_large}, R=2 took {total_small}"
+        );
+    }
+
+    #[test]
+    fn zone_classification_matches_threshold(
+        n in 1_000usize..20_000,
+        r_mult in 2.0f64..6.0,
+    ) {
+        let params = SimParams::standard(n, r_mult * SimParams::standard(n, 1.0, 0.0).unwrap().radius_scale(), 0.1).unwrap();
+        let zones = ZoneMap::new(&params).unwrap();
+        for cell in zones.grid().cells() {
+            let mass = zones.mass(cell);
+            prop_assert_eq!(
+                zones.is_central(cell),
+                mass >= params.central_zone_threshold(),
+                "cell {} mass {} vs threshold {}",
+                cell,
+                mass,
+                params.central_zone_threshold()
+            );
+        }
+        // total CZ mass dominates
+        prop_assert!(zones.central_mass() >= 0.5);
+    }
+
+    #[test]
+    fn boundary_cells_are_adjacent_and_outside(
+        seed in 0u64..200,
+        size_frac in 0.05f64..0.95,
+    ) {
+        let params = SimParams::standard(4_000, 8.0, 1.0).unwrap();
+        let zones = ZoneMap::new(&params).unwrap();
+        let mut central: Vec<Cell> = zones.central_cells().collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        central.shuffle(&mut rng);
+        let size = ((central.len() as f64 * size_frac) as usize).max(1);
+        let b: Vec<Cell> = central[..size].to_vec();
+        let boundary = zones.boundary(&b);
+        for cell in &boundary {
+            prop_assert!(zones.is_central(*cell));
+            prop_assert!(!b.contains(cell), "boundary cell inside B");
+            prop_assert!(
+                b.iter().any(|bc| bc.is_adjacent4(*cell)),
+                "boundary cell must touch B"
+            );
+        }
+    }
+}
+
+#[test]
+fn source_in_suburb_vs_center_both_complete() {
+    // the paper's headline: suburb sources are not fundamentally slower
+    let params = SimParams::standard(900, 5.0, 0.5).unwrap();
+    let model = Mrwp::new(params.side(), params.speed()).unwrap();
+    for placement in [SourcePlacement::Center, SourcePlacement::SwCorner] {
+        let mut sim = FloodingSim::new(
+            model.clone(),
+            SimConfig::new(params.n(), params.radius())
+                .seed(77)
+                .source(placement),
+        )
+        .unwrap();
+        let report = sim.run(50_000);
+        assert!(report.completed, "placement {placement:?} failed to flood");
+    }
+}

@@ -1,0 +1,294 @@
+//! Axis-aligned rectangles.
+
+use crate::{GeomError, Point};
+use std::fmt;
+
+/// An axis-aligned rectangle, stored as its min and max corners.
+///
+/// Containment is closed on all edges: a rectangle contains its boundary.
+/// (The simulation region is the closed square `[0, L]²`; agents may sit
+/// exactly on the border.)
+///
+/// # Examples
+///
+/// ```
+/// use fastflood_geom::{Point, Rect};
+///
+/// let r = Rect::new(Point::new(0.0, 0.0), Point::new(4.0, 2.0))?;
+/// assert_eq!(r.area(), 8.0);
+/// assert!(r.contains(Point::new(4.0, 2.0))); // closed boundary
+/// assert!(!r.contains(Point::new(4.1, 2.0)));
+/// # Ok::<(), fastflood_geom::GeomError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Rect {
+    min: Point,
+    max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from its min and max corners.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::InvertedRect`] when `min > max` on either axis,
+    /// and [`GeomError::NotFinite`] when a coordinate is NaN or infinite.
+    /// Zero-width or zero-height (degenerate) rectangles are allowed.
+    pub fn new(min: Point, max: Point) -> Result<Rect, GeomError> {
+        for v in [min.x, min.y, max.x, max.y] {
+            if !v.is_finite() {
+                return Err(GeomError::NotFinite(v));
+            }
+        }
+        if min.x > max.x || min.y > max.y {
+            return Err(GeomError::InvertedRect { min, max });
+        }
+        Ok(Rect { min, max })
+    }
+
+    /// Creates the rectangle spanned by two arbitrary corner points.
+    ///
+    /// Unlike [`Rect::new`], the corners may come in any order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::NotFinite`] when a coordinate is NaN or infinite.
+    pub fn spanning(a: Point, b: Point) -> Result<Rect, GeomError> {
+        Rect::new(a.min(b), a.max(b))
+    }
+
+    /// The square `[0, side]²` — the paper's simulation region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::NonPositiveLength`] if `side <= 0` or not finite.
+    pub fn square(side: f64) -> Result<Rect, GeomError> {
+        if !(side > 0.0) || !side.is_finite() {
+            return Err(GeomError::NonPositiveLength(side));
+        }
+        Rect::new(Point::ORIGIN, Point::new(side, side))
+    }
+
+    /// Minimum corner.
+    #[inline]
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Maximum corner.
+    #[inline]
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Width (`x` extent).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (`y` extent).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.lerp(self.max, 0.5)
+    }
+
+    /// Whether the rectangle contains `p` (closed on all edges).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamps `p` to the closest point inside the rectangle.
+    #[inline]
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+    }
+
+    /// The intersection with `other`, or `None` when disjoint.
+    ///
+    /// Touching rectangles intersect in a degenerate (zero-area) rectangle.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let min = self.min.max(other.min);
+        let max = self.max.min(other.max);
+        if min.x <= max.x && min.y <= max.y {
+            Some(Rect { min, max })
+        } else {
+            None
+        }
+    }
+
+    /// Whether `other` lies entirely inside this rectangle (closed).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.contains(other.min) && self.contains(other.max)
+    }
+
+    /// The rectangle shrunk by `margin` on every side.
+    ///
+    /// Returns `None` when the margin exceeds half the width or height.
+    pub fn shrink(&self, margin: f64) -> Option<Rect> {
+        if margin < 0.0 || 2.0 * margin > self.width() || 2.0 * margin > self.height() {
+            return None;
+        }
+        Some(Rect {
+            min: Point::new(self.min.x + margin, self.min.y + margin),
+            max: Point::new(self.max.x - margin, self.max.y - margin),
+        })
+    }
+
+    /// The four corners in counter-clockwise order starting at `min`.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ]
+    }
+
+    /// Euclidean distance from `p` to the rectangle (zero if inside).
+    pub fn distance(&self, p: Point) -> f64 {
+        p.euclid(self.clamp(p))
+    }
+
+    /// Manhattan distance from `p` to the rectangle (zero if inside).
+    ///
+    /// Used by the Extended-Suburb definition: points within Manhattan
+    /// distance `2S` of the Suburb.
+    pub fn manhattan_distance(&self, p: Point) -> f64 {
+        p.manhattan(self.clamp(p))
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1)).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Rect::new(Point::new(1.0, 0.0), Point::new(0.0, 1.0)).is_err());
+        assert!(Rect::new(Point::new(0.0, f64::NAN), Point::new(1.0, 1.0)).is_err());
+        assert!(Rect::square(0.0).is_err());
+        assert!(Rect::square(-3.0).is_err());
+        assert!(Rect::square(f64::INFINITY).is_err());
+        // degenerate rect is fine
+        assert!(Rect::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0)).is_ok());
+    }
+
+    #[test]
+    fn spanning_reorders_corners() {
+        let a = Rect::spanning(Point::new(4.0, 1.0), Point::new(0.0, 3.0)).unwrap();
+        assert_eq!(a, r(0.0, 1.0, 4.0, 3.0));
+    }
+
+    #[test]
+    fn measurements() {
+        let rect = r(1.0, 2.0, 4.0, 6.0);
+        assert_eq!(rect.width(), 3.0);
+        assert_eq!(rect.height(), 4.0);
+        assert_eq!(rect.area(), 12.0);
+        assert_eq!(rect.center(), Point::new(2.5, 4.0));
+    }
+
+    #[test]
+    fn containment_is_closed() {
+        let rect = r(0.0, 0.0, 1.0, 1.0);
+        assert!(rect.contains(Point::new(0.0, 0.0)));
+        assert!(rect.contains(Point::new(1.0, 1.0)));
+        assert!(rect.contains(Point::new(0.5, 1.0)));
+        assert!(!rect.contains(Point::new(1.0000001, 0.5)));
+        assert!(!rect.contains(Point::new(0.5, -0.0000001)));
+    }
+
+    #[test]
+    fn clamp_projects_onto_rect() {
+        let rect = r(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(rect.clamp(Point::new(-1.0, 1.0)), Point::new(0.0, 1.0));
+        assert_eq!(rect.clamp(Point::new(3.0, 5.0)), Point::new(2.0, 2.0));
+        let inside = Point::new(1.0, 1.5);
+        assert_eq!(rect.clamp(inside), inside);
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        let b = r(1.0, 1.0, 3.0, 3.0);
+        assert_eq!(a.intersection(&b), Some(r(1.0, 1.0, 2.0, 2.0)));
+        // touching: degenerate intersection
+        let c = r(2.0, 0.0, 4.0, 2.0);
+        let t = a.intersection(&c).unwrap();
+        assert_eq!(t.area(), 0.0);
+        // disjoint
+        let d = r(5.0, 5.0, 6.0, 6.0);
+        assert_eq!(a.intersection(&d), None);
+        // symmetric
+        assert_eq!(a.intersection(&b), b.intersection(&a));
+    }
+
+    #[test]
+    fn contains_rect_and_shrink() {
+        let outer = r(0.0, 0.0, 9.0, 9.0);
+        let inner = outer.shrink(3.0).unwrap();
+        assert_eq!(inner, r(3.0, 3.0, 6.0, 6.0));
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(outer.shrink(4.6).is_none());
+        assert!(outer.shrink(-0.1).is_none());
+        // shrink by exactly half collapses to center point
+        let p = outer.shrink(4.5).unwrap();
+        assert_eq!(p.area(), 0.0);
+        assert_eq!(p.center(), Point::new(4.5, 4.5));
+    }
+
+    #[test]
+    fn corners_ccw() {
+        let rect = r(0.0, 0.0, 2.0, 1.0);
+        assert_eq!(
+            rect.corners(),
+            [
+                Point::new(0.0, 0.0),
+                Point::new(2.0, 0.0),
+                Point::new(2.0, 1.0),
+                Point::new(0.0, 1.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn distances() {
+        let rect = r(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(rect.distance(Point::new(1.0, 1.0)), 0.0);
+        assert_eq!(rect.distance(Point::new(5.0, 2.0)), 3.0);
+        assert_eq!(rect.distance(Point::new(5.0, 6.0)), 5.0);
+        assert_eq!(rect.manhattan_distance(Point::new(5.0, 6.0)), 7.0);
+        assert_eq!(rect.manhattan_distance(Point::new(1.0, 0.5)), 0.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(r(0.0, 0.0, 1.0, 2.0).to_string(), "[(0, 0), (1, 2)]");
+    }
+}

@@ -1,0 +1,199 @@
+//! Axis-aligned segments.
+
+use crate::{Axis, Cardinal, Point};
+use std::fmt;
+
+/// A directed, axis-aligned segment.
+///
+/// MRWP agents only ever travel along axis-parallel segments; an
+/// [`LPath`](crate::LPath) is one or two of these. The segment is directed
+/// from [`Segment::start`] to [`Segment::end`].
+///
+/// # Examples
+///
+/// ```
+/// use fastflood_geom::{Point, Segment, Cardinal};
+///
+/// let s = Segment::new(Point::new(1.0, 1.0), Point::new(1.0, 4.0)).unwrap();
+/// assert_eq!(s.len(), 3.0);
+/// assert_eq!(s.direction(), Some(Cardinal::North));
+/// assert_eq!(s.point_at(2.0), Point::new(1.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Segment {
+    start: Point,
+    end: Point,
+}
+
+impl Segment {
+    /// Creates a segment between two points sharing a coordinate.
+    ///
+    /// Returns `None` when the points differ in *both* coordinates (the
+    /// segment would not be axis-aligned). Degenerate (zero-length) segments
+    /// are allowed and report `axis() == None`.
+    pub fn new(start: Point, end: Point) -> Option<Segment> {
+        if start.x != end.x && start.y != end.y {
+            return None;
+        }
+        Some(Segment { start, end })
+    }
+
+    /// Creates a degenerate segment at a single point.
+    pub fn degenerate(p: Point) -> Segment {
+        Segment { start: p, end: p }
+    }
+
+    /// Start point.
+    #[inline]
+    pub fn start(&self) -> Point {
+        self.start
+    }
+
+    /// End point.
+    #[inline]
+    pub fn end(&self) -> Point {
+        self.end
+    }
+
+    /// Length of the segment.
+    #[inline]
+    pub fn len(&self) -> f64 {
+        self.start.manhattan(self.end)
+    }
+
+    /// Whether the segment has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The axis the segment runs along, or `None` when degenerate.
+    pub fn axis(&self) -> Option<Axis> {
+        if self.is_empty() {
+            None
+        } else if self.start.y == self.end.y {
+            Some(Axis::X)
+        } else {
+            Some(Axis::Y)
+        }
+    }
+
+    /// The travel direction, or `None` when degenerate.
+    pub fn direction(&self) -> Option<Cardinal> {
+        let axis = self.axis()?;
+        let delta = match axis {
+            Axis::X => self.end.x - self.start.x,
+            Axis::Y => self.end.y - self.start.y,
+        };
+        Cardinal::from_delta(axis, delta)
+    }
+
+    /// The point at distance `s` from the start along the segment.
+    ///
+    /// `s` is clamped to `[0, len]`.
+    pub fn point_at(&self, s: f64) -> Point {
+        let len = self.len();
+        if len == 0.0 {
+            return self.start;
+        }
+        let t = (s / len).clamp(0.0, 1.0);
+        self.start.lerp(self.end, t)
+    }
+
+    /// The reversed segment (end to start).
+    pub fn reversed(&self) -> Segment {
+        Segment {
+            start: self.end,
+            end: self.start,
+        }
+    }
+
+    /// Whether `p` lies on the segment (within floating-point exactness).
+    pub fn contains(&self, p: Point) -> bool {
+        match self.axis() {
+            None => p == self.start,
+            Some(Axis::X) => {
+                p.y == self.start.y
+                    && p.x >= self.start.x.min(self.end.x)
+                    && p.x <= self.start.x.max(self.end.x)
+            }
+            Some(Axis::Y) => {
+                p.x == self.start.x
+                    && p.y >= self.start.y.min(self.end.y)
+                    && p.y <= self.start.y.max(self.end.y)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_diagonal() {
+        assert!(Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).is_none());
+        assert!(Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0)).is_some());
+        assert!(Segment::new(Point::new(0.0, 0.0), Point::new(0.0, -1.0)).is_some());
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let p = Point::new(2.0, 3.0);
+        let s = Segment::degenerate(p);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0.0);
+        assert_eq!(s.axis(), None);
+        assert_eq!(s.direction(), None);
+        assert_eq!(s.point_at(10.0), p);
+        assert!(s.contains(p));
+        assert!(!s.contains(Point::new(2.0, 3.1)));
+    }
+
+    #[test]
+    fn axis_and_direction() {
+        let e = Segment::new(Point::new(0.0, 1.0), Point::new(5.0, 1.0)).unwrap();
+        assert_eq!(e.axis(), Some(Axis::X));
+        assert_eq!(e.direction(), Some(Cardinal::East));
+        let w = e.reversed();
+        assert_eq!(w.direction(), Some(Cardinal::West));
+        let n = Segment::new(Point::new(2.0, 0.0), Point::new(2.0, 3.0)).unwrap();
+        assert_eq!(n.direction(), Some(Cardinal::North));
+        assert_eq!(n.reversed().direction(), Some(Cardinal::South));
+    }
+
+    #[test]
+    fn point_at_clamps() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 0.0)).unwrap();
+        assert_eq!(s.point_at(-1.0), s.start());
+        assert_eq!(s.point_at(0.0), s.start());
+        assert_eq!(s.point_at(2.0), Point::new(2.0, 0.0));
+        assert_eq!(s.point_at(4.0), s.end());
+        assert_eq!(s.point_at(9.0), s.end());
+    }
+
+    #[test]
+    fn contains_on_segment() {
+        let s = Segment::new(Point::new(1.0, 2.0), Point::new(1.0, 5.0)).unwrap();
+        assert!(s.contains(Point::new(1.0, 2.0)));
+        assert!(s.contains(Point::new(1.0, 3.5)));
+        assert!(s.contains(Point::new(1.0, 5.0)));
+        assert!(!s.contains(Point::new(1.0, 5.5)));
+        assert!(!s.contains(Point::new(1.1, 3.0)));
+        // works for reversed direction too
+        assert!(s.reversed().contains(Point::new(1.0, 3.5)));
+    }
+
+    #[test]
+    fn display() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0)).unwrap();
+        assert_eq!(s.to_string(), "(0, 0) -> (1, 0)");
+    }
+}

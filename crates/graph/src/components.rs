@@ -1,0 +1,201 @@
+//! Connected-component census of a snapshot graph.
+
+use crate::UnionFind;
+use std::fmt;
+
+/// The connected components of a graph snapshot.
+///
+/// Built from a [`UnionFind`] after all edges have been merged; exposes the
+/// quantities the connectivity experiments report: component count, giant
+/// component fraction, and the number of isolated vertices (the first
+/// statistic to blow up below the connectivity threshold).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Components {
+    /// Component id of each vertex (ids are compact: `0..count`).
+    labels: Vec<u32>,
+    /// Size of each component.
+    sizes: Vec<u32>,
+}
+
+impl Components {
+    /// Extracts components from a union-find over the vertex set.
+    pub fn from_union_find(uf: &mut UnionFind) -> Components {
+        let n = uf.len();
+        let mut labels = vec![u32::MAX; n];
+        let mut root_label = vec![u32::MAX; n];
+        let mut sizes = Vec::new();
+        for v in 0..n {
+            let r = uf.find(v);
+            if root_label[r] == u32::MAX {
+                root_label[r] = sizes.len() as u32;
+                sizes.push(0);
+            }
+            let label = root_label[r];
+            labels[v] = label;
+            sizes[label as usize] += 1;
+        }
+        Components { labels, sizes }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Component id of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn label(&self, v: usize) -> usize {
+        self.labels[v] as usize
+    }
+
+    /// Size of component `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[inline]
+    pub fn size(&self, c: usize) -> usize {
+        self.sizes[c] as usize
+    }
+
+    /// Whether the graph is connected (one component, or empty).
+    pub fn is_connected(&self) -> bool {
+        self.count() <= 1
+    }
+
+    /// Size of the largest component (0 when empty).
+    pub fn largest(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    /// Fraction of vertices in the largest component (0 when empty).
+    pub fn giant_fraction(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            self.largest() as f64 / self.labels.len() as f64
+        }
+    }
+
+    /// Number of isolated vertices (components of size 1).
+    pub fn isolated(&self) -> usize {
+        self.sizes.iter().filter(|&&s| s == 1).count()
+    }
+
+    /// Whether vertices `a` and `b` are in the same component.
+    pub fn same_component(&self, a: usize, b: usize) -> bool {
+        self.labels[a] == self.labels[b]
+    }
+
+    /// The vertices of component `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l as usize == c)
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    /// Component sizes, unsorted.
+    pub fn sizes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.sizes.iter().map(|&s| s as usize)
+    }
+}
+
+impl fmt::Display for Components {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} components over {} vertices (giant {:.1}%, {} isolated)",
+            self.count(),
+            self.num_vertices(),
+            self.giant_fraction() * 100.0,
+            self.isolated()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn components_of(n: usize, edges: &[(usize, usize)]) -> Components {
+        let mut uf = UnionFind::new(n);
+        for &(a, b) in edges {
+            uf.union(a, b);
+        }
+        Components::from_union_find(&mut uf)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = components_of(0, &[]);
+        assert_eq!(c.count(), 0);
+        assert!(c.is_connected());
+        assert_eq!(c.largest(), 0);
+        assert_eq!(c.giant_fraction(), 0.0);
+        assert_eq!(c.isolated(), 0);
+    }
+
+    #[test]
+    fn all_isolated() {
+        let c = components_of(4, &[]);
+        assert_eq!(c.count(), 4);
+        assert_eq!(c.isolated(), 4);
+        assert_eq!(c.largest(), 1);
+        assert!(!c.is_connected());
+        assert_eq!(c.giant_fraction(), 0.25);
+    }
+
+    #[test]
+    fn two_components() {
+        let c = components_of(5, &[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(c.count(), 2);
+        assert!(c.same_component(0, 2));
+        assert!(!c.same_component(2, 3));
+        assert_eq!(c.largest(), 3);
+        assert_eq!(c.giant_fraction(), 0.6);
+        assert_eq!(c.isolated(), 0);
+        let mut m = c.members(c.label(3));
+        m.sort();
+        assert_eq!(m, vec![3, 4]);
+    }
+
+    #[test]
+    fn connected_cycle() {
+        let c = components_of(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert!(c.is_connected());
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.giant_fraction(), 1.0);
+        assert_eq!(c.members(0).len(), 6);
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        let c = components_of(6, &[(0, 5), (1, 4)]);
+        let max_label = (0..6).map(|v| c.label(v)).max().unwrap();
+        assert_eq!(max_label + 1, c.count());
+        let total: usize = c.sizes().sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let c = components_of(3, &[(0, 1)]);
+        let s = c.to_string();
+        assert!(s.contains("2 components"));
+        assert!(s.contains("1 isolated"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Hop-distance metrics of snapshot graphs.
+
+use crate::{bfs_hops, DiskGraph};
+
+/// Hop eccentricity of `v`: the greatest hop distance from `v` to any
+/// vertex reachable from it (0 for an isolated vertex).
+///
+/// # Panics
+///
+/// Panics if `v` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use fastflood_geom::{Point, Rect};
+/// use fastflood_graph::{eccentricity, DiskGraph};
+///
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+/// let g = DiskGraph::build(Rect::square(10.0)?, 1.0, &pts)?;
+/// assert_eq!(eccentricity(&g, 0), 2);
+/// assert_eq!(eccentricity(&g, 1), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn eccentricity(graph: &DiskGraph, v: usize) -> u32 {
+    bfs_hops(graph, &[v])
+        .into_iter()
+        .flatten()
+        .max()
+        .unwrap_or(0)
+}
+
+/// Exact hop diameter of the graph's largest structure: the maximum
+/// eccentricity over all vertices, ignoring unreachable pairs.
+///
+/// Runs one BFS per vertex (`O(V·(V+E))`); intended for snapshot analysis
+/// at experiment scale, not for huge graphs — use
+/// [`hop_diameter_estimate`] there.
+///
+/// Returns 0 for empty or totally disconnected graphs.
+pub fn hop_diameter_exact(graph: &DiskGraph) -> u32 {
+    (0..graph.num_vertices())
+        .map(|v| eccentricity(graph, v))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Double-sweep lower bound on the hop diameter: BFS from `start`, then
+/// BFS again from the farthest vertex found. Exact on trees, and a sharp
+/// estimate on disk graphs; always `≤` the true diameter.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range on a non-empty graph.
+pub fn hop_diameter_estimate(graph: &DiskGraph, start: usize) -> u32 {
+    if graph.num_vertices() == 0 {
+        return 0;
+    }
+    let first = bfs_hops(graph, &[start]);
+    let farthest = first
+        .iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.map(|d| (i, d)))
+        .max_by_key(|&(_, d)| d)
+        .map(|(i, _)| i)
+        .unwrap_or(start);
+    eccentricity(graph, farthest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastflood_geom::{Point, Rect};
+
+    fn chain(n: usize) -> DiskGraph {
+        let pts: Vec<Point> = (0..n).map(|i| Point::new(i as f64, 0.0)).collect();
+        DiskGraph::build(Rect::square(n as f64 + 1.0).unwrap(), 1.0, &pts).unwrap()
+    }
+
+    #[test]
+    fn chain_diameter() {
+        let g = chain(6);
+        assert_eq!(hop_diameter_exact(&g), 5);
+        // double sweep from the middle still finds the true diameter
+        assert_eq!(hop_diameter_estimate(&g, 3), 5);
+        assert_eq!(eccentricity(&g, 0), 5);
+        assert_eq!(eccentricity(&g, 3), 3);
+    }
+
+    #[test]
+    fn disconnected_components_ignore_unreachable() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(50.0, 50.0),
+        ];
+        let g = DiskGraph::build(Rect::square(100.0).unwrap(), 1.0, &pts).unwrap();
+        assert_eq!(eccentricity(&g, 0), 1);
+        assert_eq!(eccentricity(&g, 2), 0, "isolated vertex");
+        assert_eq!(hop_diameter_exact(&g), 1);
+    }
+
+    #[test]
+    fn estimate_never_exceeds_exact() {
+        // a grid-ish cloud
+        let mut pts = Vec::new();
+        for i in 0..6 {
+            for j in 0..4 {
+                pts.push(Point::new(i as f64, j as f64));
+            }
+        }
+        let g = DiskGraph::build(Rect::square(10.0).unwrap(), 1.0, &pts).unwrap();
+        let exact = hop_diameter_exact(&g);
+        for start in [0, 5, 12, 23] {
+            let est = hop_diameter_estimate(&g, start);
+            assert!(est <= exact);
+            // double sweep on grids is tight
+            assert!(est + 1 >= exact, "estimate {est} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = DiskGraph::build(Rect::square(10.0).unwrap(), 1.0, &[]).unwrap();
+        assert_eq!(hop_diameter_exact(&g), 0);
+        assert_eq!(hop_diameter_estimate(&g, 0), 0);
+        let g1 =
+            DiskGraph::build(Rect::square(10.0).unwrap(), 1.0, &[Point::new(1.0, 1.0)]).unwrap();
+        assert_eq!(hop_diameter_exact(&g1), 0);
+        assert_eq!(eccentricity(&g1, 0), 0);
+    }
+}

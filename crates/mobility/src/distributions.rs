@@ -1,0 +1,553 @@
+//! Closed-form stationary distributions of the MRWP model and exact
+//! samplers for them.
+//!
+//! * **Theorem 1** (from \[13\]): the stationary *spatial* probability
+//!   density is
+//!   `f(x, y) = 3(x + y)/L³ − 3(x² + y²)/L⁴`.
+//! * **Theorem 2** (from \[12\]): the stationary *destination* distribution
+//!   of an agent at `(x0, y0)` has a piecewise-constant continuous part on
+//!   the four quadrants around the agent, plus atoms on the four
+//!   axis-parallel segments through the agent (the "cross"), whose total
+//!   probability is exactly `1/2` (Eqs. 4–5).
+//!
+//! The sampler exploits that `f(x, y) = g(x)/L·L⁻¹… ` decomposes as an even
+//! mixture: with probability 1/2 draw `x` from the `Beta(2, 2)` density
+//! `6t(L−t)/L³` and `y` uniform, otherwise swap the roles. A `Beta(2, 2)`
+//! variate is the median of three independent uniforms, so the sampler is
+//! exact (no rejection, no numerical inversion).
+//!
+//! All functions take the region side `L` explicitly; they are pure
+//! formulas, deliberately free of any model state.
+
+use fastflood_geom::{Cardinal, Point, Rect};
+use rand::Rng;
+
+/// One of the four open quadrants around an agent position, named by
+/// compass corner (south-west = both coordinates smaller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quadrant {
+    /// `x < x0, y < y0`.
+    Sw,
+    /// `x > x0, y < y0`.
+    Se,
+    /// `x < x0, y > y0`.
+    Nw,
+    /// `x > x0, y > y0`.
+    Ne,
+}
+
+impl Quadrant {
+    /// All four quadrants.
+    pub const ALL: [Quadrant; 4] = [Quadrant::Sw, Quadrant::Se, Quadrant::Nw, Quadrant::Ne];
+
+    /// Classifies `dest` relative to `pos`; `None` when `dest` lies on the
+    /// cross (shares a coordinate with `pos`).
+    pub fn classify(pos: Point, dest: Point) -> Option<Quadrant> {
+        if dest.x == pos.x || dest.y == pos.y {
+            return None;
+        }
+        Some(match (dest.x < pos.x, dest.y < pos.y) {
+            (true, true) => Quadrant::Sw,
+            (false, true) => Quadrant::Se,
+            (true, false) => Quadrant::Nw,
+            (false, false) => Quadrant::Ne,
+        })
+    }
+}
+
+fn assert_side(l: f64) {
+    debug_assert!(l > 0.0 && l.is_finite(), "region side must be positive, got {l}");
+}
+
+/// The stationary spatial density `f(x, y)` of Theorem 1.
+///
+/// Zero outside `[0, L]²`; maximal at the center where it equals
+/// `3/(2L²)`.
+///
+/// # Examples
+///
+/// ```
+/// use fastflood_mobility::distributions::spatial_density;
+///
+/// let l = 10.0;
+/// // corners have zero density
+/// assert_eq!(spatial_density(l, 0.0, 0.0), 0.0);
+/// // center has the maximum 3/(2L²)
+/// assert!((spatial_density(l, 5.0, 5.0) - 0.015).abs() < 1e-12);
+/// ```
+pub fn spatial_density(l: f64, x: f64, y: f64) -> f64 {
+    assert_side(l);
+    if !(0.0..=l).contains(&x) || !(0.0..=l).contains(&y) {
+        return 0.0;
+    }
+    3.0 / l.powi(3) * (x + y) - 3.0 / l.powi(4) * (x * x + y * y)
+}
+
+/// The maximum of the spatial density, attained at the center:
+/// `f(L/2, L/2) = 3/(2L²)`.
+pub fn spatial_max_density(l: f64) -> f64 {
+    assert_side(l);
+    1.5 / (l * l)
+}
+
+/// Marginal density of one coordinate under Theorem 1:
+/// `f_X(t) = 3t(L−t)/L³ + 1/(2L)` — an even mixture of a scaled
+/// `Beta(2, 2)` and the uniform distribution.
+pub fn spatial_marginal_density(l: f64, t: f64) -> f64 {
+    assert_side(l);
+    if !(0.0..=l).contains(&t) {
+        return 0.0;
+    }
+    3.0 * t * (l - t) / l.powi(3) + 0.5 / l
+}
+
+/// Marginal CDF of one coordinate under Theorem 1.
+///
+/// `F_X(t) = (3Lt²/2 − t³)/L³ + t/(2L)`, clamped to `[0, 1]` outside the
+/// region.
+///
+/// # Examples
+///
+/// ```
+/// use fastflood_mobility::distributions::spatial_marginal_cdf;
+///
+/// assert_eq!(spatial_marginal_cdf(10.0, 0.0), 0.0);
+/// assert_eq!(spatial_marginal_cdf(10.0, 10.0), 1.0);
+/// assert!((spatial_marginal_cdf(10.0, 5.0) - 0.5).abs() < 1e-12);
+/// ```
+pub fn spatial_marginal_cdf(l: f64, t: f64) -> f64 {
+    assert_side(l);
+    if t <= 0.0 {
+        return 0.0;
+    }
+    if t >= l {
+        return 1.0;
+    }
+    (1.5 * l * t * t - t.powi(3)) / l.powi(3) + 0.5 * t / l
+}
+
+/// Exact mass `∫∫_rect f(x, y) dx dy` of the Theorem 1 density over an
+/// axis-aligned rectangle (clipped to `[0, L]²`).
+///
+/// This is what Definition 4 compares against the `(3/8)·ln n / n`
+/// threshold to classify cells as Central Zone or Suburb.
+pub fn rect_mass(l: f64, rect: &Rect) -> f64 {
+    assert_side(l);
+    let region = Rect::square(l).expect("validated side");
+    let Some(clipped) = region.intersection(rect) else {
+        return 0.0;
+    };
+    let (x0, y0) = (clipped.min().x, clipped.min().y);
+    let (x1, y1) = (clipped.max().x, clipped.max().y);
+    let dx = x1 - x0;
+    let dy = y1 - y0;
+    // ∫∫ (x + y) = (x1²−x0²)/2·dy + (y1²−y0²)/2·dx
+    let lin = 0.5 * (x1 * x1 - x0 * x0) * dy + 0.5 * (y1 * y1 - y0 * y0) * dx;
+    // ∫∫ (x² + y²) = (x1³−x0³)/3·dy + (y1³−y0³)/3·dx
+    let quad = (x1.powi(3) - x0.powi(3)) / 3.0 * dy + (y1.powi(3) - y0.powi(3)) / 3.0 * dx;
+    3.0 / l.powi(3) * lin - 3.0 / l.powi(4) * quad
+}
+
+/// The Observation 5 closed form for the mass of the square cell with
+/// south-west corner `(x0, y0)` and side `cell_len`:
+///
+/// `3ℓ²/L⁴ · ( ℓ(3L−2ℓ)/3 + x0(L−ℓ−x0) + y0(L−ℓ−y0) )`.
+///
+/// Agrees with [`rect_mass`] on cells fully inside the region (tested).
+pub fn cell_mass_obs5(l: f64, cell_len: f64, x0: f64, y0: f64) -> f64 {
+    assert_side(l);
+    let ell = cell_len;
+    3.0 * ell * ell / l.powi(4)
+        * (ell / 3.0 * (3.0 * l - 2.0 * ell) + x0 * (l - ell - x0) + y0 * (l - ell - y0))
+}
+
+fn destination_denominator(l: f64, pos: Point) -> f64 {
+    // 4L(x0+y0) − 4(x0²+y0²) — the common denominator of Eqs. 3–5 (the φ
+    // form); the quadrant densities of Eq. 3 divide by L times this.
+    4.0 * l * (pos.x + pos.y) - 4.0 * (pos.x * pos.x + pos.y * pos.y)
+}
+
+/// The Theorem 2 piecewise-constant density of the *continuous part* of
+/// the destination distribution: the value of
+/// `f_{(x0,y0)}(x, y)` for destinations in quadrant `q` around `pos`.
+///
+/// # Panics
+///
+/// Panics if `pos` is a corner of the square (the stationary distribution
+/// puts zero mass there and the density is undefined).
+pub fn destination_quadrant_density(l: f64, pos: Point, q: Quadrant) -> f64 {
+    assert_side(l);
+    let denom = l * destination_denominator(l, pos);
+    assert!(
+        denom > 0.0,
+        "destination density undefined at square corners ({pos})"
+    );
+    let num = match q {
+        Quadrant::Sw => 2.0 * l - pos.x - pos.y,
+        Quadrant::Ne => pos.x + pos.y,
+        Quadrant::Nw => l - pos.x + pos.y,
+        Quadrant::Se => l + pos.x - pos.y,
+    };
+    num / denom
+}
+
+/// The probability that the destination lies in quadrant `q` around `pos`
+/// (density times quadrant area).
+pub fn quadrant_probability(l: f64, pos: Point, q: Quadrant) -> f64 {
+    let area = match q {
+        Quadrant::Sw => pos.x * pos.y,
+        Quadrant::Se => (l - pos.x) * pos.y,
+        Quadrant::Nw => pos.x * (l - pos.y),
+        Quadrant::Ne => (l - pos.x) * (l - pos.y),
+    };
+    destination_quadrant_density(l, pos, q) * area
+}
+
+/// The `φ` probability (Eqs. 4–5) that the destination lies on the cross
+/// segment in direction `dir` from `pos`.
+///
+/// `φ_N = φ_S = y0(L−y0) / (4L(x0+y0) − 4(x0²+y0²))` and symmetrically for
+/// east/west with `x0`.
+///
+/// # Panics
+///
+/// Panics if `pos` is a corner of the square.
+///
+/// # Examples
+///
+/// ```
+/// use fastflood_geom::{Cardinal, Point};
+/// use fastflood_mobility::distributions::{cross_probability, phi_segment};
+///
+/// let l = 12.0;
+/// let pos = Point::new(4.0, 3.0); // the paper's Fig. 1 uses (L/3, L/4)
+/// let total: f64 = Cardinal::ALL.iter().map(|&d| phi_segment(l, pos, d)).sum();
+/// assert!((total - 0.5).abs() < 1e-12); // the cross carries probability 1/2
+/// assert!((cross_probability(l, pos) - 0.5).abs() < 1e-12);
+/// ```
+pub fn phi_segment(l: f64, pos: Point, dir: Cardinal) -> f64 {
+    assert_side(l);
+    let denom = destination_denominator(l, pos);
+    assert!(denom > 0.0, "φ undefined at square corners ({pos})");
+    match dir {
+        Cardinal::North | Cardinal::South => pos.y * (l - pos.y) / denom,
+        Cardinal::East | Cardinal::West => pos.x * (l - pos.x) / denom,
+    }
+}
+
+/// Total probability that the destination lies on the cross centered at
+/// `pos` — identically `1/2` (the paper notes this despite the cross
+/// having zero area).
+pub fn cross_probability(l: f64, pos: Point) -> f64 {
+    Cardinal::ALL.iter().map(|&d| phi_segment(l, pos, d)).sum()
+}
+
+/// Draws a `Beta(2, 2)` variate as the median of three independent
+/// uniforms on `[0, 1)` — the exact distribution, no rejection.
+pub fn sample_beta22<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let (a, b, c) = (rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>());
+    // median of three
+    a.max(b).min(a.min(b).max(c))
+}
+
+/// Draws a position exactly from the Theorem 1 stationary spatial density.
+///
+/// Uses the mixture decomposition
+/// `f(x, y) = ½·[β(x)·u(y)] + ½·[u(x)·β(y)]` where `β` is the scaled
+/// `Beta(2, 2)` density `6t(L−t)/L³` and `u` the uniform density `1/L`.
+///
+/// # Examples
+///
+/// ```
+/// use fastflood_mobility::distributions::sample_spatial;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let p = sample_spatial(100.0, &mut rng);
+/// assert!((0.0..=100.0).contains(&p.x) && (0.0..=100.0).contains(&p.y));
+/// ```
+pub fn sample_spatial<R: Rng + ?Sized>(l: f64, rng: &mut R) -> Point {
+    assert_side(l);
+    let beta = l * sample_beta22(rng);
+    let unif = l * rng.gen::<f64>();
+    if rng.gen_bool(0.5) {
+        Point::new(beta, unif)
+    } else {
+        Point::new(unif, beta)
+    }
+}
+
+/// Draws a way-point pair `(w, d)` from the *length-biased* stationary
+/// trip distribution: uniform pairs accepted with probability
+/// `‖w − d‖₁ / (2L)`.
+///
+/// In a constant-speed way-point model the stationary probability of
+/// observing a given trip is proportional to its duration, hence to its
+/// length (the Palm-calculus construction of Le Boudec–Vojnović \[22\]).
+/// Combined with a uniform position along the fair-coin-chosen L-path this
+/// yields the exact stationary state; the Theorem 1/Theorem 2 experiments
+/// validate that construction statistically.
+pub fn sample_trip_length_biased<R: Rng + ?Sized>(l: f64, rng: &mut R) -> (Point, Point) {
+    assert_side(l);
+    loop {
+        let w = Point::new(l * rng.gen::<f64>(), l * rng.gen::<f64>());
+        let d = Point::new(l * rng.gen::<f64>(), l * rng.gen::<f64>());
+        // ‖w−d‖₁ ≤ 2L, so len/(2L) is a valid acceptance probability;
+        // the expected number of proposals is 3 (E‖w−d‖₁ = 2L/3).
+        if rng.gen::<f64>() * 2.0 * l < w.manhattan(d) {
+            return (w, d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    const L: f64 = 50.0;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        // midpoint rule on a fine grid
+        let k = 400;
+        let h = L / k as f64;
+        let mut sum = 0.0;
+        for i in 0..k {
+            for j in 0..k {
+                let x = (i as f64 + 0.5) * h;
+                let y = (j as f64 + 0.5) * h;
+                sum += spatial_density(L, x, y) * h * h;
+            }
+        }
+        assert!((sum - 1.0).abs() < 1e-5, "integral = {sum}");
+    }
+
+    #[test]
+    fn density_zero_outside_and_at_corners() {
+        assert_eq!(spatial_density(L, -1.0, 5.0), 0.0);
+        assert_eq!(spatial_density(L, 5.0, L + 1.0), 0.0);
+        assert_eq!(spatial_density(L, 0.0, 0.0), 0.0);
+        assert!(spatial_density(L, L, L).abs() < 1e-15);
+        // suburb (corner regions) is much thinner than the center
+        let corner = spatial_density(L, L / 100.0, L / 100.0);
+        let center = spatial_density(L, L / 2.0, L / 2.0);
+        assert!(center > 10.0 * corner);
+    }
+
+    #[test]
+    fn max_density_at_center() {
+        let center = spatial_density(L, L / 2.0, L / 2.0);
+        assert!((center - spatial_max_density(L)).abs() < 1e-15);
+        for (x, y) in [(10.0, 20.0), (1.0, 1.0), (49.0, 25.0), (25.0, 40.0)] {
+            assert!(spatial_density(L, x, y) <= spatial_max_density(L) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn marginal_matches_density_integral() {
+        // f_X(t) must equal ∫ f(t, y) dy
+        for t in [1.0, 10.0, 25.0, 42.0] {
+            let k = 20000;
+            let h = L / k as f64;
+            let num: f64 = (0..k)
+                .map(|j| spatial_density(L, t, (j as f64 + 0.5) * h) * h)
+                .sum();
+            let ana = spatial_marginal_density(L, t);
+            assert!((num - ana).abs() < 1e-6, "marginal at {t}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn marginal_cdf_is_derivative_consistent() {
+        // CDF' = density (finite differences)
+        for t in [5.0, 20.0, 30.0, 45.0] {
+            let h = 1e-5;
+            let deriv = (spatial_marginal_cdf(L, t + h) - spatial_marginal_cdf(L, t - h)) / (2.0 * h);
+            assert!((deriv - spatial_marginal_density(L, t)).abs() < 1e-6);
+        }
+        assert_eq!(spatial_marginal_cdf(L, -3.0), 0.0);
+        assert_eq!(spatial_marginal_cdf(L, L + 3.0), 1.0);
+    }
+
+    #[test]
+    fn rect_mass_full_region_is_one() {
+        let full = Rect::square(L).unwrap();
+        assert!((rect_mass(L, &full) - 1.0).abs() < 1e-12);
+        // disjoint rect has zero mass
+        let outside = Rect::new(
+            Point::new(L + 1.0, 0.0),
+            Point::new(L + 2.0, 1.0),
+        )
+        .unwrap();
+        assert_eq!(rect_mass(L, &outside), 0.0);
+        // clipping: rect extending past the region counts only the inside
+        let straddling = Rect::new(Point::new(L / 2.0, -10.0), Point::new(L + 10.0, L + 10.0)).unwrap();
+        let inside = Rect::new(Point::new(L / 2.0, 0.0), Point::new(L, L)).unwrap();
+        assert!((rect_mass(L, &straddling) - rect_mass(L, &inside)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rect_mass_additivity() {
+        let left = Rect::new(Point::new(0.0, 0.0), Point::new(20.0, L)).unwrap();
+        let right = Rect::new(Point::new(20.0, 0.0), Point::new(L, L)).unwrap();
+        let total = rect_mass(L, &left) + rect_mass(L, &right);
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn obs5_matches_exact_integral() {
+        for (x0, y0, ell) in [
+            (0.0, 0.0, 5.0),
+            (10.0, 20.0, 2.5),
+            (40.0, 40.0, 10.0),
+            (3.3, 44.7, 1.7),
+        ] {
+            let rect = Rect::new(Point::new(x0, y0), Point::new(x0 + ell, y0 + ell)).unwrap();
+            let exact = rect_mass(L, &rect);
+            let obs5 = cell_mass_obs5(L, ell, x0, y0);
+            assert!(
+                (exact - obs5).abs() < 1e-12,
+                "Obs. 5 mismatch at ({x0}, {y0}) side {ell}: {exact} vs {obs5}"
+            );
+        }
+    }
+
+    #[test]
+    fn obs5_lower_bound_holds() {
+        // Obs. 5: cell mass >= ℓ³(3L−2ℓ)/L⁴ for any cell inside the region
+        let ell = 4.0_f64;
+        let bound = ell.powi(3) * (3.0 * L - 2.0 * ell) / L.powi(4);
+        for x0 in [0.0, 10.0, 46.0] {
+            for y0 in [0.0, 23.0, 46.0] {
+                assert!(cell_mass_obs5(L, ell, x0, y0) >= bound - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn destination_masses_sum_to_one() {
+        for pos in [
+            Point::new(L / 3.0, L / 4.0),
+            Point::new(1.0, 1.0),
+            Point::new(L - 0.5, L / 2.0),
+            Point::new(25.0, 25.0),
+        ] {
+            let quadrants: f64 = Quadrant::ALL
+                .iter()
+                .map(|&q| quadrant_probability(L, pos, q))
+                .sum();
+            let cross = cross_probability(L, pos);
+            assert!(
+                (quadrants + cross - 1.0).abs() < 1e-12,
+                "total mass at {pos}: {} + {}",
+                quadrants,
+                cross
+            );
+            assert!((cross - 0.5).abs() < 1e-12, "cross mass must be exactly 1/2");
+        }
+    }
+
+    #[test]
+    fn phi_symmetries() {
+        let pos = Point::new(L / 3.0, L / 4.0);
+        assert_eq!(
+            phi_segment(L, pos, Cardinal::North),
+            phi_segment(L, pos, Cardinal::South)
+        );
+        assert_eq!(
+            phi_segment(L, pos, Cardinal::East),
+            phi_segment(L, pos, Cardinal::West)
+        );
+        // x0 < y0 would flip the relation; here y0 = L/4 < x0 = L/3 so the
+        // vertical segments (length governed by y0(L−y0)) carry less mass
+        assert!(phi_segment(L, pos, Cardinal::North) < phi_segment(L, pos, Cardinal::East));
+    }
+
+    #[test]
+    #[should_panic(expected = "corners")]
+    fn phi_undefined_at_corner() {
+        phi_segment(L, Point::new(0.0, 0.0), Cardinal::North);
+    }
+
+    #[test]
+    fn quadrant_classify() {
+        let pos = Point::new(10.0, 10.0);
+        assert_eq!(Quadrant::classify(pos, Point::new(5.0, 5.0)), Some(Quadrant::Sw));
+        assert_eq!(Quadrant::classify(pos, Point::new(15.0, 5.0)), Some(Quadrant::Se));
+        assert_eq!(Quadrant::classify(pos, Point::new(5.0, 15.0)), Some(Quadrant::Nw));
+        assert_eq!(Quadrant::classify(pos, Point::new(15.0, 15.0)), Some(Quadrant::Ne));
+        assert_eq!(Quadrant::classify(pos, Point::new(10.0, 15.0)), None);
+        assert_eq!(Quadrant::classify(pos, Point::new(5.0, 10.0)), None);
+    }
+
+    #[test]
+    fn beta22_moments() {
+        let mut r = rng(1);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_beta22(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        // Beta(2,2): mean 1/2, variance 1/20
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+        assert!((var - 0.05).abs() < 0.003, "var {var}");
+    }
+
+    #[test]
+    fn sample_spatial_matches_density_coarsely() {
+        let mut r = rng(2);
+        let n = 100_000usize;
+        // count samples in center box vs corner box of equal area
+        let center = Rect::new(Point::new(20.0, 20.0), Point::new(30.0, 30.0)).unwrap();
+        let corner = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)).unwrap();
+        let (mut in_center, mut in_corner) = (0usize, 0usize);
+        for _ in 0..n {
+            let p = sample_spatial(L, &mut r);
+            assert!((0.0..=L).contains(&p.x) && (0.0..=L).contains(&p.y));
+            if center.contains(p) {
+                in_center += 1;
+            }
+            if corner.contains(p) {
+                in_corner += 1;
+            }
+        }
+        let expected_center = rect_mass(L, &center);
+        let expected_corner = rect_mass(L, &corner);
+        let got_center = in_center as f64 / n as f64;
+        let got_corner = in_corner as f64 / n as f64;
+        assert!((got_center - expected_center).abs() < 0.005);
+        assert!((got_corner - expected_corner).abs() < 0.005);
+        // the paper's Fig. 1 shape: center much denser than corner
+        // (analytically the ratio of these two boxes at L = 50 is 2.85)
+        assert!(got_center > 2.5 * got_corner);
+    }
+
+    #[test]
+    fn length_biased_trips_are_longer_on_average() {
+        let mut r = rng(3);
+        let n = 50_000;
+        let biased: f64 = (0..n)
+            .map(|_| {
+                let (w, d) = sample_trip_length_biased(L, &mut r);
+                assert!((0.0..=L).contains(&w.x) && (0.0..=L).contains(&d.y));
+                w.manhattan(d)
+            })
+            .sum::<f64>()
+            / n as f64;
+        let uniform: f64 = (0..n)
+            .map(|_| {
+                let w = Point::new(L * r.gen::<f64>(), L * r.gen::<f64>());
+                let d = Point::new(L * r.gen::<f64>(), L * r.gen::<f64>());
+                w.manhattan(d)
+            })
+            .sum::<f64>()
+            / n as f64;
+        // E[uniform] = 2L/3; length bias raises the mean to E[len²]/E[len]
+        assert!((uniform - 2.0 * L / 3.0).abs() < L * 0.01);
+        assert!(biased > uniform * 1.05, "biased {biased} vs uniform {uniform}");
+    }
+}

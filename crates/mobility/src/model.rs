@@ -1,0 +1,77 @@
+//! The mobility-model abstraction the flooding engine is generic over.
+
+use fastflood_geom::{Point, Rect};
+use rand::Rng;
+
+/// What happened to one agent during one time step.
+///
+/// The Lemma 13 experiment needs the number of direction changes per step;
+/// models report them here so the engine can forward them to a
+/// [`TurnRecorder`](crate::TurnRecorder) without re-deriving geometry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepEvents {
+    /// Direction changes at L-path corners crossed during the step.
+    pub turns: u32,
+    /// Way-point arrivals (trip completions) during the step.
+    pub arrivals: u32,
+}
+
+impl StepEvents {
+    /// Total direction changes: corners plus arrivals.
+    ///
+    /// Lemma 13 counts every point where the agent changes direction along
+    /// its journey; both corner turns and way-point arrivals qualify.
+    pub fn direction_changes(&self) -> u32 {
+        self.turns + self.arrivals
+    }
+}
+
+/// A mobility model over a square region with synchronous unit time steps.
+///
+/// One [`Mobility::step`] advances an agent by exactly one time unit:
+/// the agent travels distance `speed` along its (model-specific) route,
+/// carrying leftover travel budget across corners and way-point arrivals,
+/// so the discrete simulation samples the continuous-time trajectory at
+/// integer times.
+///
+/// Implementations must keep agents inside [`Mobility::region`] forever.
+pub trait Mobility {
+    /// Per-agent trajectory state.
+    type State: Clone + std::fmt::Debug + Send;
+
+    /// The square region agents live in.
+    fn region(&self) -> Rect;
+
+    /// Distance traveled per time step.
+    fn speed(&self) -> f64;
+
+    /// Draws an agent state from the model's stationary distribution
+    /// (perfect simulation — no warm-up needed).
+    fn init_stationary<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::State;
+
+    /// Creates an agent at position `pos` beginning a fresh trip
+    /// (a "cold start"; *not* stationary in general).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `pos` lies outside the region.
+    fn init_at<R: Rng + ?Sized>(&self, pos: Point, rng: &mut R) -> Self::State;
+
+    /// The agent's current position.
+    fn position(&self, state: &Self::State) -> Point;
+
+    /// Advances the agent by one time unit, returning the step's events.
+    fn step<R: Rng + ?Sized>(&self, state: &mut Self::State, rng: &mut R) -> StepEvents;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_events_total() {
+        let e = StepEvents { turns: 2, arrivals: 1 };
+        assert_eq!(e.direction_changes(), 3);
+        assert_eq!(StepEvents::default().direction_changes(), 0);
+    }
+}

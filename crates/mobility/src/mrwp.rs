@@ -1,0 +1,550 @@
+//! The Manhattan Random Way-Point mobility model (paper §2).
+
+use crate::distributions::{sample_spatial, sample_trip_length_biased};
+use crate::{Mobility, MobilityError, StepEvents};
+use fastflood_geom::{Axis, LPath, Point, Rect};
+use rand::Rng;
+
+/// The Manhattan Random Way-Point model.
+///
+/// Each agent repeatedly:
+///
+/// 1. selects a destination uniformly at random in the square `[0, L]²`;
+/// 2. flips a fair coin between the two Manhattan shortest paths
+///    (`P1` vertical-first, `P2` horizontal-first);
+/// 3. travels the chosen L-path at constant speed `v`;
+/// 4. on arrival, repeats.
+///
+/// [`Mrwp::init_stationary`] performs *perfect simulation*: it draws the
+/// agent state directly from the stationary regime via length-biased trip
+/// sampling, so experiments need no warm-up phase. The resulting spatial
+/// marginal is the Theorem 1 density (validated statistically in the test
+/// suite and experiment E1/E3).
+///
+/// # Examples
+///
+/// ```
+/// use fastflood_mobility::{Mobility, Mrwp};
+/// use rand::SeedableRng;
+///
+/// let model = Mrwp::new(100.0, 2.0)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut st = model.init_stationary(&mut rng);
+/// for _ in 0..50 {
+///     model.step(&mut st, &mut rng);
+///     let p = model.position(&st);
+///     assert!(model.region().contains(p));
+/// }
+/// # Ok::<(), fastflood_mobility::MobilityError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Mrwp {
+    side: f64,
+    speed: f64,
+    /// Whole time steps spent paused at each way-point (0 in the paper).
+    pause: u32,
+}
+
+/// Trajectory state of one MRWP agent: the current L-path and the
+/// arc-length progress along it.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MrwpState {
+    path: LPath,
+    /// Arc-length position along `path`, in `[0, path.len()]`.
+    s: f64,
+    /// Remaining pause steps at the current way-point (0 = traveling).
+    pause_left: u32,
+}
+
+impl MrwpState {
+    /// The current trip's L-path.
+    pub fn path(&self) -> &LPath {
+        &self.path
+    }
+
+    /// Arc-length progress along the current path.
+    pub fn progress(&self) -> f64 {
+        self.s
+    }
+
+    /// The current trip destination.
+    pub fn dest(&self) -> Point {
+        self.path.dest()
+    }
+
+    /// Whether the agent is on the second leg of its path (traveling
+    /// straight toward a destination on its own axis line — the situation
+    /// whose stationary probability is the paper's "cross mass 1/2").
+    pub fn on_second_leg(&self) -> bool {
+        match self.path.turn_at() {
+            Some(t) => self.s >= t,
+            // single-leg paths count as second leg: destination dead ahead
+            None => true,
+        }
+    }
+
+    /// Whether the agent is currently pausing at a way-point.
+    pub fn is_paused(&self) -> bool {
+        self.pause_left > 0
+    }
+}
+
+impl Mrwp {
+    /// Creates the model over `[0, side]²` with per-step travel distance
+    /// `speed`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MobilityError::BadSide`] — `side` not strictly positive/finite;
+    /// * [`MobilityError::BadSpeed`] — `speed` negative or not finite.
+    pub fn new(side: f64, speed: f64) -> Result<Mrwp, MobilityError> {
+        if !(side > 0.0) || !side.is_finite() {
+            return Err(MobilityError::BadSide(side));
+        }
+        if !(speed >= 0.0) || !speed.is_finite() {
+            return Err(MobilityError::BadSpeed(speed));
+        }
+        Ok(Mrwp {
+            side,
+            speed,
+            pause: 0,
+        })
+    }
+
+    /// Returns a copy that pauses `steps` whole time steps at every
+    /// way-point (the classic RWP "think time"; the paper's model has
+    /// none). During a pause the agent does not move or turn; leftover
+    /// travel budget in the arrival step is forfeited.
+    pub fn with_pause(mut self, steps: u32) -> Mrwp {
+        self.pause = steps;
+        self
+    }
+
+    /// Side length `L` of the region.
+    #[inline]
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// Pause duration at way-points, in steps.
+    #[inline]
+    pub fn pause(&self) -> u32 {
+        self.pause
+    }
+
+    /// Draws a position from the exact Theorem 1 stationary spatial
+    /// density without constructing trajectory state (useful for
+    /// snapshot-only studies such as the connectivity experiments).
+    pub fn sample_stationary_position<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        sample_spatial(self.side, rng)
+    }
+
+    fn fresh_trip<R: Rng + ?Sized>(&self, from: Point, rng: &mut R) -> LPath {
+        let dest = Point::new(
+            self.side * rng.gen::<f64>(),
+            self.side * rng.gen::<f64>(),
+        );
+        let axis = if rng.gen_bool(0.5) { Axis::Y } else { Axis::X };
+        LPath::new(from, dest, axis)
+    }
+}
+
+impl Mobility for Mrwp {
+    type State = MrwpState;
+
+    fn region(&self) -> Rect {
+        Rect::square(self.side).expect("validated side")
+    }
+
+    fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    fn init_stationary<R: Rng + ?Sized>(&self, rng: &mut R) -> MrwpState {
+        if self.pause == 0 || self.speed == 0.0 {
+            let (w, d) = sample_trip_length_biased(self.side, rng);
+            let axis = if rng.gen_bool(0.5) { Axis::Y } else { Axis::X };
+            let path = LPath::new(w, d, axis);
+            let s = rng.gen::<f64>() * path.len();
+            return MrwpState {
+                path,
+                s,
+                pause_left: 0,
+            };
+        }
+        // With pauses, a renewal cycle lasts len/v + pause steps; sample
+        // cycles duration-biased, then place the agent uniformly in time
+        // within the cycle (traveling or paused at the destination).
+        let l = self.side;
+        let max_duration = 2.0 * l / self.speed + self.pause as f64;
+        loop {
+            let w = Point::new(l * rng.gen::<f64>(), l * rng.gen::<f64>());
+            let d = Point::new(l * rng.gen::<f64>(), l * rng.gen::<f64>());
+            let len = w.manhattan(d);
+            let duration = len / self.speed + self.pause as f64;
+            if rng.gen::<f64>() * max_duration >= duration {
+                continue;
+            }
+            if rng.gen::<f64>() * duration < self.pause as f64 {
+                // paused at the destination, uniformly into the pause
+                return MrwpState {
+                    path: LPath::new(d, d, Axis::X),
+                    s: 0.0,
+                    pause_left: rng.gen_range(1..=self.pause),
+                };
+            }
+            let axis = if rng.gen_bool(0.5) { Axis::Y } else { Axis::X };
+            let path = LPath::new(w, d, axis);
+            let s = rng.gen::<f64>() * path.len();
+            return MrwpState {
+                path,
+                s,
+                pause_left: 0,
+            };
+        }
+    }
+
+    fn init_at<R: Rng + ?Sized>(&self, pos: Point, rng: &mut R) -> MrwpState {
+        assert!(
+            self.region().contains(pos),
+            "initial position {pos} outside the region"
+        );
+        MrwpState {
+            path: self.fresh_trip(pos, rng),
+            s: 0.0,
+            pause_left: 0,
+        }
+    }
+
+    fn position(&self, state: &MrwpState) -> Point {
+        state.path.point_at(state.s)
+    }
+
+    fn step<R: Rng + ?Sized>(&self, state: &mut MrwpState, rng: &mut R) -> StepEvents {
+        if state.pause_left > 0 {
+            state.pause_left -= 1;
+            if state.pause_left == 0 {
+                // the pause ends at this step's boundary; travel resumes
+                // next step on a fresh trip
+                let from = state.path.dest();
+                state.path = self.fresh_trip(from, rng);
+                state.s = 0.0;
+            }
+            return StepEvents::default();
+        }
+        let mut budget = self.speed;
+        let mut events = StepEvents::default();
+        // Carry leftover budget across corners and arrivals so the agent
+        // travels exactly `speed` per step (continuous trajectory sampled
+        // at integer times). The loop is bounded: every iteration but the
+        // last consumes a full trip, and a fresh trip has positive length
+        // with probability one (a zero-length trip is resampled, counted,
+        // and capped to keep the step total).
+        let mut guard = 0;
+        loop {
+            let remaining = state.path.remaining(state.s);
+            if budget < remaining {
+                let before = state.s;
+                state.s += budget;
+                if let Some(t) = state.path.turn_at() {
+                    if before < t && state.s >= t {
+                        events.turns += 1;
+                    }
+                }
+                break;
+            }
+            // the step finishes this trip: account for a corner still ahead
+            if let Some(t) = state.path.turn_at() {
+                if state.s < t {
+                    events.turns += 1;
+                }
+            }
+            budget -= remaining;
+            events.arrivals += 1;
+            let from = state.path.dest();
+            if self.pause > 0 {
+                // hold position for `pause` whole steps; leftover budget
+                // in the arrival step is forfeited
+                state.path = LPath::new(from, from, Axis::X);
+                state.s = 0.0;
+                state.pause_left = self.pause;
+                break;
+            }
+            state.path = self.fresh_trip(from, rng);
+            state.s = 0.0;
+            guard += 1;
+            if guard > 10_000 {
+                // astronomically unlikely (requires thousands of
+                // zero-length trips or speed >> L); stop at the waypoint
+                break;
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    const L: f64 = 100.0;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Mrwp::new(0.0, 1.0).is_err());
+        assert!(Mrwp::new(-5.0, 1.0).is_err());
+        assert!(Mrwp::new(f64::INFINITY, 1.0).is_err());
+        assert!(Mrwp::new(10.0, -0.5).is_err());
+        assert!(Mrwp::new(10.0, f64::NAN).is_err());
+        assert!(Mrwp::new(10.0, 0.0).is_ok(), "zero speed is legal (static agents)");
+    }
+
+    #[test]
+    fn step_moves_exactly_speed_in_l1() {
+        let model = Mrwp::new(L, 3.0).unwrap();
+        let mut r = rng(1);
+        let mut st = model.init_stationary(&mut r);
+        for _ in 0..500 {
+            let before = model.position(&st);
+            let ev = model.step(&mut st, &mut r);
+            let after = model.position(&st);
+            // unless a trip completed mid-step, L1 displacement == speed
+            if ev.arrivals == 0 {
+                assert!(
+                    (before.manhattan(after) - 3.0).abs() < 1e-9,
+                    "displacement {}",
+                    before.manhattan(after)
+                );
+            } else {
+                // with carryover the displacement can only be shorter in L1
+                assert!(before.manhattan(after) <= 3.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn agents_stay_in_region() {
+        let model = Mrwp::new(L, 7.0).unwrap();
+        let region = model.region();
+        let mut r = rng(2);
+        for seed_state in 0..20 {
+            let mut st = if seed_state % 2 == 0 {
+                model.init_stationary(&mut r)
+            } else {
+                model.init_at(Point::new(0.0, 0.0), &mut r)
+            };
+            for _ in 0..200 {
+                model.step(&mut st, &mut r);
+                assert!(region.contains(model.position(&st)));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_speed_never_moves() {
+        let model = Mrwp::new(L, 0.0).unwrap();
+        let mut r = rng(3);
+        let mut st = model.init_stationary(&mut r);
+        let p0 = model.position(&st);
+        for _ in 0..50 {
+            let ev = model.step(&mut st, &mut r);
+            assert_eq!(model.position(&st), p0);
+            assert_eq!(ev, StepEvents::default());
+        }
+    }
+
+    #[test]
+    fn init_at_starts_at_position() {
+        let model = Mrwp::new(L, 1.0).unwrap();
+        let mut r = rng(4);
+        let p = Point::new(12.0, 34.0);
+        let st = model.init_at(p, &mut r);
+        assert_eq!(model.position(&st), p);
+        assert_eq!(st.progress(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the region")]
+    fn init_at_rejects_outside() {
+        let model = Mrwp::new(L, 1.0).unwrap();
+        let mut r = rng(5);
+        model.init_at(Point::new(-1.0, 0.0), &mut r);
+    }
+
+    #[test]
+    fn turns_are_counted_once_per_corner() {
+        let model = Mrwp::new(L, 5.0).unwrap();
+        let mut r = rng(6);
+        let mut total_turns = 0u32;
+        let mut total_arrivals = 0u32;
+        let mut st = model.init_stationary(&mut r);
+        let steps = 2000;
+        for _ in 0..steps {
+            let ev = model.step(&mut st, &mut r);
+            total_turns += ev.turns;
+            total_arrivals += ev.arrivals;
+        }
+        // each trip contributes at most one corner turn and exactly one
+        // arrival; trips average 2L/3 in length -> about v·steps/(2L/3) trips
+        let expected_trips = 5.0 * steps as f64 / (2.0 * L / 3.0);
+        assert!(
+            (total_arrivals as f64) > expected_trips * 0.8
+                && (total_arrivals as f64) < expected_trips * 1.2,
+            "arrivals {total_arrivals}, expected ≈ {expected_trips}"
+        );
+        assert!(total_turns <= total_arrivals + 1, "at most one corner per trip");
+        // most uniformly-chosen trips do turn
+        assert!(total_turns as f64 > 0.8 * total_arrivals as f64);
+    }
+
+    #[test]
+    fn stationary_positions_match_theorem1_marginal() {
+        // KS test of the x-marginal against the Theorem 1 marginal CDF
+        let model = Mrwp::new(L, 1.0).unwrap();
+        let mut r = rng(7);
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| model.position(&model.init_stationary(&mut r)).x)
+            .collect();
+        let res = fastflood_stats::ks::ks_one_sample(&xs, |t| {
+            crate::distributions::spatial_marginal_cdf(L, t)
+        })
+        .unwrap();
+        assert!(
+            res.accepts(0.001),
+            "stationary x-marginal rejected: D = {}, p = {}",
+            res.statistic,
+            res.p_value
+        );
+        // and it must NOT look uniform (the distribution is center-heavy)
+        let uni = fastflood_stats::ks::ks_one_sample(&xs, |t| (t / L).clamp(0.0, 1.0)).unwrap();
+        assert!(!uni.accepts(0.001), "marginal should differ from uniform");
+    }
+
+    #[test]
+    fn stationarity_is_preserved_by_stepping() {
+        // start stationary, run 300 steps, the marginal must still match
+        let model = Mrwp::new(L, 2.0).unwrap();
+        let mut r = rng(8);
+        let mut xs = Vec::new();
+        for _ in 0..4000 {
+            let mut st = model.init_stationary(&mut r);
+            for _ in 0..25 {
+                model.step(&mut st, &mut r);
+            }
+            xs.push(model.position(&st).x);
+        }
+        let res = fastflood_stats::ks::ks_one_sample(&xs, |t| {
+            crate::distributions::spatial_marginal_cdf(L, t)
+        })
+        .unwrap();
+        assert!(
+            res.accepts(0.001),
+            "marginal after stepping rejected: D = {}, p = {}",
+            res.statistic,
+            res.p_value
+        );
+    }
+
+    #[test]
+    fn second_leg_probability_is_half() {
+        // the stationary probability of being on the second leg equals the
+        // cross mass of Theorem 2: exactly 1/2
+        let model = Mrwp::new(L, 1.0).unwrap();
+        let mut r = rng(9);
+        let n = 100_000;
+        let on_second = (0..n)
+            .filter(|_| model.init_stationary(&mut r).on_second_leg())
+            .count();
+        let frac = on_second as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "second-leg fraction {frac}");
+    }
+
+    #[test]
+    fn sample_stationary_position_in_region() {
+        let model = Mrwp::new(L, 1.0).unwrap();
+        let mut r = rng(10);
+        for _ in 0..1000 {
+            assert!(model.region().contains(model.sample_stationary_position(&mut r)));
+        }
+    }
+
+    #[test]
+    fn pause_freezes_agent_at_waypoints() {
+        let model = Mrwp::new(20.0, 5.0).unwrap().with_pause(3);
+        assert_eq!(model.pause(), 3);
+        let mut r = rng(20);
+        let mut st = model.init_at(Point::new(10.0, 10.0), &mut r);
+        let mut paused_streaks = Vec::new();
+        let mut current = 0u32;
+        for _ in 0..400 {
+            let before = model.position(&st);
+            model.step(&mut st, &mut r);
+            let after = model.position(&st);
+            if before == after {
+                current += 1;
+            } else if current > 0 {
+                paused_streaks.push(current);
+                current = 0;
+            }
+        }
+        assert!(!paused_streaks.is_empty(), "agent must have paused");
+        // every completed pause lasts exactly 3 steps
+        for &streak in &paused_streaks {
+            assert_eq!(streak, 3, "pause streaks must last exactly 3 steps");
+        }
+    }
+
+    #[test]
+    fn paused_fraction_matches_renewal_theory() {
+        // stationary fraction of paused agents = pause / (E[len]/v + pause)
+        // with E[len] = 2L/3
+        let l = 60.0;
+        let v = 2.0;
+        let pause = 10u32;
+        let model = Mrwp::new(l, v).unwrap().with_pause(pause);
+        let mut r = rng(21);
+        let n = 40_000;
+        let paused = (0..n)
+            .filter(|_| model.init_stationary(&mut r).is_paused())
+            .count();
+        let expected = pause as f64 / ((2.0 * l / 3.0) / v + pause as f64);
+        let got = paused as f64 / n as f64;
+        assert!(
+            (got - expected).abs() < 0.01,
+            "paused fraction {got} vs renewal theory {expected}"
+        );
+    }
+
+    #[test]
+    fn pause_zero_matches_original_model() {
+        let a = Mrwp::new(50.0, 1.0).unwrap();
+        let b = Mrwp::new(50.0, 1.0).unwrap().with_pause(0);
+        let mut r1 = rng(22);
+        let mut r2 = rng(22);
+        let mut s1 = a.init_stationary(&mut r1);
+        let mut s2 = b.init_stationary(&mut r2);
+        for _ in 0..100 {
+            a.step(&mut s1, &mut r1);
+            b.step(&mut s2, &mut r2);
+            assert_eq!(a.position(&s1), b.position(&s2));
+        }
+    }
+
+    #[test]
+    fn large_speed_carries_over_many_trips() {
+        // speed larger than the region: several trips complete per step
+        let model = Mrwp::new(10.0, 100.0).unwrap();
+        let mut r = rng(11);
+        let mut st = model.init_stationary(&mut r);
+        let ev = model.step(&mut st, &mut r);
+        assert!(ev.arrivals >= 2, "expected multiple arrivals, got {:?}", ev);
+        assert!(model.region().contains(model.position(&st)));
+    }
+}

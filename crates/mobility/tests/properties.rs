@@ -1,0 +1,171 @@
+//! Property tests for the mobility models.
+
+use fastflood_geom::Point;
+use fastflood_mobility::{
+    distributions, DiskWalk, Mobility, Mrwp, Placement, Rwp, Static,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mrwp_agents_confined_and_speed_exact(
+        side in 10.0f64..500.0,
+        speed_frac in 0.0f64..0.2,
+        seed in 0u64..1000,
+        steps in 1usize..60,
+    ) {
+        let speed = speed_frac * side;
+        let model = Mrwp::new(side, speed).unwrap();
+        let mut r = rng(seed);
+        let mut st = model.init_stationary(&mut r);
+        let region = model.region();
+        for _ in 0..steps {
+            let before = model.position(&st);
+            let ev = model.step(&mut st, &mut r);
+            let after = model.position(&st);
+            prop_assert!(region.contains(after), "escaped region: {after}");
+            // L1 displacement never exceeds the speed budget
+            prop_assert!(before.manhattan(after) <= speed + 1e-9);
+            if ev.arrivals == 0 && speed > 0.0 {
+                prop_assert!((before.manhattan(after) - speed).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn mrwp_turn_count_at_most_one_per_trip(
+        side in 20.0f64..200.0,
+        seed in 0u64..500,
+    ) {
+        let model = Mrwp::new(side, side / 10.0).unwrap();
+        let mut r = rng(seed);
+        let mut st = model.init_stationary(&mut r);
+        for _ in 0..50 {
+            let ev = model.step(&mut st, &mut r);
+            // turns <= arrivals + 1 (each trip has at most one corner, and
+            // at most one unfinished trip is in flight)
+            prop_assert!(ev.turns <= ev.arrivals + 1, "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn rwp_euclid_displacement_bounded(
+        side in 10.0f64..300.0,
+        speed_frac in 0.0f64..0.3,
+        seed in 0u64..500,
+    ) {
+        let speed = speed_frac * side;
+        let model = Rwp::new(side, speed).unwrap();
+        let mut r = rng(seed);
+        let mut st = model.init_stationary(&mut r);
+        for _ in 0..30 {
+            let before = model.position(&st);
+            model.step(&mut st, &mut r);
+            let after = model.position(&st);
+            prop_assert!(model.region().contains(after));
+            prop_assert!(before.euclid(after) <= speed + 1e-9);
+        }
+    }
+
+    #[test]
+    fn disk_walk_trips_bounded_by_walk_radius(
+        side in 50.0f64..300.0,
+        rho_frac in 0.01f64..0.3,
+        seed in 0u64..500,
+    ) {
+        let rho = rho_frac * side;
+        let model = DiskWalk::new(side, rho / 5.0, rho).unwrap();
+        let mut r = rng(seed);
+        let mut st = model.init_stationary(&mut r);
+        let mut prev = model.position(&st);
+        for _ in 0..30 {
+            model.step(&mut st, &mut r);
+            let cur = model.position(&st);
+            prop_assert!(model.region().contains(cur));
+            // between consecutive steps the agent cannot outrun its speed
+            prop_assert!(prev.euclid(cur) <= rho / 5.0 + 1e-9);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn static_agents_never_move(side in 1.0f64..100.0, seed in 0u64..100) {
+        let model = Static::new(side, Placement::Uniform).unwrap();
+        let mut r = rng(seed);
+        let mut st = model.init_stationary(&mut r);
+        let p = model.position(&st);
+        for _ in 0..5 {
+            model.step(&mut st, &mut r);
+            prop_assert_eq!(model.position(&st), p);
+        }
+    }
+
+    #[test]
+    fn spatial_density_nonnegative_inside(
+        side in 1.0f64..1000.0,
+        fx in 0.0f64..1.0,
+        fy in 0.0f64..1.0,
+    ) {
+        let d = distributions::spatial_density(side, fx * side, fy * side);
+        prop_assert!(d >= -1e-15);
+        prop_assert!(d <= distributions::spatial_max_density(side) + 1e-15);
+    }
+
+    #[test]
+    fn marginal_cdf_monotone(side in 1.0f64..500.0, a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let c_lo = distributions::spatial_marginal_cdf(side, lo * side);
+        let c_hi = distributions::spatial_marginal_cdf(side, hi * side);
+        prop_assert!(c_lo <= c_hi + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&c_lo));
+    }
+
+    #[test]
+    fn destination_masses_always_total_one(
+        side in 1.0f64..100.0,
+        fx in 0.001f64..0.999,
+        fy in 0.001f64..0.999,
+    ) {
+        let pos = Point::new(fx * side, fy * side);
+        let quadrants: f64 = distributions::Quadrant::ALL
+            .iter()
+            .map(|&q| distributions::quadrant_probability(side, pos, q))
+            .sum();
+        let cross = distributions::cross_probability(side, pos);
+        prop_assert!((quadrants + cross - 1.0).abs() < 1e-9);
+        prop_assert!((cross - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rect_mass_monotone_under_inclusion(
+        side in 1.0f64..100.0,
+        x0 in 0.0f64..0.4,
+        y0 in 0.0f64..0.4,
+        w in 0.05f64..0.3,
+        h in 0.05f64..0.3,
+    ) {
+        use fastflood_geom::Rect;
+        let inner = Rect::new(
+            Point::new(x0 * side, y0 * side),
+            Point::new((x0 + w) * side, (y0 + h) * side),
+        )
+        .unwrap();
+        let outer = Rect::new(
+            Point::new(0.0, 0.0),
+            Point::new((x0 + w + 0.1) * side, (y0 + h + 0.1) * side),
+        )
+        .unwrap();
+        let mi = distributions::rect_mass(side, &inner);
+        let mo = distributions::rect_mass(side, &outer);
+        prop_assert!(mi >= -1e-12);
+        prop_assert!(mo + 1e-12 >= mi, "inclusion violated: {mi} > {mo}");
+        prop_assert!(mo <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,612 @@
+//! Uniform-grid spatial index for radius-bounded neighbor queries.
+//!
+//! The flooding simulator asks, every time step and for every non-informed
+//! agent, "is any informed agent within Euclidean distance `R`?". With `n`
+//! agents this must not be `O(n²)`. This crate provides a bucket-grid
+//! index ([`GridIndex`]) rebuilt per step in `O(n)`, answering radius
+//! queries by scanning only the buckets overlapping the query disk, plus a
+//! deliberately naive [`BruteForceIndex`] used as a correctness oracle in
+//! tests and benches.
+//!
+//! # Examples
+//!
+//! ```
+//! use fastflood_geom::{Point, Rect};
+//! use fastflood_spatial::GridIndex;
+//!
+//! let region = Rect::square(100.0)?;
+//! let pts = vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0), Point::new(50.0, 50.0)];
+//! let index = GridIndex::build(region, 5.0, &pts)?;
+//!
+//! let mut hits = index.indices_within(Point::new(0.0, 0.0), 3.0);
+//! hits.sort();
+//! assert_eq!(hits, vec![0, 1]);
+//! assert_eq!(index.count_within(Point::new(50.0, 50.0), 1.0), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fastflood_geom::{Point, Rect};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when building a spatial index from invalid inputs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpatialError {
+    /// The bucket size must be strictly positive and finite.
+    BadBucketSize(f64),
+    /// A position had a NaN or infinite coordinate.
+    NotFinite {
+        /// Index of the offending point.
+        index: usize,
+    },
+}
+
+impl fmt::Display for SpatialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpatialError::BadBucketSize(v) => {
+                write!(f, "bucket size must be positive and finite, got {v}")
+            }
+            SpatialError::NotFinite { index } => {
+                write!(f, "position {index} has a non-finite coordinate")
+            }
+        }
+    }
+}
+
+impl Error for SpatialError {}
+
+/// A uniform bucket-grid index over a fixed set of positions.
+///
+/// Buckets have side at least `bucket_size` (the requested size, enlarged
+/// so that an integer number of buckets tiles the region). Queries with
+/// radius `r ≤ bucket_size` touch at most a 3×3 block of buckets; larger
+/// radii are supported and scan proportionally more buckets.
+///
+/// Build time and memory are `O(n + buckets)`; the number of buckets per
+/// axis is capped near `2·√n` so memory never dominates, even for tiny
+/// bucket sizes.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    region: Rect,
+    m: usize,
+    bucket_len: f64,
+    /// CSR layout: `starts[b]..starts[b+1]` indexes `entries` for bucket `b`.
+    starts: Vec<u32>,
+    /// `(original index, position)` sorted by bucket, position copied for
+    /// cache-friendly distance checks.
+    entries: Vec<(u32, Point)>,
+}
+
+impl GridIndex {
+    /// Builds an index over `positions` with buckets of side at least
+    /// `bucket_size`.
+    ///
+    /// Positions outside `region` are clamped into the border buckets (the
+    /// simulator keeps agents inside the region; clamping makes the index
+    /// total rather than partial).
+    ///
+    /// # Errors
+    ///
+    /// * [`SpatialError::BadBucketSize`] — non-positive or non-finite size;
+    /// * [`SpatialError::NotFinite`] — a position with NaN/infinite
+    ///   coordinates.
+    pub fn build(region: Rect, bucket_size: f64, positions: &[Point]) -> Result<GridIndex, SpatialError> {
+        if !(bucket_size > 0.0) || !bucket_size.is_finite() {
+            return Err(SpatialError::BadBucketSize(bucket_size));
+        }
+        if let Some(index) = positions.iter().position(|p| !p.is_finite()) {
+            return Err(SpatialError::NotFinite { index });
+        }
+        let side = region.width().max(region.height());
+        // buckets of side >= bucket_size; cap count so memory stays O(n)
+        let cap = (2.0 * (positions.len().max(1) as f64).sqrt()).ceil() as usize + 1;
+        let m = ((side / bucket_size).floor() as usize).clamp(1, cap.max(1));
+        let bucket_len_x = region.width() / m as f64;
+        let bucket_len_y = region.height() / m as f64;
+        // the region is square in all simulator uses; keep one length
+        let bucket_len = bucket_len_x.max(bucket_len_y);
+
+        let bucket_of = |p: Point| -> usize {
+            let cx = (((p.x - region.min().x) / bucket_len_x).floor().max(0.0) as usize).min(m - 1);
+            let cy = (((p.y - region.min().y) / bucket_len_y).floor().max(0.0) as usize).min(m - 1);
+            cy * m + cx
+        };
+
+        let mut counts = vec![0u32; m * m + 1];
+        for &p in positions {
+            counts[bucket_of(p) + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let starts = counts.clone();
+        let mut cursor = counts;
+        let mut entries = vec![(0u32, Point::ORIGIN); positions.len()];
+        for (i, &p) in positions.iter().enumerate() {
+            let b = bucket_of(p);
+            let at = cursor[b] as usize;
+            entries[at] = (i as u32, p);
+            cursor[b] += 1;
+        }
+        Ok(GridIndex {
+            region,
+            m,
+            bucket_len,
+            starts,
+            entries,
+        })
+    }
+
+    /// Builds an index sized for radius-`r` queries (`bucket_size = r`).
+    ///
+    /// # Errors
+    ///
+    /// As [`GridIndex::build`].
+    pub fn for_radius(region: Rect, r: f64, positions: &[Point]) -> Result<GridIndex, SpatialError> {
+        GridIndex::build(region, r, positions)
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The indexed region.
+    #[inline]
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Effective bucket side length.
+    #[inline]
+    pub fn bucket_len(&self) -> f64 {
+        self.bucket_len
+    }
+
+    /// Buckets per axis.
+    #[inline]
+    pub fn buckets_per_axis(&self) -> usize {
+        self.m
+    }
+
+    fn bucket_range(&self, lo: f64, origin: f64, extent: f64) -> usize {
+        let len = extent / self.m as f64;
+        (((lo - origin) / len).floor().max(0.0) as usize).min(self.m - 1)
+    }
+
+    /// Calls `f(index, position)` for every point within Euclidean distance
+    /// `r` of `p` (inclusive).
+    pub fn for_each_within<F: FnMut(usize, Point)>(&self, p: Point, r: f64, mut f: F) {
+        self.visit_within(p, r, |i, q| {
+            f(i, q);
+            true
+        });
+    }
+
+    /// Visits points within distance `r` of `p`, stopping early when
+    /// `f` returns `false`. Returns `false` iff the scan was stopped early.
+    pub fn visit_within<F: FnMut(usize, Point) -> bool>(&self, p: Point, r: f64, mut f: F) -> bool {
+        debug_assert!(r >= 0.0, "query radius must be nonnegative");
+        let r2 = r * r;
+        let min = self.region.min();
+        let w = self.region.width();
+        let h = self.region.height();
+        let cx0 = self.bucket_range(p.x - r, min.x, w);
+        let cx1 = self.bucket_range(p.x + r, min.x, w);
+        let cy0 = self.bucket_range(p.y - r, min.y, h);
+        let cy1 = self.bucket_range(p.y + r, min.y, h);
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                let b = cy * self.m + cx;
+                let lo = self.starts[b] as usize;
+                let hi = self.starts[b + 1] as usize;
+                for &(i, q) in &self.entries[lo..hi] {
+                    if p.euclid_sq(q) <= r2 && !f(i as usize, q) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Indices of all points within distance `r` of `p` (unordered).
+    pub fn indices_within(&self, p: Point, r: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_within(p, r, |i, _| out.push(i));
+        out
+    }
+
+    /// Number of points within distance `r` of `p`.
+    pub fn count_within(&self, p: Point, r: f64) -> usize {
+        let mut n = 0;
+        self.for_each_within(p, r, |_, _| n += 1);
+        n
+    }
+
+    /// Whether any point within distance `r` of `p` satisfies `pred`.
+    ///
+    /// Scans stop at the first hit, which makes the
+    /// "does an informed agent cover me?" check in the flooding engine
+    /// sublinear on average.
+    pub fn any_within<F: FnMut(usize) -> bool>(&self, p: Point, r: f64, mut pred: F) -> bool {
+        !self.visit_within(p, r, |i, _| !pred(i))
+    }
+
+    /// The index and distance of the point nearest to `p`, or `None` for
+    /// an empty index.
+    ///
+    /// Searches expanding rings of buckets, so typical cost is a handful
+    /// of buckets rather than the whole index.
+    pub fn nearest(&self, p: Point) -> Option<(usize, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        let mut radius = self.bucket_len;
+        let diameter = (self.region.width().powi(2) + self.region.height().powi(2)).sqrt()
+            + self.region.distance(p) * 2.0
+            + self.bucket_len;
+        loop {
+            self.for_each_within(p, radius, |i, q| {
+                let d = p.euclid(q);
+                if best.map_or(true, |(_, bd)| d < bd) {
+                    best = Some((i, d));
+                }
+            });
+            // a hit within the scanned radius is provably the global
+            // nearest once radius covers its distance
+            if let Some((_, d)) = best {
+                if d <= radius {
+                    return best;
+                }
+            }
+            if radius > diameter {
+                return best;
+            }
+            radius *= 2.0;
+        }
+    }
+
+    /// Calls `f(i, j)` once for every unordered pair of distinct points at
+    /// Euclidean distance at most `r`, with `i < j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` exceeds the bucket side (`bucket_len`): the
+    /// half-neighborhood sweep would miss pairs. Build the index with
+    /// `bucket_size >= r` (e.g. via [`GridIndex::for_radius`]).
+    pub fn for_each_pair_within<F: FnMut(usize, usize)>(&self, r: f64, mut f: F) {
+        assert!(
+            r <= self.bucket_len * (1.0 + 1e-12),
+            "pair query radius {r} exceeds bucket side {}",
+            self.bucket_len
+        );
+        let r2 = r * r;
+        let m = self.m;
+        for cy in 0..m {
+            for cx in 0..m {
+                let b = cy * m + cx;
+                let lo = self.starts[b] as usize;
+                let hi = self.starts[b + 1] as usize;
+                let bucket = &self.entries[lo..hi];
+                // pairs inside the bucket
+                for (k, &(i, pi)) in bucket.iter().enumerate() {
+                    for &(j, pj) in &bucket[k + 1..] {
+                        if pi.euclid_sq(pj) <= r2 {
+                            emit(&mut f, i, j);
+                        }
+                    }
+                }
+                // half neighborhood: E, NW, N, NE — covers each bucket pair once
+                for (dx, dy) in [(1isize, 0isize), (-1, 1), (0, 1), (1, 1)] {
+                    let nx = cx as isize + dx;
+                    let ny = cy as isize + dy;
+                    if nx < 0 || ny < 0 || nx >= m as isize || ny >= m as isize {
+                        continue;
+                    }
+                    let nb = ny as usize * m + nx as usize;
+                    let nlo = self.starts[nb] as usize;
+                    let nhi = self.starts[nb + 1] as usize;
+                    for &(i, pi) in bucket {
+                        for &(j, pj) in &self.entries[nlo..nhi] {
+                            if pi.euclid_sq(pj) <= r2 {
+                                emit(&mut f, i, j);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        fn emit<F: FnMut(usize, usize)>(f: &mut F, a: u32, b: u32) {
+            let (a, b) = (a as usize, b as usize);
+            if a < b {
+                f(a, b);
+            } else {
+                f(b, a);
+            }
+        }
+    }
+}
+
+/// An `O(n)`-per-query reference index with the same semantics as
+/// [`GridIndex`].
+///
+/// Exists as the correctness oracle for property tests and as the baseline
+/// in the `spatial` Criterion bench; not intended for production use.
+#[derive(Debug, Clone)]
+pub struct BruteForceIndex {
+    positions: Vec<Point>,
+}
+
+impl BruteForceIndex {
+    /// Builds the oracle from a slice of positions.
+    pub fn build(positions: &[Point]) -> BruteForceIndex {
+        BruteForceIndex {
+            positions: positions.to_vec(),
+        }
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the index holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Indices of all points within distance `r` of `p`.
+    pub fn indices_within(&self, p: Point, r: f64) -> Vec<usize> {
+        let r2 = r * r;
+        self.positions
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| p.euclid_sq(**q) <= r2)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of points within distance `r` of `p`.
+    pub fn count_within(&self, p: Point, r: f64) -> usize {
+        self.indices_within(p, r).len()
+    }
+
+    /// The index and distance of the point nearest to `p`.
+    pub fn nearest(&self, p: Point) -> Option<(usize, f64)> {
+        self.positions
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (i, p.euclid(*q)))
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+    }
+
+    /// All unordered pairs `(i, j)`, `i < j`, within distance `r`.
+    pub fn pairs_within(&self, r: f64) -> Vec<(usize, usize)> {
+        let r2 = r * r;
+        let mut out = Vec::new();
+        for i in 0..self.positions.len() {
+            for j in i + 1..self.positions.len() {
+                if self.positions[i].euclid_sq(self.positions[j]) <= r2 {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> Rect {
+        Rect::square(100.0).unwrap()
+    }
+
+    #[test]
+    fn build_validates() {
+        assert!(GridIndex::build(region(), 0.0, &[]).is_err());
+        assert!(GridIndex::build(region(), -1.0, &[]).is_err());
+        assert!(GridIndex::build(region(), f64::NAN, &[]).is_err());
+        let bad = [Point::new(f64::NAN, 0.0)];
+        assert!(matches!(
+            GridIndex::build(region(), 1.0, &bad),
+            Err(SpatialError::NotFinite { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = GridIndex::build(region(), 5.0, &[]).unwrap();
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+        assert_eq!(idx.count_within(Point::new(50.0, 50.0), 100.0), 0);
+        assert!(!idx.any_within(Point::new(0.0, 0.0), 100.0, |_| true));
+    }
+
+    #[test]
+    fn query_includes_boundary_distance() {
+        let pts = [Point::new(0.0, 0.0), Point::new(3.0, 4.0)];
+        let idx = GridIndex::build(region(), 10.0, &pts).unwrap();
+        // exactly at distance 5: inclusive
+        assert_eq!(idx.count_within(Point::new(0.0, 0.0), 5.0), 2);
+        assert_eq!(idx.count_within(Point::new(0.0, 0.0), 4.999), 1);
+    }
+
+    #[test]
+    fn query_radius_larger_than_bucket() {
+        let pts: Vec<Point> = (0..10)
+            .map(|i| Point::new(i as f64 * 10.0, 50.0))
+            .collect();
+        let idx = GridIndex::build(region(), 5.0, &pts).unwrap();
+        // radius 25 spans several buckets
+        let mut hits = idx.indices_within(Point::new(45.0, 50.0), 25.0);
+        hits.sort();
+        assert_eq!(hits, vec![2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn any_within_early_exit_and_pred() {
+        let pts = [
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 1.0),
+            Point::new(90.0, 90.0),
+        ];
+        let idx = GridIndex::build(region(), 5.0, &pts).unwrap();
+        assert!(idx.any_within(Point::new(0.0, 0.0), 3.0, |_| true));
+        // predicate filters
+        assert!(idx.any_within(Point::new(0.0, 0.0), 3.0, |i| i == 1));
+        assert!(!idx.any_within(Point::new(0.0, 0.0), 3.0, |i| i == 2));
+        // nothing near the far corner within 3
+        assert!(!idx.any_within(Point::new(60.0, 60.0), 3.0, |_| true));
+    }
+
+    #[test]
+    fn visit_within_early_stop_reports() {
+        let pts = [Point::new(1.0, 1.0), Point::new(1.5, 1.0)];
+        let idx = GridIndex::build(region(), 5.0, &pts).unwrap();
+        let mut seen = 0;
+        let completed = idx.visit_within(Point::new(1.0, 1.0), 2.0, |_, _| {
+            seen += 1;
+            false // stop immediately
+        });
+        assert!(!completed);
+        assert_eq!(seen, 1);
+        let completed = idx.visit_within(Point::new(1.0, 1.0), 2.0, |_, _| true);
+        assert!(completed);
+    }
+
+    #[test]
+    fn pairs_match_brute_force_on_grid_pattern() {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                pts.push(Point::new(i as f64 * 7.3 + 1.0, j as f64 * 6.1 + 2.0));
+            }
+        }
+        let r = 8.0;
+        let idx = GridIndex::for_radius(region(), r, &pts).unwrap();
+        let mut got = Vec::new();
+        idx.for_each_pair_within(r, |i, j| got.push((i, j)));
+        got.sort();
+        let mut expected = BruteForceIndex::build(&pts).pairs_within(r);
+        expected.sort();
+        assert_eq!(got, expected);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds bucket side")]
+    fn pair_query_radius_too_large_panics() {
+        let pts = [Point::new(1.0, 1.0)];
+        let idx = GridIndex::build(region(), 5.0, &pts).unwrap();
+        // bucket_len is at least 5 but far below 1000
+        idx.for_each_pair_within(1000.0, |_, _| {});
+    }
+
+    #[test]
+    fn points_on_region_border_are_indexed() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 100.0),
+            Point::new(100.0, 0.0),
+            Point::new(0.0, 100.0),
+        ];
+        let idx = GridIndex::build(region(), 7.0, &pts).unwrap();
+        for (i, &p) in pts.iter().enumerate() {
+            assert_eq!(idx.indices_within(p, 0.0), vec![i]);
+        }
+    }
+
+    #[test]
+    fn coincident_points_all_reported() {
+        let p = Point::new(33.0, 66.0);
+        let pts = [p, p, p];
+        let idx = GridIndex::build(region(), 4.0, &pts).unwrap();
+        let mut hits = idx.indices_within(p, 0.0);
+        hits.sort();
+        assert_eq!(hits, vec![0, 1, 2]);
+        let mut pairs = Vec::new();
+        idx.for_each_pair_within(4.0, |i, j| pairs.push((i, j)));
+        pairs.sort();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn bucket_cap_keeps_memory_reasonable() {
+        // tiny radius over a big region: bucket count must stay near 2·√n
+        let pts = [Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
+        let idx = GridIndex::build(region(), 1e-6, &pts).unwrap();
+        assert!(idx.buckets_per_axis() <= 4);
+        // queries still correct
+        assert_eq!(idx.count_within(Point::new(1.0, 1.0), 2.0), 2);
+    }
+
+    #[test]
+    fn brute_force_index_api() {
+        let pts = [Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let b = BruteForceIndex::build(&pts);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert_eq!(b.count_within(Point::new(0.0, 0.0), 0.5), 1);
+        assert_eq!(b.pairs_within(1.0), vec![(0, 1)]);
+        assert!(BruteForceIndex::build(&[]).is_empty());
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = [
+            Point::new(10.0, 10.0),
+            Point::new(50.0, 50.0),
+            Point::new(90.0, 10.0),
+            Point::new(10.2, 10.1),
+        ];
+        let idx = GridIndex::build(region(), 5.0, &pts).unwrap();
+        let brute = BruteForceIndex::build(&pts);
+        for q in [
+            Point::new(0.0, 0.0),
+            Point::new(49.0, 51.0),
+            Point::new(99.0, 1.0),
+            Point::new(10.1, 10.05),
+        ] {
+            let (gi, gd) = idx.nearest(q).unwrap();
+            let (bi, bd) = brute.nearest(q).unwrap();
+            assert_eq!(gi, bi, "nearest index at {q}");
+            assert!((gd - bd).abs() < 1e-12);
+        }
+        assert!(GridIndex::build(region(), 5.0, &[]).unwrap().nearest(Point::ORIGIN).is_none());
+        assert!(BruteForceIndex::build(&[]).nearest(Point::ORIGIN).is_none());
+    }
+
+    #[test]
+    fn nearest_far_outside_region() {
+        let pts = [Point::new(1.0, 1.0)];
+        let idx = GridIndex::build(region(), 2.0, &pts).unwrap();
+        let (i, d) = idx.nearest(Point::new(500.0, 500.0)).unwrap();
+        assert_eq!(i, 0);
+        assert!((d - Point::new(500.0, 500.0).euclid(pts[0])).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!SpatialError::BadBucketSize(0.0).to_string().is_empty());
+        assert!(!SpatialError::NotFinite { index: 3 }.to_string().is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests: the grid index must agree with the brute-force oracle.
+
+use fastflood_geom::{Point, Rect};
+use fastflood_spatial::{BruteForceIndex, GridIndex};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+const SIDE: f64 = 200.0;
+
+fn points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((0.0..SIDE, 0.0..SIDE), 0..max)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn radius_queries_match_oracle(
+        pts in points(120),
+        qx in 0.0..SIDE,
+        qy in 0.0..SIDE,
+        r in 0.0..SIDE,
+        bucket in 0.5..SIDE,
+    ) {
+        let region = Rect::square(SIDE).unwrap();
+        let grid = GridIndex::build(region, bucket, &pts).unwrap();
+        let oracle = BruteForceIndex::build(&pts);
+        let q = Point::new(qx, qy);
+        let mut got = grid.indices_within(q, r);
+        got.sort();
+        let mut expected = oracle.indices_within(q, r);
+        expected.sort();
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(grid.count_within(q, r), oracle.count_within(q, r));
+    }
+
+    #[test]
+    fn pair_queries_match_oracle(pts in points(80), r in 0.1..30.0) {
+        let region = Rect::square(SIDE).unwrap();
+        let grid = GridIndex::for_radius(region, r, &pts).unwrap();
+        let oracle = BruteForceIndex::build(&pts);
+        let mut got = Vec::new();
+        grid.for_each_pair_within(r, |i, j| got.push((i, j)));
+        prop_assert!(got.iter().all(|&(i, j)| i < j), "pairs must be ordered");
+        got.sort();
+        got.dedup();
+        let mut expected = oracle.pairs_within(r);
+        expected.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn nearest_matches_oracle(
+        pts in points(80),
+        qx in -50.0..SIDE + 50.0,
+        qy in -50.0..SIDE + 50.0,
+        bucket in 0.5..SIDE,
+    ) {
+        let region = Rect::square(SIDE).unwrap();
+        let grid = GridIndex::build(region, bucket, &pts).unwrap();
+        let oracle = BruteForceIndex::build(&pts);
+        let q = Point::new(qx, qy);
+        match (grid.nearest(q), oracle.nearest(q)) {
+            (None, None) => {}
+            (Some((_, gd)), Some((_, bd))) => {
+                // ties can differ in index; distances must agree
+                prop_assert!((gd - bd).abs() < 1e-9, "{gd} vs {bd}");
+            }
+            (a, b) => prop_assert!(false, "mismatch: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn any_within_consistent_with_count(
+        pts in points(60),
+        qx in 0.0..SIDE,
+        qy in 0.0..SIDE,
+        r in 0.0..60.0,
+    ) {
+        let region = Rect::square(SIDE).unwrap();
+        let grid = GridIndex::build(region, 10.0, &pts).unwrap();
+        let q = Point::new(qx, qy);
+        let any = grid.any_within(q, r, |_| true);
+        prop_assert_eq!(any, grid.count_within(q, r) > 0);
+    }
+}
+
+#[test]
+fn dense_random_cloud_matches_oracle_exactly() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let pts: Vec<Point> = (0..2000)
+        .map(|_| Point::new(rng.gen_range(0.0..SIDE), rng.gen_range(0.0..SIDE)))
+        .collect();
+    let region = Rect::square(SIDE).unwrap();
+    let r = 6.5;
+    let grid = GridIndex::for_radius(region, r, &pts).unwrap();
+    let oracle = BruteForceIndex::build(&pts);
+
+    // pair sets agree
+    let mut got = Vec::new();
+    grid.for_each_pair_within(r, |i, j| got.push((i, j)));
+    got.sort();
+    let mut expected = oracle.pairs_within(r);
+    expected.sort();
+    assert_eq!(got.len(), expected.len());
+    assert_eq!(got, expected);
+
+    // spot-check point queries across the region
+    for k in 0..50 {
+        let q = Point::new((k * 41 % 200) as f64, (k * 73 % 200) as f64);
+        let mut a = grid.indices_within(q, r);
+        a.sort();
+        let mut b = oracle.indices_within(q, r);
+        b.sort();
+        assert_eq!(a, b, "query at {q}");
+    }
+}

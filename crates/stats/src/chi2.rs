@@ -1,0 +1,240 @@
+//! Chi-square goodness-of-fit testing.
+//!
+//! Experiment E1 compares the empirical 2-D occupancy histogram of
+//! stationary MRWP agents against the analytic cell masses of Theorem 1
+//! with a chi-square test; p-values come from the regularized upper
+//! incomplete gamma function in [`crate::special`].
+
+use crate::special::gamma_q;
+use crate::StatsError;
+
+/// Result of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chi2Result {
+    /// The chi-square statistic `Σ (O − E)² / E`.
+    pub statistic: f64,
+    /// Degrees of freedom used for the p-value.
+    pub dof: usize,
+    /// Survival probability `P(χ²_dof ≥ statistic)`.
+    pub p_value: f64,
+}
+
+impl Chi2Result {
+    /// Whether the null hypothesis is *not* rejected at level `alpha`.
+    pub fn accepts(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Chi-square test of observed counts against expected counts.
+///
+/// `ddof` is the number of *additional* degrees of freedom to subtract
+/// beyond the usual `k − 1` (e.g. the number of parameters estimated from
+/// the data); pass `0` for a fully-specified null.
+///
+/// Bins with expected count below `5.0` are pooled into their successor to
+/// keep the chi-square approximation honest (the classic rule of thumb).
+///
+/// # Errors
+///
+/// * [`StatsError::LengthMismatch`] — different numbers of bins;
+/// * [`StatsError::EmptyData`] — no bins;
+/// * [`StatsError::BadParameter`] — an expected count is negative or not
+///   finite, all expected mass pools into a single bin, or `ddof` leaves no
+///   degrees of freedom.
+///
+/// # Examples
+///
+/// ```
+/// use fastflood_stats::chi2::chi2_gof;
+///
+/// // a fair 4-sided die, 400 rolls
+/// let observed = [98.0, 105.0, 102.0, 95.0];
+/// let expected = [100.0, 100.0, 100.0, 100.0];
+/// let r = chi2_gof(&observed, &expected, 0)?;
+/// assert!(r.accepts(0.05));
+/// # Ok::<(), fastflood_stats::StatsError>(())
+/// ```
+pub fn chi2_gof(observed: &[f64], expected: &[f64], ddof: usize) -> Result<Chi2Result, StatsError> {
+    if observed.len() != expected.len() {
+        return Err(StatsError::LengthMismatch {
+            left: observed.len(),
+            right: expected.len(),
+        });
+    }
+    if observed.is_empty() {
+        return Err(StatsError::EmptyData);
+    }
+    if expected.iter().any(|&e| e < 0.0 || !e.is_finite())
+        || observed.iter().any(|&o| o < 0.0 || !o.is_finite())
+    {
+        return Err(StatsError::BadParameter("counts must be finite and nonnegative"));
+    }
+
+    // Pool adjacent bins until every pooled bin has expected count >= 5.
+    let mut pooled: Vec<(f64, f64)> = Vec::with_capacity(observed.len());
+    let mut acc_o = 0.0;
+    let mut acc_e = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        acc_o += o;
+        acc_e += e;
+        if acc_e >= 5.0 {
+            pooled.push((acc_o, acc_e));
+            acc_o = 0.0;
+            acc_e = 0.0;
+        }
+    }
+    if acc_e > 0.0 || acc_o > 0.0 {
+        // fold the remainder into the last pooled bin
+        if let Some(last) = pooled.last_mut() {
+            last.0 += acc_o;
+            last.1 += acc_e;
+        } else {
+            pooled.push((acc_o, acc_e));
+        }
+    }
+    if pooled.len() < 2 {
+        return Err(StatsError::BadParameter(
+            "fewer than two bins with sufficient expected mass",
+        ));
+    }
+
+    let statistic: f64 = pooled
+        .iter()
+        .map(|&(o, e)| {
+            if e == 0.0 {
+                0.0
+            } else {
+                (o - e) * (o - e) / e
+            }
+        })
+        .sum();
+    let dof = pooled
+        .len()
+        .checked_sub(1 + ddof)
+        .filter(|&d| d > 0)
+        .ok_or(StatsError::BadParameter("no degrees of freedom left"))?;
+
+    let p_value = gamma_q(dof as f64 / 2.0, statistic / 2.0);
+    Ok(Chi2Result {
+        statistic,
+        dof,
+        p_value,
+    })
+}
+
+/// Chi-square test of observed counts against expected probability masses.
+///
+/// The masses are scaled by the total observed count. Masses must be
+/// nonnegative; they are normalized to sum to one first.
+///
+/// # Errors
+///
+/// As [`chi2_gof`], plus [`StatsError::BadParameter`] when the masses sum
+/// to zero.
+pub fn chi2_gof_masses(
+    observed: &[f64],
+    masses: &[f64],
+    ddof: usize,
+) -> Result<Chi2Result, StatsError> {
+    if observed.len() != masses.len() {
+        return Err(StatsError::LengthMismatch {
+            left: observed.len(),
+            right: masses.len(),
+        });
+    }
+    let mass_sum: f64 = masses.iter().sum();
+    if !(mass_sum > 0.0) {
+        return Err(StatsError::BadParameter("masses must have positive sum"));
+    }
+    let total: f64 = observed.iter().sum();
+    let expected: Vec<f64> = masses.iter().map(|&m| m / mass_sum * total).collect();
+    chi2_gof(observed, &expected, ddof)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(chi2_gof(&[1.0], &[1.0, 2.0], 0).is_err());
+        assert!(chi2_gof(&[], &[], 0).is_err());
+        assert!(chi2_gof(&[1.0, -2.0], &[5.0, 5.0], 0).is_err());
+        assert!(chi2_gof(&[1.0, 2.0], &[5.0, f64::NAN], 0).is_err());
+        assert!(chi2_gof_masses(&[1.0, 2.0], &[0.0, 0.0], 0).is_err());
+    }
+
+    #[test]
+    fn fair_die_accepts() {
+        let observed = [95.0, 102.0, 103.0, 100.0, 97.0, 103.0];
+        let expected = [100.0; 6];
+        let r = chi2_gof(&observed, &expected, 0).unwrap();
+        assert_eq!(r.dof, 5);
+        assert!(r.statistic < 1.0);
+        assert!(r.accepts(0.05));
+    }
+
+    #[test]
+    fn loaded_die_rejects() {
+        let observed = [200.0, 40.0, 40.0, 40.0, 40.0, 240.0];
+        let expected = [100.0; 6];
+        let r = chi2_gof(&observed, &expected, 0).unwrap();
+        assert!(!r.accepts(0.01));
+        assert!(r.p_value < 1e-10);
+    }
+
+    #[test]
+    fn known_statistic_value() {
+        // classic example: observed (44, 56), expected (50, 50):
+        // chi2 = 36/50 + 36/50 = 1.44, dof 1, p ≈ 0.230
+        let r = chi2_gof(&[44.0, 56.0], &[50.0, 50.0], 0).unwrap();
+        assert!((r.statistic - 1.44).abs() < 1e-12);
+        assert_eq!(r.dof, 1);
+        assert!((r.p_value - 0.2301).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pooling_small_expected_bins() {
+        // bins with expected 1.0 must pool: 10 bins of e=1 -> 2 bins of e=5
+        let observed = [1.0; 10];
+        let expected = [1.0; 10];
+        let r = chi2_gof(&observed, &expected, 0).unwrap();
+        assert_eq!(r.dof, 1);
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn pooling_remainder_folds_into_last() {
+        // 7 bins of e=2: pooled into (6, 6, fold 2) -> bins of e=6 and e=8
+        let observed = [2.0; 7];
+        let expected = [2.0; 7];
+        let r = chi2_gof(&observed, &expected, 0).unwrap();
+        assert_eq!(r.dof, 1);
+        assert_eq!(r.statistic, 0.0);
+    }
+
+    #[test]
+    fn ddof_reduces_dof() {
+        let observed = [100.0, 100.0, 100.0, 100.0];
+        let expected = [100.0, 100.0, 100.0, 100.0];
+        let r = chi2_gof(&observed, &expected, 1).unwrap();
+        assert_eq!(r.dof, 2);
+        // requesting too many ddof errors out
+        assert!(chi2_gof(&observed, &expected, 3).is_err());
+    }
+
+    #[test]
+    fn masses_variant_matches_counts_variant() {
+        let observed = [30.0, 50.0, 20.0];
+        let masses = [0.3, 0.5, 0.2];
+        let a = chi2_gof_masses(&observed, &masses, 0).unwrap();
+        let b = chi2_gof(&observed, &[30.0, 50.0, 20.0], 0).unwrap();
+        assert!((a.statistic - b.statistic).abs() < 1e-12);
+        assert_eq!(a.statistic, 0.0);
+        // unnormalized masses are normalized
+        let c = chi2_gof_masses(&observed, &[3.0, 5.0, 2.0], 0).unwrap();
+        assert!((c.statistic - a.statistic).abs() < 1e-12);
+    }
+}

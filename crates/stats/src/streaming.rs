@@ -1,0 +1,219 @@
+//! Streaming (single-pass, constant-memory) moment accumulation.
+
+use std::fmt;
+
+/// Welford's online algorithm for mean and variance, with parallel merge.
+///
+/// Long simulations (e.g. per-step spread statistics over millions of
+/// steps) cannot afford to buffer samples for [`crate::Summary`]; this
+/// accumulator maintains count, mean, and M2 in O(1) memory with the
+/// numerically stable update, and [`Welford::merge`] combines
+/// accumulators from parallel trial runners (Chan et al.).
+///
+/// # Examples
+///
+/// ```
+/// use fastflood_stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.count(), 8);
+/// assert_eq!(w.mean(), 5.0);
+/// assert!((w.variance() - 4.571428571428571).abs() < 1e-12); // sample var
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Welford {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds every value from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no observations have been added.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Running mean (0 when empty).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (`n − 1` denominator; 0 with fewer than two
+    /// observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`+∞` when empty).
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`−∞` when empty).
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one, as if all its
+    /// observations had been pushed here.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for Welford {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        Welford::extend(self, iter);
+    }
+}
+
+impl FromIterator<f64> for Welford {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Welford {
+        let mut w = Welford::new();
+        w.extend(iter);
+        w
+    }
+}
+
+impl fmt::Display for Welford {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.count,
+            self.mean,
+            self.std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_batch_summary() {
+        let data: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64 * 0.25).collect();
+        let w: Welford = data.iter().copied().collect();
+        let s = crate::Summary::from_slice(&data).unwrap();
+        assert_eq!(w.count() as usize, s.len());
+        assert!((w.mean() - s.mean()).abs() < 1e-9);
+        assert!((w.variance() - s.variance()).abs() < 1e-9);
+        assert_eq!(w.min(), s.min());
+        assert_eq!(w.max(), s.max());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let w = Welford::new();
+        assert!(w.is_empty());
+        assert_eq!(w.variance(), 0.0);
+        let mut w1 = Welford::new();
+        w1.push(5.0);
+        assert_eq!(w1.mean(), 5.0);
+        assert_eq!(w1.variance(), 0.0);
+        assert_eq!(w1.min(), 5.0);
+        assert_eq!(w1.max(), 5.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let a: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let b: Vec<f64> = (0..77).map(|i| (i as f64).cos() * 5.0 + 2.0).collect();
+        let mut left: Welford = a.iter().copied().collect();
+        let right: Welford = b.iter().copied().collect();
+        left.merge(&right);
+        let all: Welford = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-9);
+        assert!((left.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut w: Welford = [1.0, 2.0, 3.0].into_iter().collect();
+        let before = w;
+        w.merge(&Welford::new());
+        assert_eq!(w, before);
+        let mut e = Welford::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn display() {
+        let w: Welford = [1.0, 3.0].into_iter().collect();
+        assert!(w.to_string().contains("mean=2"));
+    }
+}

@@ -1,0 +1,83 @@
+//! City streets: flooding over an explicit Manhattan street grid.
+//!
+//! The paper's model lets agents travel anywhere; its motivation — urban
+//! movement with minimal turns — is made literal by [`StreetMrwp`]: agents
+//! move only along the streets of a `blocks × blocks` city, with
+//! way-points at intersections. This example compares flooding over the
+//! street grid (coarse and fine) against the continuous MRWP limit, and
+//! shows the effect of way-point pauses ("red lights").
+//!
+//! Run with: `cargo run --release --example city_streets`
+
+use fastflood::core::{FloodingSim, SimConfig, SimParams, SourcePlacement};
+use fastflood::mobility::{Mobility, Mrwp, StreetMrwp};
+use fastflood::stats::seeds::derive_seed;
+use fastflood::stats::Summary;
+
+fn flood_times<M: Mobility>(
+    build: impl Fn() -> M,
+    params: &SimParams,
+    trials: u64,
+) -> Result<Summary, Box<dyn std::error::Error>> {
+    let mut times = Vec::new();
+    for trial in 0..trials {
+        let mut sim = FloodingSim::new(
+            build(),
+            SimConfig::new(params.n(), params.radius())
+                .seed(derive_seed(7, trial))
+                .source(SourcePlacement::Center),
+        )?;
+        let report = sim.run(500_000);
+        times.push(f64::from(report.flooding_time.ok_or("did not complete")?));
+    }
+    Ok(Summary::from_slice(&times)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // stay below the connectivity threshold so flooding is
+    // mobility-limited: that is where model differences show
+    let n = 2_000;
+    let scale = SimParams::standard(n, 1.0, 0.0)?.radius_scale();
+    let radius = 1.1 * scale;
+    let params = SimParams::standard(n, radius, 0.2 * radius)?;
+    let side = params.side();
+    let speed = params.speed();
+    let trials = 5;
+
+    println!("city: {params} ({trials} trials each)\n");
+    println!("{:<34} | {:>10}", "mobility", "mean steps");
+
+    let continuous = flood_times(|| Mrwp::new(side, speed).expect("valid"), &params, trials)?;
+    println!("{:<34} | {:>10.1}", "continuous MRWP (the paper)", continuous.mean());
+
+    for blocks in [4usize, 10, 40] {
+        let s = flood_times(
+            || StreetMrwp::new(side, speed, blocks).expect("valid"),
+            &params,
+            trials,
+        )?;
+        println!(
+            "{:<34} | {:>10.1}",
+            format!("street grid, {blocks}x{blocks} blocks"),
+            s.mean()
+        );
+    }
+
+    for pause in [2u32, 8] {
+        let s = flood_times(
+            || Mrwp::new(side, speed).expect("valid").with_pause(pause),
+            &params,
+            trials,
+        )?;
+        println!(
+            "{:<34} | {:>10.1}",
+            format!("MRWP with {pause}-step pauses"),
+            s.mean()
+        );
+    }
+
+    println!("\nfiner street grids converge to the continuous model; coarse grids");
+    println!("detour agents and flood slower. Short pauses barely register here —");
+    println!("the courier stream is redundant enough to absorb them.");
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Connectivity survey: how disconnected is the MRWP MANET?
+//!
+//! Sweeps the transmission radius and reports, for stationary snapshots,
+//! the number of components, the giant-component fraction, the isolated
+//! agents, and where the empirical connectivity threshold sits relative
+//! to a uniform cloud of the same size — the introduction's contrast.
+//!
+//! Run with: `cargo run --release --example connectivity_survey`
+
+use fastflood::geom::Rect;
+use fastflood::graph::{connectivity_threshold, DiskGraph, ThresholdSearch};
+use fastflood::mobility::distributions::sample_spatial;
+use fastflood::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 4_000usize;
+    let side = (n as f64).sqrt();
+    let region = Rect::square(side)?;
+    let mut rng = StdRng::seed_from_u64(7);
+
+    println!("stationary MRWP snapshots, n = {n}, L = {side:.1}\n");
+    println!(
+        "{:>6} | {:>10} | {:>8} | {:>8}",
+        "R", "components", "giant %", "isolated"
+    );
+    for r_mult in [0.5, 1.0, 1.5, 2.0, 3.0, 4.0] {
+        let scale = side * ((n as f64).ln() / n as f64).sqrt();
+        let r = r_mult * scale;
+        let pts: Vec<Point> = (0..n).map(|_| sample_spatial(side, &mut rng)).collect();
+        let g = DiskGraph::build(region, r, &pts)?;
+        let comps = g.components();
+        println!(
+            "{:>6.2} | {:>10} | {:>7.1}% | {:>8}",
+            r,
+            comps.count(),
+            comps.giant_fraction() * 100.0,
+            comps.isolated()
+        );
+    }
+
+    // bisect the empirical thresholds for both samplers
+    let search = ThresholdSearch {
+        trials_per_radius: 5,
+        relative_tolerance: 0.005,
+        target_probability: 0.5,
+    };
+    let mut rng_m = StdRng::seed_from_u64(8);
+    let r_mrwp = connectivity_threshold(region, search, || {
+        (0..n).map(|_| sample_spatial(side, &mut rng_m)).collect()
+    });
+    let mut rng_u = StdRng::seed_from_u64(9);
+    let r_uniform = connectivity_threshold(region, search, || {
+        (0..n)
+            .map(|_| Point::new(side * rng_u.gen::<f64>(), side * rng_u.gen::<f64>()))
+            .collect()
+    });
+    println!("\nempirical connectivity thresholds (P(connected) = 1/2):");
+    println!("  MRWP stationary cloud: R* = {r_mrwp:.2}");
+    println!("  uniform cloud        : R* = {r_uniform:.2}");
+    println!(
+        "  ratio {:.2} — the corner Suburb forces a much larger radius\n  (per [13], the MRWP threshold grows like a root of n)",
+        r_mrwp / r_uniform
+    );
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Stationarity: perfect simulation vs warm-up from a cold start.
+//!
+//! The paper analyzes flooding in the *stationary phase*. Simulators that
+//! cannot sample the stationary law directly must run a long warm-up;
+//! this library samples it exactly (length-biased trips — the
+//! Le Boudec–Vojnović construction). The example shows the total-variation
+//! distance of both ensembles from the exact Theorem 1 cell masses over
+//! time, and validates the marginal with a KS test.
+//!
+//! Run with: `cargo run --release --example stationarity`
+
+use fastflood::geom::Rect;
+use fastflood::mobility::distributions::{rect_mass, spatial_marginal_cdf};
+use fastflood::mobility::{Mobility, Mrwp};
+use fastflood::stats::ks::ks_one_sample;
+use fastflood::stats::Histogram2d;
+use fastflood::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn tv(positions: &[Point], side: f64, grid: usize) -> Result<f64, Box<dyn std::error::Error>> {
+    let mut hist = Histogram2d::new((0.0, side), (0.0, side), grid, grid)?;
+    for p in positions {
+        hist.add(p.x, p.y);
+    }
+    let mut expected = Vec::new();
+    for row in 0..grid {
+        for col in 0..grid {
+            let ((x0, x1), (y0, y1)) = hist.bin_rect(row, col);
+            expected.push(rect_mass(
+                side,
+                &Rect::new(Point::new(x0, y0), Point::new(x1, y1))?,
+            ));
+        }
+    }
+    Ok(hist.tv_distance(&expected)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 40_000;
+    let side = 100.0;
+    let model = Mrwp::new(side, 1.0)?;
+    let mut rng = StdRng::seed_from_u64(2010);
+
+    let mut cold: Vec<_> = (0..n)
+        .map(|_| {
+            let p = Point::new(side * rng.gen::<f64>(), side * rng.gen::<f64>());
+            model.init_at(p, &mut rng)
+        })
+        .collect();
+    let mut stationary: Vec<_> = (0..n).map(|_| model.init_stationary(&mut rng)).collect();
+
+    println!("TV distance from the exact Theorem 1 masses (10x10 cells), n = {n}:");
+    println!("{:>6} | {:>10} | {:>12}", "t", "cold start", "perfect sim");
+    let mut t = 0u32;
+    for checkpoint in [0u32, 20, 50, 100, 200, 400] {
+        while t < checkpoint {
+            for st in &mut cold {
+                model.step(st, &mut rng);
+            }
+            for st in &mut stationary {
+                model.step(st, &mut rng);
+            }
+            t += 1;
+        }
+        let cp: Vec<Point> = cold.iter().map(|s| model.position(s)).collect();
+        let sp: Vec<Point> = stationary.iter().map(|s| model.position(s)).collect();
+        println!(
+            "{:>6} | {:>10.4} | {:>12.4}",
+            t,
+            tv(&cp, side, 10)?,
+            tv(&sp, side, 10)?
+        );
+    }
+
+    // KS gate on the perfectly simulated marginal
+    let xs: Vec<f64> = stationary.iter().map(|s| model.position(s).x).collect();
+    let ks = ks_one_sample(&xs, |v| spatial_marginal_cdf(side, v))?;
+    println!(
+        "\nKS test of the stationary x-marginal vs Theorem 1: D = {:.4}, p = {:.3}",
+        ks.statistic, ks.p_value
+    );
+    println!("perfect simulation sits at the sampling-noise floor from step 0;");
+    println!("the cold start needs hundreds of steps to converge.");
+    Ok(())
+}

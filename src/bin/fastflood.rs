@@ -1,0 +1,257 @@
+//! `fastflood` — command-line front end for the MANET flooding simulator.
+//!
+//! ```text
+//! fastflood flood   [--n 4000] [--c1 3.0] [--vfrac 0.3] [--source center|corner|random]
+//!                   [--model mrwp|rwp|disk|street|static] [--pause K] [--blocks B]
+//!                   [--trials T] [--seed S] [--max-steps M]
+//! fastflood zones   [--n 10000] [--c1 3.0]
+//! fastflood bounds  [--n 10000] [--c1 3.0] [--vfrac 0.3]
+//! ```
+//!
+//! * `flood` — run flooding trials and print completion statistics;
+//! * `zones` — print the Central-Zone / Suburb census for the parameters;
+//! * `bounds` — print every derived paper quantity (thresholds, bounds).
+
+use fastflood::core::{FloodingSim, SimConfig, SimParams, SourcePlacement, ZoneMap};
+use fastflood::mobility::{
+    DiskWalk, Mobility, Mrwp, Placement, Rwp, Static, StreetMrwp,
+};
+use fastflood::stats::seeds::derive_seed;
+use fastflood::stats::Summary;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Opts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "flood" => cmd_flood(&opts),
+        "zones" => cmd_zones(&opts),
+        "bounds" => cmd_bounds(&opts),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "fastflood — MANET flooding simulator (reproduction of 'Fast Flooding over Manhattan')
+
+USAGE:
+  fastflood flood  [options]   run flooding trials, print statistics
+  fastflood zones  [options]   print the Central Zone / Suburb census
+  fastflood bounds [options]   print the paper's derived quantities
+
+OPTIONS (defaults in brackets):
+  --n <usize>        number of agents [4000]; the region side is √n
+  --c1 <f64>         radius multiplier: R = c1 · L·√(ln n / n)  [3.0]
+  --vfrac <f64>      speed as a fraction of R [0.3]
+  --model <name>     mrwp | rwp | disk | street | static  [mrwp]
+  --pause <u32>      way-point pause steps (mrwp only) [0]
+  --blocks <usize>   city blocks per side (street only) [20]
+  --source <name>    center | corner | random [center]
+  --trials <usize>   flooding trials [5]
+  --seed <u64>       master seed [2010]
+  --max-steps <u32>  per-trial step budget [200000]";
+
+#[derive(Debug, Clone)]
+struct Opts {
+    n: usize,
+    c1: f64,
+    vfrac: f64,
+    model: String,
+    pause: u32,
+    blocks: usize,
+    source: String,
+    trials: u64,
+    seed: u64,
+    max_steps: u32,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let key = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{key} requires a value"))?;
+            map.insert(key.to_string(), value.clone());
+        }
+        fn get<T: std::str::FromStr>(
+            map: &HashMap<String, String>,
+            key: &str,
+            default: T,
+        ) -> Result<T, String> {
+            match map.get(key) {
+                None => Ok(default),
+                Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+            }
+        }
+        Ok(Opts {
+            n: get(&map, "n", 4_000)?,
+            c1: get(&map, "c1", 3.0)?,
+            vfrac: get(&map, "vfrac", 0.3)?,
+            model: get(&map, "model", "mrwp".to_string())?,
+            pause: get(&map, "pause", 0)?,
+            blocks: get(&map, "blocks", 20)?,
+            source: get(&map, "source", "center".to_string())?,
+            trials: get(&map, "trials", 5)?,
+            seed: get(&map, "seed", 2010)?,
+            max_steps: get(&map, "max-steps", 200_000)?,
+        })
+    }
+
+    fn params(&self) -> Result<SimParams, String> {
+        let scale = SimParams::standard(self.n, 1.0, 0.0)
+            .map_err(|e| e.to_string())?
+            .radius_scale();
+        let radius = self.c1 * scale;
+        SimParams::standard(self.n, radius, self.vfrac * radius).map_err(|e| e.to_string())
+    }
+
+    fn source_placement(&self) -> Result<SourcePlacement, String> {
+        match self.source.as_str() {
+            "center" => Ok(SourcePlacement::Center),
+            "corner" => Ok(SourcePlacement::SwCorner),
+            "random" => Ok(SourcePlacement::Random),
+            other => Err(format!("unknown source {other:?} (center|corner|random)")),
+        }
+    }
+}
+
+fn run_trials_with<M: Mobility>(
+    build: impl Fn() -> Result<M, String>,
+    opts: &Opts,
+    params: &SimParams,
+) -> Result<(Vec<f64>, u64), String> {
+    let mut times = Vec::new();
+    let mut incomplete = 0u64;
+    for trial in 0..opts.trials {
+        let model = build()?;
+        let mut sim = FloodingSim::new(
+            model,
+            SimConfig::new(params.n(), params.radius())
+                .seed(derive_seed(opts.seed, trial))
+                .source(opts.source_placement()?),
+        )
+        .map_err(|e| e.to_string())?;
+        let report = sim.run(opts.max_steps);
+        match report.flooding_time {
+            Some(t) => times.push(f64::from(t)),
+            None => incomplete += 1,
+        }
+    }
+    Ok((times, incomplete))
+}
+
+fn cmd_flood(opts: &Opts) -> Result<(), String> {
+    let params = opts.params()?;
+    println!(
+        "flooding: {params}, model = {}, source = {}, {} trials",
+        opts.model, opts.source, opts.trials
+    );
+    let side = params.side();
+    let speed = params.speed();
+    let (times, incomplete) = match opts.model.as_str() {
+        "mrwp" => run_trials_with(
+            || {
+                Ok(Mrwp::new(side, speed)
+                    .map_err(|e| e.to_string())?
+                    .with_pause(opts.pause))
+            },
+            opts,
+            &params,
+        )?,
+        "rwp" => run_trials_with(|| Rwp::new(side, speed).map_err(|e| e.to_string()), opts, &params)?,
+        "disk" => run_trials_with(
+            || DiskWalk::new(side, speed, 4.0 * params.radius()).map_err(|e| e.to_string()),
+            opts,
+            &params,
+        )?,
+        "street" => run_trials_with(
+            || StreetMrwp::new(side, speed, opts.blocks).map_err(|e| e.to_string()),
+            opts,
+            &params,
+        )?,
+        "static" => run_trials_with(
+            || Static::new(side, Placement::MrwpStationary).map_err(|e| e.to_string()),
+            opts,
+            &params,
+        )?,
+        other => return Err(format!("unknown model {other:?} (mrwp|rwp|disk|street|static)")),
+    };
+    println!(
+        "completed {}/{} trials within {} steps",
+        times.len(),
+        opts.trials,
+        opts.max_steps
+    );
+    if incomplete > 0 {
+        println!("  ({incomplete} trials did not complete)");
+    }
+    if !times.is_empty() {
+        let s = Summary::from_slice(&times).map_err(|e| e.to_string())?;
+        println!("flooding time: {s}");
+        println!(
+            "paper bound shape L/R + S/v = {:.1}  (measured/bound = {:.3})",
+            params.flooding_time_bound(),
+            s.mean() / params.flooding_time_bound()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_zones(opts: &Opts) -> Result<(), String> {
+    let params = opts.params()?;
+    let zones = ZoneMap::new(&params).map_err(|e| e.to_string())?;
+    println!("{params}");
+    println!("{zones}");
+    println!("  cell side ℓ        : {:.4}", zones.grid().cell_len());
+    println!("  Def. 4 threshold   : {:.3e}", zones.threshold());
+    println!("  central mass       : {:.4}", zones.central_mass());
+    println!("  suburb mass        : {:.4}", zones.suburb_mass());
+    println!("  central rows (L6)  : {} of {} (bound m/√2 = {:.1})",
+        zones.central_rows(), zones.grid().m(), zones.grid().m() as f64 / std::f64::consts::SQRT_2);
+    println!("  SW suburb extent   : {:.3} (Lemma 15 bound S = {:.3})",
+        zones.suburb_extent_sw(), params.suburb_diameter_bound());
+    Ok(())
+}
+
+fn cmd_bounds(opts: &Opts) -> Result<(), String> {
+    let params = opts.params()?;
+    println!("{params}");
+    println!("  radius scale L·√(ln n/n)     : {:.4}", params.radius_scale());
+    println!("  paper min radius (Ineq. 7)   : {:.4}", params.paper_min_radius());
+    println!("  paper max speed (Ineq. 8)    : {:.4}", params.paper_max_speed());
+    println!("  assumptions satisfied        : {}", params.satisfies_paper_assumptions());
+    println!("  Def. 4 CZ threshold          : {:.3e}", params.central_zone_threshold());
+    println!("  Cor. 12 large-R threshold    : {:.4}", params.large_radius_threshold());
+    println!("  suburb diameter bound S      : {:.4}", params.suburb_diameter_bound());
+    println!("  Thm 3 bound shape L/R + S/v  : {:.4}", params.flooding_time_bound());
+    println!("  Thm 10 CZ bound 18·L/R       : {:.4}", params.central_zone_time_bound());
+    println!("  Thm 18 regime (R ≤ L/n^(1/3)): {}", params.in_theorem18_regime());
+    println!("  Thm 18 lower bound L/(v·n^(1/3)): {:.4}", params.theorem18_lower_bound());
+    Ok(())
+}

@@ -1,0 +1,218 @@
+//! Cross-crate integration tests: the full pipeline through the public
+//! umbrella API.
+
+use fastflood::core::{
+    FloodingSim, InitMode, Protocol, SimConfig, SimParams, SourcePlacement, Zone, ZoneMap,
+};
+use fastflood::mobility::{DiskWalk, Mobility, Mrwp, Placement, Rwp, Static, StreetMrwp};
+use fastflood::Point;
+
+#[test]
+fn full_pipeline_flood_with_zones() {
+    let params = SimParams::standard(1_000, 6.0, 1.0).unwrap();
+    let zones = ZoneMap::new(&params).unwrap();
+    let model = Mrwp::new(params.side(), params.speed()).unwrap();
+    let mut sim = FloodingSim::new(
+        model,
+        SimConfig::new(params.n(), params.radius())
+            .seed(1)
+            .source(SourcePlacement::Center),
+    )
+    .unwrap()
+    .with_zones(zones);
+    let report = sim.run(100_000);
+    assert!(report.completed);
+    let t = report.flooding_time.unwrap();
+    assert!(t > 0);
+    assert!(report.central_zone_time.unwrap() <= t);
+    assert!(report.suburb_time.unwrap() <= t);
+    // everyone has an inform time no later than t
+    for i in 0..params.n() {
+        assert!(sim.inform_time(i).unwrap() <= t);
+    }
+}
+
+#[test]
+fn deterministic_end_to_end_across_runs() {
+    let run = || {
+        let params = SimParams::standard(400, 5.0, 0.8).unwrap();
+        let model = Mrwp::new(params.side(), params.speed()).unwrap();
+        FloodingSim::new(
+            model,
+            SimConfig::new(params.n(), params.radius())
+                .seed(123)
+                .source(SourcePlacement::SwCorner),
+        )
+        .unwrap()
+        .run(100_000)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed ⇒ identical reports");
+}
+
+#[test]
+fn all_mobility_models_drive_the_engine() {
+    let side = 30.0_f64;
+    let n = 150;
+    let r = 4.0;
+    let v = 1.0;
+
+    fn flood<M: Mobility>(model: M, n: usize, r: f64) -> bool {
+        FloodingSim::new(model, SimConfig::new(n, r).seed(5))
+            .unwrap()
+            .run(200_000)
+            .completed
+    }
+
+    assert!(flood(Mrwp::new(side, v).unwrap(), n, r));
+    assert!(flood(Mrwp::new(side, v).unwrap().with_pause(3), n, r));
+    assert!(flood(Rwp::new(side, v).unwrap(), n, r));
+    assert!(flood(DiskWalk::new(side, v, 6.0).unwrap(), n, r));
+    assert!(flood(StreetMrwp::new(side, v, 10).unwrap(), n, r));
+    // a dense static network also floods (hop by hop)
+    assert!(flood(Static::new(side, Placement::Uniform).unwrap(), 600, r));
+}
+
+#[test]
+fn street_grid_flooding_converges_to_continuous() {
+    // fine street grids should flood in about the same time as the
+    // continuous model, averaged over seeds
+    let params = SimParams::standard(900, 5.0, 1.0).unwrap();
+    let mean_time = |street_blocks: Option<usize>| -> f64 {
+        let mut total = 0.0;
+        let trials = 4;
+        for t in 0..trials {
+            let cfg = SimConfig::new(params.n(), params.radius())
+                .seed(1000 + t)
+                .source(SourcePlacement::Center);
+            let report = match street_blocks {
+                Some(b) => FloodingSim::new(
+                    StreetMrwp::new(params.side(), params.speed(), b).unwrap(),
+                    cfg,
+                )
+                .unwrap()
+                .run(200_000),
+                None => FloodingSim::new(
+                    Mrwp::new(params.side(), params.speed()).unwrap(),
+                    cfg,
+                )
+                .unwrap()
+                .run(200_000),
+            };
+            total += f64::from(report.flooding_time.expect("floods"));
+        }
+        total / trials as f64
+    };
+    let continuous = mean_time(None);
+    let fine = mean_time(Some(60));
+    assert!(
+        (fine - continuous).abs() <= continuous.max(2.0) * 1.0,
+        "60-block city ({fine}) should be within 2x of continuous ({continuous})"
+    );
+}
+
+#[test]
+fn pauses_never_speed_up_flooding() {
+    let params = SimParams::standard(400, 4.0, 1.0).unwrap();
+    let mean_time = |pause: u32| -> f64 {
+        let mut total = 0.0;
+        let trials = 5;
+        for t in 0..trials {
+            let model = Mrwp::new(params.side(), params.speed())
+                .unwrap()
+                .with_pause(pause);
+            let report = FloodingSim::new(
+                model,
+                SimConfig::new(params.n(), params.radius())
+                    .seed(2000 + t)
+                    .source(SourcePlacement::Center),
+            )
+            .unwrap()
+            .run(500_000);
+            total += f64::from(report.flooding_time.expect("floods"));
+        }
+        total / trials as f64
+    };
+    let moving = mean_time(0);
+    let pausing = mean_time(20);
+    assert!(
+        pausing >= moving,
+        "20-step pauses ({pausing}) cannot beat continuous motion ({moving})"
+    );
+}
+
+#[test]
+fn cold_start_floods_too() {
+    let params = SimParams::standard(400, 6.0, 1.0).unwrap();
+    let model = Mrwp::new(params.side(), params.speed()).unwrap();
+    let report = FloodingSim::new(
+        model,
+        SimConfig::new(params.n(), params.radius())
+            .seed(9)
+            .init(InitMode::ColdUniform),
+    )
+    .unwrap()
+    .run(100_000);
+    assert!(report.completed);
+}
+
+#[test]
+fn protocols_all_complete_on_dense_network() {
+    let params = SimParams::standard(300, 8.0, 1.0).unwrap();
+    for protocol in [
+        Protocol::Flooding,
+        Protocol::Parsimonious { p: 0.3 },
+        Protocol::Gossip { k: 2 },
+    ] {
+        let model = Mrwp::new(params.side(), params.speed()).unwrap();
+        let report = FloodingSim::new(
+            model,
+            SimConfig::new(params.n(), params.radius())
+                .seed(11)
+                .protocol(protocol),
+        )
+        .unwrap()
+        .run(100_000);
+        assert!(report.completed, "protocol {protocol:?} failed");
+    }
+}
+
+#[test]
+fn zone_map_is_consistent_with_flooding_positions() {
+    let params = SimParams::standard(2_000, 6.0, 1.0).unwrap();
+    let zones = ZoneMap::new(&params).unwrap();
+    // corners are suburb; center is central (the paper's Fig. 1 shape)
+    assert_eq!(zones.zone_of(Point::new(0.1, 0.1)), Zone::Suburb);
+    let c = params.side() / 2.0;
+    assert_eq!(zones.zone_of(Point::new(c, c)), Zone::Central);
+    // total mass splits between the zones
+    let total = zones.central_mass() + zones.suburb_mass();
+    assert!((total - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn paper_quantities_are_wired_through_the_umbrella() {
+    let params = SimParams::standard(10_000, 10.0, 1.0).unwrap();
+    // all derived quantities exist and are ordered sensibly
+    assert!(params.radius_scale() > 0.0);
+    assert!(params.paper_min_radius() > params.radius_scale());
+    assert!(params.large_radius_threshold() > 0.0);
+    assert!(params.suburb_diameter_bound() > 0.0);
+    assert!(params.flooding_time_bound() > params.side() / params.radius());
+    assert!(params.central_zone_time_bound() == 18.0 * params.side() / params.radius());
+}
+
+#[test]
+fn frozen_sparse_network_never_floods() {
+    // §5: with v = 0 and a disconnected snapshot flooding cannot finish
+    let side = 200.0;
+    let model = Static::new(side, Placement::MrwpStationary).unwrap();
+    let report = FloodingSim::new(model, SimConfig::new(40, 2.0).seed(3))
+        .unwrap()
+        .run(2_000);
+    assert!(
+        !report.completed,
+        "40 agents with R = 2 on a 200x200 square cannot be connected"
+    );
+}

@@ -1,0 +1,167 @@
+//! Integration tests pinned directly to the paper's claims, exercised
+//! through the public API at laptop scale (shapes, not constants).
+
+use fastflood::core::{FloodingSim, SimConfig, SimParams, SourcePlacement, ZoneMap};
+use fastflood::mobility::distributions::{
+    cross_probability, quadrant_probability, rect_mass, Quadrant,
+};
+use fastflood::mobility::Mrwp;
+use fastflood::geom::Rect;
+use fastflood::stats::seeds::derive_seed;
+use fastflood::Point;
+
+/// Theorem 1: the stationary density integrates to 1 and is corner-light.
+#[test]
+fn theorem1_density_shape() {
+    let l = 77.0;
+    let full = Rect::square(l).unwrap();
+    assert!((rect_mass(l, &full) - 1.0).abs() < 1e-9);
+    let corner = Rect::new(Point::new(0.0, 0.0), Point::new(l / 10.0, l / 10.0)).unwrap();
+    let center = Rect::new(
+        Point::new(0.45 * l, 0.45 * l),
+        Point::new(0.55 * l, 0.55 * l),
+    )
+    .unwrap();
+    assert!(rect_mass(l, &center) > 4.0 * rect_mass(l, &corner));
+}
+
+/// Theorem 2: destination masses total 1 and the cross carries exactly
+/// one half, at any interior position.
+#[test]
+fn theorem2_cross_mass_is_half() {
+    let l = 33.0;
+    for pos in [
+        Point::new(l / 3.0, l / 4.0),
+        Point::new(0.9 * l, 0.1 * l),
+        Point::new(0.5 * l, 0.5 * l),
+    ] {
+        let quads: f64 = Quadrant::ALL
+            .iter()
+            .map(|&q| quadrant_probability(l, pos, q))
+            .sum();
+        let cross = cross_probability(l, pos);
+        assert!((cross - 0.5).abs() < 1e-12);
+        assert!((quads + cross - 1.0).abs() < 1e-12);
+    }
+}
+
+/// Theorem 3 (shape): measured flooding time is bounded by a small
+/// multiple of L/R + S/v, and decreases when v increases.
+#[test]
+fn theorem3_bound_shape_at_small_scale() {
+    let n = 1_600;
+    let scale = SimParams::standard(n, 1.0, 0.0).unwrap().radius_scale();
+    let r = 3.0 * scale;
+
+    let mean_time = |v: f64| -> f64 {
+        let params = SimParams::standard(n, r, v).unwrap();
+        let mut total = 0.0;
+        let trials = 3;
+        for t in 0..trials {
+            let model = Mrwp::new(params.side(), params.speed()).unwrap();
+            let report = FloodingSim::new(
+                model,
+                SimConfig::new(params.n(), params.radius())
+                    .seed(derive_seed(42, t))
+                    .source(SourcePlacement::Center),
+            )
+            .unwrap()
+            .run(1_000_000);
+            total += f64::from(report.flooding_time.expect("must flood"));
+        }
+        total / trials as f64
+    };
+
+    let slow = mean_time(0.1 * r);
+    let fast = mean_time(0.5 * r);
+    assert!(
+        fast <= slow,
+        "faster agents must flood no slower: v=0.5R took {fast}, v=0.1R took {slow}"
+    );
+
+    let params = SimParams::standard(n, r, 0.1 * r).unwrap();
+    let bound = params.flooding_time_bound();
+    assert!(
+        slow <= 20.0 * bound,
+        "measured {slow} vs bound {bound}: constant exploded"
+    );
+}
+
+/// Corollary 12: above the large-R threshold the suburb is empty and
+/// flooding beats 18·L/R.
+#[test]
+fn corollary12_large_radius() {
+    let n = 1_000;
+    let base = SimParams::standard(n, 1.0, 0.0).unwrap();
+    let r = base.large_radius_threshold() * 1.1;
+    let params = SimParams::standard(n, r, 0.2 * r).unwrap();
+    let zones = ZoneMap::new(&params).unwrap();
+    assert!(zones.suburb_is_empty());
+    let model = Mrwp::new(params.side(), params.speed()).unwrap();
+    let report = FloodingSim::new(
+        model,
+        SimConfig::new(params.n(), params.radius()).seed(5),
+    )
+    .unwrap()
+    .run(10_000);
+    assert!(report.completed);
+    assert!(
+        f64::from(report.flooding_time.unwrap()) <= params.central_zone_time_bound(),
+        "large-R flooding must finish within 18·L/R = {}",
+        params.central_zone_time_bound()
+    );
+}
+
+/// Lemma 15: the suburb extent obeys the S bound across a parameter grid.
+#[test]
+fn lemma15_extent_bound_grid() {
+    for n in [2_500usize, 10_000, 40_000] {
+        for c1 in [2.5, 4.0] {
+            let scale = SimParams::standard(n, 1.0, 0.0).unwrap().radius_scale();
+            let params = SimParams::standard(n, c1 * scale, 0.1).unwrap();
+            let zones = ZoneMap::new(&params).unwrap();
+            let extent = zones.suburb_extent_sw();
+            assert!(
+                extent <= params.suburb_diameter_bound() + zones.grid().cell_len() + 1e-9,
+                "n={n} c1={c1}: extent {extent} exceeds S = {}",
+                params.suburb_diameter_bound()
+            );
+        }
+    }
+}
+
+/// The lower-bound intuition of §5: flooding time grows when v shrinks,
+/// holding everything else fixed (it must depend on v).
+#[test]
+fn flooding_time_depends_on_speed() {
+    let n = 900;
+    let scale = SimParams::standard(n, 1.0, 0.0).unwrap().radius_scale();
+    // below the connectivity scale: snapshots are disconnected, so
+    // flooding is gated by agents *meeting*, which takes time ∝ 1/v
+    let r = scale;
+    let time_at = |v: f64, seed: u64| {
+        let params = SimParams::standard(n, r, v).unwrap();
+        let model = Mrwp::new(params.side(), params.speed()).unwrap();
+        FloodingSim::new(
+            model,
+            SimConfig::new(params.n(), params.radius())
+                .seed(seed)
+                .source(SourcePlacement::Center),
+        )
+        .unwrap()
+        .run(2_000_000)
+        .flooding_time
+        .map(f64::from)
+        .expect("floods")
+    };
+    let mut slow_total = 0.0;
+    let mut fast_total = 0.0;
+    for s in 0..3 {
+        slow_total += time_at(0.05 * r, derive_seed(1, s));
+        fast_total += time_at(0.8 * r, derive_seed(2, s));
+    }
+    assert!(
+        slow_total > 1.5 * fast_total,
+        "sparse-regime flooding must be speed-limited: slow {slow_total}, fast {fast_total}"
+    );
+}
