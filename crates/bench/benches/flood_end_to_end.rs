@@ -1,11 +1,19 @@
-//! Criterion bench: full flooding runs end to end.
+//! Criterion bench: full flooding runs end to end, plus engine step
+//! throughput.
 //!
-//! A complete flood (init, run until everyone is informed) at two small
-//! network sizes and in both the dense (fast) and sparse (suburb-bound)
-//! regimes — the unit of work every table in EXPERIMENTS.md repeats.
+//! `full_flood` times a complete flood (init, run until everyone is
+//! informed) at two small network sizes and in both the dense (fast) and
+//! sparse (suburb-bound) regimes — the unit of work every table in
+//! EXPERIMENTS.md repeats.
+//!
+//! `engine_step` compares one move-then-transmit step of the adaptive
+//! zero-allocation engine against the seed's rebuild-every-step baseline
+//! at n ∈ {1k, 10k, 100k}, mid-flood in the sparse regime (the regime
+//! the Theorem 3 / Theorem 18 sweeps live in). `scripts/bench_engine.sh`
+//! records this group to `BENCH_engine.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fastflood_core::{FloodingSim, SimConfig, SimParams, SourcePlacement};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastflood_core::{EngineMode, FloodingSim, SimConfig, SimParams, SourcePlacement};
 use fastflood_mobility::Mrwp;
 use std::hint::black_box;
 
@@ -48,5 +56,112 @@ fn flood_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, flood_end_to_end);
+/// Step throughput: the adaptive zero-allocation engine on the fast
+/// [`fastflood_core::SimRng`] versus the seed implementation (fresh
+/// index each step, full agent scans, ChaCha12 `StdRng`).
+///
+/// Each iteration clones a warmed mid-flood state (~25% informed,
+/// sparse regime) and runs a fixed batch of steps from it, so every
+/// measured step does frontier transmit work — a time-sized loop on one
+/// sim would let the flood complete and degrade into measuring
+/// post-completion steps. `batch_steps` asserts the flood is still
+/// incomplete after every measured batch, so miscalibrated parameters
+/// fail loudly instead of silently benching mobility-only steps. The
+/// per-iteration state clone is included in the measurement (identical
+/// for both engines). Throughput is agent-steps per second (`n × batch`
+/// elements per iteration).
+fn engine_step(c: &mut Criterion) {
+    fn warm<R: rand::Rng + rand::SeedableRng>(
+        params: &SimParams,
+        engine: EngineMode,
+    ) -> FloodingSim<Mrwp, R> {
+        let model = Mrwp::new(params.side(), params.speed()).expect("valid");
+        let mut sim = FloodingSim::<_, R>::with_rng(
+            model,
+            SimConfig::new(params.n(), params.radius())
+                .seed(1)
+                .source(SourcePlacement::Center)
+                .engine(engine),
+        )
+        .expect("valid config");
+        sim.reserve_steps(1 << 16);
+        // warm up to a mid-flood frontier
+        while 4 * sim.informed_count() < sim.n() && !sim.all_informed() {
+            sim.step();
+        }
+        sim
+    }
+
+    fn batch_steps<R: rand::Rng + rand::SeedableRng + Clone>(
+        warm: &FloodingSim<Mrwp, R>,
+        batch: u32,
+    ) -> u32 {
+        let mut sim = warm.clone();
+        let mut newly = 0;
+        for _ in 0..batch {
+            newly += black_box(sim.step()) as u32;
+        }
+        assert!(
+            !sim.all_informed(),
+            "flood completed inside the measured batch; shrink the batch"
+        );
+        newly
+    }
+
+    let mut group = c.benchmark_group("engine_step");
+    for &(n, batch) in &[(1_000usize, 32u32), (10_000, 32), (100_000, 32)] {
+        let scale = SimParams::standard(n, 1.0, 0.0).expect("valid").radius_scale();
+        let radius = 0.4 * scale;
+        let params = SimParams::standard(n, radius, 0.2 * radius).expect("valid");
+        group.throughput(Throughput::Elements(n as u64 * batch as u64));
+        group.bench_with_input(BenchmarkId::new("adaptive", n), &params, |b, p| {
+            let sim = warm::<fastflood_core::SimRng>(p, EngineMode::Adaptive);
+            assert!(!sim.all_informed(), "warm state must be mid-flood");
+            b.iter(|| black_box(batch_steps(&sim, batch)));
+        });
+        group.bench_with_input(BenchmarkId::new("seed_rebuild", n), &params, |b, p| {
+            let sim = warm::<rand::rngs::StdRng>(p, EngineMode::Rebuild);
+            assert!(!sim.all_informed(), "warm state must be mid-flood");
+            b.iter(|| black_box(batch_steps(&sim, batch)));
+        });
+    }
+    group.finish();
+}
+
+/// Sustained step throughput: a time-sized `step()` loop from a
+/// ~50%-informed state — the measurement protocol the seed's own step
+/// bench used, kept so current numbers stay comparable with the
+/// seed-implementation baseline recorded in `BENCH_engine.json` at the
+/// start of the engine rework. The loop runs through completion into
+/// cheap post-completion steps, so it reflects a whole-run mix rather
+/// than pure frontier work (use `engine_step` for that).
+fn engine_step_sustained(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_step_sustained");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let scale = SimParams::standard(n, 1.0, 0.0).expect("valid").radius_scale();
+        let radius = 0.4 * scale;
+        let params = SimParams::standard(n, radius, 0.2 * radius).expect("valid");
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("adaptive", n), &params, |b, p| {
+            let model = Mrwp::new(p.side(), p.speed()).expect("valid");
+            let mut sim = FloodingSim::new(
+                model,
+                SimConfig::new(p.n(), p.radius())
+                    .seed(1)
+                    .source(SourcePlacement::Center),
+            )
+            .expect("valid config");
+            sim.reserve_steps(1 << 22);
+            let mut guard = 0u32;
+            while 2 * sim.informed_count() < sim.n() && guard < 20_000 {
+                sim.step();
+                guard += 1;
+            }
+            b.iter(|| black_box(sim.step()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, flood_end_to_end, engine_step, engine_step_sustained);
 criterion_main!(benches);

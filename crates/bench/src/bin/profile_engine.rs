@@ -1,0 +1,83 @@
+//! Phase-level profile of the flooding step: move cost vs transmit cost
+//! per engine, at several sizes and informed fractions.
+//!
+//! The move phase is isolated by crashing every non-source agent (the
+//! transmit roster and worklist are then empty, so a step is pure
+//! mobility); transmit cost is the difference against a full step.
+
+use fastflood_core::{EngineMode, FloodingSim, SimConfig, SimParams, SourcePlacement};
+use fastflood_mobility::Mrwp;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn time_steps<R: rand::Rng + rand::SeedableRng>(
+    params: &SimParams,
+    engine: EngineMode,
+    warm_fraction: f64,
+    crash_all: bool,
+    steps: u32,
+) -> (f64, f64) {
+    let model = Mrwp::new(params.side(), params.speed()).expect("valid");
+    let mut sim = FloodingSim::<_, R>::with_rng(
+        model,
+        SimConfig::new(params.n(), params.radius())
+            .seed(1)
+            .source(SourcePlacement::Center)
+            .engine(engine),
+    )
+    .expect("valid");
+    sim.reserve_steps(1 << 22);
+    if crash_all {
+        let src = sim.source();
+        for a in 0..sim.n() {
+            if a != src {
+                sim.crash_agent(a);
+            }
+        }
+    } else {
+        let mut guard = 0;
+        while (sim.informed_count() as f64) < warm_fraction * sim.n() as f64 && guard < 50_000 {
+            sim.step();
+            guard += 1;
+        }
+    }
+    let frac = sim.informed_count() as f64 / sim.n() as f64;
+    let start = Instant::now();
+    for _ in 0..steps {
+        black_box(sim.step());
+    }
+    (start.elapsed().as_nanos() as f64 / steps as f64, frac)
+}
+
+fn main() {
+    for &n in &[10_000usize, 100_000] {
+        let scale = SimParams::standard(n, 1.0, 0.0).unwrap().radius_scale();
+        let radius = 0.4 * scale;
+        let params = SimParams::standard(n, radius, 0.2 * radius).unwrap();
+        let steps = if n >= 100_000 { 200 } else { 1_000 };
+
+        let (move_ns, _) =
+            time_steps::<fastflood_core::SimRng>(&params, EngineMode::Adaptive, 0.0, true, steps);
+        let (move_chacha_ns, _) =
+            time_steps::<rand::rngs::StdRng>(&params, EngineMode::Rebuild, 0.0, true, steps);
+        println!("n={n}: move-only {move_ns:.0} ns (SimRng) / {move_chacha_ns:.0} ns (StdRng)");
+
+        for warm in [0.02f64, 0.5, 0.95] {
+            let (a, fa) = time_steps::<fastflood_core::SimRng>(
+                &params,
+                EngineMode::Adaptive,
+                warm,
+                false,
+                steps,
+            );
+            let (r, fr) =
+                time_steps::<rand::rngs::StdRng>(&params, EngineMode::Rebuild, warm, false, steps);
+            println!(
+                "n={n} warm={warm:.2}: adaptive {a:.0} ns (frac {fa:.2}, transmit {t_a:.0}) vs seed {r:.0} ns (frac {fr:.2}, transmit {t_r:.0})  speedup {s:.2}x",
+                t_a = a - move_ns,
+                t_r = r - move_chacha_ns,
+                s = r / a,
+            );
+        }
+    }
+}

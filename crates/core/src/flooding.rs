@@ -1,13 +1,66 @@
 //! The flooding protocol engine over a mobile MANET.
+//!
+//! # The adaptive transmit engine
+//!
+//! Every experiment in this reproduction runs thousands of flooding
+//! trials, so one [`FloodingSim::step`] is the hottest loop in the
+//! workspace. The engine keeps it allocation-free and output-sensitive:
+//!
+//! * **Shrinking uninformed worklist.** The simulator maintains the set
+//!   of live (non-crashed) uninformed agents as an explicit sorted
+//!   `Vec<u32>` (ordered compaction on removal), so the transmit phase
+//!   touches only agents that can still change state, iterates them in
+//!   memory order, and completion is an `O(1)` emptiness check.
+//! * **Adaptive side selection.** Full flooding needs "which uninformed
+//!   agents are within `R` of a transmitter?". Each step the engine
+//!   re-bins one side into a reusable [`GridIndexBuffer`] and queries
+//!   from the other; the choice is tuned to the measured costs (binning
+//!   is two cheap linear passes, a disk query several bucket scans):
+//!   with few transmitters it bins the uninformed mass and *marks* from
+//!   each transmitter, otherwise it bins the transmitters and *probes*
+//!   from each uninformed agent with first-hit early exit — so both the
+//!   few-informed and few-uninformed regimes stay cheap.
+//! * **Zero steady-state allocations.** All scratch (the spatial index,
+//!   worklists, candidate buffers, the newly-informed list) is retained
+//!   across steps; after warm-up a full-flooding step performs no heap
+//!   allocation (asserted by the `alloc_steady_state` test).
+//! * **Pluggable RNG.** `FloodingSim<M, R>` is generic over the
+//!   generator with the fast [`SimRng`] (xoshiro256++) as default;
+//!   mobility stepping no longer pays ChaCha prices. Trial seeding via
+//!   [`run_trials`](crate::run_trials)/`derive_seed` is unchanged, so
+//!   reports stay deterministic per `(master_seed, trials)` whatever the
+//!   thread count.
+//!
+//! Parsimonious flooding and push gossip ride the same machinery: the
+//! worklist doubles as the candidate set, and gossip's per-transmitter
+//! neighbor sampling runs on shared scratch with canonically sorted
+//! candidate lists so every [`EngineMode`] draws identical random
+//! streams.
+//!
+//! Complexity per step, with `T` live transmitters and `U` live
+//! uninformed agents: moving is `O(n)` (every agent moves, one fused
+//! increment each via [`Mobility::step_from`]); full-flooding transmit
+//! is one linear re-bin of the indexed side plus scarce-side queries
+//! (`O(U + T·d̄)` early in the flood, `O(T + U·q̄)` late, `q̄`/`d̄` the
+//! per-query bucket work), versus the seed implementation's fresh heap
+//! index build plus two full `O(n)` agent scans every step. See
+//! `BENCH_engine.json` for measured step throughput.
 
 use crate::{CoreError, Zone, ZoneMap};
 use fastflood_geom::Point;
 use fastflood_mobility::{Mobility, TurnRecorder};
-use fastflood_spatial::GridIndex;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
+use fastflood_spatial::{GridIndex, GridIndexBuffer};
+use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+
+/// The default simulation generator: a small fast PRNG (xoshiro256++).
+///
+/// The paper's experiments burn billions of draws on mobility stepping;
+/// a cryptographic generator (ChaCha12 [`rand::rngs::StdRng`]) is wasted
+/// there. Any `R: Rng + SeedableRng` can be substituted via
+/// [`FloodingSim::with_rng`].
+pub type SimRng = SmallRng;
 
 /// Where the initially informed source agent is placed.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,6 +121,30 @@ impl Default for Protocol {
     }
 }
 
+/// Which transmit implementation a [`FloodingSim`] runs.
+///
+/// All modes implement identical protocol semantics; they differ in cost
+/// and in what they exist to prove.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum EngineMode {
+    /// The production engine: reusable [`GridIndexBuffer`] over one of
+    /// (transmitters, uninformed) with the query side chosen by measured
+    /// cost, shrinking sorted worklist, zero steady-state allocations.
+    #[default]
+    Adaptive,
+    /// The seed implementation, kept as the benchmark baseline: a fresh
+    /// [`GridIndex`] built from scratch every step over all transmitter
+    /// positions, plus a full scan of all `n` agents. (Gossip, which the
+    /// benches don't exercise, shares the [`EngineMode::Oracle`] path.)
+    Rebuild,
+    /// The adaptive algorithm with every spatial query replaced by a
+    /// brute-force scan — the correctness oracle. Draws the exact same
+    /// random stream as [`EngineMode::Adaptive`], so runs must match
+    /// step for step (property-tested across protocols and crashes).
+    Oracle,
+}
+
 /// Configuration of a [`FloodingSim`].
 ///
 /// # Examples
@@ -97,6 +174,8 @@ pub struct SimConfig {
     pub seed: u64,
     /// Track direction changes in a [`TurnRecorder`] (Lemma 13).
     pub turns: bool,
+    /// Transmit engine implementation (default: [`EngineMode::Adaptive`]).
+    pub engine: EngineMode,
 }
 
 impl SimConfig {
@@ -111,6 +190,7 @@ impl SimConfig {
             protocol: Protocol::Flooding,
             seed: 0,
             turns: false,
+            engine: EngineMode::Adaptive,
         }
     }
 
@@ -143,12 +223,20 @@ impl SimConfig {
         self.turns = on;
         self
     }
+
+    /// Selects the transmit engine implementation.
+    pub fn engine(mut self, engine: EngineMode) -> SimConfig {
+        self.engine = engine;
+        self
+    }
 }
 
 /// Outcome of a flooding run.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FloodingReport {
+    /// Total number of agents in the simulation.
+    pub n: u32,
     /// Whether every agent was informed within the step budget.
     pub completed: bool,
     /// Steps at which the last agent was informed (when completed).
@@ -166,12 +254,14 @@ pub struct FloodingReport {
 }
 
 impl FloodingReport {
-    /// Steps needed to inform a fraction `q` of all agents, if reached.
+    /// Steps needed to inform a fraction `q` of **all** `n` agents, or
+    /// `None` when the run never reached that fraction.
+    ///
+    /// The fraction is taken against the total population, so on an
+    /// incomplete run `time_to_fraction(1.0)` is `None` rather than the
+    /// time the spread curve happened to peak.
     pub fn time_to_fraction(&self, q: f64) -> Option<u32> {
-        let n = *self.spread.first()?;
-        let _ = n;
-        let total = *self.spread.iter().max()? as f64;
-        let target = (q.clamp(0.0, 1.0) * total).ceil().max(1.0) as u32;
+        let target = (q.clamp(0.0, 1.0) * self.n as f64).ceil().max(1.0) as u32;
         self.spread.iter().position(|&c| c >= target).map(|t| t as u32)
     }
 }
@@ -213,11 +303,12 @@ impl fmt::Display for FloodingReport {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
-pub struct FloodingSim<M: Mobility> {
+pub struct FloodingSim<M: Mobility, R: Rng + SeedableRng = SimRng> {
     model: M,
     radius: f64,
     protocol: Protocol,
-    rng: StdRng,
+    engine: EngineMode,
+    rng: R,
     states: Vec<M::State>,
     positions: Vec<Point>,
     informed: Vec<bool>,
@@ -232,11 +323,67 @@ pub struct FloodingSim<M: Mobility> {
     suburb_time: Option<u32>,
     turns: Option<TurnRecorder>,
     source: usize,
+    // ---- adaptive engine state (all retained across steps) ----
+    /// Live uninformed agents, kept **sorted ascending** (ordered
+    /// compaction on removal) so worklist iteration touches `positions`
+    /// in memory order.
+    uninformed: Vec<u32>,
+    /// Live informed agents in inform order (the transmit roster).
+    transmitters: Vec<u32>,
+    /// `rank[a]` = position of agent `a` in `transmitters`, `u32::MAX`
+    /// otherwise.
+    rank: Vec<u32>,
+    /// Reusable spatial index over whichever side is smaller.
+    grid: GridIndexBuffer,
+    /// Agents informed during the current step (sorted before applying).
+    newly: Vec<u32>,
+    /// `stamp[a] == time` marks agent `a` as chosen this step (O(1)
+    /// clear: the step counter only moves forward).
+    stamp: Vec<u32>,
+    /// Parsimonious: transmitters whose coin came up heads this step.
+    tx_scratch: Vec<u32>,
+    /// Gossip: one transmitter's candidate neighbors (bounded by the
+    /// worklist length, so gossip keeps the zero-allocation budget).
+    cand: Vec<u32>,
+}
+
+impl<M: Mobility + Clone, R: Rng + SeedableRng + Clone> Clone for FloodingSim<M, R> {
+    fn clone(&self) -> Self {
+        FloodingSim {
+            model: self.model.clone(),
+            radius: self.radius,
+            protocol: self.protocol,
+            engine: self.engine,
+            rng: self.rng.clone(),
+            states: self.states.clone(),
+            positions: self.positions.clone(),
+            informed: self.informed.clone(),
+            crashed: self.crashed.clone(),
+            inform_time: self.inform_time.clone(),
+            informed_count: self.informed_count,
+            time: self.time,
+            spread: self.spread.clone(),
+            zones: self.zones.clone(),
+            central_zone_time: self.central_zone_time,
+            suburb_time: self.suburb_time,
+            turns: self.turns.clone(),
+            source: self.source,
+            uninformed: self.uninformed.clone(),
+            transmitters: self.transmitters.clone(),
+            rank: self.rank.clone(),
+            grid: self.grid.clone(),
+            newly: self.newly.clone(),
+            stamp: self.stamp.clone(),
+            tx_scratch: self.tx_scratch.clone(),
+            cand: self.cand.clone(),
+        }
+    }
 }
 
 impl<M: Mobility> FloodingSim<M> {
-    /// Builds the simulator: initializes agents, places the source, and
-    /// marks it informed at `t = 0`.
+    /// Builds the simulator with the default fast [`SimRng`]:
+    /// initializes agents, places the source, and marks it informed at
+    /// `t = 0`.
     ///
     /// # Errors
     ///
@@ -244,6 +391,19 @@ impl<M: Mobility> FloodingSim<M> {
     /// positive/finite, a protocol parameter is out of range, or a fixed
     /// source index is out of bounds.
     pub fn new(model: M, config: SimConfig) -> Result<FloodingSim<M>, CoreError> {
+        FloodingSim::with_rng(model, config)
+    }
+}
+
+impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
+    /// Builds the simulator with an explicit generator type (e.g.
+    /// `FloodingSim::<_, rand::rngs::StdRng>::with_rng` to reproduce
+    /// ChaCha12-driven runs).
+    ///
+    /// # Errors
+    ///
+    /// As [`FloodingSim::new`].
+    pub fn with_rng(model: M, config: SimConfig) -> Result<FloodingSim<M, R>, CoreError> {
         if config.n == 0 {
             return Err(CoreError::BadParameter("n must be at least 1"));
         }
@@ -259,7 +419,7 @@ impl<M: Mobility> FloodingSim<M> {
             }
             _ => {}
         }
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = R::seed_from_u64(config.seed);
         let region = model.region();
         let mut states = Vec::with_capacity(config.n);
         for _ in 0..config.n {
@@ -295,10 +455,22 @@ impl<M: Mobility> FloodingSim<M> {
         let mut inform_time = vec![u32::MAX; config.n];
         inform_time[source] = 0;
 
+        // worklist of live uninformed agents, ascending; the source is
+        // the sole transmitter
+        let mut uninformed = Vec::with_capacity(config.n);
+        for a in 0..config.n {
+            if a != source {
+                uninformed.push(a as u32);
+            }
+        }
+        let mut rank = vec![u32::MAX; config.n];
+        rank[source] = 0;
+
         Ok(FloodingSim {
             model,
             radius: config.radius,
             protocol: config.protocol,
+            engine: config.engine,
             rng,
             states,
             positions,
@@ -317,11 +489,29 @@ impl<M: Mobility> FloodingSim<M> {
                 None
             },
             source,
+            uninformed,
+            transmitters: {
+                let mut t = Vec::with_capacity(config.n);
+                t.push(source as u32);
+                t
+            },
+            rank,
+            grid: {
+                // worst-case rebuild is all n agents: reserving up front
+                // makes every later rebuild allocation-free
+                let mut g = GridIndexBuffer::new();
+                g.reserve(config.n);
+                g
+            },
+            newly: Vec::with_capacity(config.n),
+            stamp: vec![u32::MAX; config.n],
+            tx_scratch: Vec::with_capacity(config.n),
+            cand: Vec::with_capacity(config.n),
         })
     }
 
     /// Attaches a [`ZoneMap`] so zone completion times are tracked.
-    pub fn with_zones(mut self, zones: ZoneMap) -> FloodingSim<M> {
+    pub fn with_zones(mut self, zones: ZoneMap) -> FloodingSim<M, R> {
         self.zones = Some(zones);
         self.update_zone_completion();
         self
@@ -354,18 +544,11 @@ impl<M: Mobility> FloodingSim<M> {
     ///
     /// Crashed agents (see [`FloodingSim::crash_agent`]) cannot receive,
     /// so completion is defined over the survivors — the standard
-    /// fail-stop broadcast criterion.
+    /// fail-stop broadcast criterion. `O(1)`: the live-uninformed
+    /// worklist is maintained incrementally.
     #[inline]
     pub fn all_informed(&self) -> bool {
-        self.informed_count + self.crashed_uninformed_count() == self.n()
-    }
-
-    fn crashed_uninformed_count(&self) -> usize {
-        self.crashed
-            .iter()
-            .zip(&self.informed)
-            .filter(|&(&c, &i)| c && !i)
-            .count()
+        self.uninformed.is_empty()
     }
 
     /// Crashes `agent`: its radio goes silent both ways (it neither
@@ -376,7 +559,26 @@ impl<M: Mobility> FloodingSim<M> {
     ///
     /// Panics if `agent` is out of range.
     pub fn crash_agent(&mut self, agent: usize) {
+        if self.crashed[agent] {
+            return;
+        }
         self.crashed[agent] = true;
+        if self.informed[agent] {
+            // retire from the transmit roster
+            let rk = self.rank[agent] as usize;
+            self.transmitters.swap_remove(rk);
+            if rk < self.transmitters.len() {
+                self.rank[self.transmitters[rk] as usize] = rk as u32;
+            }
+            self.rank[agent] = u32::MAX;
+        } else {
+            // ordered removal keeps the worklist sorted
+            let pos = self
+                .uninformed
+                .binary_search(&(agent as u32))
+                .expect("uninformed agent is on the worklist");
+            self.uninformed.remove(pos);
+        }
     }
 
     /// Whether `agent` has crashed.
@@ -424,32 +626,59 @@ impl<M: Mobility> FloodingSim<M> {
     /// informed agents.
     pub fn step(&mut self) -> usize {
         self.time += 1;
-        // 1. move
-        for i in 0..self.states.len() {
-            let ev = self.model.step(&mut self.states[i], &mut self.rng);
-            self.positions[i] = self.model.position(&self.states[i]);
-            if let Some(rec) = &mut self.turns {
-                let changes = ev.direction_changes();
-                if changes > 0 {
-                    rec.record(i, self.time, changes);
+        // 1. move (recorder branch hoisted out of the per-agent loop)
+        match &mut self.turns {
+            Some(rec) => {
+                for i in 0..self.states.len() {
+                    let (p, ev) =
+                        self.model
+                            .step_from(&mut self.states[i], self.positions[i], &mut self.rng);
+                    self.positions[i] = p;
+                    let changes = ev.direction_changes();
+                    if changes > 0 {
+                        rec.record(i, self.time, changes);
+                    }
+                }
+            }
+            None => {
+                for i in 0..self.states.len() {
+                    let (p, _) =
+                        self.model
+                            .step_from(&mut self.states[i], self.positions[i], &mut self.rng);
+                    self.positions[i] = p;
                 }
             }
         }
-        // 2. transmit on the post-move snapshot
-        let newly = match self.protocol {
+        // 2. transmit on the post-move snapshot, into the `newly` scratch
+        self.newly.clear();
+        match self.protocol {
             Protocol::Flooding => self.transmit_flooding(None),
             Protocol::Parsimonious { p } => self.transmit_flooding(Some(p)),
             Protocol::Gossip { k } => self.transmit_gossip(k),
-        };
-        for &i in &newly {
-            self.informed[i] = true;
-            self.inform_time[i] = self.time;
         }
-        self.informed_count += newly.len();
+        // canonical order: collection order differs between index sides,
+        // so sort before mutating any state the next step depends on
+        self.newly.sort_unstable();
+        for idx in 0..self.newly.len() {
+            let a = self.newly[idx] as usize;
+            self.informed[a] = true;
+            self.inform_time[a] = self.time;
+            self.rank[a] = self.transmitters.len() as u32;
+            self.transmitters.push(a as u32);
+        }
+        if !self.newly.is_empty() {
+            // ordered compaction: drop the newly informed in one
+            // sequential pass, preserving ascending order
+            self.uninformed.retain(|&u| {
+                let a = u as usize;
+                !(self.informed[a])
+            });
+        }
+        self.informed_count += self.newly.len();
         self.spread.push(self.informed_count as u32);
         // 3. zone completion
         self.update_zone_completion();
-        newly.len()
+        self.newly.len()
     }
 
     /// Runs until everyone is informed or `max_steps` have been executed
@@ -462,13 +691,28 @@ impl<M: Mobility> FloodingSim<M> {
         self.report()
     }
 
+    /// Pre-reserves the spread curve for `steps` further steps, so a
+    /// measurement loop (or the zero-allocation test) sees no growth
+    /// reallocations.
+    pub fn reserve_steps(&mut self, steps: usize) {
+        self.spread.reserve(steps);
+    }
+
     /// The report for the steps executed so far.
     pub fn report(&self) -> FloodingReport {
         FloodingReport {
+            n: self.n() as u32,
             completed: self.all_informed(),
-            flooding_time: self
-                .all_informed()
-                .then(|| self.inform_time.iter().copied().max().unwrap_or(0)),
+            // crashed agents never receive (inform_time stays u32::MAX);
+            // completion over survivors measures the last *live* receipt
+            flooding_time: self.all_informed().then(|| {
+                self.inform_time
+                    .iter()
+                    .copied()
+                    .filter(|&t| t != u32::MAX)
+                    .max()
+                    .unwrap_or(0)
+            }),
             steps_run: self.time,
             spread: self.spread.clone(),
             central_zone_time: self.central_zone_time,
@@ -476,95 +720,219 @@ impl<M: Mobility> FloodingSim<M> {
         }
     }
 
-    /// Full flooding (or parsimonious when `forward_probability` is set):
-    /// collect transmitting informed agents, index them, and test every
-    /// non-informed agent for coverage.
-    fn transmit_flooding(&mut self, forward_probability: Option<f64>) -> Vec<usize> {
-        let mut tx_positions = Vec::with_capacity(self.informed_count);
-        for i in 0..self.positions.len() {
-            if !self.informed[i] || self.crashed[i] {
-                continue;
+    /// Full flooding (or parsimonious when `forward_probability` is set).
+    ///
+    /// Adaptive path: draw the transmit roster, re-bin whichever of
+    /// (roster, uninformed) is smaller into the retained grid, query
+    /// from the other side. Appends to `self.newly` (unsorted).
+    fn transmit_flooding(&mut self, forward_probability: Option<f64>) {
+        if self.uninformed.is_empty() {
+            return;
+        }
+        // The transmit roster: all live informed agents, or the
+        // coin-passing subset for parsimonious. Coins are drawn in
+        // roster order in every engine mode, so the random stream is
+        // mode-independent.
+        let tx: &[u32] = match forward_probability {
+            None => &self.transmitters,
+            Some(p) => {
+                self.tx_scratch.clear();
+                for &t in &self.transmitters {
+                    if self.rng.gen::<f64>() < p {
+                        self.tx_scratch.push(t);
+                    }
+                }
+                &self.tx_scratch
             }
-            let transmits = match forward_probability {
-                None => true,
-                Some(p) => self.rng.gen::<f64>() < p,
-            };
-            if transmits {
-                tx_positions.push(self.positions[i]);
+        };
+        if tx.is_empty() {
+            return;
+        }
+        let radius = self.radius;
+        let r2 = radius * radius;
+        let region = self.model.region();
+        match self.engine {
+            EngineMode::Adaptive => {
+                // Side policy, tuned by measurement (see profile_engine):
+                // with very few transmitters, bin the uninformed mass
+                // (two cheap linear passes) and mark from each
+                // transmitter; otherwise bin the transmitters and probe
+                // from each uninformed agent — those probes early-exit
+                // on the first covering transmitter, which is nearly
+                // instant once the informed population is dense.
+                if tx.len() * 8 <= self.uninformed.len() {
+                    // few transmitters: index the uninformed mass, mark
+                    // everyone in range of a transmitter
+                    self.grid
+                        .rebuild_subset(region, radius, &self.positions, &self.uninformed)
+                        .expect("positions finite, radius validated");
+                    let stamp = &mut self.stamp;
+                    let newly = &mut self.newly;
+                    let time = self.time;
+                    for &t in tx {
+                        self.grid
+                            .for_each_within(self.positions[t as usize], radius, |u| {
+                                if stamp[u] != time {
+                                    stamp[u] = time;
+                                    newly.push(u as u32);
+                                }
+                            });
+                    }
+                } else {
+                    // few uninformed: index the transmitter mass, probe
+                    // from each uninformed agent (early-exit on the
+                    // first covering transmitter)
+                    self.grid
+                        .rebuild_subset(region, radius, &self.positions, tx)
+                        .expect("positions finite, radius validated");
+                    for &u in &self.uninformed {
+                        if self.grid.any_within(self.positions[u as usize], radius) {
+                            self.newly.push(u);
+                        }
+                    }
+                }
+            }
+            EngineMode::Rebuild => {
+                // the seed implementation, kept as the benchmark
+                // baseline: fresh index over gathered transmitter
+                // positions, full scan of all agents
+                let tx_positions: Vec<Point> =
+                    tx.iter().map(|&t| self.positions[t as usize]).collect();
+                let index = GridIndex::for_radius(region, radius, &tx_positions)
+                    .expect("positions finite, radius validated");
+                for i in 0..self.positions.len() {
+                    if self.informed[i] || self.crashed[i] {
+                        continue;
+                    }
+                    if index.any_within(self.positions[i], radius, |_| true) {
+                        self.newly.push(i as u32);
+                    }
+                }
+            }
+            EngineMode::Oracle => {
+                // brute force: same visitation semantics, no index
+                for &u in &self.uninformed {
+                    let p = self.positions[u as usize];
+                    if tx
+                        .iter()
+                        .any(|&t| self.positions[t as usize].euclid_sq(p) <= r2)
+                    {
+                        self.newly.push(u);
+                    }
+                }
             }
         }
-        if tx_positions.is_empty() {
-            return Vec::new();
-        }
-        let index = GridIndex::for_radius(self.model.region(), self.radius, &tx_positions)
-            .expect("positions are finite and radius validated");
-        let mut newly = Vec::new();
-        for i in 0..self.positions.len() {
-            if self.informed[i] || self.crashed[i] {
-                continue;
-            }
-            if index.any_within(self.positions[i], self.radius, |_| true) {
-                newly.push(i);
-            }
-        }
-        newly
     }
 
-    /// Push gossip: each informed agent pushes to at most `k` random
-    /// non-informed neighbors.
-    fn transmit_gossip(&mut self, k: usize) -> Vec<usize> {
-        let index = GridIndex::for_radius(self.model.region(), self.radius, &self.positions)
-            .expect("positions are finite and radius validated");
-        let mut chosen: Vec<bool> = vec![false; self.positions.len()];
-        let mut scratch = Vec::new();
-        for i in 0..self.positions.len() {
-            if !self.informed[i] || self.crashed[i] {
-                continue;
-            }
-            scratch.clear();
-            index.for_each_within(self.positions[i], self.radius, |j, _| {
-                if j != i && !self.informed[j] && !self.crashed[j] {
-                    scratch.push(j);
+    /// Push gossip: each live informed agent pushes to at most `k`
+    /// uniformly chosen live uninformed neighbors.
+    ///
+    /// Candidate lists are sorted ascending before any sampling, and
+    /// rosters are visited in inform order, so all engine modes draw
+    /// identical random streams and inform identical sets.
+    fn transmit_gossip(&mut self, k: usize) {
+        if self.uninformed.is_empty() || self.transmitters.is_empty() {
+            return;
+        }
+        let radius = self.radius;
+        let r2 = radius * radius;
+        let region = self.model.region();
+        match self.engine {
+            EngineMode::Adaptive => {
+                // Index the uninformed mass, gather candidates per
+                // transmitter. Unlike flooding there is no
+                // index-the-roster alternative here: bucketing hits per
+                // transmitter needs an O(candidate-pairs) side list,
+                // which is unbounded in dense regimes and would break
+                // the zero-steady-state-allocation budget.
+                self.grid
+                    .rebuild_subset(region, radius, &self.positions, &self.uninformed)
+                    .expect("positions finite, radius validated");
+                for i in 0..self.transmitters.len() {
+                    let t = self.transmitters[i];
+                    self.cand.clear();
+                    {
+                        let cand = &mut self.cand;
+                        self.grid
+                            .for_each_within(self.positions[t as usize], radius, |u| {
+                                cand.push(u as u32);
+                            });
+                    }
+                    self.cand.sort_unstable();
+                    self.sample_and_mark(k);
                 }
-            });
-            if scratch.len() > k {
-                scratch.shuffle(&mut self.rng);
-                scratch.truncate(k);
             }
-            for &j in &scratch {
-                chosen[j] = true;
+            EngineMode::Rebuild | EngineMode::Oracle => {
+                // brute-force oracle: scan the worklist per transmitter
+                for i in 0..self.transmitters.len() {
+                    let t = self.transmitters[i];
+                    let p = self.positions[t as usize];
+                    self.cand.clear();
+                    {
+                        let cand = &mut self.cand;
+                        for &u in &self.uninformed {
+                            if self.positions[u as usize].euclid_sq(p) <= r2 {
+                                cand.push(u);
+                            }
+                        }
+                    }
+                    self.cand.sort_unstable();
+                    self.sample_and_mark(k);
+                }
             }
         }
-        chosen
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c)
-            .map(|(i, _)| i)
-            .collect()
+    }
+
+    /// Chooses at most `k` of the candidates in `self.cand` (uniformly,
+    /// via partial Fisher–Yates over the sorted list) and appends the
+    /// not-yet-chosen ones to `newly`, stamping them chosen.
+    ///
+    /// The candidate list must be in a canonical (sorted) order whenever
+    /// sampling occurs so that every engine mode draws the same stream.
+    fn sample_and_mark(&mut self, k: usize) {
+        let take = if self.cand.len() > k {
+            debug_assert!(self.cand.windows(2).all(|w| w[0] < w[1]));
+            for i in 0..k {
+                let j = self.rng.gen_range(i..self.cand.len());
+                self.cand.swap(i, j);
+            }
+            k
+        } else {
+            self.cand.len()
+        };
+        for idx in 0..take {
+            let u = self.cand[idx];
+            if self.stamp[u as usize] != self.time {
+                self.stamp[u as usize] = self.time;
+                self.newly.push(u);
+            }
+        }
     }
 
     /// Records the first times at which all agents currently located in
     /// the Central Zone (resp. Suburb) are informed.
+    ///
+    /// Only the live-uninformed worklist is scanned: agents off the
+    /// worklist are informed or crashed, which satisfies the zone
+    /// criterion vacuously.
     fn update_zone_completion(&mut self) {
         let Some(zones) = &self.zones else {
             return;
         };
         if self.central_zone_time.is_none() {
-            let done = (0..self.positions.len()).all(|i| {
-                self.informed[i]
-                    || self.crashed[i]
-                    || zones.zone_of(self.positions[i]) != Zone::Central
-            });
+            let done = self
+                .uninformed
+                .iter()
+                .all(|&u| zones.zone_of(self.positions[u as usize]) != Zone::Central);
             if done {
                 self.central_zone_time = Some(self.time);
             }
         }
         if self.suburb_time.is_none() {
-            let done = (0..self.positions.len()).all(|i| {
-                self.informed[i]
-                    || self.crashed[i]
-                    || zones.zone_of(self.positions[i]) != Zone::Suburb
-            });
+            let done = self
+                .uninformed
+                .iter()
+                .all(|&u| zones.zone_of(self.positions[u as usize]) != Zone::Suburb);
             if done {
                 self.suburb_time = Some(self.time);
             }
@@ -588,6 +956,7 @@ fn nearest_to(positions: &[Point], target: Point) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use crate::SimParams;
     use fastflood_mobility::{Mrwp, Placement, Static};
 
@@ -823,6 +1192,33 @@ mod tests {
     }
 
     #[test]
+    fn time_to_fraction_measures_against_total_population() {
+        // regression: the fraction target must come from n, not from the
+        // peak of the spread curve, or incomplete runs claim full
+        // coverage of whatever they happened to reach
+        let report = FloodingReport {
+            n: 100,
+            completed: false,
+            flooding_time: None,
+            steps_run: 4,
+            spread: vec![1, 10, 40, 60, 60],
+            central_zone_time: None,
+            suburb_time: None,
+        };
+        assert_eq!(report.time_to_fraction(0.1), Some(1));
+        assert_eq!(report.time_to_fraction(0.5), Some(3), "50 of n=100, not 50% of 60");
+        assert_eq!(report.time_to_fraction(0.6), Some(3));
+        assert_eq!(report.time_to_fraction(0.61), None, "never reached 61 agents");
+        assert_eq!(report.time_to_fraction(1.0), None, "incomplete run has no full time");
+        // an actually incomplete sim reports the same way
+        let mut sim = mrwp_sim(400, 200.0, 1.0, 0.1, 29);
+        let r = sim.run(3);
+        assert!(!r.completed);
+        assert_eq!(r.n, 400);
+        assert_eq!(r.time_to_fraction(1.0), None);
+    }
+
+    #[test]
     fn crashed_agents_do_not_relay_or_receive() {
         // static chain 0-1-2-3; crash agent 1: the message cannot cross
         let model = Static::new(10.0, Placement::Uniform).unwrap();
@@ -858,6 +1254,10 @@ mod tests {
         }
         let report = sim.run(50_000);
         assert!(report.completed, "survivors must be reachable via mobility");
+        // regression: flooding_time must be the last *live* receipt, not
+        // the u32::MAX sentinel of never-informed crashed agents
+        let t = report.flooding_time.expect("completed over survivors");
+        assert!(t <= report.steps_run, "flooding_time {t} is a real step");
         for i in 0..90 {
             if sim.is_crashed(i) {
                 assert_eq!(sim.inform_time(i), None);

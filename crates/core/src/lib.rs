@@ -44,7 +44,10 @@ mod trials;
 mod zones;
 
 pub use density::DensityMonitor;
-pub use flooding::{FloodingReport, FloodingSim, InitMode, Protocol, SimConfig, SourcePlacement};
+pub use flooding::{
+    EngineMode, FloodingReport, FloodingSim, InitMode, Protocol, SimConfig, SimRng,
+    SourcePlacement,
+};
 pub use params::SimParams;
 pub use trials::run_trials;
 pub use zones::{Zone, ZoneMap};

@@ -1,0 +1,136 @@
+//! Zero-allocation steady state: once the engine's scratch is warm, a
+//! full-flooding step must not touch the heap.
+//!
+//! A counting global allocator wraps the system allocator; the test runs
+//! a sim mid-flood (worklist non-empty), warms the engine, then asserts
+//! that further steps allocate nothing. The lib crate forbids unsafe
+//! code; the `GlobalAlloc` shim lives here in the test crate.
+
+use fastflood_core::{EngineMode, FloodingSim, Protocol, SimConfig, SourcePlacement};
+use fastflood_mobility::Mrwp;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The allocation counter is process-global; the harness runs tests on
+/// parallel threads, so every measured window must hold this lock or a
+/// co-scheduled allocating test fails the zero assertions spuriously.
+static MEASURE: Mutex<()> = Mutex::new(());
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn warm_sparse_sim(protocol: Protocol) -> FloodingSim<Mrwp> {
+    // sparse regime: radius far below connectivity, slow agents, so the
+    // flood stays incomplete for thousands of steps
+    let model = Mrwp::new(100.0, 0.2).unwrap();
+    let mut sim = FloodingSim::new(
+        model,
+        SimConfig::new(800, 1.5)
+            .seed(7)
+            .source(SourcePlacement::Center)
+            .protocol(protocol)
+            .engine(EngineMode::Adaptive),
+    )
+    .unwrap();
+    // warm up every scratch buffer (both index sides get exercised as
+    // the informed set grows) and pre-reserve the spread curve
+    sim.reserve_steps(4_096);
+    for _ in 0..300 {
+        sim.step();
+    }
+    assert!(
+        !sim.all_informed() && sim.informed_count() > 1,
+        "test needs a mid-flood state: {} informed",
+        sim.informed_count()
+    );
+    sim
+}
+
+#[test]
+fn full_flooding_steps_do_not_allocate() {
+    let _window = MEASURE.lock().unwrap();
+    let mut sim = warm_sparse_sim(Protocol::Flooding);
+    let before = allocations();
+    for _ in 0..200 {
+        sim.step();
+    }
+    let after = allocations();
+    assert!(
+        !sim.all_informed(),
+        "flood completed mid-measurement; slow the parameters down"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "full-flooding steady state must not allocate"
+    );
+}
+
+#[test]
+fn parsimonious_and_gossip_steps_do_not_allocate() {
+    let _window = MEASURE.lock().unwrap();
+    for protocol in [Protocol::Parsimonious { p: 0.5 }, Protocol::Gossip { k: 2 }] {
+        let mut sim = warm_sparse_sim(protocol);
+        let before = allocations();
+        for _ in 0..200 {
+            sim.step();
+        }
+        let after = allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "{protocol:?} steady state must not allocate"
+        );
+    }
+}
+
+#[test]
+fn seed_rebuild_engine_allocates_every_step() {
+    let _window = MEASURE.lock().unwrap();
+    // sanity check that the counter actually measures the engine: the
+    // baseline rebuild engine allocates its index every step
+    let model = Mrwp::new(100.0, 0.2).unwrap();
+    let mut sim = FloodingSim::new(
+        model,
+        SimConfig::new(800, 1.5)
+            .seed(7)
+            .source(SourcePlacement::Center)
+            .engine(EngineMode::Rebuild),
+    )
+    .unwrap();
+    sim.reserve_steps(256);
+    for _ in 0..50 {
+        sim.step();
+    }
+    let before = allocations();
+    for _ in 0..50 {
+        sim.step();
+    }
+    assert!(
+        allocations() - before >= 50,
+        "rebuild baseline should allocate at least once per step"
+    );
+}

@@ -1,0 +1,157 @@
+//! The adaptive transmit engine must inform *exactly* the same agent set
+//! per step as the brute-force oracle, for every protocol, with and
+//! without crashes — and (for full flooding, which draws no protocol
+//! randomness) as the seed's rebuild-every-step engine too.
+//!
+//! Engine modes are constructed so they consume identical random
+//! streams; any divergence in informed sets, inform times, or spread
+//! curves is an engine bug, not noise.
+
+use fastflood_core::{EngineMode, FloodingSim, Protocol, SimConfig, SourcePlacement};
+use fastflood_mobility::Mrwp;
+use proptest::prelude::*;
+
+fn sim(
+    n: usize,
+    seed: u64,
+    protocol: Protocol,
+    engine: EngineMode,
+    crash_stride: usize,
+) -> FloodingSim<Mrwp> {
+    let model = Mrwp::new(18.0, 0.6).unwrap();
+    let mut sim = FloodingSim::new(
+        model,
+        SimConfig::new(n, 2.5)
+            .seed(seed)
+            .source(SourcePlacement::Agent(0))
+            .protocol(protocol)
+            .engine(engine),
+    )
+    .unwrap();
+    if crash_stride > 0 {
+        // deterministic crash pattern, never the source
+        for a in (1..n).step_by(crash_stride) {
+            sim.crash_agent(a);
+        }
+    }
+    sim
+}
+
+fn lockstep_compare(
+    n: usize,
+    seed: u64,
+    protocol: Protocol,
+    reference: EngineMode,
+    crash_stride: usize,
+    steps: u32,
+) {
+    let mut adaptive = sim(n, seed, protocol, EngineMode::Adaptive, crash_stride);
+    let mut oracle = sim(n, seed, protocol, reference, crash_stride);
+    for t in 1..=steps {
+        let a = adaptive.step();
+        let b = oracle.step();
+        prop_assert_eq!(
+            a,
+            b,
+            "step {} newly-informed counts diverged (n={}, seed={}, {:?}, stride {})",
+            t,
+            n,
+            seed,
+            protocol,
+            crash_stride
+        );
+        prop_assert_eq!(
+            adaptive.informed(),
+            oracle.informed(),
+            "step {} informed sets diverged (n={}, seed={}, {:?}, stride {})",
+            t,
+            n,
+            seed,
+            protocol,
+            crash_stride
+        );
+        if adaptive.all_informed() {
+            break;
+        }
+    }
+    prop_assert_eq!(adaptive.report(), oracle.report());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn flooding_matches_oracle(seed in 0u64..1000, n in 40usize..160, stride in 0usize..6) {
+        // stride 1 crashes every non-source agent — a completion edge case
+        lockstep_compare(n, seed, Protocol::Flooding, EngineMode::Oracle, stride, 400);
+    }
+
+    #[test]
+    fn flooding_matches_seed_rebuild_engine(seed in 0u64..1000, n in 40usize..160) {
+        // full flooding draws no protocol randomness, so even the
+        // seed-faithful rebuild engine must match step for step
+        lockstep_compare(n, seed, Protocol::Flooding, EngineMode::Rebuild, 0, 400);
+    }
+
+    #[test]
+    fn parsimonious_matches_oracle(seed in 0u64..1000, n in 40usize..140, p in 0.05f64..0.95) {
+        lockstep_compare(n, seed, Protocol::Parsimonious { p }, EngineMode::Oracle, 0, 400);
+    }
+
+    #[test]
+    fn parsimonious_with_crashes_matches_oracle(seed in 0u64..500, n in 40usize..120) {
+        lockstep_compare(n, seed, Protocol::Parsimonious { p: 0.4 }, EngineMode::Oracle, 4, 400);
+    }
+
+    #[test]
+    fn gossip_matches_oracle(seed in 0u64..1000, n in 40usize..140, k in 1usize..6) {
+        lockstep_compare(n, seed, Protocol::Gossip { k }, EngineMode::Oracle, 0, 400);
+    }
+
+    #[test]
+    fn gossip_with_crashes_matches_oracle(seed in 0u64..500, n in 40usize..120, k in 1usize..4) {
+        lockstep_compare(n, seed, Protocol::Gossip { k }, EngineMode::Oracle, 5, 400);
+    }
+}
+
+/// Gossip with `k >= n` can never need to sample, so it must inform the
+/// same agents as full flooding — not just finish at the same time, but
+/// match step for step.
+#[test]
+fn gossip_with_k_at_least_n_matches_flooding_step_for_step() {
+    for seed in [3u64, 17, 99] {
+        let n = 120;
+        let mut flood = sim(n, seed, Protocol::Flooding, EngineMode::Adaptive, 0);
+        let mut gossip = sim(n, seed, Protocol::Gossip { k: n }, EngineMode::Adaptive, 0);
+        for _ in 0..2_000 {
+            flood.step();
+            gossip.step();
+            assert_eq!(
+                flood.informed(),
+                gossip.informed(),
+                "seed {seed}: gossip k=n diverged from flooding"
+            );
+            if flood.all_informed() {
+                break;
+            }
+        }
+        assert!(flood.all_informed(), "seed {seed}: flood must complete");
+        assert_eq!(flood.report(), gossip.report());
+    }
+}
+
+/// The same lockstep checks on a couple of fixed configurations, kept as
+/// plain tests so a failure names the exact scenario.
+#[test]
+fn fixed_scenarios_match_oracle() {
+    lockstep_compare(100, 42, Protocol::Flooding, EngineMode::Oracle, 3, 600);
+    lockstep_compare(100, 42, Protocol::Gossip { k: 2 }, EngineMode::Oracle, 3, 600);
+    lockstep_compare(
+        100,
+        42,
+        Protocol::Parsimonious { p: 0.3 },
+        EngineMode::Oracle,
+        3,
+        600,
+    );
+}

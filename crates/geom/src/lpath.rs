@@ -37,16 +37,32 @@ pub struct LPath {
     start: Point,
     dest: Point,
     first_axis: Axis,
+    // Trip-invariant geometry, cached at construction: an agent samples
+    // its path millions of times (`point_at`/`remaining` every step of
+    // every trip), so corner/leg lengths must not be recomputed per call.
+    corner: Point,
+    leg1: f64,
+    leg2: f64,
+    len: f64,
 }
 
 impl LPath {
     /// Creates the L-path from `start` to `dest` traveling along
     /// `first_axis` first.
-    pub const fn new(start: Point, dest: Point, first_axis: Axis) -> LPath {
+    pub fn new(start: Point, dest: Point, first_axis: Axis) -> LPath {
+        let corner = match first_axis {
+            // travel along y first: x stays at start.x until the corner
+            Axis::Y => Point::new(start.x, dest.y),
+            Axis::X => Point::new(dest.x, start.y),
+        };
         LPath {
             start,
             dest,
             first_axis,
+            corner,
+            leg1: start.manhattan(corner),
+            leg2: corner.manhattan(dest),
+            len: start.manhattan(dest),
         }
     }
 
@@ -71,7 +87,7 @@ impl LPath {
     /// Total path length (the Manhattan distance between endpoints).
     #[inline]
     pub fn len(&self) -> f64 {
-        self.start.manhattan(self.dest)
+        self.len
     }
 
     /// Whether the path has zero length (start equals destination).
@@ -84,24 +100,21 @@ impl LPath {
     ///
     /// For degenerate paths (single leg or single point) the corner
     /// coincides with an endpoint.
+    #[inline]
     pub fn corner(&self) -> Point {
-        match self.first_axis {
-            // travel along y first: x stays at start.x until the corner
-            Axis::Y => Point::new(self.start.x, self.dest.y),
-            Axis::X => Point::new(self.dest.x, self.start.y),
-        }
+        self.corner
     }
 
     /// Length of the first leg (start to corner).
     #[inline]
     pub fn leg1_len(&self) -> f64 {
-        self.start.manhattan(self.corner())
+        self.leg1
     }
 
     /// Length of the second leg (corner to destination).
     #[inline]
     pub fn leg2_len(&self) -> f64 {
-        self.corner().manhattan(self.dest)
+        self.leg2
     }
 
     /// The two legs as segments; either may be degenerate.
@@ -114,15 +127,17 @@ impl LPath {
     }
 
     /// Whether the path actually turns (both legs have positive length).
+    #[inline]
     pub fn has_turn(&self) -> bool {
-        self.leg1_len() > 0.0 && self.leg2_len() > 0.0
+        self.leg1 > 0.0 && self.leg2 > 0.0
     }
 
     /// Arc-length position of the turn, or `None` when the path does not
     /// turn.
+    #[inline]
     pub fn turn_at(&self) -> Option<f64> {
         if self.has_turn() {
-            Some(self.leg1_len())
+            Some(self.leg1)
         } else {
             None
         }
@@ -132,13 +147,17 @@ impl LPath {
     ///
     /// `s` is clamped to `[0, len]`, so `point_at(0.0) == start()` and
     /// `point_at(len) == dest()`.
+    #[inline]
     pub fn point_at(&self, s: f64) -> Point {
-        let s = s.clamp(0.0, self.len());
-        let l1 = self.leg1_len();
-        if s <= l1 {
-            self.legs()[0].point_at(s)
+        let s = s.clamp(0.0, self.len);
+        if s <= self.leg1 {
+            if self.leg1 == 0.0 {
+                return self.start;
+            }
+            self.start.lerp(self.corner, s / self.leg1)
         } else {
-            self.legs()[1].point_at(s - l1)
+            // s > leg1 implies a positive second leg
+            self.corner.lerp(self.dest, (s - self.leg1) / self.leg2)
         }
     }
 
@@ -162,17 +181,13 @@ impl LPath {
     /// Remaining distance from arc-length `s` to the destination.
     #[inline]
     pub fn remaining(&self, s: f64) -> f64 {
-        (self.len() - s.clamp(0.0, self.len())).max(0.0)
+        (self.len - s.clamp(0.0, self.len)).max(0.0)
     }
 
     /// The opposite-corner path between the same endpoints (the other of
     /// the paper's `{P1, P2}` pair).
     pub fn alternate(&self) -> LPath {
-        LPath {
-            start: self.start,
-            dest: self.dest,
-            first_axis: self.first_axis.other(),
-        }
+        LPath::new(self.start, self.dest, self.first_axis.other())
     }
 }
 

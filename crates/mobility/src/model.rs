@@ -62,6 +62,27 @@ pub trait Mobility {
 
     /// Advances the agent by one time unit, returning the step's events.
     fn step<R: Rng + ?Sized>(&self, state: &mut Self::State, rng: &mut R) -> StepEvents;
+
+    /// Advances the agent by one time unit given its `current` position,
+    /// returning the new position and the step's events.
+    ///
+    /// Semantically identical to [`Mobility::step`] followed by
+    /// [`Mobility::position`] (the default implementation is exactly
+    /// that), but models can override it with a fused fast path: for
+    /// axis-aligned travel the common no-corner-crossed step is a single
+    /// coordinate increment, skipping the full arc-length-to-point
+    /// conversion. The flooding engine's move loop calls this.
+    #[inline]
+    fn step_from<R: Rng + ?Sized>(
+        &self,
+        state: &mut Self::State,
+        current: Point,
+        rng: &mut R,
+    ) -> (Point, StepEvents) {
+        let _ = current;
+        let ev = self.step(state, rng);
+        (self.position(state), ev)
+    }
 }
 
 #[cfg(test)]

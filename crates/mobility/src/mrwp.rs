@@ -48,7 +48,7 @@ pub struct Mrwp {
 
 /// Trajectory state of one MRWP agent: the current L-path and the
 /// arc-length progress along it.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MrwpState {
     path: LPath,
@@ -56,6 +56,36 @@ pub struct MrwpState {
     s: f64,
     /// Remaining pause steps at the current way-point (0 = traveling).
     pause_left: u32,
+    /// Leg cache for the fused [`Mobility::step_from`] fast path: while
+    /// `s + speed < leg_end` a step is `position += (vx, vy)`. Negative
+    /// when invalid (fresh state, pause, or leg boundary ahead), which
+    /// routes the next step through the full logic that refreshes it.
+    leg_end: f64,
+    /// Per-step displacement on the current leg (`±speed` on one axis).
+    vx: f64,
+    vy: f64,
+}
+
+/// Equality over the observable trajectory only — the `step_from` leg
+/// cache is an implementation detail whose warm/cold status depends on
+/// which stepping entry point was used last.
+impl PartialEq for MrwpState {
+    fn eq(&self, other: &MrwpState) -> bool {
+        self.path == other.path && self.s == other.s && self.pause_left == other.pause_left
+    }
+}
+
+impl MrwpState {
+    fn new(path: LPath, s: f64, pause_left: u32) -> MrwpState {
+        MrwpState {
+            path,
+            s,
+            pause_left,
+            leg_end: -1.0,
+            vx: 0.0,
+            vy: 0.0,
+        }
+    }
 }
 
 impl MrwpState {
@@ -168,11 +198,7 @@ impl Mobility for Mrwp {
             let axis = if rng.gen_bool(0.5) { Axis::Y } else { Axis::X };
             let path = LPath::new(w, d, axis);
             let s = rng.gen::<f64>() * path.len();
-            return MrwpState {
-                path,
-                s,
-                pause_left: 0,
-            };
+            return MrwpState::new(path, s, 0);
         }
         // With pauses, a renewal cycle lasts len/v + pause steps; sample
         // cycles duration-biased, then place the agent uniformly in time
@@ -189,20 +215,12 @@ impl Mobility for Mrwp {
             }
             if rng.gen::<f64>() * duration < self.pause as f64 {
                 // paused at the destination, uniformly into the pause
-                return MrwpState {
-                    path: LPath::new(d, d, Axis::X),
-                    s: 0.0,
-                    pause_left: rng.gen_range(1..=self.pause),
-                };
+                return MrwpState::new(LPath::new(d, d, Axis::X), 0.0, rng.gen_range(1..=self.pause));
             }
             let axis = if rng.gen_bool(0.5) { Axis::Y } else { Axis::X };
             let path = LPath::new(w, d, axis);
             let s = rng.gen::<f64>() * path.len();
-            return MrwpState {
-                path,
-                s,
-                pause_left: 0,
-            };
+            return MrwpState::new(path, s, 0);
         }
     }
 
@@ -211,11 +229,7 @@ impl Mobility for Mrwp {
             self.region().contains(pos),
             "initial position {pos} outside the region"
         );
-        MrwpState {
-            path: self.fresh_trip(pos, rng),
-            s: 0.0,
-            pause_left: 0,
-        }
+        MrwpState::new(self.fresh_trip(pos, rng), 0.0, 0)
     }
 
     fn position(&self, state: &MrwpState) -> Point {
@@ -223,6 +237,9 @@ impl Mobility for Mrwp {
     }
 
     fn step<R: Rng + ?Sized>(&self, state: &mut MrwpState, rng: &mut R) -> StepEvents {
+        // a direct step() bypasses the fused fast path; invalidate its
+        // cache so a later step_from cannot move along stale geometry
+        state.leg_end = -1.0;
         if state.pause_left > 0 {
             state.pause_left -= 1;
             if state.pause_left == 0 {
@@ -283,6 +300,60 @@ impl Mobility for Mrwp {
         }
         events
     }
+
+    #[inline]
+    fn step_from<R: Rng + ?Sized>(
+        &self,
+        state: &mut MrwpState,
+        current: Point,
+        rng: &mut R,
+    ) -> (Point, StepEvents) {
+        // Fast path for the overwhelmingly common step: traveling, and
+        // the whole step stays strictly inside the current leg. Motion is
+        // then a single precomputed vector add — no corner, no arrival,
+        // no arc-length-to-point conversion. `leg_end < 0` (fresh state
+        // or pause) fails the guard and takes the full path below.
+        let s_new = state.s + self.speed;
+        if s_new < state.leg_end {
+            state.s = s_new;
+            return (
+                Point::new(current.x + state.vx, current.y + state.vy),
+                StepEvents::default(),
+            );
+        }
+        // corner, arrival, pause, or degenerate cases: full step logic,
+        // then refresh the leg cache for the steps that follow
+        let ev = self.step(state, rng);
+        self.refresh_leg_cache(state);
+        (self.position(state), ev)
+    }
+}
+
+impl Mrwp {
+    /// Recomputes the [`Mobility::step_from`] fast-path cache from the
+    /// authoritative `(path, s, pause_left)` state.
+    fn refresh_leg_cache(&self, state: &mut MrwpState) {
+        if state.pause_left > 0 || self.speed == 0.0 {
+            state.leg_end = -1.0;
+            return;
+        }
+        let path = &state.path;
+        let (from, to, end) = if state.s < path.leg1_len() {
+            (path.start(), path.corner(), path.leg1_len())
+        } else {
+            (path.corner(), path.dest(), path.len())
+        };
+        state.leg_end = end;
+        state.vx = (to.x - from.x).signum() * self.speed;
+        state.vy = (to.y - from.y).signum() * self.speed;
+        // axis-aligned legs move along exactly one axis
+        if to.x == from.x {
+            state.vx = 0.0;
+        }
+        if to.y == from.y {
+            state.vy = 0.0;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +365,30 @@ mod tests {
 
     fn rng(seed: u64) -> rand::rngs::StdRng {
         rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn interleaving_step_and_step_from_stays_consistent() {
+        // regression: a direct step() must invalidate the step_from leg
+        // cache, or the next fused step moves along stale geometry
+        let model = Mrwp::new(20.0, 1.5).unwrap();
+        let mut r = rng(77);
+        let mut st = model.init_stationary(&mut r);
+        let mut pos = model.position(&st);
+        for i in 0..500 {
+            if i % 7 == 3 {
+                model.step(&mut st, &mut r);
+                pos = model.position(&st);
+            } else {
+                let (p, _) = model.step_from(&mut st, pos, &mut r);
+                pos = p;
+            }
+            let truth = model.position(&st);
+            assert!(
+                (pos.x - truth.x).abs() < 1e-9 && (pos.y - truth.y).abs() < 1e-9,
+                "step {i}: fused position {pos} diverged from {truth}"
+            );
+        }
     }
 
     #[test]

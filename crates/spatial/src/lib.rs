@@ -2,11 +2,22 @@
 //!
 //! The flooding simulator asks, every time step and for every non-informed
 //! agent, "is any informed agent within Euclidean distance `R`?". With `n`
-//! agents this must not be `O(n²)`. This crate provides a bucket-grid
-//! index ([`GridIndex`]) rebuilt per step in `O(n)`, answering radius
-//! queries by scanning only the buckets overlapping the query disk, plus a
-//! deliberately naive [`BruteForceIndex`] used as a correctness oracle in
-//! tests and benches.
+//! agents this must not be `O(n²)`. This crate provides:
+//!
+//! * [`GridIndex`] — an immutable bucket-grid index built in `O(n)`,
+//!   answering radius queries by scanning only the buckets overlapping the
+//!   query disk;
+//! * [`GridIndexBuffer`] — the same grid in **reusable, allocation-free**
+//!   form: retained CSR storage re-binned in place every rebuild, entries
+//!   split into parallel `ids` / packed-coordinate arrays so the inner
+//!   distance loop streams dense 16-byte pairs. This is the engine behind
+//!   the flooding simulator's adaptive transmit path: it can index an
+//!   arbitrary *subset* of an agent population (the transmitters or the
+//!   shrinking uninformed set, whichever is smaller) without copying
+//!   positions, and after warm-up a rebuild performs **zero heap
+//!   allocations**;
+//! * [`BruteForceIndex`] — a deliberately naive `O(n)`-per-query oracle
+//!   used for correctness tests and baseline benches.
 //!
 //! # Examples
 //!
@@ -342,6 +353,283 @@ impl GridIndex {
     }
 }
 
+/// A reusable bucket-grid index with retained storage and SoA entries.
+///
+/// Where [`GridIndex::build`] allocates fresh CSR vectors on every call,
+/// a `GridIndexBuffer` is rebuilt **in place**: bucket tables and entry
+/// arrays keep their capacity across rebuilds, so a simulation loop that
+/// re-bins moving points every step performs no steady-state heap
+/// allocations. Entries are stored as parallel `ids`/`xs`/`ys` arrays
+/// (structure-of-arrays), which keeps the hot distance loop on flat
+/// `f64` data.
+///
+/// The buffer can index an arbitrary subset of a larger population via
+/// [`GridIndexBuffer::rebuild_subset`]; queries then report the original
+/// population ids. The bucket count per axis adapts to the subset size
+/// (capped near `2·√k` for `k` indexed points) so small frontiers get
+/// proportionally small bucket tables.
+///
+/// # Examples
+///
+/// ```
+/// use fastflood_geom::{Point, Rect};
+/// use fastflood_spatial::GridIndexBuffer;
+///
+/// let region = Rect::square(100.0)?;
+/// let pts = vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0), Point::new(90.0, 90.0)];
+/// let mut buf = GridIndexBuffer::new();
+/// buf.rebuild_subset(region, 5.0, &pts, &[0, 2])?; // index points 0 and 2 only
+/// assert!(buf.any_within(Point::new(0.0, 0.0), 2.0));
+/// assert!(!buf.any_within(Point::new(2.0, 2.0), 0.5)); // 1 not indexed
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndexBuffer {
+    region: Rect,
+    m: usize,
+    bucket_len_x: f64,
+    bucket_len_y: f64,
+    /// CSR layout: `starts[b]..starts[b+1]` indexes the entry arrays.
+    starts: Vec<u32>,
+    /// Binning cursor, retained to avoid reallocating each rebuild.
+    cursor: Vec<u32>,
+    /// Entries sorted by bucket, ids and packed coordinates in parallel
+    /// arrays: the distance loop streams dense 16-byte coordinate pairs
+    /// and touches `ids` only on hits, while a rebuild's scatter pass
+    /// writes two cache lines per point instead of three.
+    ids: Vec<u32>,
+    pts: Vec<(f64, f64)>,
+    /// Gather scratch: subset coordinates copied densely before binning,
+    /// so the two binning passes read sequentially and pay the
+    /// `positions[id]` indirection exactly once per point.
+    gather: Vec<(f64, f64)>,
+    len: usize,
+}
+
+impl GridIndexBuffer {
+    /// Pre-allocates storage for rebuilds of up to `points` points, so
+    /// no later rebuild of that size or smaller allocates at all.
+    pub fn reserve(&mut self, points: usize) {
+        let cap = (2.0 * (points.max(1) as f64).sqrt()).ceil() as usize + 1;
+        let table = cap * cap + 1;
+        self.starts.reserve(table.saturating_sub(self.starts.len()));
+        self.cursor.reserve(table.saturating_sub(self.cursor.len()));
+        self.ids.reserve(points.saturating_sub(self.ids.len()));
+        self.pts.reserve(points.saturating_sub(self.pts.len()));
+        self.gather.reserve(points.saturating_sub(self.gather.len()));
+    }
+
+    /// Creates an empty buffer; storage grows on first rebuild and is
+    /// retained afterwards.
+    pub fn new() -> GridIndexBuffer {
+        GridIndexBuffer {
+            region: Rect::square(1.0).expect("unit square is valid"),
+            m: 1,
+            bucket_len_x: 1.0,
+            bucket_len_y: 1.0,
+            starts: Vec::new(),
+            cursor: Vec::new(),
+            ids: Vec::new(),
+            pts: Vec::new(),
+            gather: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Re-bins every position into the buffer (ids `0..positions.len()`).
+    ///
+    /// # Errors
+    ///
+    /// As [`GridIndex::build`].
+    pub fn rebuild(
+        &mut self,
+        region: Rect,
+        bucket_size: f64,
+        positions: &[Point],
+    ) -> Result<(), SpatialError> {
+        self.rebuild_inner(region, bucket_size, positions, None)
+    }
+
+    /// Re-bins only the positions selected by `subset` (original indices
+    /// into `positions`); queries report those original indices.
+    ///
+    /// # Errors
+    ///
+    /// As [`GridIndex::build`]. A subset id out of bounds of `positions`
+    /// panics.
+    pub fn rebuild_subset(
+        &mut self,
+        region: Rect,
+        bucket_size: f64,
+        positions: &[Point],
+        subset: &[u32],
+    ) -> Result<(), SpatialError> {
+        self.rebuild_inner(region, bucket_size, positions, Some(subset))
+    }
+
+    fn rebuild_inner(
+        &mut self,
+        region: Rect,
+        bucket_size: f64,
+        positions: &[Point],
+        subset: Option<&[u32]>,
+    ) -> Result<(), SpatialError> {
+        if !(bucket_size > 0.0) || !bucket_size.is_finite() {
+            return Err(SpatialError::BadBucketSize(bucket_size));
+        }
+        let k = subset.map_or(positions.len(), <[u32]>::len);
+        let side = region.width().max(region.height());
+        let cap = (2.0 * (k.max(1) as f64).sqrt()).ceil() as usize + 1;
+        let m = ((side / bucket_size).floor() as usize).clamp(1, cap.max(1));
+        self.region = region;
+        self.m = m;
+        self.bucket_len_x = region.width() / m as f64;
+        self.bucket_len_y = region.height() / m as f64;
+        self.len = k;
+
+        // retained-capacity resizes: no allocation once warmed up
+        self.starts.clear();
+        self.starts.resize(m * m + 1, 0);
+        self.ids.clear();
+        self.ids.resize(k, 0);
+        self.pts.clear();
+        self.pts.resize(k, (0.0, 0.0));
+
+        let min = region.min();
+        let inv_x = 1.0 / self.bucket_len_x;
+        let inv_y = 1.0 / self.bucket_len_y;
+        let bucket_of = |x: f64, y: f64| -> usize {
+            let cx = (((x - min.x) * inv_x).floor().max(0.0) as usize).min(m - 1);
+            let cy = (((y - min.y) * inv_y).floor().max(0.0) as usize).min(m - 1);
+            cy * m + cx
+        };
+
+        // gather pass: pay the indirection once, validate, go dense
+        self.gather.clear();
+        match subset {
+            Some(sub) => {
+                for &id in sub {
+                    let p = positions[id as usize];
+                    if !p.is_finite() {
+                        return Err(SpatialError::NotFinite { index: id as usize });
+                    }
+                    self.gather.push((p.x, p.y));
+                }
+            }
+            None => {
+                for (id, p) in positions.iter().enumerate() {
+                    if !p.is_finite() {
+                        return Err(SpatialError::NotFinite { index: id });
+                    }
+                    self.gather.push((p.x, p.y));
+                }
+            }
+        }
+        // pass 1: counts (into starts, shifted by one)
+        for &(x, y) in &self.gather {
+            self.starts[bucket_of(x, y) + 1] += 1;
+        }
+        // prefix sums
+        for b in 1..self.starts.len() {
+            self.starts[b] += self.starts[b - 1];
+        }
+        // pass 2: scatter
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.starts[..m * m]);
+        for i in 0..k {
+            let (x, y) = self.gather[i];
+            let b = bucket_of(x, y);
+            let at = self.cursor[b] as usize;
+            self.cursor[b] += 1;
+            self.ids[at] = subset.map_or(i as u32, |s| s[i]);
+            self.pts[at] = (x, y);
+        }
+        Ok(())
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer currently indexes no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Buckets per axis of the current rebuild.
+    #[inline]
+    pub fn buckets_per_axis(&self) -> usize {
+        self.m
+    }
+
+    /// Retained capacities `(bucket_table, entries)` — stable across
+    /// steady-state rebuilds, which is what the zero-allocation tests
+    /// assert.
+    pub fn capacities(&self) -> (usize, usize) {
+        (
+            self.starts.capacity().max(self.cursor.capacity()),
+            self.ids.capacity().min(self.pts.capacity()).min(self.gather.capacity()),
+        )
+    }
+
+    #[inline]
+    fn bucket_axis_range(&self, lo: f64, hi: f64, origin: f64, inv_len: f64) -> (usize, usize) {
+        let a = (((lo - origin) * inv_len).floor().max(0.0) as usize).min(self.m - 1);
+        let b = (((hi - origin) * inv_len).floor().max(0.0) as usize).min(self.m - 1);
+        (a, b)
+    }
+
+    /// Visits indexed points within distance `r` of `p`, stopping early
+    /// when `f` returns `false`; returns `false` iff stopped early.
+    pub fn visit_within<F: FnMut(usize) -> bool>(&self, p: Point, r: f64, mut f: F) -> bool {
+        debug_assert!(r >= 0.0, "query radius must be nonnegative");
+        if self.len == 0 {
+            return true;
+        }
+        let r2 = r * r;
+        let min = self.region.min();
+        let inv_x = 1.0 / self.bucket_len_x;
+        let inv_y = 1.0 / self.bucket_len_y;
+        let (cx0, cx1) = self.bucket_axis_range(p.x - r, p.x + r, min.x, inv_x);
+        let (cy0, cy1) = self.bucket_axis_range(p.y - r, p.y + r, min.y, inv_y);
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                let b = cy * self.m + cx;
+                let lo = self.starts[b] as usize;
+                let hi = self.starts[b + 1] as usize;
+                for e in lo..hi {
+                    let (x, y) = self.pts[e];
+                    let dx = x - p.x;
+                    let dy = y - p.y;
+                    if dx * dx + dy * dy <= r2 && !f(self.ids[e] as usize) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Calls `f(id)` for every indexed point within distance `r` of `p`.
+    #[inline]
+    pub fn for_each_within<F: FnMut(usize)>(&self, p: Point, r: f64, mut f: F) {
+        self.visit_within(p, r, |i| {
+            f(i);
+            true
+        });
+    }
+
+    /// Whether any indexed point lies within distance `r` of `p`
+    /// (early-exiting at the first hit).
+    #[inline]
+    pub fn any_within(&self, p: Point, r: f64) -> bool {
+        !self.visit_within(p, r, |_| false)
+    }
+}
+
 /// An `O(n)`-per-query reference index with the same semantics as
 /// [`GridIndex`].
 ///
@@ -608,5 +896,104 @@ mod tests {
     fn error_display() {
         assert!(!SpatialError::BadBucketSize(0.0).to_string().is_empty());
         assert!(!SpatialError::NotFinite { index: 3 }.to_string().is_empty());
+    }
+
+    #[test]
+    fn buffer_matches_grid_index_queries() {
+        let mut pts = Vec::new();
+        for i in 0..17 {
+            for j in 0..17 {
+                pts.push(Point::new(i as f64 * 5.9 + 0.3, j as f64 * 5.7 + 0.9));
+            }
+        }
+        let idx = GridIndex::build(region(), 6.0, &pts).unwrap();
+        let mut buf = GridIndexBuffer::new();
+        buf.rebuild(region(), 6.0, &pts).unwrap();
+        assert_eq!(buf.len(), pts.len());
+        for q in [
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 50.0),
+            Point::new(99.0, 1.0),
+            Point::new(33.3, 66.6),
+        ] {
+            for r in [0.5, 4.0, 11.0, 30.0] {
+                let mut expected = idx.indices_within(q, r);
+                expected.sort();
+                let mut got = Vec::new();
+                buf.for_each_within(q, r, |i| got.push(i));
+                got.sort();
+                assert_eq!(got, expected, "query {q} r {r}");
+                assert_eq!(buf.any_within(q, r), !expected.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_subset_reports_original_ids() {
+        let pts = [
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(3.0, 3.0),
+            Point::new(90.0, 90.0),
+        ];
+        let mut buf = GridIndexBuffer::new();
+        buf.rebuild_subset(region(), 5.0, &pts, &[1, 3]).unwrap();
+        assert_eq!(buf.len(), 2);
+        let mut got = Vec::new();
+        buf.for_each_within(Point::new(2.0, 2.0), 2.0, |i| got.push(i));
+        assert_eq!(got, vec![1], "only subset members are indexed");
+        assert!(buf.any_within(Point::new(91.0, 91.0), 3.0));
+        assert!(!buf.any_within(Point::new(1.0, 1.0), 0.5), "0 not in subset");
+    }
+
+    #[test]
+    fn buffer_rebuild_reuses_capacity() {
+        let mut pts: Vec<Point> = (0..500)
+            .map(|i| Point::new((i % 23) as f64 * 4.0 + 1.0, (i % 19) as f64 * 5.0 + 1.0))
+            .collect();
+        let mut buf = GridIndexBuffer::new();
+        buf.rebuild(region(), 5.0, &pts).unwrap();
+        let caps = buf.capacities();
+        // shrinking subsets and moved positions must not grow storage
+        let all: Vec<u32> = (0..pts.len() as u32).collect();
+        for round in 0..50 {
+            for p in &mut pts {
+                *p = Point::new((p.x + 7.3) % 100.0, (p.y + 3.1) % 100.0);
+            }
+            let take = pts.len() - round * 9;
+            buf.rebuild_subset(region(), 5.0, &pts, &all[..take]).unwrap();
+            assert_eq!(buf.capacities(), caps, "round {round} grew storage");
+            assert_eq!(buf.len(), take);
+        }
+    }
+
+    #[test]
+    fn buffer_validates_input() {
+        let mut buf = GridIndexBuffer::new();
+        assert!(buf.rebuild(region(), 0.0, &[]).is_err());
+        assert!(buf.rebuild(region(), f64::NAN, &[]).is_err());
+        let bad = [Point::new(0.0, f64::INFINITY)];
+        assert!(matches!(
+            buf.rebuild(region(), 1.0, &bad),
+            Err(SpatialError::NotFinite { index: 0 })
+        ));
+        // empty buffer answers queries
+        buf.rebuild(region(), 5.0, &[]).unwrap();
+        assert!(buf.is_empty());
+        assert!(!buf.any_within(Point::new(1.0, 1.0), 50.0));
+    }
+
+    #[test]
+    fn buffer_visit_within_early_stop() {
+        let pts = [Point::new(1.0, 1.0), Point::new(1.5, 1.0)];
+        let mut buf = GridIndexBuffer::new();
+        buf.rebuild(region(), 5.0, &pts).unwrap();
+        let mut seen = 0;
+        let completed = buf.visit_within(Point::new(1.0, 1.0), 2.0, |_| {
+            seen += 1;
+            false
+        });
+        assert!(!completed);
+        assert_eq!(seen, 1);
     }
 }

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Measures flooding-engine step throughput and records BENCH_engine.json
+# at the repo root.
+#
+# Two measurement shapes from the flood_end_to_end bench:
+#   engine_step            fixed step batches from a cloned ~30%-informed
+#                          state (pure mid-flood frontier work), adaptive
+#                          engine vs the seed rebuild baseline in-tree;
+#   engine_step_sustained  time-sized step() loop from ~50% informed —
+#                          the seed's own measurement protocol, directly
+#                          comparable with the baseline_seed_at_pr_start
+#                          block below.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+FASTFLOOD_BENCH_JSON="$tmp" cargo bench -p fastflood-bench --bench flood_end_to_end -- engine_step
+
+machine="$(uname -srm); $(grep -m1 'model name' /proc/cpuinfo 2>/dev/null | cut -d: -f2- | sed 's/^ //' || true)"
+
+{
+  echo '{'
+  echo '  "bench": "flood_end_to_end engine_step groups",'
+  echo '  "units": "ns_per_iter; engine_step iterates a whole step batch (see throughput_per_iter for agent-steps), engine_step_sustained iterates one step",'
+  echo "  \"recorded_at\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo "  \"machine\": \"${machine}\","
+  echo '  "notes": "Two protocols measure different things. engine_step isolates the transmit ALGORITHM: fixed mid-flood step batches (completion asserted not to occur), adaptive vs seed_rebuild, both riding the same optimized mobility layer - expect a modest ratio (~1.2x) because mobility improvements cancel out. engine_step_sustained reproduces the whole-run protocol of the PR-start baseline (warm to 50%, time-sized loop through completion): comparing its adaptive rows against baseline_seed_at_pr_start measures the full engine rework (transmit + worklist + mobility fast path + RNG) like-for-like - the ISSUE acceptance figure (>=2x at n=10k) refers to this comparison.",'
+  # The seed implementation (per-step GridIndex rebuild + full agent
+  # scans + uncached L-path mobility + ChaCha12 StdRng), measured with
+  # the sustained protocol at the start of the engine rework, before any
+  # optimization. Only the engine_step_sustained/adaptive rows measured
+  # on the SAME machine as this baseline are a like-for-like comparison;
+  # on any other machine use the in-tree adaptive-vs-seed_rebuild
+  # engine_step rows instead.
+  echo '  "baseline_seed_at_pr_start": {'
+  echo '    "protocol": "engine_step_sustained (time-sized step loop from ~50% informed, radius 0.4*scale, v 0.2*radius)",'
+  echo '    "machine": "Linux 6.18.5-fc-v18 x86_64 (original PR machine; cross-machine comparison with \"results\" below is invalid unless \"machine\" matches)",'
+  echo '    "ns_per_step": {"1000": 20393.6, "10000": 267263.1, "100000": 7008407.4}'
+  echo '  },'
+  echo '  "results":'
+  sed 's/^/  /' "$tmp"
+  echo '}'
+} > BENCH_engine.json
+
+echo "wrote BENCH_engine.json"

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Bench smoke: compile every Criterion bench target and run each
+# benchmark body exactly once (the harness's --test mode), so bench code
+# cannot rot without failing the tier-1 flow. Takes seconds, measures
+# nothing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo bench -p fastflood-bench --benches -- --test
+echo "bench smoke: all benchmark bodies ran once"

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification flow: release build, full test suite, and the
+# bench smoke (compiles all Criterion targets and runs each body once so
+# bench code cannot rot).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+scripts/bench_smoke.sh
+echo "tier-1: build + tests + bench smoke all green"

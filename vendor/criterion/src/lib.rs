@@ -1,0 +1,359 @@
+//! Offline vendored Criterion-compatible bench harness.
+//!
+//! Implements the `criterion` API surface this workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, throughput,
+//! parameterized IDs) with a simple warmup + timed-batch measurement loop
+//! instead of Criterion's full statistical machinery.
+//!
+//! Extras for CI and scripts:
+//!
+//! * `cargo bench -- --test` runs every benchmark body exactly once
+//!   (smoke mode, used by `scripts/bench_smoke.sh`);
+//! * `cargo bench -- <filter>` runs only benchmarks whose id contains
+//!   the filter substring;
+//! * when `FASTFLOOD_BENCH_JSON` is set, results are appended to that
+//!   path as a JSON array of `{id, ns_per_iter, iters, throughput}`
+//!   records (used by `scripts/bench_engine.sh`).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    id: String,
+    ns_per_iter: f64,
+    iters: u64,
+    throughput: Option<Throughput>,
+}
+
+/// Work performed per benchmark iteration, for derived rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Measures one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    measured_ns_per_iter: f64,
+    measured_iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly after a short warmup.
+    ///
+    /// In `--test` mode the routine runs exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.measured_iters = 1;
+            self.measured_ns_per_iter = f64::NAN;
+            return;
+        }
+        // warmup: run until 50ms have elapsed
+        let warmup_deadline = Instant::now() + Duration::from_millis(50);
+        let mut warmup_iters: u64 = 0;
+        let warmup_start = Instant::now();
+        while Instant::now() < warmup_deadline {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let est_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+        // measure: batches sized near 10ms, for >= 500ms total and >= 10 iters
+        let batch = ((10_000_000.0 / est_ns).ceil() as u64).max(1);
+        let mut total_iters: u64 = 0;
+        let mut total = Duration::ZERO;
+        while total < Duration::from_millis(500) || total_iters < 10 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            total_iters += batch;
+        }
+        self.measured_iters = total_iters;
+        self.measured_ns_per_iter = total.as_nanos() as f64 / total_iters as f64;
+    }
+}
+
+/// The top-level benchmark runner.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`--test`, a filter substring).
+    pub fn configure_from_args(mut self) -> Criterion {
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                self.test_mode = true;
+            } else if !arg.starts_with('-') {
+                self.filter = Some(arg);
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Criterion {
+        self.run_one(id.to_string(), None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, throughput: Option<Throughput>, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            measured_ns_per_iter: f64::NAN,
+            measured_iters: 0,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {id} ... ok");
+            return;
+        }
+        let ns = bencher.measured_ns_per_iter;
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / (ns * 1e-9);
+                println!("{id:<40} {ns:>14.1} ns/iter ({rate:.3e} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / (ns * 1e-9);
+                println!("{id:<40} {ns:>14.1} ns/iter ({rate:.3e} B/s)");
+            }
+            None => println!("{id:<40} {ns:>14.1} ns/iter"),
+        }
+        RESULTS.lock().expect("results lock").push(BenchRecord {
+            id,
+            ns_per_iter: ns,
+            iters: bencher.measured_iters,
+            throughput,
+        });
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under this group's name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.criterion.run_one(full, throughput, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.criterion.run_one(full, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Writes collected results as JSON when `FASTFLOOD_BENCH_JSON` is set.
+///
+/// Called automatically by `criterion_main!` after all groups run.
+pub fn finalize() {
+    let Ok(path) = std::env::var("FASTFLOOD_BENCH_JSON") else {
+        return;
+    };
+    let records = RESULTS.lock().expect("results lock");
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let (tp_kind, tp_n) = match r.throughput {
+            Some(Throughput::Elements(n)) => ("\"elements\"", n),
+            Some(Throughput::Bytes(n)) => ("\"bytes\"", n),
+            None => ("null", 0),
+        };
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}, \"throughput_kind\": {}, \"throughput_per_iter\": {}}}{}\n",
+            r.id, r.ns_per_iter, r.iters, tp_kind, tp_n, sep
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write bench JSON to {path}: {e}");
+    }
+}
+
+/// Declares a group runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut runs = 0;
+        c.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("match_me".into()),
+            test_mode: true,
+        };
+        let mut runs = 0;
+        c.bench_function("other", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+        c.bench_function("has_match_me_inside", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn group_names_prefix_ids() {
+        let mut c = Criterion {
+            filter: Some("grp/x".into()),
+            test_mode: true,
+        };
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.throughput(Throughput::Elements(3));
+            g.bench_with_input(BenchmarkId::from_parameter("x"), &2, |b, &v| {
+                b.iter(|| runs += v)
+            });
+            g.finish();
+        }
+        assert_eq!(runs, 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! Collection strategies: random-length vectors.
+
+use crate::{Strategy, TestRng};
+use rand::Rng;
+use std::ops::Range;
+
+/// Strategy producing `Vec`s with length drawn from `len` and elements
+/// from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = if self.len.is_empty() {
+            self.len.start
+        } else {
+            rng.gen_range(self.len.clone())
+        };
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A vector strategy over `element` with length in `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}

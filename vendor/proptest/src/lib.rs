@@ -1,0 +1,299 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! Implements the slice of proptest this workspace's property tests use:
+//! range strategies, tuples, `Just`, `prop_oneof!`, `collection::vec`,
+//! `prop_map`, the `proptest!` macro and `prop_assert*!`.
+//!
+//! Semantics differ from upstream in one deliberate way: failing cases
+//! are **not shrunk** — the failing case's seed and index are reported
+//! instead, and the per-test RNG is deterministic, so failures reproduce
+//! exactly on rerun.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+
+/// Test-runner configuration (`cases` = iterations per property).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The RNG driving value generation in properties.
+pub type TestRng = StdRng;
+
+/// Builds the deterministic RNG for a named property test.
+pub fn new_test_rng(name: &str) -> TestRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// A generator of random values for property tests.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice among alternative strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds the union; panics when `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+macro_rules! strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! strategy_for_tuples {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+strategy_for_tuples! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...)` runs its
+/// body over `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::new_test_rng(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<u8>> {
+        crate::collection::vec(0u8..10, 0..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 0u32..10, y in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps(p in (0.0f64..5.0, 0.0f64..5.0).prop_map(|(a, b)| a + b)) {
+            prop_assert!((0.0..10.0).contains(&p));
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(v == 1 || v == 2);
+        }
+
+        #[test]
+        fn collection_vec_sizes(v in small_vec()) {
+            prop_assert!(v.len() < 5);
+            for x in v {
+                prop_assert!(x < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_per_name() {
+        use crate::Strategy;
+        let mut a = crate::new_test_rng("alpha");
+        let mut b = crate::new_test_rng("alpha");
+        let mut c = crate::new_test_rng("beta");
+        let s = 0.0f64..1.0;
+        let (x, y, z) = (s.sample(&mut a), s.sample(&mut b), s.sample(&mut c));
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+}
