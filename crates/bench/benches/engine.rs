@@ -10,8 +10,12 @@ use fastflood_mobility::Mrwp;
 fn engine_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_step");
     for &n in &[1_000usize, 10_000, 40_000] {
-        let params = SimParams::standard(n, 4.0 * ((n as f64).ln() / n as f64).sqrt() * (n as f64).sqrt(), 0.5)
-            .expect("valid params");
+        let params = SimParams::standard(
+            n,
+            4.0 * ((n as f64).ln() / n as f64).sqrt() * (n as f64).sqrt(),
+            0.5,
+        )
+        .expect("valid params");
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             let model = Mrwp::new(params.side(), params.speed()).expect("valid");

@@ -7,10 +7,13 @@
 //! EXPERIMENTS.md repeats.
 //!
 //! `engine_step` compares one move-then-transmit step of the adaptive
-//! zero-allocation engine against the seed's rebuild-every-step baseline
-//! at n ∈ {1k, 10k, 100k}, mid-flood in the sparse regime (the regime
-//! the Theorem 3 / Theorem 18 sweeps live in). `scripts/bench_engine.sh`
-//! records this group to `BENCH_engine.json`.
+//! zero-allocation engine and the forced bucket-join engine against the
+//! seed's rebuild-every-step baseline at n ∈ {1k, 10k, 100k} — plus
+//! n = 300k when `FASTFLOOD_BENCH_LARGE` is set (the full measurement
+//! run; the tier-1 smoke skips it to stay fast) — mid-flood in the
+//! sparse regime (the regime the Theorem 3 / Theorem 18 sweeps live
+//! in). `scripts/bench_engine.sh` records this group to
+//! `BENCH_engine.json`; `docs/BENCHMARKING.md` documents the protocol.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fastflood_core::{EngineMode, FloodingSim, SimConfig, SimParams, SourcePlacement};
@@ -38,20 +41,18 @@ fn flood_end_to_end(c: &mut Criterion) {
         (2_000, 6.0, "dense"),
         (2_000, 2.0, "sparse"),
     ] {
-        let scale = SimParams::standard(n, 1.0, 0.0).expect("valid").radius_scale();
+        let scale = SimParams::standard(n, 1.0, 0.0)
+            .expect("valid")
+            .radius_scale();
         let radius = c1 * scale;
         let params = SimParams::standard(n, radius, 0.3 * radius).expect("valid");
-        group.bench_with_input(
-            BenchmarkId::new(label, n),
-            &params,
-            |b, p| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    black_box(full_flood(p, seed))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new(label, n), &params, |b, p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(full_flood(p, seed))
+            });
+        });
     }
     group.finish();
 }
@@ -109,8 +110,14 @@ fn engine_step(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("engine_step");
-    for &(n, batch) in &[(1_000usize, 32u32), (10_000, 32), (100_000, 32)] {
-        let scale = SimParams::standard(n, 1.0, 0.0).expect("valid").radius_scale();
+    let mut sizes = vec![(1_000usize, 32u32), (10_000, 32), (100_000, 32)];
+    if bench_large() {
+        sizes.push((300_000, 16));
+    }
+    for &(n, batch) in &sizes {
+        let scale = SimParams::standard(n, 1.0, 0.0)
+            .expect("valid")
+            .radius_scale();
         let radius = 0.4 * scale;
         let params = SimParams::standard(n, radius, 0.2 * radius).expect("valid");
         group.throughput(Throughput::Elements(n as u64 * batch as u64));
@@ -119,13 +126,30 @@ fn engine_step(c: &mut Criterion) {
             assert!(!sim.all_informed(), "warm state must be mid-flood");
             b.iter(|| black_box(batch_steps(&sim, batch)));
         });
-        group.bench_with_input(BenchmarkId::new("seed_rebuild", n), &params, |b, p| {
-            let sim = warm::<rand::rngs::StdRng>(p, EngineMode::Rebuild);
+        group.bench_with_input(BenchmarkId::new("bucket_join", n), &params, |b, p| {
+            let sim = warm::<fastflood_core::SimRng>(p, EngineMode::BucketJoin);
             assert!(!sim.all_informed(), "warm state must be mid-flood");
             b.iter(|| black_box(batch_steps(&sim, batch)));
         });
+        // the seed baseline is ~2× the adaptive engine; skip it at the
+        // largest size to bound the measurement run
+        if n <= 100_000 {
+            group.bench_with_input(BenchmarkId::new("seed_rebuild", n), &params, |b, p| {
+                let sim = warm::<rand::rngs::StdRng>(p, EngineMode::Rebuild);
+                assert!(!sim.all_informed(), "warm state must be mid-flood");
+                b.iter(|| black_box(batch_steps(&sim, batch)));
+            });
+        }
     }
     group.finish();
+}
+
+/// Whether the expensive large-`n` (300k) rows run: enabled by
+/// `FASTFLOOD_BENCH_LARGE=1` (set by `scripts/bench_engine.sh`), skipped
+/// in the tier-1 bench smoke where warming a 300k flood would dominate
+/// the whole verification flow.
+fn bench_large() -> bool {
+    std::env::var_os("FASTFLOOD_BENCH_LARGE").is_some_and(|v| v != "0" && !v.is_empty())
 }
 
 /// Sustained step throughput: a time-sized `step()` loop from a
@@ -134,34 +158,54 @@ fn engine_step(c: &mut Criterion) {
 /// seed-implementation baseline recorded in `BENCH_engine.json` at the
 /// start of the engine rework. The loop runs through completion into
 /// cheap post-completion steps, so it reflects a whole-run mix rather
-/// than pure frontier work (use `engine_step` for that).
+/// than pure frontier work (use `engine_step` for that). `adaptive`
+/// rows exercise the production auto-selection (which engages the
+/// bucket join in the dense regime); `bucket_join` rows force the join
+/// on every step.
 fn engine_step_sustained(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_step_sustained");
-    for &n in &[1_000usize, 10_000, 100_000] {
-        let scale = SimParams::standard(n, 1.0, 0.0).expect("valid").radius_scale();
+    let mut sizes = vec![1_000usize, 10_000, 100_000];
+    if bench_large() {
+        sizes.push(300_000);
+    }
+    for &n in &sizes {
+        let scale = SimParams::standard(n, 1.0, 0.0)
+            .expect("valid")
+            .radius_scale();
         let radius = 0.4 * scale;
         let params = SimParams::standard(n, radius, 0.2 * radius).expect("valid");
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("adaptive", n), &params, |b, p| {
-            let model = Mrwp::new(p.side(), p.speed()).expect("valid");
-            let mut sim = FloodingSim::new(
-                model,
-                SimConfig::new(p.n(), p.radius())
-                    .seed(1)
-                    .source(SourcePlacement::Center),
-            )
-            .expect("valid config");
-            sim.reserve_steps(1 << 22);
-            let mut guard = 0u32;
-            while 2 * sim.informed_count() < sim.n() && guard < 20_000 {
-                sim.step();
-                guard += 1;
-            }
-            b.iter(|| black_box(sim.step()));
-        });
+        for (label, engine) in [
+            ("adaptive", EngineMode::Adaptive),
+            ("bucket_join", EngineMode::BucketJoin),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &params, |b, p| {
+                let model = Mrwp::new(p.side(), p.speed()).expect("valid");
+                let mut sim = FloodingSim::new(
+                    model,
+                    SimConfig::new(p.n(), p.radius())
+                        .seed(1)
+                        .source(SourcePlacement::Center)
+                        .engine(engine),
+                )
+                .expect("valid config");
+                sim.reserve_steps(1 << 22);
+                let mut guard = 0u32;
+                while 2 * sim.informed_count() < sim.n() && guard < 20_000 {
+                    sim.step();
+                    guard += 1;
+                }
+                b.iter(|| black_box(sim.step()));
+            });
+        }
     }
     group.finish();
 }
 
-criterion_group!(benches, flood_end_to_end, engine_step, engine_step_sustained);
+criterion_group!(
+    benches,
+    flood_end_to_end,
+    engine_step,
+    engine_step_sustained
+);
 criterion_main!(benches);

@@ -30,49 +30,101 @@ fn main() {
 
     let seed = args.seed;
     let threads = args.threads;
-    exp!("E1 fig1_density", fig1_density, |c: &mut fig1_density::Config| c.seed = seed);
-    exp!("E2 fig1_destination", fig1_destination, |c: &mut fig1_destination::Config| {
-        c.seed = seed
-    });
-    exp!("E3 thm1_marginals", thm1_marginals, |c: &mut thm1_marginals::Config| c.seed = seed);
+    exp!(
+        "E1 fig1_density",
+        fig1_density,
+        |c: &mut fig1_density::Config| c.seed = seed
+    );
+    exp!(
+        "E2 fig1_destination",
+        fig1_destination,
+        |c: &mut fig1_destination::Config| { c.seed = seed }
+    );
+    exp!(
+        "E3 thm1_marginals",
+        thm1_marginals,
+        |c: &mut thm1_marginals::Config| c.seed = seed
+    );
     exp!("E4 thm3_sweep", thm3_sweep, |c: &mut thm3_sweep::Config| {
         c.seed = seed;
         c.threads = threads;
     });
-    exp!("E5 suburb_vs_center", suburb_vs_center, |c: &mut suburb_vs_center::Config| {
-        c.seed = seed;
-        c.threads = threads;
-    });
-    exp!("E6 thm10_cor12", thm10_cor12, |c: &mut thm10_cor12::Config| {
-        c.seed = seed;
-        c.threads = threads;
-    });
-    exp!("E7 lemma7_density", lemma7_density, |c: &mut lemma7_density::Config| c.seed = seed);
-    exp!("E8 lemma13_turns", lemma13_turns, |c: &mut lemma13_turns::Config| c.seed = seed);
-    exp!("E9 lemma15_suburb", lemma15_suburb, |_: &mut lemma15_suburb::Config| {});
-    exp!("E10 thm18_lower", thm18_lower, |c: &mut thm18_lower::Config| {
-        c.seed = seed;
-        c.threads = threads;
-    });
-    exp!("E11 connectivity", connectivity, |c: &mut connectivity::Config| c.seed = seed);
-    exp!("E12 convergence", convergence, |c: &mut convergence::Config| c.seed = seed);
-    exp!("E13 model_comparison", model_comparison, |c: &mut model_comparison::Config| {
-        c.seed = seed;
-        c.threads = threads;
-    });
-    exp!("E14 lemma9_expansion", lemma9_expansion, |c: &mut lemma9_expansion::Config| {
-        c.seed = seed
-    });
+    exp!(
+        "E5 suburb_vs_center",
+        suburb_vs_center,
+        |c: &mut suburb_vs_center::Config| {
+            c.seed = seed;
+            c.threads = threads;
+        }
+    );
+    exp!(
+        "E6 thm10_cor12",
+        thm10_cor12,
+        |c: &mut thm10_cor12::Config| {
+            c.seed = seed;
+            c.threads = threads;
+        }
+    );
+    exp!(
+        "E7 lemma7_density",
+        lemma7_density,
+        |c: &mut lemma7_density::Config| c.seed = seed
+    );
+    exp!(
+        "E8 lemma13_turns",
+        lemma13_turns,
+        |c: &mut lemma13_turns::Config| c.seed = seed
+    );
+    exp!(
+        "E9 lemma15_suburb",
+        lemma15_suburb,
+        |_: &mut lemma15_suburb::Config| {}
+    );
+    exp!(
+        "E10 thm18_lower",
+        thm18_lower,
+        |c: &mut thm18_lower::Config| {
+            c.seed = seed;
+            c.threads = threads;
+        }
+    );
+    exp!(
+        "E11 connectivity",
+        connectivity,
+        |c: &mut connectivity::Config| c.seed = seed
+    );
+    exp!(
+        "E12 convergence",
+        convergence,
+        |c: &mut convergence::Config| c.seed = seed
+    );
+    exp!(
+        "E13 model_comparison",
+        model_comparison,
+        |c: &mut model_comparison::Config| {
+            c.seed = seed;
+            c.threads = threads;
+        }
+    );
+    exp!(
+        "E14 lemma9_expansion",
+        lemma9_expansion,
+        |c: &mut lemma9_expansion::Config| { c.seed = seed }
+    );
     exp!("E15 protocols", protocols, |c: &mut protocols::Config| {
         c.seed = seed;
         c.threads = threads;
     });
-    exp!("E17 lemma14_segments", lemma14_segments, |c: &mut lemma14_segments::Config| {
-        c.seed = seed
-    });
-    exp!("E16 lemma16_meeting", lemma16_meeting, |c: &mut lemma16_meeting::Config| {
-        c.seed = seed
-    });
+    exp!(
+        "E17 lemma14_segments",
+        lemma14_segments,
+        |c: &mut lemma14_segments::Config| { c.seed = seed }
+    );
+    exp!(
+        "E16 lemma16_meeting",
+        lemma16_meeting,
+        |c: &mut lemma16_meeting::Config| { c.seed = seed }
+    );
 
     println!("all experiments done in {:.1?}", started.elapsed());
 }

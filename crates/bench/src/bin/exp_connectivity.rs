@@ -17,4 +17,3 @@ fn main() {
     let output = connectivity::run(&config);
     println!("{output}");
 }
-

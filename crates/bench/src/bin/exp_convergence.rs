@@ -17,4 +17,3 @@ fn main() {
     let output = convergence::run(&config);
     println!("{output}");
 }
-

@@ -17,4 +17,3 @@ fn main() {
     let output = fig1_density::run(&config);
     println!("{output}");
 }
-

@@ -17,4 +17,3 @@ fn main() {
     let output = lemma13_turns::run(&config);
     println!("{output}");
 }
-

@@ -17,4 +17,3 @@ fn main() {
     let output = lemma15_suburb::run(&config);
     println!("{output}");
 }
-

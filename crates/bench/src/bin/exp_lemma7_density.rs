@@ -17,4 +17,3 @@ fn main() {
     let output = lemma7_density::run(&config);
     println!("{output}");
 }
-

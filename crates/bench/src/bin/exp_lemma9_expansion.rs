@@ -17,4 +17,3 @@ fn main() {
     let output = lemma9_expansion::run(&config);
     println!("{output}");
 }
-

@@ -19,4 +19,3 @@ fn main() {
     let output = model_comparison::run(&config);
     println!("{output}");
 }
-

@@ -19,4 +19,3 @@ fn main() {
     let output = protocols::run(&config);
     println!("{output}");
 }
-

@@ -19,4 +19,3 @@ fn main() {
     let output = suburb_vs_center::run(&config);
     println!("{output}");
 }
-

@@ -19,4 +19,3 @@ fn main() {
     let output = thm10_cor12::run(&config);
     println!("{output}");
 }
-

@@ -19,4 +19,3 @@ fn main() {
     let output = thm18_lower::run(&config);
     println!("{output}");
 }
-

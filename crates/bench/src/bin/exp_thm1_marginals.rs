@@ -17,4 +17,3 @@ fn main() {
     let output = thm1_marginals::run(&config);
     println!("{output}");
 }
-

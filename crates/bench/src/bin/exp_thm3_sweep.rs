@@ -19,4 +19,3 @@ fn main() {
     let output = thm3_sweep::run(&config);
     println!("{output}");
 }
-

@@ -182,8 +182,12 @@ impl fmt::Display for Output {
         writeln!(
             f,
             "growth exponents vs n: MRWP {} (a root of n), uniform {} (≈ 0, i.e. polylog)",
-            self.mrwp_exponent.map(fmt_f64).unwrap_or_else(|| "-".into()),
-            self.uniform_exponent.map(fmt_f64).unwrap_or_else(|| "-".into()),
+            self.mrwp_exponent
+                .map(fmt_f64)
+                .unwrap_or_else(|| "-".into()),
+            self.uniform_exponent
+                .map(fmt_f64)
+                .unwrap_or_else(|| "-".into()),
         )
     }
 }

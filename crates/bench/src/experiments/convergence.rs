@@ -168,7 +168,11 @@ impl fmt::Display for Output {
         )?;
         let mut t = Table::new(["t", "TV cold start", "TV stationary start"]);
         for cp in &self.checkpoints {
-            t.row([cp.t.to_string(), fmt_f64(cp.tv_cold), fmt_f64(cp.tv_stationary)]);
+            t.row([
+                cp.t.to_string(),
+                fmt_f64(cp.tv_cold),
+                fmt_f64(cp.tv_stationary),
+            ]);
         }
         write!(f, "{t}")?;
         writeln!(

@@ -163,9 +163,21 @@ impl fmt::Display for Output {
         writeln!(f, "\nEmpirical density (dark = dense, like Fig. 1):\n")?;
         writeln!(f, "{}", self.ascii)?;
         let mut t = Table::new(["metric", "value", "paper / analytic"]);
-        t.row(["chi² p-value vs Thm 1 masses", &fmt_f64(self.chi2_p_value), "consistent if ≥ 0.01"]);
-        t.row(["TV distance", &fmt_f64(self.tv_distance), "→ 0 with samples"]);
-        t.row(["max relative cell error", &fmt_f64(self.max_rel_error), "→ 0 with samples"]);
+        t.row([
+            "chi² p-value vs Thm 1 masses",
+            &fmt_f64(self.chi2_p_value),
+            "consistent if ≥ 0.01",
+        ]);
+        t.row([
+            "TV distance",
+            &fmt_f64(self.tv_distance),
+            "→ 0 with samples",
+        ]);
+        t.row([
+            "max relative cell error",
+            &fmt_f64(self.max_rel_error),
+            "→ 0 with samples",
+        ]);
         t.row([
             "center/corner density ratio",
             &fmt_f64(self.center_corner_ratio),

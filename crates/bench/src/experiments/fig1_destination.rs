@@ -131,16 +131,40 @@ pub fn run(config: &Config) -> Output {
 
     let denom = conditioned.max(1) as f64;
     let quadrants = [
-        (quad_counts[0] as f64 / denom, quadrant_probability(l, fig_point, Quadrant::Sw)),
-        (quad_counts[1] as f64 / denom, quadrant_probability(l, fig_point, Quadrant::Se)),
-        (quad_counts[2] as f64 / denom, quadrant_probability(l, fig_point, Quadrant::Nw)),
-        (quad_counts[3] as f64 / denom, quadrant_probability(l, fig_point, Quadrant::Ne)),
+        (
+            quad_counts[0] as f64 / denom,
+            quadrant_probability(l, fig_point, Quadrant::Sw),
+        ),
+        (
+            quad_counts[1] as f64 / denom,
+            quadrant_probability(l, fig_point, Quadrant::Se),
+        ),
+        (
+            quad_counts[2] as f64 / denom,
+            quadrant_probability(l, fig_point, Quadrant::Nw),
+        ),
+        (
+            quad_counts[3] as f64 / denom,
+            quadrant_probability(l, fig_point, Quadrant::Ne),
+        ),
     ];
     let segments = [
-        (seg_counts[0] as f64 / denom, phi_segment(l, fig_point, Cardinal::North)),
-        (seg_counts[1] as f64 / denom, phi_segment(l, fig_point, Cardinal::South)),
-        (seg_counts[2] as f64 / denom, phi_segment(l, fig_point, Cardinal::East)),
-        (seg_counts[3] as f64 / denom, phi_segment(l, fig_point, Cardinal::West)),
+        (
+            seg_counts[0] as f64 / denom,
+            phi_segment(l, fig_point, Cardinal::North),
+        ),
+        (
+            seg_counts[1] as f64 / denom,
+            phi_segment(l, fig_point, Cardinal::South),
+        ),
+        (
+            seg_counts[2] as f64 / denom,
+            phi_segment(l, fig_point, Cardinal::East),
+        ),
+        (
+            seg_counts[3] as f64 / denom,
+            phi_segment(l, fig_point, Cardinal::West),
+        ),
     ];
 
     Output {
@@ -180,12 +204,21 @@ impl fmt::Display for Output {
         for (name, (e, a)) in names.iter().zip(self.quadrants.iter()) {
             t.row([*name, &fmt_f64(*e), &fmt_f64(*a)]);
         }
-        let segs = ["segment N (φ_N)", "segment S (φ_S)", "segment E (φ_E)", "segment W (φ_W)"];
+        let segs = [
+            "segment N (φ_N)",
+            "segment S (φ_S)",
+            "segment E (φ_E)",
+            "segment W (φ_W)",
+        ];
         for (name, (e, a)) in segs.iter().zip(self.segments.iter()) {
             t.row([*name, &fmt_f64(*e), &fmt_f64(*a)]);
         }
         write!(f, "{t}")?;
-        writeln!(f, "max |empirical − analytic| = {}", fmt_f64(self.max_abs_error()))
+        writeln!(
+            f,
+            "max |empirical − analytic| = {}",
+            fmt_f64(self.max_abs_error())
+        )
     }
 }
 
@@ -196,7 +229,11 @@ mod tests {
     #[test]
     fn quick_run_matches_theorem2() {
         let out = run(&Config::quick());
-        assert!(out.conditioned > 500, "need conditioned mass, got {}", out.conditioned);
+        assert!(
+            out.conditioned > 500,
+            "need conditioned mass, got {}",
+            out.conditioned
+        );
         assert!(
             (out.global_cross_fraction - 0.5).abs() < 0.01,
             "cross mass {}",
@@ -204,7 +241,11 @@ mod tests {
         );
         // each region within a few points of the analytic value (the
         // conditioning box smears positions, so tolerance is generous)
-        assert!(out.max_abs_error() < 0.05, "max error {}", out.max_abs_error());
+        assert!(
+            out.max_abs_error() < 0.05,
+            "max error {}",
+            out.max_abs_error()
+        );
         // sanity on the analytic side: all masses total 1
         let total: f64 = out
             .quadrants

@@ -129,7 +129,13 @@ impl fmt::Display for Output {
             "E8 / Lemma 13: H(t,τ) over {} agents, {} steps, L = {}, v = {}",
             self.config.n, self.config.steps, self.side, self.config.speed
         )?;
-        let mut t = Table::new(["τ (steps)", "L/(vτ)", "max H(t,τ) observed", "bound 4·ln n/ln(L/(vτ))", "holds"]);
+        let mut t = Table::new([
+            "τ (steps)",
+            "L/(vτ)",
+            "max H(t,τ) observed",
+            "bound 4·ln n/ln(L/(vτ))",
+            "holds",
+        ]);
         for r in &self.rows {
             t.row([
                 r.tau.to_string(),

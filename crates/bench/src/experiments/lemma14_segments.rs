@@ -238,7 +238,11 @@ mod tests {
         let out = run(&Config::quick());
         assert_eq!(out.rows.len(), 2);
         for r in &out.rows {
-            assert!(r.agents > 0, "need SW-corner agents, got none at τ={}", r.tau);
+            assert!(
+                r.agents > 0,
+                "need SW-corner agents, got none at τ={}",
+                r.tau
+            );
         }
         assert!(out.bound_holds(), "{out}");
         assert!(!out.to_string().is_empty());

@@ -70,7 +70,9 @@ pub fn run(config: &Config) -> Output {
     let mut rows = Vec::new();
     for &n in &config.ns {
         for &c1 in &config.c1s {
-            let scale = SimParams::standard(n, 1.0, 0.0).expect("valid").radius_scale();
+            let scale = SimParams::standard(n, 1.0, 0.0)
+                .expect("valid")
+                .radius_scale();
             let params = SimParams::standard(n, c1 * scale, 0.1).expect("valid");
             let zones = ZoneMap::new(&params).expect("valid");
             rows.push(Row {
@@ -102,7 +104,10 @@ impl Output {
 
 impl fmt::Display for Output {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "E9 / Lemma 15: SW Suburb extent vs S = (3/2)·L³·ln n/(ℓ²·n)")?;
+        writeln!(
+            f,
+            "E9 / Lemma 15: SW Suburb extent vs S = (3/2)·L³·ln n/(ℓ²·n)"
+        )?;
         let mut t = Table::new([
             "n",
             "c1",

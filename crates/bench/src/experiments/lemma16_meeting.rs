@@ -92,8 +92,7 @@ pub fn run(config: &Config) -> Output {
         .expect("valid")
         .radius_scale();
     let radius = config.c1 * scale;
-    let params =
-        SimParams::standard(config.n, radius, config.v_frac * radius).expect("valid");
+    let params = SimParams::standard(config.n, radius, config.v_frac * radius).expect("valid");
     let zones = ZoneMap::new(&params).expect("valid");
     let s = params.suburb_diameter_bound();
     let s_over_v = s / params.speed();

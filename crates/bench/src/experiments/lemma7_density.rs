@@ -88,8 +88,7 @@ pub fn run(config: &Config) -> Output {
             .expect("valid")
             .radius_scale();
         let radius = c1 * scale;
-        let params =
-            SimParams::standard(config.n, radius, config.v_frac * radius).expect("valid");
+        let params = SimParams::standard(config.n, radius, config.v_frac * radius).expect("valid");
         let zones = ZoneMap::new(&params).expect("valid");
         let m = zones.grid().m();
         let model = Mrwp::new(params.side(), params.speed()).expect("valid");
@@ -148,7 +147,14 @@ impl fmt::Display for Output {
             self.config.n,
             (self.config.n as f64).ln()
         )?;
-        let mut t = Table::new(["c1", "R", "cells/axis", "min core", "mean per-step min", "η = min/ln n"]);
+        let mut t = Table::new([
+            "c1",
+            "R",
+            "cells/axis",
+            "min core",
+            "mean per-step min",
+            "η = min/ln n",
+        ]);
         for r in &self.rows {
             t.row([
                 fmt_f64(r.c1),

@@ -178,9 +178,17 @@ impl fmt::Display for Output {
             "E14 / Lemma 9: |∂B| / √min(|B|, |CZ|−|B|) over adversarial B (CZ = {} cells)",
             self.cz_cells
         )?;
-        let mut t = Table::new(["subset family", "subsets tested", "worst ratio (must be ≥ 1)"]);
+        let mut t = Table::new([
+            "subset family",
+            "subsets tested",
+            "worst ratio (must be ≥ 1)",
+        ]);
         for r in &self.rows {
-            t.row([r.family.to_string(), r.subsets.to_string(), fmt_f64(r.worst_ratio)]);
+            t.row([
+                r.family.to_string(),
+                r.subsets.to_string(),
+                fmt_f64(r.worst_ratio),
+            ]);
         }
         write!(f, "{t}")?;
         writeln!(f, "Lemma 9 held for every subset: {}", self.lemma9_holds())

@@ -10,7 +10,9 @@
 //! simply never finishes.
 
 use crate::table::{fmt_f64, Table};
-use fastflood_core::{run_trials, FloodingReport, FloodingSim, SimConfig, SimParams, SourcePlacement};
+use fastflood_core::{
+    run_trials, FloodingReport, FloodingSim, SimConfig, SimParams, SourcePlacement,
+};
 use fastflood_mobility::{DiskWalk, Mobility, Mrwp, Placement, Rwp, Static};
 use std::fmt;
 
@@ -58,7 +60,9 @@ impl Default for Config {
             v_frac: 0.3,
             walk_radius_mult: 4.0,
             trials: 8,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             max_steps: 100_000,
             seed: 2010,
         }
@@ -151,7 +155,10 @@ pub fn run(config: &Config) -> Output {
 impl Output {
     /// Stats by model name.
     pub fn stats_for(&self, model: &str) -> Option<&FloodStats> {
-        self.rows.iter().find(|r| r.model == model).map(|r| &r.stats)
+        self.rows
+            .iter()
+            .find(|r| r.model == model)
+            .map(|r| &r.stats)
     }
 
     /// Whether every *mobile* model completed all trials while the static
@@ -194,7 +201,11 @@ impl fmt::Display for Output {
             ]);
         }
         write!(f, "{t}")?;
-        writeln!(f, "mobility beats static snapshots: {}", self.mobility_wins())
+        writeln!(
+            f,
+            "mobility beats static snapshots: {}",
+            self.mobility_wins()
+        )
     }
 }
 

@@ -57,7 +57,9 @@ impl Default for Config {
             ps: vec![0.5, 0.2, 0.05],
             ks: vec![1, 3],
             trials: 8,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             max_steps: 300_000,
             seed: 2010,
         }
@@ -95,8 +97,7 @@ pub fn run(config: &Config) -> Output {
         .expect("valid")
         .radius_scale();
     let radius = config.c1 * scale;
-    let params =
-        SimParams::standard(config.n, radius, config.v_frac * radius).expect("valid");
+    let params = SimParams::standard(config.n, radius, config.v_frac * radius).expect("valid");
 
     let run_protocol = |protocol: Protocol, salt: u64| -> FloodStats {
         let reports = run_trials(

@@ -39,7 +39,9 @@ impl Default for Config {
             c1: 4.0,
             v_frac: 0.3,
             trials: 10,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             max_steps: 500_000,
             seed: 2010,
         }
@@ -133,7 +135,10 @@ impl fmt::Display for Output {
             "CZ time",
             "suburb time",
         ]);
-        for (name, s) in [("Central Zone", &self.center), ("SW Suburb corner", &self.suburb)] {
+        for (name, s) in [
+            ("Central Zone", &self.center),
+            ("SW Suburb corner", &self.suburb),
+        ] {
             t.row([
                 name.to_string(),
                 format!("{}/{}", s.completed, s.trials),

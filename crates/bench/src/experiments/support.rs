@@ -1,6 +1,8 @@
 //! Shared helpers for the flooding experiments.
 
-use fastflood_core::{run_trials, FloodingReport, FloodingSim, SimConfig, SimParams, SourcePlacement};
+use fastflood_core::{
+    run_trials, FloodingReport, FloodingSim, SimConfig, SimParams, SourcePlacement,
+};
 use fastflood_mobility::Mrwp;
 
 /// Aggregated flooding times over a batch of trials.
@@ -82,8 +84,7 @@ pub fn mrwp_flood_trials(
     max_steps: u32,
     track_zones: bool,
 ) -> Vec<FloodingReport> {
-    let zones = track_zones
-        .then(|| fastflood_core::ZoneMap::new(params).expect("valid params"));
+    let zones = track_zones.then(|| fastflood_core::ZoneMap::new(params).expect("valid params"));
     run_trials(trials, threads, master_seed, |_, seed| {
         let model = Mrwp::new(params.side(), params.speed()).expect("valid params");
         let mut sim = FloodingSim::new(

@@ -66,7 +66,9 @@ impl Default for Config {
             speed: 0.25,
             event_trials: 3_000,
             flood_trials: 8,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             max_steps: 1_000_000,
             seed: 2010,
         }
@@ -178,9 +180,7 @@ impl Output {
     /// Whether every measured mean respected the lower-bound shape (up to
     /// the constant `c`): `T ≥ c·L/(v·n^{1/3})`.
     pub fn lower_bound_respected(&self, c: f64) -> bool {
-        self.rows
-            .iter()
-            .all(|r| r.stats.mean >= c * r.lower_bound)
+        self.rows.iter().all(|r| r.stats.mean >= c * r.lower_bound)
     }
 }
 
@@ -215,7 +215,9 @@ impl fmt::Display for Output {
         writeln!(
             f,
             "time-vs-n log-log exponent: {} (theory: ≥ 1/6 ≈ 0.167 in this regime)",
-            self.time_exponent.map(fmt_f64).unwrap_or_else(|| "-".into())
+            self.time_exponent
+                .map(fmt_f64)
+                .unwrap_or_else(|| "-".into())
         )
     }
 }

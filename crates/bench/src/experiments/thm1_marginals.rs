@@ -120,7 +120,15 @@ impl fmt::Display for Output {
                 name.to_string(),
                 fmt_f64(r.statistic),
                 fmt_f64(r.p_value),
-                format!("{}{}", if want_accept { "consistent" } else { "rejected" }, if ok { " ✓" } else { " ✗" }),
+                format!(
+                    "{}{}",
+                    if want_accept {
+                        "consistent"
+                    } else {
+                        "rejected"
+                    },
+                    if ok { " ✓" } else { " ✗" }
+                ),
             ]);
         };
         row("x marginal @ t=0 vs Thm 1", &self.x_at_init, true);

@@ -66,7 +66,9 @@ impl Default for Config {
             c1s: vec![1.5, 3.0, 5.0, 8.0],
             v_fracs: vec![0.1, 0.3, 1.0],
             trials: 10,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             max_steps: 500_000,
             seed: 2010,
         }
@@ -218,7 +220,14 @@ impl fmt::Display for Output {
             self.config.trials
         )?;
         let mut t = Table::new([
-            "n", "L", "R (=c1·scale)", "v (=f·R)", "T measured (mean±sd)", "L/R", "S/v", "bound",
+            "n",
+            "L",
+            "R (=c1·scale)",
+            "v (=f·R)",
+            "T measured (mean±sd)",
+            "L/R",
+            "S/v",
+            "bound",
             "T/bound",
         ]);
         for r in &self.rows {

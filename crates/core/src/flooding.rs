@@ -12,14 +12,29 @@
 //!   touches only agents that can still change state, iterates them in
 //!   memory order, and completion is an `O(1)` emptiness check.
 //! * **Adaptive side selection.** Full flooding needs "which uninformed
-//!   agents are within `R` of a transmitter?". Each step the engine
-//!   re-bins one side into a reusable [`GridIndexBuffer`] and queries
-//!   from the other; the choice is tuned to the measured costs (binning
-//!   is two cheap linear passes, a disk query several bucket scans):
-//!   with few transmitters it bins the uninformed mass and *marks* from
-//!   each transmitter, otherwise it bins the transmitters and *probes*
-//!   from each uninformed agent with first-hit early exit — so both the
-//!   few-informed and few-uninformed regimes stay cheap.
+//!   agents are within `R` of a transmitter?". The answer side is
+//!   chosen by measured cost: with few transmitters the engine bins the
+//!   uninformed mass into a reusable [`GridIndexBuffer`] (two cheap
+//!   linear passes, fine buckets) and *marks* from each transmitter;
+//!   once transmitters stop being scarce it switches to the bucket
+//!   join. (The per-agent *probe* path this replaced — bin the
+//!   transmitters, disk-query from each uninformed agent — measured
+//!   strictly no better than the join in every regime at every `n`:
+//!   the join's extra `O(U)` re-bin shrinks with the worklist while
+//!   its coarse transmitter table is cheaper to rebuild than a
+//!   probe-grade fine one.)
+//! * **Bucket join.** In the dense large-`n` regime (the mid-flood
+//!   state the paper's analysis lives in) per-agent probing is bound by
+//!   scattered bucket lookups. The join instead bins *both* sides into
+//!   two [`GridIndexBuffer`]s sharing one coarse grid geometry and
+//!   joins them bucket-against-bucket
+//!   ([`GridIndexBuffer::join_covered_by`]): each occupied uninformed
+//!   bucket resolves its ≤ 3×3 facing transmitter CSR slices once
+//!   (AABB-pruned) and streams dense slice-×-slice distance loops, so
+//!   the worklist is consumed in spatially sorted (probe-order) memory
+//!   order. [`EngineMode::Adaptive`] auto-engages this path whenever
+//!   transmitters aren't scarce; [`EngineMode::BucketJoin`] forces it
+//!   everywhere.
 //! * **Zero steady-state allocations.** All scratch (the spatial index,
 //!   worklists, candidate buffers, the newly-informed list) is retained
 //!   across steps; after warm-up a full-flooding step performs no heap
@@ -40,11 +55,14 @@
 //! Complexity per step, with `T` live transmitters and `U` live
 //! uninformed agents: moving is `O(n)` (every agent moves, one fused
 //! increment each via [`Mobility::step_from`]); full-flooding transmit
-//! is one linear re-bin of the indexed side plus scarce-side queries
-//! (`O(U + T·d̄)` early in the flood, `O(T + U·q̄)` late, `q̄`/`d̄` the
-//! per-query bucket work), versus the seed implementation's fresh heap
-//! index build plus two full `O(n)` agent scans every step. See
-//! `BENCH_engine.json` for measured step throughput.
+//! is `O(U + T·d̄)` early in the flood (one linear re-bin of the
+//! uninformed mass plus a disk query per transmitter, `d̄` the
+//! per-query bucket work) and `O(U + T + pairs)` afterwards (two linear
+//! re-bins plus the occupied-bucket-pair join, whose scan work is the
+//! number of close bucket pairs), versus the seed implementation's
+//! fresh heap index build plus two full `O(n)` agent scans every step.
+//! See `BENCH_engine.json` for measured step throughput and
+//! `docs/BENCHMARKING.md` for the protocol behind it.
 
 use crate::{CoreError, Zone, ZoneMap};
 use fastflood_geom::Point;
@@ -128,9 +146,11 @@ impl Default for Protocol {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum EngineMode {
-    /// The production engine: reusable [`GridIndexBuffer`] over one of
-    /// (transmitters, uninformed) with the query side chosen by measured
-    /// cost, shrinking sorted worklist, zero steady-state allocations.
+    /// The production engine: with scarce transmitters, a reusable
+    /// [`GridIndexBuffer`] over the uninformed mass queried from each
+    /// transmitter; otherwise the shared-geometry bucket join of both
+    /// sides. Shrinking sorted worklist, zero steady-state allocations;
+    /// the regime boundary is chosen by measured cost.
     #[default]
     Adaptive,
     /// The seed implementation, kept as the benchmark baseline: a fresh
@@ -143,6 +163,16 @@ pub enum EngineMode {
     /// random stream as [`EngineMode::Adaptive`], so runs must match
     /// step for step (property-tested across protocols and crashes).
     Oracle,
+    /// Always-on bucket join: every full-flooding/parsimonious transmit
+    /// bins both sides into two shared-geometry [`GridIndexBuffer`]s and
+    /// joins occupied bucket pairs, regardless of side sizes. The
+    /// production [`EngineMode::Adaptive`] engages the same path only
+    /// once transmitters stop being scarce; this mode forces it
+    /// everywhere so tests and isolation benches exercise the join
+    /// unconditionally. (Gossip, whose per-transmitter sampling a join
+    /// cannot express, shares the adaptive gossip path.) Identical
+    /// protocol semantics and random streams to all other modes.
+    BucketJoin,
 }
 
 /// Configuration of a [`FloodingSim`].
@@ -262,7 +292,10 @@ impl FloodingReport {
     /// time the spread curve happened to peak.
     pub fn time_to_fraction(&self, q: f64) -> Option<u32> {
         let target = (q.clamp(0.0, 1.0) * self.n as f64).ceil().max(1.0) as u32;
-        self.spread.iter().position(|&c| c >= target).map(|t| t as u32)
+        self.spread
+            .iter()
+            .position(|&c| c >= target)
+            .map(|t| t as u32)
     }
 }
 
@@ -333,8 +366,16 @@ pub struct FloodingSim<M: Mobility, R: Rng + SeedableRng = SimRng> {
     /// `rank[a]` = position of agent `a` in `transmitters`, `u32::MAX`
     /// otherwise.
     rank: Vec<u32>,
-    /// Reusable spatial index over whichever side is smaller.
+    /// Reusable spatial index over whichever side is smaller (adaptive
+    /// mark/probe paths); the uninformed side of the bucket join.
     grid: GridIndexBuffer,
+    /// Second retained index: the transmitter side of the bucket join,
+    /// rebuilt with the same grid geometry as `grid`.
+    tx_grid: GridIndexBuffer,
+    /// Diagnostic: steps whose transmit ran the bucket join (forced by
+    /// [`EngineMode::BucketJoin`] or auto-engaged by the adaptive
+    /// policy).
+    join_steps: u32,
     /// Agents informed during the current step (sorted before applying).
     newly: Vec<u32>,
     /// `stamp[a] == time` marks agent `a` as chosen this step (O(1)
@@ -372,6 +413,8 @@ impl<M: Mobility + Clone, R: Rng + SeedableRng + Clone> Clone for FloodingSim<M,
             transmitters: self.transmitters.clone(),
             rank: self.rank.clone(),
             grid: self.grid.clone(),
+            tx_grid: self.tx_grid.clone(),
+            join_steps: self.join_steps,
             newly: self.newly.clone(),
             stamp: self.stamp.clone(),
             tx_scratch: self.tx_scratch.clone(),
@@ -408,7 +451,9 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
             return Err(CoreError::BadParameter("n must be at least 1"));
         }
         if !(config.radius > 0.0) || !config.radius.is_finite() {
-            return Err(CoreError::BadParameter("radius must be positive and finite"));
+            return Err(CoreError::BadParameter(
+                "radius must be positive and finite",
+            ));
         }
         match config.protocol {
             Protocol::Parsimonious { p } if !(p > 0.0 && p <= 1.0) => {
@@ -503,6 +548,12 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
                 g.reserve(config.n);
                 g
             },
+            tx_grid: {
+                let mut g = GridIndexBuffer::new();
+                g.reserve(config.n);
+                g
+            },
+            join_steps: 0,
             newly: Vec::with_capacity(config.n),
             stamp: vec![u32::MAX; config.n],
             tx_scratch: Vec::with_capacity(config.n),
@@ -620,6 +671,16 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
     /// The turn recorder (when enabled).
     pub fn turn_recorder(&self) -> Option<&TurnRecorder> {
         self.turns.as_ref()
+    }
+
+    /// Diagnostic: how many executed steps ran the bucket-join transmit
+    /// path (forced by [`EngineMode::BucketJoin`], or auto-engaged by
+    /// [`EngineMode::Adaptive`] in the dense regime). Used by tests to
+    /// assert the adaptive policy actually engages the join, and handy
+    /// when tuning the crossover.
+    #[inline]
+    pub fn bucket_join_steps(&self) -> u32 {
+        self.join_steps
     }
 
     /// Executes one move-then-transmit step; returns the number of newly
@@ -753,13 +814,19 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
         let region = self.model.region();
         match self.engine {
             EngineMode::Adaptive => {
-                // Side policy, tuned by measurement (see profile_engine):
-                // with very few transmitters, bin the uninformed mass
-                // (two cheap linear passes) and mark from each
-                // transmitter; otherwise bin the transmitters and probe
-                // from each uninformed agent — those probes early-exit
-                // on the first covering transmitter, which is nearly
-                // instant once the informed population is dense.
+                // Side policy, tuned by measurement (see the engine_step
+                // benches): with very few transmitters, bin the
+                // uninformed mass (two cheap linear passes, fine
+                // buckets) and mark from each transmitter; otherwise
+                // run the bucket join — both sides binned coarse,
+                // occupied bucket pairs resolved in spatial order. The
+                // join's only cost over the per-agent probing it
+                // replaced is the O(U) uninformed-side re-bin, which is
+                // exactly the cost that vanishes as the worklist
+                // shrinks, while its coarse transmitter table stays
+                // cheaper to rebuild than a probe-grade fine one — so
+                // the join wins (or ties) from the dense mid-flood
+                // regime all the way down the tail.
                 if tx.len() * 8 <= self.uninformed.len() {
                     // few transmitters: index the uninformed mass, mark
                     // everyone in range of a transmitter
@@ -779,17 +846,17 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
                             });
                     }
                 } else {
-                    // few uninformed: index the transmitter mass, probe
-                    // from each uninformed agent (early-exit on the
-                    // first covering transmitter)
-                    self.grid
-                        .rebuild_subset(region, radius, &self.positions, tx)
-                        .expect("positions finite, radius validated");
-                    for &u in &self.uninformed {
-                        if self.grid.any_within(self.positions[u as usize], radius) {
-                            self.newly.push(u);
-                        }
-                    }
+                    self.join_steps += 1;
+                    join_covered(
+                        &mut self.grid,
+                        &mut self.tx_grid,
+                        region,
+                        radius,
+                        &self.positions,
+                        &self.uninformed,
+                        tx,
+                        &mut self.newly,
+                    );
                 }
             }
             EngineMode::Rebuild => {
@@ -821,6 +888,20 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
                     }
                 }
             }
+            EngineMode::BucketJoin => {
+                // the join unconditionally, whatever the side sizes
+                self.join_steps += 1;
+                join_covered(
+                    &mut self.grid,
+                    &mut self.tx_grid,
+                    region,
+                    radius,
+                    &self.positions,
+                    &self.uninformed,
+                    tx,
+                    &mut self.newly,
+                );
+            }
         }
     }
 
@@ -838,13 +919,16 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
         let r2 = radius * radius;
         let region = self.model.region();
         match self.engine {
-            EngineMode::Adaptive => {
+            EngineMode::Adaptive | EngineMode::BucketJoin => {
                 // Index the uninformed mass, gather candidates per
                 // transmitter. Unlike flooding there is no
                 // index-the-roster alternative here: bucketing hits per
                 // transmitter needs an O(candidate-pairs) side list,
                 // which is unbounded in dense regimes and would break
-                // the zero-steady-state-allocation budget.
+                // the zero-steady-state-allocation budget — so
+                // BucketJoin (whose join kernel cannot express
+                // per-transmitter sampling either) shares this path and
+                // its random stream.
                 self.grid
                     .rebuild_subset(region, radius, &self.positions, &self.uninformed)
                     .expect("positions finite, radius validated");
@@ -940,6 +1024,53 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
     }
 }
 
+/// Bucket side of the join grids, as a multiple of the transmit radius.
+///
+/// The join only needs `bucket ≥ R` for its 3×3 neighborhood guarantee;
+/// larger buckets shrink the bucket tables quadratically (fitting them
+/// in close cache) and raise occupancy, so the per-bucket slice
+/// resolution amortizes over more agents and the inner loops stream
+/// longer dense runs. Measured at n = 100k the mid-flood transmit
+/// bottoms near 4× (1× ≈ 2.9 ms, 2× ≈ 2.0 ms, 4× ≈ 1.8 ms, 6× ≈
+/// 1.8 ms) — the AABB/cell-rect prunes keep wide neighborhoods cheap,
+/// so the curve is flat past the knee and the exact value is shallow.
+const JOIN_BUCKET_FACTOR: f64 = 4.0;
+
+/// The bucket-join transmit kernel shared by [`EngineMode::BucketJoin`]
+/// and the adaptive dense regime: bins the uninformed worklist and the
+/// transmit roster into two retained buffers with one shared grid
+/// geometry, then marks every uninformed agent covered by a transmitter
+/// via the occupied-bucket-pair join.
+///
+/// A free function over split borrows so callers can keep `tx` borrowed
+/// from the sim while the two grids are rebuilt. Appends each covered
+/// agent to `newly` exactly once (a point lives in one bucket), so no
+/// stamp dedup is needed.
+#[allow(clippy::too_many_arguments)]
+fn join_covered(
+    grid: &mut GridIndexBuffer,
+    tx_grid: &mut GridIndexBuffer,
+    region: fastflood_geom::Rect,
+    radius: f64,
+    positions: &[Point],
+    uninformed: &[u32],
+    tx: &[u32],
+    newly: &mut Vec<u32>,
+) {
+    // one geometry for both sides, sized by the live population so the
+    // bucket resolution doesn't degrade as either side shrinks; coarse
+    // buckets (see JOIN_BUCKET_FACTOR) trade scan width for table
+    // locality and occupancy
+    let geometry_points = uninformed.len() + tx.len();
+    let bucket = JOIN_BUCKET_FACTOR * radius;
+    grid.rebuild_subset_shared(region, bucket, positions, uninformed, geometry_points)
+        .expect("positions finite, radius validated");
+    tx_grid
+        .rebuild_subset_shared(region, bucket, positions, tx, geometry_points)
+        .expect("positions finite, radius validated");
+    grid.join_covered_by(tx_grid, radius, |u| newly.push(u as u32));
+}
+
 fn nearest_to(positions: &[Point], target: Point) -> usize {
     positions
         .iter()
@@ -956,9 +1087,9 @@ fn nearest_to(positions: &[Point], target: Point) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
     use crate::SimParams;
     use fastflood_mobility::{Mrwp, Placement, Static};
+    use rand::rngs::StdRng;
 
     fn mrwp_sim(n: usize, side: f64, r: f64, v: f64, seed: u64) -> FloodingSim<Mrwp> {
         let model = Mrwp::new(side, v).unwrap();
@@ -1003,7 +1134,9 @@ mod tests {
         let model = Mrwp::new(100.0, 1.0).unwrap();
         let center = FloodingSim::new(
             model.clone(),
-            SimConfig::new(300, 3.0).seed(2).source(SourcePlacement::Center),
+            SimConfig::new(300, 3.0)
+                .seed(2)
+                .source(SourcePlacement::Center),
         )
         .unwrap();
         let p = center.positions()[center.source()];
@@ -1011,7 +1144,9 @@ mod tests {
 
         let corner = FloodingSim::new(
             model.clone(),
-            SimConfig::new(300, 3.0).seed(2).source(SourcePlacement::SwCorner),
+            SimConfig::new(300, 3.0)
+                .seed(2)
+                .source(SourcePlacement::SwCorner),
         )
         .unwrap();
         let q = corner.positions()[corner.source()];
@@ -1019,7 +1154,9 @@ mod tests {
 
         let fixed = FloodingSim::new(
             model,
-            SimConfig::new(300, 3.0).seed(2).source(SourcePlacement::Agent(7)),
+            SimConfig::new(300, 3.0)
+                .seed(2)
+                .source(SourcePlacement::Agent(7)),
         )
         .unwrap();
         assert_eq!(fixed.source(), 7);
@@ -1055,7 +1192,9 @@ mod tests {
         let model = Static::new(10.0, Placement::Uniform).unwrap();
         let mut sim = FloodingSim::new(
             model,
-            SimConfig::new(4, 1.0).source(SourcePlacement::Agent(0)).seed(5),
+            SimConfig::new(4, 1.0)
+                .source(SourcePlacement::Agent(0))
+                .seed(5),
         )
         .unwrap();
         // overwrite positions deterministically via init_at states
@@ -1080,7 +1219,9 @@ mod tests {
         let model = Static::new(100.0, Placement::Uniform).unwrap();
         let mut sim = FloodingSim::new(
             model,
-            SimConfig::new(2, 1.0).source(SourcePlacement::Agent(0)).seed(1),
+            SimConfig::new(2, 1.0)
+                .source(SourcePlacement::Agent(0))
+                .seed(1),
         )
         .unwrap();
         let mut rng = StdRng::seed_from_u64(2);
@@ -1166,11 +1307,8 @@ mod tests {
     #[test]
     fn turn_recorder_collects() {
         let model = Mrwp::new(20.0, 2.0).unwrap();
-        let mut sim = FloodingSim::new(
-            model,
-            SimConfig::new(10, 2.0).seed(19).record_turns(true),
-        )
-        .unwrap();
+        let mut sim =
+            FloodingSim::new(model, SimConfig::new(10, 2.0).seed(19).record_turns(true)).unwrap();
         for _ in 0..200 {
             sim.step();
         }
@@ -1206,10 +1344,22 @@ mod tests {
             suburb_time: None,
         };
         assert_eq!(report.time_to_fraction(0.1), Some(1));
-        assert_eq!(report.time_to_fraction(0.5), Some(3), "50 of n=100, not 50% of 60");
+        assert_eq!(
+            report.time_to_fraction(0.5),
+            Some(3),
+            "50 of n=100, not 50% of 60"
+        );
         assert_eq!(report.time_to_fraction(0.6), Some(3));
-        assert_eq!(report.time_to_fraction(0.61), None, "never reached 61 agents");
-        assert_eq!(report.time_to_fraction(1.0), None, "incomplete run has no full time");
+        assert_eq!(
+            report.time_to_fraction(0.61),
+            None,
+            "never reached 61 agents"
+        );
+        assert_eq!(
+            report.time_to_fraction(1.0),
+            None,
+            "incomplete run has no full time"
+        );
         // an actually incomplete sim reports the same way
         let mut sim = mrwp_sim(400, 200.0, 1.0, 0.1, 29);
         let r = sim.run(3);
@@ -1224,7 +1374,9 @@ mod tests {
         let model = Static::new(10.0, Placement::Uniform).unwrap();
         let mut sim = FloodingSim::new(
             model,
-            SimConfig::new(4, 1.0).source(SourcePlacement::Agent(0)).seed(31),
+            SimConfig::new(4, 1.0)
+                .source(SourcePlacement::Agent(0))
+                .seed(31),
         )
         .unwrap();
         let mut rng = StdRng::seed_from_u64(32);

@@ -61,10 +61,14 @@ impl SimParams {
             return Err(CoreError::BadParameter("side must be positive and finite"));
         }
         if !(radius > 0.0) || !radius.is_finite() {
-            return Err(CoreError::BadParameter("radius must be positive and finite"));
+            return Err(CoreError::BadParameter(
+                "radius must be positive and finite",
+            ));
         }
         if !(speed >= 0.0) || !speed.is_finite() {
-            return Err(CoreError::BadParameter("speed must be nonnegative and finite"));
+            return Err(CoreError::BadParameter(
+                "speed must be nonnegative and finite",
+            ));
         }
         Ok(SimParams {
             n,

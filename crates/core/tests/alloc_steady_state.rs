@@ -43,6 +43,10 @@ fn allocations() -> usize {
 }
 
 fn warm_sparse_sim(protocol: Protocol) -> FloodingSim<Mrwp> {
+    warm_sparse_sim_with_engine(protocol, EngineMode::Adaptive)
+}
+
+fn warm_sparse_sim_with_engine(protocol: Protocol, engine: EngineMode) -> FloodingSim<Mrwp> {
     // sparse regime: radius far below connectivity, slow agents, so the
     // flood stays incomplete for thousands of steps
     let model = Mrwp::new(100.0, 0.2).unwrap();
@@ -52,7 +56,7 @@ fn warm_sparse_sim(protocol: Protocol) -> FloodingSim<Mrwp> {
             .seed(7)
             .source(SourcePlacement::Center)
             .protocol(protocol)
-            .engine(EngineMode::Adaptive),
+            .engine(engine),
     )
     .unwrap();
     // warm up every scratch buffer (both index sides get exercised as
@@ -87,6 +91,30 @@ fn full_flooding_steps_do_not_allocate() {
         0,
         "full-flooding steady state must not allocate"
     );
+}
+
+#[test]
+fn bucket_join_steps_do_not_allocate() {
+    let _window = MEASURE.lock().unwrap();
+    // the join rebuilds two shared-geometry grids per step; both must
+    // run entirely out of retained storage once warm
+    for protocol in [Protocol::Flooding, Protocol::Parsimonious { p: 0.5 }] {
+        let mut sim = warm_sparse_sim_with_engine(protocol, EngineMode::BucketJoin);
+        let before = allocations();
+        for _ in 0..200 {
+            sim.step();
+        }
+        let after = allocations();
+        assert!(
+            sim.bucket_join_steps() > 0,
+            "BucketJoin mode must run the join path"
+        );
+        assert_eq!(
+            after - before,
+            0,
+            "{protocol:?} bucket-join steady state must not allocate"
+        );
+    }
 }
 
 #[test]

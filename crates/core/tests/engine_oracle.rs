@@ -1,7 +1,8 @@
-//! The adaptive transmit engine must inform *exactly* the same agent set
-//! per step as the brute-force oracle, for every protocol, with and
-//! without crashes — and (for full flooding, which draws no protocol
-//! randomness) as the seed's rebuild-every-step engine too.
+//! The production transmit engines (adaptive and bucket-join) must
+//! inform *exactly* the same agent set per step as the brute-force
+//! oracle, for every protocol, with and without crashes — and (for full
+//! flooding, which draws no protocol randomness) as the seed's
+//! rebuild-every-step engine too.
 //!
 //! Engine modes are constructed so they consume identical random
 //! streams; any divergence in informed sets, inform times, or spread
@@ -37,6 +38,49 @@ fn sim(
     sim
 }
 
+fn lockstep_compare_engines(
+    n: usize,
+    seed: u64,
+    protocol: Protocol,
+    under_test: EngineMode,
+    reference: EngineMode,
+    crash_stride: usize,
+    steps: u32,
+) {
+    let mut tested = sim(n, seed, protocol, under_test, crash_stride);
+    let mut oracle = sim(n, seed, protocol, reference, crash_stride);
+    for t in 1..=steps {
+        let a = tested.step();
+        let b = oracle.step();
+        prop_assert_eq!(
+            a,
+            b,
+            "step {} newly-informed counts diverged (n={}, seed={}, {:?}, {:?}, stride {})",
+            t,
+            n,
+            seed,
+            protocol,
+            under_test,
+            crash_stride
+        );
+        prop_assert_eq!(
+            tested.informed(),
+            oracle.informed(),
+            "step {} informed sets diverged (n={}, seed={}, {:?}, {:?}, stride {})",
+            t,
+            n,
+            seed,
+            protocol,
+            under_test,
+            crash_stride
+        );
+        if tested.all_informed() {
+            break;
+        }
+    }
+    prop_assert_eq!(tested.report(), oracle.report());
+}
+
 fn lockstep_compare(
     n: usize,
     seed: u64,
@@ -45,36 +89,15 @@ fn lockstep_compare(
     crash_stride: usize,
     steps: u32,
 ) {
-    let mut adaptive = sim(n, seed, protocol, EngineMode::Adaptive, crash_stride);
-    let mut oracle = sim(n, seed, protocol, reference, crash_stride);
-    for t in 1..=steps {
-        let a = adaptive.step();
-        let b = oracle.step();
-        prop_assert_eq!(
-            a,
-            b,
-            "step {} newly-informed counts diverged (n={}, seed={}, {:?}, stride {})",
-            t,
-            n,
-            seed,
-            protocol,
-            crash_stride
-        );
-        prop_assert_eq!(
-            adaptive.informed(),
-            oracle.informed(),
-            "step {} informed sets diverged (n={}, seed={}, {:?}, stride {})",
-            t,
-            n,
-            seed,
-            protocol,
-            crash_stride
-        );
-        if adaptive.all_informed() {
-            break;
-        }
-    }
-    prop_assert_eq!(adaptive.report(), oracle.report());
+    lockstep_compare_engines(
+        n,
+        seed,
+        protocol,
+        EngineMode::Adaptive,
+        reference,
+        crash_stride,
+        steps,
+    );
 }
 
 proptest! {
@@ -112,6 +135,44 @@ proptest! {
     fn gossip_with_crashes_matches_oracle(seed in 0u64..500, n in 40usize..120, k in 1usize..4) {
         lockstep_compare(n, seed, Protocol::Gossip { k }, EngineMode::Oracle, 5, 400);
     }
+
+    #[test]
+    fn bucket_join_flooding_matches_oracle(seed in 0u64..1000, n in 40usize..160, stride in 0usize..6) {
+        // stride 1 crashes every non-source agent — a completion edge case
+        lockstep_compare_engines(
+            n, seed, Protocol::Flooding, EngineMode::BucketJoin, EngineMode::Oracle, stride, 400,
+        );
+    }
+
+    #[test]
+    fn bucket_join_flooding_matches_seed_rebuild(seed in 0u64..1000, n in 40usize..160) {
+        lockstep_compare_engines(
+            n, seed, Protocol::Flooding, EngineMode::BucketJoin, EngineMode::Rebuild, 0, 400,
+        );
+    }
+
+    #[test]
+    fn bucket_join_parsimonious_matches_oracle(seed in 0u64..1000, n in 40usize..140, p in 0.05f64..0.95) {
+        lockstep_compare_engines(
+            n, seed, Protocol::Parsimonious { p }, EngineMode::BucketJoin, EngineMode::Oracle, 0, 400,
+        );
+    }
+
+    #[test]
+    fn bucket_join_parsimonious_with_crashes_matches_oracle(seed in 0u64..500, n in 40usize..120) {
+        lockstep_compare_engines(
+            n, seed, Protocol::Parsimonious { p: 0.4 }, EngineMode::BucketJoin, EngineMode::Oracle, 4, 400,
+        );
+    }
+
+    #[test]
+    fn bucket_join_gossip_matches_oracle(seed in 0u64..500, n in 40usize..140, k in 1usize..6) {
+        // gossip rides the shared adaptive path in BucketJoin mode; the
+        // random stream must still be identical
+        lockstep_compare_engines(
+            n, seed, Protocol::Gossip { k }, EngineMode::BucketJoin, EngineMode::Oracle, 3, 400,
+        );
+    }
 }
 
 /// Gossip with `k >= n` can never need to sample, so it must inform the
@@ -145,7 +206,14 @@ fn gossip_with_k_at_least_n_matches_flooding_step_for_step() {
 #[test]
 fn fixed_scenarios_match_oracle() {
     lockstep_compare(100, 42, Protocol::Flooding, EngineMode::Oracle, 3, 600);
-    lockstep_compare(100, 42, Protocol::Gossip { k: 2 }, EngineMode::Oracle, 3, 600);
+    lockstep_compare(
+        100,
+        42,
+        Protocol::Gossip { k: 2 },
+        EngineMode::Oracle,
+        3,
+        600,
+    );
     lockstep_compare(
         100,
         42,
@@ -154,4 +222,52 @@ fn fixed_scenarios_match_oracle() {
         3,
         600,
     );
+    for mode in [EngineMode::BucketJoin, EngineMode::Rebuild] {
+        lockstep_compare_engines(
+            100,
+            42,
+            Protocol::Flooding,
+            mode,
+            EngineMode::Oracle,
+            3,
+            600,
+        );
+    }
+}
+
+/// The adaptive engine must actually *engage* the bucket join in the
+/// dense large-`n` regime (both sides big), and the auto-engaged runs
+/// must stay lockstep-identical to the brute-force oracle. Small-`n`
+/// proptests never cross the crossover threshold, so this is the only
+/// test driving the production auto-selection through the join.
+#[test]
+fn adaptive_engages_bucket_join_in_dense_regime_and_matches_oracle() {
+    let n = 4_096;
+    let model = Mrwp::new((n as f64).sqrt(), 0.8).unwrap();
+    let config = |engine: EngineMode| {
+        SimConfig::new(n, 3.2)
+            .seed(2010)
+            .source(SourcePlacement::Agent(0))
+            .engine(engine)
+    };
+    let mut adaptive = FloodingSim::new(model.clone(), config(EngineMode::Adaptive)).unwrap();
+    let mut oracle = FloodingSim::new(model, config(EngineMode::Oracle)).unwrap();
+    for _ in 0..600 {
+        adaptive.step();
+        oracle.step();
+        assert_eq!(
+            adaptive.informed(),
+            oracle.informed(),
+            "auto-engaged join diverged from the oracle"
+        );
+        if adaptive.all_informed() {
+            break;
+        }
+    }
+    assert!(adaptive.all_informed(), "dense flood must complete");
+    assert!(
+        adaptive.bucket_join_steps() > 0,
+        "the dense regime must have auto-engaged the bucket join"
+    );
+    assert_eq!(adaptive.report(), oracle.report());
 }

@@ -163,7 +163,10 @@ impl CellGrid {
 
     /// The closed rectangle covered by `cell`.
     pub fn rect_of(&self, cell: Cell) -> Rect {
-        let min = Point::new(cell.col as f64 * self.cell_len, cell.row as f64 * self.cell_len);
+        let min = Point::new(
+            cell.col as f64 * self.cell_len,
+            cell.row as f64 * self.cell_len,
+        );
         let max = Point::new(min.x + self.cell_len, min.y + self.cell_len);
         Rect::new(min, max).expect("cell rect is well-formed")
     }

@@ -115,7 +115,10 @@ impl Rect {
     /// Clamps `p` to the closest point inside the rectangle.
     #[inline]
     pub fn clamp(&self, p: Point) -> Point {
-        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
     }
 
     /// The intersection with `other`, or `None` when disjoint.

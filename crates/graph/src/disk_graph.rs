@@ -42,7 +42,11 @@ impl DiskGraph {
     ///
     /// Propagates [`SpatialError`] from the underlying index (non-positive
     /// radius, non-finite positions).
-    pub fn build(region: Rect, radius: f64, positions: &[Point]) -> Result<DiskGraph, SpatialError> {
+    pub fn build(
+        region: Rect,
+        radius: f64,
+        positions: &[Point],
+    ) -> Result<DiskGraph, SpatialError> {
         let index = GridIndex::for_radius(region, radius, positions)?;
         let n = positions.len();
         let mut degree = vec![0u32; n + 1];
@@ -236,7 +240,9 @@ mod tests {
 
     #[test]
     fn clique_when_all_close() {
-        let pts: Vec<Point> = (0..6).map(|i| Point::new(50.0 + 0.01 * i as f64, 50.0)).collect();
+        let pts: Vec<Point> = (0..6)
+            .map(|i| Point::new(50.0 + 0.01 * i as f64, 50.0))
+            .collect();
         let g = DiskGraph::build(square(), 1.0, &pts).unwrap();
         assert_eq!(g.num_edges(), 15); // C(6,2)
         for v in 0..6 {

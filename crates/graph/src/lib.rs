@@ -4,7 +4,7 @@
 //! graph `G_t`: agents are vertices, and two agents share an edge iff their
 //! Euclidean distance is at most the transmission radius `R`. The paper's
 //! introduction contrasts the connectivity threshold of the MRWP stationary
-//! snapshot (a *root of n*, per [13]) with the `Θ(√log n)` threshold of
+//! snapshot (a *root of n*, per \[13\]) with the `Θ(√log n)` threshold of
 //! uniform-like models — experiment E11 reproduces that contrast with the
 //! tools in this crate:
 //!

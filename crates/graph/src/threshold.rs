@@ -70,7 +70,10 @@ pub fn connectivity_threshold<F>(region: Rect, config: ThresholdSearch, mut samp
 where
     F: FnMut() -> Vec<Point>,
 {
-    assert!(config.trials_per_radius > 0, "need at least one trial per radius");
+    assert!(
+        config.trials_per_radius > 0,
+        "need at least one trial per radius"
+    );
     assert!(
         config.relative_tolerance > 0.0,
         "tolerance must be positive"
@@ -121,7 +124,11 @@ mod tests {
                 relative_tolerance: 0.005,
                 target_probability: 0.5,
             },
-            || (0..10).map(|i| Point::new(i as f64 * spacing, 0.0)).collect(),
+            || {
+                (0..10)
+                    .map(|i| Point::new(i as f64 * spacing, 0.0))
+                    .collect()
+            },
         );
         assert!(
             (r - spacing).abs() < 0.2,

@@ -28,7 +28,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `len` singleton sets.
     pub fn new(len: usize) -> UnionFind {
-        assert!(len <= u32::MAX as usize, "UnionFind supports up to 2^32 - 1 elements");
+        assert!(
+            len <= u32::MAX as usize,
+            "UnionFind supports up to 2^32 - 1 elements"
+        );
         UnionFind {
             parent: (0..len as u32).collect(),
             size: vec![1; len],

@@ -147,7 +147,9 @@ impl Mobility for DiskWalk {
         if len == 0.0 {
             return state.start;
         }
-        state.start.lerp(state.dest, (state.s / len).clamp(0.0, 1.0))
+        state
+            .start
+            .lerp(state.dest, (state.s / len).clamp(0.0, 1.0))
     }
 
     fn step<R: Rng + ?Sized>(&self, state: &mut DiskWalkState, rng: &mut R) -> StepEvents {

@@ -56,7 +56,10 @@ impl Quadrant {
 }
 
 fn assert_side(l: f64) {
-    debug_assert!(l > 0.0 && l.is_finite(), "region side must be positive, got {l}");
+    debug_assert!(
+        l > 0.0 && l.is_finite(),
+        "region side must be positive, got {l}"
+    );
 }
 
 /// The stationary spatial density `f(x, y)` of Theorem 1.
@@ -367,7 +370,8 @@ mod tests {
         // CDF' = density (finite differences)
         for t in [5.0, 20.0, 30.0, 45.0] {
             let h = 1e-5;
-            let deriv = (spatial_marginal_cdf(L, t + h) - spatial_marginal_cdf(L, t - h)) / (2.0 * h);
+            let deriv =
+                (spatial_marginal_cdf(L, t + h) - spatial_marginal_cdf(L, t - h)) / (2.0 * h);
             assert!((deriv - spatial_marginal_density(L, t)).abs() < 1e-6);
         }
         assert_eq!(spatial_marginal_cdf(L, -3.0), 0.0);
@@ -379,14 +383,11 @@ mod tests {
         let full = Rect::square(L).unwrap();
         assert!((rect_mass(L, &full) - 1.0).abs() < 1e-12);
         // disjoint rect has zero mass
-        let outside = Rect::new(
-            Point::new(L + 1.0, 0.0),
-            Point::new(L + 2.0, 1.0),
-        )
-        .unwrap();
+        let outside = Rect::new(Point::new(L + 1.0, 0.0), Point::new(L + 2.0, 1.0)).unwrap();
         assert_eq!(rect_mass(L, &outside), 0.0);
         // clipping: rect extending past the region counts only the inside
-        let straddling = Rect::new(Point::new(L / 2.0, -10.0), Point::new(L + 10.0, L + 10.0)).unwrap();
+        let straddling =
+            Rect::new(Point::new(L / 2.0, -10.0), Point::new(L + 10.0, L + 10.0)).unwrap();
         let inside = Rect::new(Point::new(L / 2.0, 0.0), Point::new(L, L)).unwrap();
         assert!((rect_mass(L, &straddling) - rect_mass(L, &inside)).abs() < 1e-12);
     }
@@ -448,7 +449,10 @@ mod tests {
                 quadrants,
                 cross
             );
-            assert!((cross - 0.5).abs() < 1e-12, "cross mass must be exactly 1/2");
+            assert!(
+                (cross - 0.5).abs() < 1e-12,
+                "cross mass must be exactly 1/2"
+            );
         }
     }
 
@@ -477,10 +481,22 @@ mod tests {
     #[test]
     fn quadrant_classify() {
         let pos = Point::new(10.0, 10.0);
-        assert_eq!(Quadrant::classify(pos, Point::new(5.0, 5.0)), Some(Quadrant::Sw));
-        assert_eq!(Quadrant::classify(pos, Point::new(15.0, 5.0)), Some(Quadrant::Se));
-        assert_eq!(Quadrant::classify(pos, Point::new(5.0, 15.0)), Some(Quadrant::Nw));
-        assert_eq!(Quadrant::classify(pos, Point::new(15.0, 15.0)), Some(Quadrant::Ne));
+        assert_eq!(
+            Quadrant::classify(pos, Point::new(5.0, 5.0)),
+            Some(Quadrant::Sw)
+        );
+        assert_eq!(
+            Quadrant::classify(pos, Point::new(15.0, 5.0)),
+            Some(Quadrant::Se)
+        );
+        assert_eq!(
+            Quadrant::classify(pos, Point::new(5.0, 15.0)),
+            Some(Quadrant::Nw)
+        );
+        assert_eq!(
+            Quadrant::classify(pos, Point::new(15.0, 15.0)),
+            Some(Quadrant::Ne)
+        );
         assert_eq!(Quadrant::classify(pos, Point::new(10.0, 15.0)), None);
         assert_eq!(Quadrant::classify(pos, Point::new(5.0, 10.0)), None);
     }
@@ -548,6 +564,9 @@ mod tests {
             / n as f64;
         // E[uniform] = 2L/3; length bias raises the mean to E[len²]/E[len]
         assert!((uniform - 2.0 * L / 3.0).abs() < L * 0.01);
-        assert!(biased > uniform * 1.05, "biased {biased} vs uniform {uniform}");
+        assert!(
+            biased > uniform * 1.05,
+            "biased {biased} vs uniform {uniform}"
+        );
     }
 }

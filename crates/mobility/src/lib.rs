@@ -80,8 +80,12 @@ pub enum MobilityError {
 impl fmt::Display for MobilityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MobilityError::BadSide(v) => write!(f, "region side must be positive and finite, got {v}"),
-            MobilityError::BadSpeed(v) => write!(f, "speed must be nonnegative and finite, got {v}"),
+            MobilityError::BadSide(v) => {
+                write!(f, "region side must be positive and finite, got {v}")
+            }
+            MobilityError::BadSpeed(v) => {
+                write!(f, "speed must be nonnegative and finite, got {v}")
+            }
             MobilityError::BadRadius(v) => write!(f, "radius must be positive and finite, got {v}"),
         }
     }

@@ -91,7 +91,10 @@ mod tests {
 
     #[test]
     fn step_events_total() {
-        let e = StepEvents { turns: 2, arrivals: 1 };
+        let e = StepEvents {
+            turns: 2,
+            arrivals: 1,
+        };
         assert_eq!(e.direction_changes(), 3);
         assert_eq!(StepEvents::default().direction_changes(), 0);
     }

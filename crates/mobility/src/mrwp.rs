@@ -172,10 +172,7 @@ impl Mrwp {
     }
 
     fn fresh_trip<R: Rng + ?Sized>(&self, from: Point, rng: &mut R) -> LPath {
-        let dest = Point::new(
-            self.side * rng.gen::<f64>(),
-            self.side * rng.gen::<f64>(),
-        );
+        let dest = Point::new(self.side * rng.gen::<f64>(), self.side * rng.gen::<f64>());
         let axis = if rng.gen_bool(0.5) { Axis::Y } else { Axis::X };
         LPath::new(from, dest, axis)
     }
@@ -215,7 +212,11 @@ impl Mobility for Mrwp {
             }
             if rng.gen::<f64>() * duration < self.pause as f64 {
                 // paused at the destination, uniformly into the pause
-                return MrwpState::new(LPath::new(d, d, Axis::X), 0.0, rng.gen_range(1..=self.pause));
+                return MrwpState::new(
+                    LPath::new(d, d, Axis::X),
+                    0.0,
+                    rng.gen_range(1..=self.pause),
+                );
             }
             let axis = if rng.gen_bool(0.5) { Axis::Y } else { Axis::X };
             let path = LPath::new(w, d, axis);
@@ -398,7 +399,10 @@ mod tests {
         assert!(Mrwp::new(f64::INFINITY, 1.0).is_err());
         assert!(Mrwp::new(10.0, -0.5).is_err());
         assert!(Mrwp::new(10.0, f64::NAN).is_err());
-        assert!(Mrwp::new(10.0, 0.0).is_ok(), "zero speed is legal (static agents)");
+        assert!(
+            Mrwp::new(10.0, 0.0).is_ok(),
+            "zero speed is legal (static agents)"
+        );
     }
 
     #[test]
@@ -494,7 +498,10 @@ mod tests {
                 && (total_arrivals as f64) < expected_trips * 1.2,
             "arrivals {total_arrivals}, expected ≈ {expected_trips}"
         );
-        assert!(total_turns <= total_arrivals + 1, "at most one corner per trip");
+        assert!(
+            total_turns <= total_arrivals + 1,
+            "at most one corner per trip"
+        );
         // most uniformly-chosen trips do turn
         assert!(total_turns as f64 > 0.8 * total_arrivals as f64);
     }
@@ -566,7 +573,9 @@ mod tests {
         let model = Mrwp::new(L, 1.0).unwrap();
         let mut r = rng(10);
         for _ in 0..1000 {
-            assert!(model.region().contains(model.sample_stationary_position(&mut r)));
+            assert!(model
+                .region()
+                .contains(model.sample_stationary_position(&mut r)));
         }
     }
 

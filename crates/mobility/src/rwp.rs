@@ -91,7 +91,9 @@ impl Rwp {
         if len == 0.0 {
             return state.start;
         }
-        state.start.lerp(state.dest, (state.s / len).clamp(0.0, 1.0))
+        state
+            .start
+            .lerp(state.dest, (state.s / len).clamp(0.0, 1.0))
     }
 }
 

@@ -239,9 +239,18 @@ mod tests {
     #[test]
     fn snapping_hits_grid() {
         let m = StreetMrwp::new(L, 1.0, 10).unwrap();
-        assert_eq!(m.snap_to_intersection(Point::new(12.0, 38.0)), Point::new(10.0, 40.0));
-        assert_eq!(m.snap_to_intersection(Point::new(0.0, 0.0)), Point::new(0.0, 0.0));
-        assert_eq!(m.snap_to_intersection(Point::new(99.9, 99.9)), Point::new(100.0, 100.0));
+        assert_eq!(
+            m.snap_to_intersection(Point::new(12.0, 38.0)),
+            Point::new(10.0, 40.0)
+        );
+        assert_eq!(
+            m.snap_to_intersection(Point::new(0.0, 0.0)),
+            Point::new(0.0, 0.0)
+        );
+        assert_eq!(
+            m.snap_to_intersection(Point::new(99.9, 99.9)),
+            Point::new(100.0, 100.0)
+        );
         // snapping is idempotent
         let p = m.snap_to_intersection(Point::new(33.3, 77.7));
         assert_eq!(m.snap_to_intersection(p), p);

@@ -1,9 +1,7 @@
 //! Property tests for the mobility models.
 
 use fastflood_geom::Point;
-use fastflood_mobility::{
-    distributions, DiskWalk, Mobility, Mrwp, Placement, Rwp, Static,
-};
+use fastflood_mobility::{distributions, DiskWalk, Mobility, Mrwp, Placement, Rwp, Static};
 use proptest::prelude::*;
 use rand::SeedableRng;
 

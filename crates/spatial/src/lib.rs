@@ -16,6 +16,16 @@
 //!   shrinking uninformed set, whichever is smaller) without copying
 //!   positions, and after warm-up a rebuild performs **zero heap
 //!   allocations**;
+//! * the **bucket join** — two buffers binned with a *shared* grid
+//!   geometry ([`GridIndexBuffer::rebuild_subset_shared`]) can be joined
+//!   bucket-against-bucket ([`GridIndexBuffer::join_covered_by`]):
+//!   instead of issuing one scattered disk query per agent, the join
+//!   walks the occupied buckets of one side
+//!   ([`GridIndexBuffer::occupied_buckets`]) and resolves each against
+//!   the ≤ 3×3 facing CSR slices of the other, with a cheap per-pair
+//!   AABB distance prune. This is the transmit kernel of the flooding
+//!   engine's dense large-`n` regime (cf. Clementi–Monti–Silvestri,
+//!   *Fast Flooding over Manhattan*, PODC 2010);
 //! * [`BruteForceIndex`] — a deliberately naive `O(n)`-per-query oracle
 //!   used for correctness tests and baseline benches.
 //!
@@ -106,7 +116,11 @@ impl GridIndex {
     /// * [`SpatialError::BadBucketSize`] — non-positive or non-finite size;
     /// * [`SpatialError::NotFinite`] — a position with NaN/infinite
     ///   coordinates.
-    pub fn build(region: Rect, bucket_size: f64, positions: &[Point]) -> Result<GridIndex, SpatialError> {
+    pub fn build(
+        region: Rect,
+        bucket_size: f64,
+        positions: &[Point],
+    ) -> Result<GridIndex, SpatialError> {
         if !(bucket_size > 0.0) || !bucket_size.is_finite() {
             return Err(SpatialError::BadBucketSize(bucket_size));
         }
@@ -158,7 +172,11 @@ impl GridIndex {
     /// # Errors
     ///
     /// As [`GridIndex::build`].
-    pub fn for_radius(region: Rect, r: f64, positions: &[Point]) -> Result<GridIndex, SpatialError> {
+    pub fn for_radius(
+        region: Rect,
+        r: f64,
+        positions: &[Point],
+    ) -> Result<GridIndex, SpatialError> {
         GridIndex::build(region, r, positions)
     }
 
@@ -367,7 +385,11 @@ impl GridIndex {
 /// [`GridIndexBuffer::rebuild_subset`]; queries then report the original
 /// population ids. The bucket count per axis adapts to the subset size
 /// (capped near `2·√k` for `k` indexed points) so small frontiers get
-/// proportionally small bucket tables.
+/// proportionally small bucket tables. When two subsets of the same
+/// population must be compared bucket-against-bucket, rebuild both with
+/// [`GridIndexBuffer::rebuild_subset_shared`] (which derives the
+/// geometry from an explicit population count instead of the subset
+/// size) and join them with [`GridIndexBuffer::join_covered_by`].
 ///
 /// # Examples
 ///
@@ -403,6 +425,13 @@ pub struct GridIndexBuffer {
     /// so the two binning passes read sequentially and pay the
     /// `positions[id]` indirection exactly once per point.
     gather: Vec<(f64, f64)>,
+    /// Per-point bucket index computed in the counting pass and reused
+    /// by the scatter pass, so the clamp/truncate math runs once per
+    /// point instead of twice.
+    bkt: Vec<u32>,
+    /// Buckets holding at least one point, ascending — the worklist of
+    /// the bucket join (built for free inside the prefix-sum pass).
+    occupied: Vec<u32>,
     len: usize,
 }
 
@@ -416,7 +445,13 @@ impl GridIndexBuffer {
         self.cursor.reserve(table.saturating_sub(self.cursor.len()));
         self.ids.reserve(points.saturating_sub(self.ids.len()));
         self.pts.reserve(points.saturating_sub(self.pts.len()));
-        self.gather.reserve(points.saturating_sub(self.gather.len()));
+        self.gather
+            .reserve(points.saturating_sub(self.gather.len()));
+        self.bkt.reserve(points.saturating_sub(self.bkt.len()));
+        // at most one occupied bucket per point (and never more than the
+        // bucket table itself)
+        self.occupied
+            .reserve(points.min(table).saturating_sub(self.occupied.len()));
     }
 
     /// Creates an empty buffer; storage grows on first rebuild and is
@@ -432,6 +467,8 @@ impl GridIndexBuffer {
             ids: Vec::new(),
             pts: Vec::new(),
             gather: Vec::new(),
+            bkt: Vec::new(),
+            occupied: Vec::new(),
             len: 0,
         }
     }
@@ -447,7 +484,7 @@ impl GridIndexBuffer {
         bucket_size: f64,
         positions: &[Point],
     ) -> Result<(), SpatialError> {
-        self.rebuild_inner(region, bucket_size, positions, None)
+        self.rebuild_inner(region, bucket_size, positions, None, None)
     }
 
     /// Re-bins only the positions selected by `subset` (original indices
@@ -464,7 +501,54 @@ impl GridIndexBuffer {
         positions: &[Point],
         subset: &[u32],
     ) -> Result<(), SpatialError> {
-        self.rebuild_inner(region, bucket_size, positions, Some(subset))
+        self.rebuild_inner(region, bucket_size, positions, Some(subset), None)
+    }
+
+    /// Like [`GridIndexBuffer::rebuild_subset`], but derives the grid
+    /// geometry (buckets per axis) from `geometry_points` instead of the
+    /// subset length.
+    ///
+    /// Two buffers rebuilt over the same `region` / `bucket_size` /
+    /// `geometry_points` triple have **identical bucket layouts**, which
+    /// is the precondition of [`GridIndexBuffer::join_covered_by`]: bin
+    /// the two sides of a join with the size of their *common population*
+    /// (so the bucket resolution doesn't degrade as one side shrinks),
+    /// then join bucket-against-bucket.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fastflood_geom::{Point, Rect};
+    /// use fastflood_spatial::GridIndexBuffer;
+    ///
+    /// let region = Rect::square(100.0)?;
+    /// let pts = vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0), Point::new(90.0, 90.0)];
+    /// let (mut a, mut b) = (GridIndexBuffer::new(), GridIndexBuffer::new());
+    /// a.rebuild_subset_shared(region, 5.0, &pts, &[0], pts.len())?;
+    /// b.rebuild_subset_shared(region, 5.0, &pts, &[1, 2], pts.len())?;
+    /// assert_eq!(a.buckets_per_axis(), b.buckets_per_axis());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// As [`GridIndex::build`]. A subset id out of bounds of `positions`
+    /// panics.
+    pub fn rebuild_subset_shared(
+        &mut self,
+        region: Rect,
+        bucket_size: f64,
+        positions: &[Point],
+        subset: &[u32],
+        geometry_points: usize,
+    ) -> Result<(), SpatialError> {
+        self.rebuild_inner(
+            region,
+            bucket_size,
+            positions,
+            Some(subset),
+            Some(geometry_points),
+        )
     }
 
     fn rebuild_inner(
@@ -473,13 +557,19 @@ impl GridIndexBuffer {
         bucket_size: f64,
         positions: &[Point],
         subset: Option<&[u32]>,
+        geometry_points: Option<usize>,
     ) -> Result<(), SpatialError> {
         if !(bucket_size > 0.0) || !bucket_size.is_finite() {
             return Err(SpatialError::BadBucketSize(bucket_size));
         }
         let k = subset.map_or(positions.len(), <[u32]>::len);
-        let side = region.width().max(region.height());
-        let cap = (2.0 * (k.max(1) as f64).sqrt()).ceil() as usize + 1;
+        // size the grid by the SHORTER side so the bucket side is at
+        // least `bucket_size` on both axes — the neighborhood guarantees
+        // of radius-`bucket_size` queries and of the bucket join hold on
+        // non-square regions too
+        let side = region.width().min(region.height());
+        let geo = geometry_points.unwrap_or(k);
+        let cap = (2.0 * (geo.max(1) as f64).sqrt()).ceil() as usize + 1;
         let m = ((side / bucket_size).floor() as usize).clamp(1, cap.max(1));
         self.region = region;
         self.m = m;
@@ -487,62 +577,107 @@ impl GridIndexBuffer {
         self.bucket_len_y = region.height() / m as f64;
         self.len = k;
 
-        // retained-capacity resizes: no allocation once warmed up
+        // retained-capacity resizes: no allocation once warmed up. The
+        // bucket table must be zeroed (counts accumulate into it); the
+        // entry arrays only ever *grow* — the scatter pass overwrites
+        // exactly the first `k` slots, and every query range stays below
+        // `k`, so stale entries past the current length are never read
+        // and the ~1 MB-per-rebuild memset of a clear-and-resize is
+        // avoided.
         self.starts.clear();
         self.starts.resize(m * m + 1, 0);
-        self.ids.clear();
-        self.ids.resize(k, 0);
-        self.pts.clear();
-        self.pts.resize(k, (0.0, 0.0));
+        if self.ids.len() < k {
+            self.ids.resize(k, 0);
+        }
+        if self.pts.len() < k {
+            self.pts.resize(k, (0.0, 0.0));
+        }
 
         let min = region.min();
         let inv_x = 1.0 / self.bucket_len_x;
         let inv_y = 1.0 / self.bucket_len_y;
+        // float→int casts saturate in Rust (negatives to 0), so the
+        // truncating cast is the floor-and-clamp-low in one instruction
         let bucket_of = |x: f64, y: f64| -> usize {
-            let cx = (((x - min.x) * inv_x).floor().max(0.0) as usize).min(m - 1);
-            let cy = (((y - min.y) * inv_y).floor().max(0.0) as usize).min(m - 1);
+            let cx = (((x - min.x) * inv_x) as usize).min(m - 1);
+            let cy = (((y - min.y) * inv_y) as usize).min(m - 1);
             cy * m + cx
         };
 
-        // gather pass: pay the indirection once, validate, go dense
+        // pass 1, fused gather + count: pay the `positions[id]`
+        // indirection once, validate, record the bucket of each point
+        // (the scatter pass reuses it) and count bucket sizes
         self.gather.clear();
+        self.bkt.clear();
+        let mut bad: Option<usize> = None;
         match subset {
             Some(sub) => {
                 for &id in sub {
                     let p = positions[id as usize];
                     if !p.is_finite() {
-                        return Err(SpatialError::NotFinite { index: id as usize });
+                        bad = Some(id as usize);
+                        break;
                     }
+                    let b = bucket_of(p.x, p.y);
                     self.gather.push((p.x, p.y));
+                    self.bkt.push(b as u32);
+                    self.starts[b + 1] += 1;
                 }
             }
             None => {
                 for (id, p) in positions.iter().enumerate() {
                     if !p.is_finite() {
-                        return Err(SpatialError::NotFinite { index: id });
+                        bad = Some(id);
+                        break;
                     }
+                    let b = bucket_of(p.x, p.y);
                     self.gather.push((p.x, p.y));
+                    self.bkt.push(b as u32);
+                    self.starts[b + 1] += 1;
                 }
             }
         }
-        // pass 1: counts (into starts, shifted by one)
-        for &(x, y) in &self.gather {
-            self.starts[bucket_of(x, y) + 1] += 1;
+        if let Some(index) = bad {
+            // degrade to an empty index: counts were partially
+            // accumulated, so zero the table and the length — a caller
+            // that catches the error and queries anyway sees nothing
+            // rather than stale entries behind garbage ranges
+            self.len = 0;
+            self.occupied.clear();
+            for s in &mut self.starts {
+                *s = 0;
+            }
+            return Err(SpatialError::NotFinite { index });
         }
-        // prefix sums
+        // prefix sums; the occupied-bucket list falls out of the same
+        // pass, already sorted ascending
+        self.occupied.clear();
         for b in 1..self.starts.len() {
+            if self.starts[b] > 0 {
+                self.occupied.push((b - 1) as u32);
+            }
             self.starts[b] += self.starts[b - 1];
         }
-        // pass 2: scatter
+        // pass 2: scatter, reusing the cached bucket indices
         self.cursor.clear();
         self.cursor.extend_from_slice(&self.starts[..m * m]);
-        for i in 0..k {
-            let (x, y) = self.gather[i];
-            let b = bucket_of(x, y);
-            let at = self.cursor[b] as usize;
-            self.cursor[b] += 1;
-            self.ids[at] = subset.map_or(i as u32, |s| s[i]);
-            self.pts[at] = (x, y);
+        match subset {
+            Some(sub) => {
+                for ((&b, &xy), &id) in self.bkt.iter().zip(&self.gather).zip(sub) {
+                    let at = self.cursor[b as usize] as usize;
+                    self.cursor[b as usize] += 1;
+                    self.ids[at] = id;
+                    self.pts[at] = xy;
+                }
+            }
+            None => {
+                for (i, (&b, &xy)) in self.bkt.iter().zip(&self.gather).enumerate() {
+                    let at = self.cursor[b as usize] as usize;
+                    self.cursor[b as usize] += 1;
+                    self.ids[at] = i as u32;
+                    self.pts[at] = xy;
+                }
+            }
         }
         Ok(())
     }
@@ -565,13 +700,242 @@ impl GridIndexBuffer {
         self.m
     }
 
+    /// Bucket indices (row-major, `cy·m + cx`) that hold at least one
+    /// point, ascending. Rebuilt for free inside every rebuild's
+    /// prefix-sum pass; the outer worklist of the bucket join.
+    #[inline]
+    pub fn occupied_buckets(&self) -> &[u32] {
+        &self.occupied
+    }
+
+    /// The indexed original ids in **bucket order** — a spatial sort of
+    /// the indexed subset for free.
+    ///
+    /// Points binned into the same bucket are adjacent in this slice and
+    /// buckets appear row-major, so iterating a worklist in this order
+    /// makes consecutive spatial queries touch the same or neighboring
+    /// buckets (probe-order locality). The flooding engine's bucket-join
+    /// mode consumes its worklist in exactly this order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fastflood_geom::{Point, Rect};
+    /// use fastflood_spatial::GridIndexBuffer;
+    ///
+    /// let region = Rect::square(100.0)?;
+    /// // two far-apart clusters, interleaved in id order
+    /// let pts = vec![
+    ///     Point::new(1.0, 1.0),
+    ///     Point::new(90.0, 90.0),
+    ///     Point::new(2.0, 2.0),
+    ///     Point::new(91.0, 91.0),
+    /// ];
+    /// let mut buf = GridIndexBuffer::new();
+    /// buf.rebuild(region, 10.0, &pts)?;
+    /// // bucket order groups each cluster together
+    /// assert_eq!(buf.ids(), &[0, 2, 1, 3]);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    #[inline]
+    pub fn ids(&self) -> &[u32] {
+        &self.ids[..self.len]
+    }
+
+    /// Whether `other` was rebuilt with the same grid geometry (region,
+    /// bucket layout) as `self` — the precondition of
+    /// [`GridIndexBuffer::join_covered_by`], guaranteed by rebuilding
+    /// both sides via [`GridIndexBuffer::rebuild_subset_shared`] with
+    /// identical `region` / `bucket_size` / `geometry_points`.
+    #[inline]
+    pub fn shares_geometry_with(&self, other: &GridIndexBuffer) -> bool {
+        self.m == other.m
+            && self.region == other.region
+            && self.bucket_len_x == other.bucket_len_x
+            && self.bucket_len_y == other.bucket_len_y
+    }
+
+    /// Bucket join: calls `f(id)` once for every point indexed in `self`
+    /// that lies within Euclidean distance `r` (inclusive) of **some**
+    /// point indexed in `other`.
+    ///
+    /// Instead of issuing a scattered disk query per point, the join
+    /// iterates the occupied buckets of `self`; for each it resolves the
+    /// ≤ 3×3 facing CSR slices of `other` **once** (skipping empty
+    /// buckets, and pruning slices whose bucket rectangle is farther
+    /// than `r` from the tight AABB of this bucket's points), then runs
+    /// dense slice-×-slice distance loops with first-hit early exit per
+    /// point. Both sides stream in bucket order, so the inner loops read
+    /// sequential memory and the per-bucket slice set stays cache-hot —
+    /// the win over per-agent probing in dense large-`n` populations.
+    ///
+    /// Each id is reported at most once (a point lives in exactly one
+    /// bucket). Allocation-free: the slice set lives in a fixed array.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two buffers were not rebuilt with a shared
+    /// geometry (see [`GridIndexBuffer::rebuild_subset_shared`]), or
+    /// when `r` exceeds the bucket side (the 3×3 neighborhood would miss
+    /// pairs; rebuild with `bucket_size >= r`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fastflood_geom::{Point, Rect};
+    /// use fastflood_spatial::GridIndexBuffer;
+    ///
+    /// let region = Rect::square(100.0)?;
+    /// let pts = vec![
+    ///     Point::new(10.0, 10.0), // uninformed, near the transmitter
+    ///     Point::new(60.0, 60.0), // uninformed, far away
+    ///     Point::new(12.0, 10.0), // transmitter
+    /// ];
+    /// let (mut uninformed, mut tx) = (GridIndexBuffer::new(), GridIndexBuffer::new());
+    /// uninformed.rebuild_subset_shared(region, 5.0, &pts, &[0, 1], pts.len())?;
+    /// tx.rebuild_subset_shared(region, 5.0, &pts, &[2], pts.len())?;
+    ///
+    /// let mut covered = Vec::new();
+    /// uninformed.join_covered_by(&tx, 5.0, |id| covered.push(id));
+    /// assert_eq!(covered, vec![0]);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn join_covered_by<F: FnMut(usize)>(&self, other: &GridIndexBuffer, r: f64, mut f: F) {
+        assert!(
+            self.shares_geometry_with(other),
+            "join requires both buffers rebuilt with a shared geometry"
+        );
+        debug_assert!(r >= 0.0, "join radius must be nonnegative");
+        assert!(
+            self.m == 1 || r <= self.bucket_len_x.min(self.bucket_len_y) * (1.0 + 1e-12),
+            "join radius {r} exceeds bucket side {}",
+            self.bucket_len_x.min(self.bucket_len_y)
+        );
+        if self.len == 0 || other.len == 0 {
+            return;
+        }
+        let m = self.m;
+        let r2 = r * r;
+        let min = self.region.min();
+        for &b in &self.occupied {
+            let b = b as usize;
+            let lo = self.starts[b] as usize;
+            let hi = self.starts[b + 1] as usize;
+            let (cx, cy) = (b % m, b / m);
+            // facing slices of `other`, resolved once per bucket (≤ 3×3
+            // because the bucket side is at least r); each keeps its
+            // cell rectangle for the pruning below
+            let mut slices = [Slice::EMPTY; 9];
+            let mut count = 0usize;
+            for ny in cy.saturating_sub(1)..=(cy + 1).min(m - 1) {
+                // border buckets absorb clamped out-of-region points, so
+                // their prune rectangle extends outward without bound
+                let cell_y0 = if ny == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    min.y + ny as f64 * self.bucket_len_y
+                };
+                let cell_y1 = if ny == m - 1 {
+                    f64::INFINITY
+                } else {
+                    min.y + (ny + 1) as f64 * self.bucket_len_y
+                };
+                for nx in cx.saturating_sub(1)..=(cx + 1).min(m - 1) {
+                    let nb = ny * m + nx;
+                    let tlo = other.starts[nb];
+                    let thi = other.starts[nb + 1];
+                    if tlo == thi {
+                        continue;
+                    }
+                    let cell_x0 = if nx == 0 {
+                        f64::NEG_INFINITY
+                    } else {
+                        min.x + nx as f64 * self.bucket_len_x
+                    };
+                    let cell_x1 = if nx == m - 1 {
+                        f64::INFINITY
+                    } else {
+                        min.x + (nx + 1) as f64 * self.bucket_len_x
+                    };
+                    slices[count] = Slice {
+                        lo: tlo,
+                        hi: thi,
+                        x0: cell_x0,
+                        x1: cell_x1,
+                        y0: cell_y0,
+                        y1: cell_y1,
+                    };
+                    count += 1;
+                }
+            }
+            if count == 0 {
+                // the common far-from-frontier case: no facing points at
+                // all, skip before doing any per-point work
+                continue;
+            }
+            // bucket-pair AABB prune: drop slices whose cell rectangle
+            // is farther than r from the tight AABB of this bucket's
+            // points (computed lazily — only frontier-adjacent buckets
+            // get this far)
+            let (mut ax0, mut ay0) = self.pts[lo];
+            let (mut ax1, mut ay1) = (ax0, ay0);
+            for &(x, y) in &self.pts[lo + 1..hi] {
+                ax0 = ax0.min(x);
+                ax1 = ax1.max(x);
+                ay0 = ay0.min(y);
+                ay1 = ay1.max(y);
+            }
+            let mut kept = 0usize;
+            for i in 0..count {
+                let s = slices[i];
+                let gap_x = (s.x0 - ax1).max(ax0 - s.x1).max(0.0);
+                let gap_y = (s.y0 - ay1).max(ay0 - s.y1).max(0.0);
+                if gap_x * gap_x + gap_y * gap_y <= r2 {
+                    slices[kept] = s;
+                    kept += 1;
+                }
+            }
+            let count = kept;
+            if count == 0 {
+                continue;
+            }
+            // CSR-slice × CSR-slice inner loops, early exit per point.
+            // With coarse buckets a slice holds many candidates, so each
+            // point first checks its distance to the slice's cell
+            // rectangle — frontier-band points skip most slices outright
+            // instead of scanning them to exhaustion.
+            for e in lo..hi {
+                let (px, py) = self.pts[e];
+                'probe: for s in &slices[..count] {
+                    let ddx = px.clamp(s.x0, s.x1) - px;
+                    let ddy = py.clamp(s.y0, s.y1) - py;
+                    if ddx * ddx + ddy * ddy > r2 {
+                        continue;
+                    }
+                    for t in s.lo as usize..s.hi as usize {
+                        let (qx, qy) = other.pts[t];
+                        let dx = qx - px;
+                        let dy = qy - py;
+                        if dx * dx + dy * dy <= r2 {
+                            f(self.ids[e] as usize);
+                            break 'probe;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Retained capacities `(bucket_table, entries)` — stable across
     /// steady-state rebuilds, which is what the zero-allocation tests
     /// assert.
     pub fn capacities(&self) -> (usize, usize) {
         (
             self.starts.capacity().max(self.cursor.capacity()),
-            self.ids.capacity().min(self.pts.capacity()).min(self.gather.capacity()),
+            self.ids
+                .capacity()
+                .min(self.pts.capacity())
+                .min(self.gather.capacity()),
         )
     }
 
@@ -628,6 +992,29 @@ impl GridIndexBuffer {
     pub fn any_within(&self, p: Point, r: f64) -> bool {
         !self.visit_within(p, r, |_| false)
     }
+}
+
+/// One facing CSR slice of a bucket join, with the (possibly
+/// unbounded) cell rectangle backing the per-point prune.
+#[derive(Clone, Copy)]
+struct Slice {
+    lo: u32,
+    hi: u32,
+    x0: f64,
+    x1: f64,
+    y0: f64,
+    y1: f64,
+}
+
+impl Slice {
+    const EMPTY: Slice = Slice {
+        lo: 0,
+        hi: 0,
+        x0: 0.0,
+        x1: 0.0,
+        y0: 0.0,
+        y1: 0.0,
+    };
 }
 
 /// An `O(n)`-per-query reference index with the same semantics as
@@ -740,9 +1127,7 @@ mod tests {
 
     #[test]
     fn query_radius_larger_than_bucket() {
-        let pts: Vec<Point> = (0..10)
-            .map(|i| Point::new(i as f64 * 10.0, 50.0))
-            .collect();
+        let pts: Vec<Point> = (0..10).map(|i| Point::new(i as f64 * 10.0, 50.0)).collect();
         let idx = GridIndex::build(region(), 5.0, &pts).unwrap();
         // radius 25 spans several buckets
         let mut hits = idx.indices_within(Point::new(45.0, 50.0), 25.0);
@@ -879,7 +1264,10 @@ mod tests {
             assert_eq!(gi, bi, "nearest index at {q}");
             assert!((gd - bd).abs() < 1e-12);
         }
-        assert!(GridIndex::build(region(), 5.0, &[]).unwrap().nearest(Point::ORIGIN).is_none());
+        assert!(GridIndex::build(region(), 5.0, &[])
+            .unwrap()
+            .nearest(Point::ORIGIN)
+            .is_none());
         assert!(BruteForceIndex::build(&[]).nearest(Point::ORIGIN).is_none());
     }
 
@@ -943,7 +1331,10 @@ mod tests {
         buf.for_each_within(Point::new(2.0, 2.0), 2.0, |i| got.push(i));
         assert_eq!(got, vec![1], "only subset members are indexed");
         assert!(buf.any_within(Point::new(91.0, 91.0), 3.0));
-        assert!(!buf.any_within(Point::new(1.0, 1.0), 0.5), "0 not in subset");
+        assert!(
+            !buf.any_within(Point::new(1.0, 1.0), 0.5),
+            "0 not in subset"
+        );
     }
 
     #[test]
@@ -961,7 +1352,8 @@ mod tests {
                 *p = Point::new((p.x + 7.3) % 100.0, (p.y + 3.1) % 100.0);
             }
             let take = pts.len() - round * 9;
-            buf.rebuild_subset(region(), 5.0, &pts, &all[..take]).unwrap();
+            buf.rebuild_subset(region(), 5.0, &pts, &all[..take])
+                .unwrap();
             assert_eq!(buf.capacities(), caps, "round {round} grew storage");
             assert_eq!(buf.len(), take);
         }
@@ -981,6 +1373,217 @@ mod tests {
         buf.rebuild(region(), 5.0, &[]).unwrap();
         assert!(buf.is_empty());
         assert!(!buf.any_within(Point::new(1.0, 1.0), 50.0));
+    }
+
+    #[test]
+    fn occupied_buckets_are_sorted_and_exact() {
+        let pts = [
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 1.5), // same bucket as the first
+            Point::new(90.0, 90.0),
+        ];
+        let mut buf = GridIndexBuffer::new();
+        buf.rebuild(region(), 10.0, &pts).unwrap();
+        let occ = buf.occupied_buckets();
+        assert_eq!(occ.len(), 2, "two distinct buckets occupied");
+        assert!(occ.windows(2).all(|w| w[0] < w[1]), "ascending");
+        let total: usize = occ
+            .iter()
+            .map(|&b| {
+                let mut n = 0;
+                // count via ids layout: entries of bucket b
+                let b = b as usize;
+                n += (buf.starts[b + 1] - buf.starts[b]) as usize;
+                n
+            })
+            .sum();
+        assert_eq!(total, pts.len(), "occupied buckets hold every point");
+        buf.rebuild(region(), 10.0, &[]).unwrap();
+        assert!(buf.occupied_buckets().is_empty());
+    }
+
+    #[test]
+    fn shared_geometry_is_shared_and_join_requires_it() {
+        let pts: Vec<Point> = (0..40)
+            .map(|i| Point::new((i % 7) as f64 * 13.0 + 1.0, (i / 7) as f64 * 15.0 + 2.0))
+            .collect();
+        let mut a = GridIndexBuffer::new();
+        let mut b = GridIndexBuffer::new();
+        // subset sizes differ wildly; shared geometry must still match
+        a.rebuild_subset_shared(region(), 5.0, &pts, &[0, 1], pts.len())
+            .unwrap();
+        b.rebuild_subset_shared(
+            region(),
+            5.0,
+            &pts,
+            &(2..40).collect::<Vec<u32>>(),
+            pts.len(),
+        )
+        .unwrap();
+        assert!(a.shares_geometry_with(&b));
+        // plain subset rebuilds derive geometry from the subset size and
+        // generally do NOT share
+        let mut c = GridIndexBuffer::new();
+        c.rebuild_subset(region(), 5.0, &pts, &[0, 1]).unwrap();
+        assert!(!c.shares_geometry_with(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "shared geometry")]
+    fn join_panics_on_mismatched_geometry() {
+        let pts = [Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
+        let mut a = GridIndexBuffer::new();
+        let mut b = GridIndexBuffer::new();
+        a.rebuild_subset(region(), 5.0, &pts, &[0]).unwrap();
+        b.rebuild_subset_shared(region(), 5.0, &pts, &[1], 10_000)
+            .unwrap();
+        a.join_covered_by(&b, 5.0, |_| {});
+    }
+
+    fn join_vs_brute(pts: &[Point], left: &[u32], right: &[u32], bucket: f64, r: f64) {
+        let mut a = GridIndexBuffer::new();
+        let mut b = GridIndexBuffer::new();
+        a.rebuild_subset_shared(region(), bucket, pts, left, pts.len())
+            .unwrap();
+        b.rebuild_subset_shared(region(), bucket, pts, right, pts.len())
+            .unwrap();
+        let mut got = Vec::new();
+        a.join_covered_by(&b, r, |id| got.push(id));
+        got.sort_unstable();
+        let r2 = r * r;
+        let expected: Vec<usize> = left
+            .iter()
+            .filter(|&&u| {
+                right
+                    .iter()
+                    .any(|&t| pts[u as usize].euclid_sq(pts[t as usize]) <= r2)
+            })
+            .map(|&u| u as usize)
+            .collect();
+        assert_eq!(got, expected, "left {left:?} right {right:?} r {r}");
+        // no duplicates: each id reported at most once
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn join_matches_brute_force_dense_and_sparse() {
+        let mut pts = Vec::new();
+        for i in 0..14 {
+            for j in 0..14 {
+                pts.push(Point::new(i as f64 * 7.1 + 0.4, j as f64 * 6.9 + 0.8));
+            }
+        }
+        let n = pts.len() as u32;
+        let left: Vec<u32> = (0..n).filter(|i| i % 3 != 0).collect();
+        let right: Vec<u32> = (0..n).filter(|i| i % 3 == 0).collect();
+        for r in [0.5, 3.0, 7.0] {
+            join_vs_brute(&pts, &left, &right, 7.0, r);
+            // swapped roles
+            join_vs_brute(&pts, &right, &left, 7.0, r);
+        }
+        // sparse: a handful of points, huge empty region
+        let sparse = [
+            Point::new(1.0, 1.0),
+            Point::new(4.0, 1.0),
+            Point::new(99.0, 99.0),
+            Point::new(50.0, 2.0),
+        ];
+        join_vs_brute(&sparse, &[0, 2], &[1, 3], 5.0, 4.0);
+        join_vs_brute(&sparse, &[0, 1, 2, 3], &[], 5.0, 4.0);
+        join_vs_brute(&sparse, &[], &[0, 1], 5.0, 4.0);
+    }
+
+    #[test]
+    fn join_includes_boundary_distance_and_coincident_points() {
+        let pts = [
+            Point::new(10.0, 10.0),
+            Point::new(13.0, 14.0), // exactly distance 5 from the first
+            Point::new(10.0, 10.0), // coincident with the first
+        ];
+        join_vs_brute(&pts, &[1, 2], &[0], 5.0, 5.0);
+        join_vs_brute(&pts, &[1, 2], &[0], 5.0, 4.999);
+    }
+
+    #[test]
+    fn join_handles_clamped_out_of_region_points() {
+        // positions outside the region clamp into border buckets; the
+        // prune must not discard them
+        let pts = [
+            Point::new(105.0, 50.0), // outside, clamps into the east border
+            Point::new(103.0, 50.0), // outside, within r of the first
+            Point::new(-4.0, -4.0),  // outside the SW corner
+            Point::new(1.0, 1.0),
+        ];
+        join_vs_brute(&pts, &[0, 2], &[1, 3], 8.0, 8.0);
+    }
+
+    #[test]
+    fn ids_are_in_bucket_order_and_cover_subset() {
+        let pts: Vec<Point> = (0..60)
+            .map(|i| Point::new((i * 37 % 100) as f64, (i * 53 % 100) as f64))
+            .collect();
+        let subset: Vec<u32> = (0..60).step_by(2).collect();
+        let mut buf = GridIndexBuffer::new();
+        buf.rebuild_subset_shared(region(), 10.0, &pts, &subset, pts.len())
+            .unwrap();
+        let mut ids = buf.ids().to_vec();
+        assert_eq!(ids.len(), subset.len());
+        ids.sort_unstable();
+        assert_eq!(ids, subset, "bucket order is a permutation of the subset");
+    }
+
+    #[test]
+    fn non_square_region_keeps_bucket_side_on_both_axes() {
+        // regression: geometry sized by the longer side made the short
+        // axis's buckets smaller than bucket_size, so the join's 3×3
+        // guarantee broke (panicking guard) on non-square regions
+        let region = Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 50.0)).unwrap();
+        let pts = [
+            Point::new(10.0, 10.0),
+            Point::new(13.0, 13.0),
+            Point::new(90.0, 40.0),
+        ];
+        let mut a = GridIndexBuffer::new();
+        let mut b = GridIndexBuffer::new();
+        a.rebuild_subset_shared(region, 5.0, &pts, &[0, 2], 10_000)
+            .unwrap();
+        b.rebuild_subset_shared(region, 5.0, &pts, &[1], 10_000)
+            .unwrap();
+        let mut got = Vec::new();
+        a.join_covered_by(&b, 5.0, |id| got.push(id));
+        assert_eq!(got, vec![0], "distance √18 < 5 from point 1");
+        // plain queries agree with brute force on the same region
+        let mut buf = GridIndexBuffer::new();
+        buf.rebuild(region, 5.0, &pts).unwrap();
+        let mut hits = Vec::new();
+        buf.for_each_within(Point::new(11.0, 11.0), 5.0, |i| hits.push(i));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn failed_rebuild_degrades_to_empty_index() {
+        // regression: a NotFinite error mid-rebuild used to leave
+        // partially accumulated counts over stale entries — queries on
+        // the errored buffer returned garbage ids instead of nothing
+        let good = [Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
+        let mut buf = GridIndexBuffer::new();
+        buf.rebuild(region(), 5.0, &good).unwrap();
+        assert!(buf.any_within(Point::new(1.0, 1.0), 1.0));
+
+        let bad = [Point::new(1.0, 1.0), Point::new(f64::NAN, 2.0)];
+        assert!(matches!(
+            buf.rebuild(region(), 5.0, &bad),
+            Err(SpatialError::NotFinite { index: 1 })
+        ));
+        assert!(buf.is_empty());
+        assert_eq!(buf.len(), 0);
+        assert!(buf.occupied_buckets().is_empty());
+        assert!(buf.ids().is_empty());
+        assert!(!buf.any_within(Point::new(1.0, 1.0), 50.0));
+        let mut seen = 0;
+        buf.for_each_within(Point::new(1.0, 1.0), 50.0, |_| seen += 1);
+        assert_eq!(seen, 0, "errored buffer must act empty");
     }
 
     #[test]

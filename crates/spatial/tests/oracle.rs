@@ -1,7 +1,7 @@
 //! Property tests: the grid index must agree with the brute-force oracle.
 
 use fastflood_geom::{Point, Rect};
-use fastflood_spatial::{BruteForceIndex, GridIndex};
+use fastflood_spatial::{BruteForceIndex, GridIndex, GridIndexBuffer};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 
@@ -69,6 +69,57 @@ proptest! {
             }
             (a, b) => prop_assert!(false, "mismatch: {a:?} vs {b:?}"),
         }
+    }
+
+    /// The flooding transmit question — "which uninformed agents are
+    /// within `r` of an informed one?" — answered by the bucket join
+    /// must match the [`BruteForceIndex`] answer exactly, for random
+    /// dense and sparse populations, with crash patterns carving agents
+    /// out of both sides.
+    #[test]
+    fn bucket_join_transmit_matches_brute_force(
+        pts in points(300),
+        r in 0.1..40.0,
+        informed_mod in 2usize..6,
+        crash_mod in 0usize..5,
+    ) {
+        let region = Rect::square(SIDE).unwrap();
+        // split the population: crashed agents (when crash_mod > 0) are
+        // excluded from both sides, the rest are informed or uninformed
+        let mut informed: Vec<u32> = Vec::new();
+        let mut uninformed: Vec<u32> = Vec::new();
+        for i in 0..pts.len() {
+            if crash_mod > 0 && i % (crash_mod + 2) == 1 {
+                continue; // crashed: neither transmits nor receives
+            }
+            if i % informed_mod == 0 {
+                informed.push(i as u32);
+            } else {
+                uninformed.push(i as u32);
+            }
+        }
+        let mut un_grid = GridIndexBuffer::new();
+        let mut tx_grid = GridIndexBuffer::new();
+        un_grid
+            .rebuild_subset_shared(region, r, &pts, &uninformed, pts.len())
+            .unwrap();
+        tx_grid
+            .rebuild_subset_shared(region, r, &pts, &informed, pts.len())
+            .unwrap();
+        let mut got = Vec::new();
+        un_grid.join_covered_by(&tx_grid, r, |id| got.push(id));
+        got.sort_unstable();
+        prop_assert!(got.windows(2).all(|w| w[0] < w[1]), "each id at most once");
+
+        let tx_positions: Vec<Point> =
+            informed.iter().map(|&t| pts[t as usize]).collect();
+        let oracle = BruteForceIndex::build(&tx_positions);
+        let expected: Vec<usize> = uninformed
+            .iter()
+            .map(|&u| u as usize)
+            .filter(|&u| oracle.count_within(pts[u], r) > 0)
+            .collect();
+        prop_assert_eq!(got, expected);
     }
 
     #[test]

@@ -68,7 +68,9 @@ pub fn chi2_gof(observed: &[f64], expected: &[f64], ddof: usize) -> Result<Chi2R
     if expected.iter().any(|&e| e < 0.0 || !e.is_finite())
         || observed.iter().any(|&o| o < 0.0 || !o.is_finite())
     {
-        return Err(StatsError::BadParameter("counts must be finite and nonnegative"));
+        return Err(StatsError::BadParameter(
+            "counts must be finite and nonnegative",
+        ));
     }
 
     // Pool adjacent bins until every pooled bin has expected count >= 5.
@@ -101,13 +103,7 @@ pub fn chi2_gof(observed: &[f64], expected: &[f64], ddof: usize) -> Result<Chi2R
 
     let statistic: f64 = pooled
         .iter()
-        .map(|&(o, e)| {
-            if e == 0.0 {
-                0.0
-            } else {
-                (o - e) * (o - e) / e
-            }
-        })
+        .map(|&(o, e)| if e == 0.0 { 0.0 } else { (o - e) * (o - e) / e })
         .sum();
     let dof = pooled
         .len()

@@ -373,8 +373,14 @@ impl Histogram2d {
         let wx = (self.x_hi - self.x_lo) / self.cols as f64;
         let wy = (self.y_hi - self.y_lo) / self.rows as f64;
         (
-            (self.x_lo + col as f64 * wx, self.x_lo + (col + 1) as f64 * wx),
-            (self.y_lo + row as f64 * wy, self.y_lo + (row + 1) as f64 * wy),
+            (
+                self.x_lo + col as f64 * wx,
+                self.x_lo + (col + 1) as f64 * wx,
+            ),
+            (
+                self.y_lo + row as f64 * wy,
+                self.y_lo + (row + 1) as f64 * wy,
+            ),
         )
     }
 

@@ -74,7 +74,9 @@ impl fmt::Display for StatsError {
             StatsError::LengthMismatch { left, right } => {
                 write!(f, "paired inputs differ in length: {left} vs {right}")
             }
-            StatsError::BadBins => write!(f, "histogram needs a positive range and at least one bin"),
+            StatsError::BadBins => {
+                write!(f, "histogram needs a positive range and at least one bin")
+            }
             StatsError::NotFinite => write!(f, "input value must be finite"),
             StatsError::BadParameter(what) => write!(f, "invalid parameter: {what}"),
         }

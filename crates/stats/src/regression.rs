@@ -131,7 +131,9 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, StatsError> {
 /// ```
 pub fn loglog_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, StatsError> {
     if xs.iter().chain(ys.iter()).any(|&v| !(v > 0.0)) {
-        return Err(StatsError::BadParameter("log-log fit requires positive data"));
+        return Err(StatsError::BadParameter(
+            "log-log fit requires positive data",
+        ));
     }
     let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
     let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
@@ -164,11 +166,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
     if sxx == 0.0 || syy == 0.0 {
         return Err(StatsError::BadParameter("constant sample in correlation"));
     }
-    let sxy: f64 = xs
-        .iter()
-        .zip(ys)
-        .map(|(x, y)| (x - mx) * (y - my))
-        .sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
     Ok(sxy / (sxx * syy).sqrt())
 }
 

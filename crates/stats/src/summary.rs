@@ -183,7 +183,10 @@ mod tests {
     #[test]
     fn rejects_bad_input() {
         assert_eq!(Summary::from_slice(&[]), Err(StatsError::EmptyData));
-        assert_eq!(Summary::from_slice(&[1.0, f64::NAN]), Err(StatsError::NotFinite));
+        assert_eq!(
+            Summary::from_slice(&[1.0, f64::NAN]),
+            Err(StatsError::NotFinite)
+        );
         assert_eq!(
             Summary::from_slice(&[f64::INFINITY]),
             Err(StatsError::NotFinite)

@@ -48,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:<34} | {:>10}", "mobility", "mean steps");
 
     let continuous = flood_times(|| Mrwp::new(side, speed).expect("valid"), &params, trials)?;
-    println!("{:<34} | {:>10.1}", "continuous MRWP (the paper)", continuous.mean());
+    println!(
+        "{:<34} | {:>10.1}",
+        "continuous MRWP (the paper)",
+        continuous.mean()
+    );
 
     for blocks in [4usize, 10, 40] {
         let s = flood_times(

@@ -51,11 +51,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     let baseline = mean_time(&params, Protocol::Flooding, trials)?;
-    println!("{:<20} | {:>10} | {:>9}", "protocol", "mean steps", "slowdown");
+    println!(
+        "{:<20} | {:>10} | {:>9}",
+        "protocol", "mean steps", "slowdown"
+    );
     for (name, protocol) in protocols {
         let t = mean_time(&params, protocol, trials)?;
         println!("{:<20} | {:>10.1} | {:>8.2}x", name, t, t / baseline);
     }
-    println!("\nflooding is the envelope: every variant trades completion time for fewer transmissions.");
+    println!(
+        "\nflooding is the envelope: every variant trades completion time for fewer transmissions."
+    );
     Ok(())
 }

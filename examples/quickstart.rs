@@ -2,7 +2,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use fastflood::core::{FloodingSim, SimConfig, SimParams, SourcePlacement, ZoneMap};
+use fastflood::core::{EngineMode, FloodingSim, SimConfig, SimParams, SourcePlacement, ZoneMap};
 use fastflood::mobility::Mrwp;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -15,8 +15,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = SimParams::standard(n, radius, 0.2 * radius)?;
 
     println!("network: {params}");
-    println!("  Theorem 3 bound shape L/R + S/v  = {:.1} steps", params.flooding_time_bound());
-    println!("  Theorem 10 central-zone bound    = {:.1} steps", params.central_zone_time_bound());
+    println!(
+        "  Theorem 3 bound shape L/R + S/v  = {:.1} steps",
+        params.flooding_time_bound()
+    );
+    println!(
+        "  Theorem 10 central-zone bound    = {:.1} steps",
+        params.central_zone_time_bound()
+    );
 
     // The cell partition of §4: Central Zone vs Suburb.
     let zones = ZoneMap::new(&params)?;
@@ -28,13 +34,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Flood from an agent near the center, in the stationary phase
-    // (perfect simulation — no warm-up).
+    // (perfect simulation — no warm-up). The transmit engine can be
+    // pinned explicitly (Adaptive is the default; BucketJoin / Rebuild /
+    // Oracle are lockstep-identical per seed, so the choice is purely a
+    // performance decision — see docs/ARCHITECTURE.md).
     let model = Mrwp::new(params.side(), params.speed())?;
     let mut sim = FloodingSim::new(
         model,
         SimConfig::new(params.n(), params.radius())
             .seed(2010)
-            .source(SourcePlacement::Center),
+            .source(SourcePlacement::Center)
+            .engine(EngineMode::Adaptive),
     )?
     .with_zones(zones);
 

@@ -1,22 +1,27 @@
 #!/usr/bin/env bash
 # Measures flooding-engine step throughput and records BENCH_engine.json
-# at the repo root.
+# at the repo root. docs/BENCHMARKING.md documents the protocol and the
+# JSON schema.
 #
 # Two measurement shapes from the flood_end_to_end bench:
-#   engine_step            fixed step batches from a cloned ~30%-informed
-#                          state (pure mid-flood frontier work), adaptive
-#                          engine vs the seed rebuild baseline in-tree;
+#   engine_step            fixed step batches from a cloned ~25%-informed
+#                          state (pure mid-flood frontier work); adaptive
+#                          and forced bucket-join engines vs the seed
+#                          rebuild baseline in-tree;
 #   engine_step_sustained  time-sized step() loop from ~50% informed —
 #                          the seed's own measurement protocol, directly
-#                          comparable with the baseline_seed_at_pr_start
-#                          block below.
+#                          comparable with the baseline blocks below.
+#
+# FASTFLOOD_BENCH_LARGE=1 turns on the n = 300k rows (skipped by the
+# tier-1 bench smoke, where warming a 300k flood would dominate).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-FASTFLOOD_BENCH_JSON="$tmp" cargo bench -p fastflood-bench --bench flood_end_to_end -- engine_step
+FASTFLOOD_BENCH_JSON="$tmp" FASTFLOOD_BENCH_LARGE=1 \
+  cargo bench -p fastflood-bench --bench flood_end_to_end -- engine_step
 
 machine="$(uname -srm); $(grep -m1 'model name' /proc/cpuinfo 2>/dev/null | cut -d: -f2- | sed 's/^ //' || true)"
 
@@ -26,7 +31,7 @@ machine="$(uname -srm); $(grep -m1 'model name' /proc/cpuinfo 2>/dev/null | cut 
   echo '  "units": "ns_per_iter; engine_step iterates a whole step batch (see throughput_per_iter for agent-steps), engine_step_sustained iterates one step",'
   echo "  \"recorded_at\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
   echo "  \"machine\": \"${machine}\","
-  echo '  "notes": "Two protocols measure different things. engine_step isolates the transmit ALGORITHM: fixed mid-flood step batches (completion asserted not to occur), adaptive vs seed_rebuild, both riding the same optimized mobility layer - expect a modest ratio (~1.2x) because mobility improvements cancel out. engine_step_sustained reproduces the whole-run protocol of the PR-start baseline (warm to 50%, time-sized loop through completion): comparing its adaptive rows against baseline_seed_at_pr_start measures the full engine rework (transmit + worklist + mobility fast path + RNG) like-for-like - the ISSUE acceptance figure (>=2x at n=10k) refers to this comparison.",'
+  echo '  "notes": "Two protocols measure different things. engine_step isolates the transmit ALGORITHM: fixed mid-flood step batches (completion asserted not to occur), adaptive and forced bucket_join vs seed_rebuild, all riding the same optimized mobility layer. engine_step_sustained reproduces the whole-run protocol of the PR-start baselines (warm to 50%, time-sized loop through completion): comparing its adaptive rows against baseline_pr1_adaptive_at_pr2_start measures the PR-2 bucket-join rework like-for-like (the PR-2 acceptance figure, >=1.5x at n=100k, refers to this comparison), and against baseline_seed_at_pr_start the full engine rework since the seed.",'
   # The seed implementation (per-step GridIndex rebuild + full agent
   # scans + uncached L-path mobility + ChaCha12 StdRng), measured with
   # the sustained protocol at the start of the engine rework, before any
@@ -38,6 +43,15 @@ machine="$(uname -srm); $(grep -m1 'model name' /proc/cpuinfo 2>/dev/null | cut 
   echo '    "protocol": "engine_step_sustained (time-sized step loop from ~50% informed, radius 0.4*scale, v 0.2*radius)",'
   echo '    "machine": "Linux 6.18.5-fc-v18 x86_64 (original PR machine; cross-machine comparison with \"results\" below is invalid unless \"machine\" matches)",'
   echo '    "ns_per_step": {"1000": 20393.6, "10000": 267263.1, "100000": 7008407.4}'
+  echo '  },'
+  # The PR 1 adaptive engine (mark/probe side selection, no bucket
+  # join), measured with the sustained protocol at the start of the
+  # PR 2 bucket-join work — the reference the PR 2 speedup figures are
+  # measured against.
+  echo '  "baseline_pr1_adaptive_at_pr2_start": {'
+  echo '    "protocol": "engine_step_sustained (time-sized step loop from ~50% informed, radius 0.4*scale, v 0.2*radius)",'
+  echo '    "machine": "Linux 6.18.5-fc-v18 x86_64 (PR 2 machine; cross-machine comparison with \"results\" below is invalid unless \"machine\" matches)",'
+  echo '    "ns_per_step": {"1000": 3167.5, "10000": 25405.0, "100000": 4022879.3}'
   echo '  },'
   echo '  "results":'
   sed 's/^/  /' "$tmp"

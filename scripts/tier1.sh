@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 verification flow: release build, full test suite, and the
-# bench smoke (compiles all Criterion targets and runs each body once so
-# bench code cannot rot).
+# Tier-1 verification flow: release build, full test suite, formatting
+# and documentation gates, and the bench smoke (compiles all Criterion
+# targets and runs each body once so bench code cannot rot).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
 cargo test -q --workspace
+cargo fmt --check
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 scripts/bench_smoke.sh
-echo "tier-1: build + tests + bench smoke all green"
+echo "tier-1: build + tests + fmt + docs + bench smoke all green"

@@ -13,9 +13,7 @@
 //! * `bounds` — print every derived paper quantity (thresholds, bounds).
 
 use fastflood::core::{FloodingSim, SimConfig, SimParams, SourcePlacement, ZoneMap};
-use fastflood::mobility::{
-    DiskWalk, Mobility, Mrwp, Placement, Rwp, Static, StreetMrwp,
-};
+use fastflood::mobility::{DiskWalk, Mobility, Mrwp, Placement, Rwp, Static, StreetMrwp};
 use fastflood::stats::seeds::derive_seed;
 use fastflood::stats::Summary;
 use std::collections::HashMap;
@@ -53,7 +51,8 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "fastflood — MANET flooding simulator (reproduction of 'Fast Flooding over Manhattan')
+const USAGE: &str =
+    "fastflood — MANET flooding simulator (reproduction of 'Fast Flooding over Manhattan')
 
 USAGE:
   fastflood flood  [options]   run flooding trials, print statistics
@@ -106,7 +105,9 @@ impl Opts {
         ) -> Result<T, String> {
             match map.get(key) {
                 None => Ok(default),
-                Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("--{key}: cannot parse {v:?}")),
             }
         }
         Ok(Opts {
@@ -184,7 +185,11 @@ fn cmd_flood(opts: &Opts) -> Result<(), String> {
             opts,
             &params,
         )?,
-        "rwp" => run_trials_with(|| Rwp::new(side, speed).map_err(|e| e.to_string()), opts, &params)?,
+        "rwp" => run_trials_with(
+            || Rwp::new(side, speed).map_err(|e| e.to_string()),
+            opts,
+            &params,
+        )?,
         "disk" => run_trials_with(
             || DiskWalk::new(side, speed, 4.0 * params.radius()).map_err(|e| e.to_string()),
             opts,
@@ -200,7 +205,11 @@ fn cmd_flood(opts: &Opts) -> Result<(), String> {
             opts,
             &params,
         )?,
-        other => return Err(format!("unknown model {other:?} (mrwp|rwp|disk|street|static)")),
+        other => {
+            return Err(format!(
+                "unknown model {other:?} (mrwp|rwp|disk|street|static)"
+            ))
+        }
     };
     println!(
         "completed {}/{} trials within {} steps",
@@ -232,26 +241,66 @@ fn cmd_zones(opts: &Opts) -> Result<(), String> {
     println!("  Def. 4 threshold   : {:.3e}", zones.threshold());
     println!("  central mass       : {:.4}", zones.central_mass());
     println!("  suburb mass        : {:.4}", zones.suburb_mass());
-    println!("  central rows (L6)  : {} of {} (bound m/√2 = {:.1})",
-        zones.central_rows(), zones.grid().m(), zones.grid().m() as f64 / std::f64::consts::SQRT_2);
-    println!("  SW suburb extent   : {:.3} (Lemma 15 bound S = {:.3})",
-        zones.suburb_extent_sw(), params.suburb_diameter_bound());
+    println!(
+        "  central rows (L6)  : {} of {} (bound m/√2 = {:.1})",
+        zones.central_rows(),
+        zones.grid().m(),
+        zones.grid().m() as f64 / std::f64::consts::SQRT_2
+    );
+    println!(
+        "  SW suburb extent   : {:.3} (Lemma 15 bound S = {:.3})",
+        zones.suburb_extent_sw(),
+        params.suburb_diameter_bound()
+    );
     Ok(())
 }
 
 fn cmd_bounds(opts: &Opts) -> Result<(), String> {
     let params = opts.params()?;
     println!("{params}");
-    println!("  radius scale L·√(ln n/n)     : {:.4}", params.radius_scale());
-    println!("  paper min radius (Ineq. 7)   : {:.4}", params.paper_min_radius());
-    println!("  paper max speed (Ineq. 8)    : {:.4}", params.paper_max_speed());
-    println!("  assumptions satisfied        : {}", params.satisfies_paper_assumptions());
-    println!("  Def. 4 CZ threshold          : {:.3e}", params.central_zone_threshold());
-    println!("  Cor. 12 large-R threshold    : {:.4}", params.large_radius_threshold());
-    println!("  suburb diameter bound S      : {:.4}", params.suburb_diameter_bound());
-    println!("  Thm 3 bound shape L/R + S/v  : {:.4}", params.flooding_time_bound());
-    println!("  Thm 10 CZ bound 18·L/R       : {:.4}", params.central_zone_time_bound());
-    println!("  Thm 18 regime (R ≤ L/n^(1/3)): {}", params.in_theorem18_regime());
-    println!("  Thm 18 lower bound L/(v·n^(1/3)): {:.4}", params.theorem18_lower_bound());
+    println!(
+        "  radius scale L·√(ln n/n)     : {:.4}",
+        params.radius_scale()
+    );
+    println!(
+        "  paper min radius (Ineq. 7)   : {:.4}",
+        params.paper_min_radius()
+    );
+    println!(
+        "  paper max speed (Ineq. 8)    : {:.4}",
+        params.paper_max_speed()
+    );
+    println!(
+        "  assumptions satisfied        : {}",
+        params.satisfies_paper_assumptions()
+    );
+    println!(
+        "  Def. 4 CZ threshold          : {:.3e}",
+        params.central_zone_threshold()
+    );
+    println!(
+        "  Cor. 12 large-R threshold    : {:.4}",
+        params.large_radius_threshold()
+    );
+    println!(
+        "  suburb diameter bound S      : {:.4}",
+        params.suburb_diameter_bound()
+    );
+    println!(
+        "  Thm 3 bound shape L/R + S/v  : {:.4}",
+        params.flooding_time_bound()
+    );
+    println!(
+        "  Thm 10 CZ bound 18·L/R       : {:.4}",
+        params.central_zone_time_bound()
+    );
+    println!(
+        "  Thm 18 regime (R ≤ L/n^(1/3)): {}",
+        params.in_theorem18_regime()
+    );
+    println!(
+        "  Thm 18 lower bound L/(v·n^(1/3)): {:.4}",
+        params.theorem18_lower_bound()
+    );
     Ok(())
 }

@@ -71,7 +71,11 @@ fn all_mobility_models_drive_the_engine() {
     assert!(flood(DiskWalk::new(side, v, 6.0).unwrap(), n, r));
     assert!(flood(StreetMrwp::new(side, v, 10).unwrap(), n, r));
     // a dense static network also floods (hop by hop)
-    assert!(flood(Static::new(side, Placement::Uniform).unwrap(), 600, r));
+    assert!(flood(
+        Static::new(side, Placement::Uniform).unwrap(),
+        600,
+        r
+    ));
 }
 
 #[test]
@@ -93,12 +97,9 @@ fn street_grid_flooding_converges_to_continuous() {
                 )
                 .unwrap()
                 .run(200_000),
-                None => FloodingSim::new(
-                    Mrwp::new(params.side(), params.speed()).unwrap(),
-                    cfg,
-                )
-                .unwrap()
-                .run(200_000),
+                None => FloodingSim::new(Mrwp::new(params.side(), params.speed()).unwrap(), cfg)
+                    .unwrap()
+                    .run(200_000),
             };
             total += f64::from(report.flooding_time.expect("floods"));
         }

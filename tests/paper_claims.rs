@@ -2,11 +2,11 @@
 //! through the public API at laptop scale (shapes, not constants).
 
 use fastflood::core::{FloodingSim, SimConfig, SimParams, SourcePlacement, ZoneMap};
+use fastflood::geom::Rect;
 use fastflood::mobility::distributions::{
     cross_probability, quadrant_probability, rect_mass, Quadrant,
 };
 use fastflood::mobility::Mrwp;
-use fastflood::geom::Rect;
 use fastflood::stats::seeds::derive_seed;
 use fastflood::Point;
 
@@ -98,12 +98,9 @@ fn corollary12_large_radius() {
     let zones = ZoneMap::new(&params).unwrap();
     assert!(zones.suburb_is_empty());
     let model = Mrwp::new(params.side(), params.speed()).unwrap();
-    let report = FloodingSim::new(
-        model,
-        SimConfig::new(params.n(), params.radius()).seed(5),
-    )
-    .unwrap()
-    .run(10_000);
+    let report = FloodingSim::new(model, SimConfig::new(params.n(), params.radius()).seed(5))
+        .unwrap()
+        .run(10_000);
     assert!(report.completed);
     assert!(
         f64::from(report.flooding_time.unwrap()) <= params.central_zone_time_bound(),

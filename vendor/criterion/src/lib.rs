@@ -166,7 +166,12 @@ impl Criterion {
         self
     }
 
-    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, throughput: Option<Throughput>, mut f: F) {
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
         if let Some(filter) = &self.filter {
             if !id.contains(filter.as_str()) {
                 return;
