@@ -7,8 +7,9 @@
 //! EXPERIMENTS.md repeats.
 //!
 //! `engine_step` compares one move-then-transmit step of the adaptive
-//! zero-allocation engine and the forced bucket-join engine against the
-//! seed's rebuild-every-step baseline at n ∈ {1k, 10k, 100k} — plus
+//! zero-allocation engine, the forced bucket-join engine (full re-bins,
+//! the PR 2 engine) and the forced incrementally-maintained join against
+//! the seed's rebuild-every-step baseline at n ∈ {1k, 10k, 100k} — plus
 //! n = 300k when `FASTFLOOD_BENCH_LARGE` is set (the full measurement
 //! run; the tier-1 smoke skips it to stay fast) — mid-flood in the
 //! sparse regime (the regime the Theorem 3 / Theorem 18 sweeps live
@@ -131,6 +132,11 @@ fn engine_step(c: &mut Criterion) {
             assert!(!sim.all_informed(), "warm state must be mid-flood");
             b.iter(|| black_box(batch_steps(&sim, batch)));
         });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &params, |b, p| {
+            let sim = warm::<fastflood_core::SimRng>(p, EngineMode::Incremental);
+            assert!(!sim.all_informed(), "warm state must be mid-flood");
+            b.iter(|| black_box(batch_steps(&sim, batch)));
+        });
         // the seed baseline is ~2× the adaptive engine; skip it at the
         // largest size to bound the measurement run
         if n <= 100_000 {
@@ -160,8 +166,10 @@ fn bench_large() -> bool {
 /// cheap post-completion steps, so it reflects a whole-run mix rather
 /// than pure frontier work (use `engine_step` for that). `adaptive`
 /// rows exercise the production auto-selection (which engages the
-/// bucket join in the dense regime); `bucket_join` rows force the join
-/// on every step.
+/// incrementally-maintained join in the dense regime); `bucket_join`
+/// rows force the full-re-bin join of PR 2 on every step (the stability
+/// reference for the incremental rework); `incremental` rows force the
+/// diff-maintained join everywhere.
 fn engine_step_sustained(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_step_sustained");
     let mut sizes = vec![1_000usize, 10_000, 100_000];
@@ -178,6 +186,7 @@ fn engine_step_sustained(c: &mut Criterion) {
         for (label, engine) in [
             ("adaptive", EngineMode::Adaptive),
             ("bucket_join", EngineMode::BucketJoin),
+            ("incremental", EngineMode::Incremental),
         ] {
             group.bench_with_input(BenchmarkId::new(label, n), &params, |b, p| {
                 let model = Mrwp::new(p.side(), p.speed()).expect("valid");

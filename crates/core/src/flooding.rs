@@ -35,6 +35,27 @@
 //!   order. [`EngineMode::Adaptive`] auto-engages this path whenever
 //!   transmitters aren't scarce; [`EngineMode::BucketJoin`] forces it
 //!   everywhere.
+//! * **Temporally-coherent incremental re-binning.** In the MRWP speed
+//!   regime agents move `v ≪ bucket` per step, so a binning stays
+//!   *valid up to a known staleness bound* for many steps. The join's
+//!   two grids are therefore *maintained* rather than rebuilt:
+//!   slack-capacity layouts ([`GridIndexBuffer::rebuild_incremental`],
+//!   with every uninformed agent announced as an expected future
+//!   transmitter so roster rows are pre-sized for the whole flood). On
+//!   most steps the engine **defers re-binning entirely** — `O(churn)`
+//!   membership surgery ([`GridIndexBuffer::update_membership`]: the
+//!   newly informed leave the uninformed grid and join the transmitter
+//!   grid) and a stale-tolerant join
+//!   ([`GridIndexBuffer::join_covered_by_stale`]) that reads exact
+//!   coordinates and inflates its prunes by the accumulated drift
+//!   bound. When the bound would outgrow the budget carved from the
+//!   bucket margin, one [`GridIndexBuffer::update_moved`] pass
+//!   re-files everyone (`O(moved)` relocations) and resets it. Full
+//!   slack rebuilds remain as fallbacks: membership-churn spikes (an
+//!   informed-set jump above 1/8 of the live population) and crashes
+//!   (roster surgery invalidates the diff bookkeeping).
+//!   [`EngineMode::Adaptive`] runs this path by default in the join
+//!   regime; [`EngineMode::Incremental`] forces it everywhere.
 //! * **Zero steady-state allocations.** All scratch (the spatial index,
 //!   worklists, candidate buffers, the newly-informed list) is retained
 //!   across steps; after warm-up a full-flooding step performs no heap
@@ -57,10 +78,12 @@
 //! increment each via [`Mobility::step_from`]); full-flooding transmit
 //! is `O(U + T·d̄)` early in the flood (one linear re-bin of the
 //! uninformed mass plus a disk query per transmitter, `d̄` the
-//! per-query bucket work) and `O(U + T + pairs)` afterwards (two linear
-//! re-bins plus the occupied-bucket-pair join, whose scan work is the
-//! number of close bucket pairs), versus the seed implementation's
-//! fresh heap index build plus two full `O(n)` agent scans every step.
+//! per-query bucket work) and `O(churn + pairs)` amortized afterwards
+//! (membership surgery plus the occupied-bucket-pair join, whose scan
+//! work is the number of close bucket pairs; every
+//! `⌊(bucket−R)/4v⌋`-th step pays one `O(U + T)` refresh pass), versus
+//! the seed implementation's fresh heap index build plus two full
+//! `O(n)` agent scans every step.
 //! See `BENCH_engine.json` for measured step throughput and
 //! `docs/BENCHMARKING.md` for the protocol behind it.
 
@@ -149,8 +172,11 @@ pub enum EngineMode {
     /// The production engine: with scarce transmitters, a reusable
     /// [`GridIndexBuffer`] over the uninformed mass queried from each
     /// transmitter; otherwise the shared-geometry bucket join of both
-    /// sides. Shrinking sorted worklist, zero steady-state allocations;
-    /// the regime boundary is chosen by measured cost.
+    /// sides, whose grids are **incrementally maintained** across steps
+    /// (diff re-bins exploiting temporal coherence, full slack rebuilds
+    /// on churn spikes and crashes). Shrinking sorted worklist, zero
+    /// steady-state allocations; the regime boundary is chosen by
+    /// measured cost.
     #[default]
     Adaptive,
     /// The seed implementation, kept as the benchmark baseline: a fresh
@@ -169,10 +195,23 @@ pub enum EngineMode {
     /// production [`EngineMode::Adaptive`] engages the same path only
     /// once transmitters stop being scarce; this mode forces it
     /// everywhere so tests and isolation benches exercise the join
-    /// unconditionally. (Gossip, whose per-transmitter sampling a join
-    /// cannot express, shares the adaptive gossip path.) Identical
-    /// protocol semantics and random streams to all other modes.
+    /// unconditionally. Unlike the production path it re-bins both
+    /// sides from scratch every step (the PR 2 engine, kept as the
+    /// incremental path's baseline). (Gossip, whose per-transmitter
+    /// sampling a join cannot express, shares the adaptive gossip
+    /// path.) Identical protocol semantics and random streams to all
+    /// other modes.
     BucketJoin,
+    /// Always-on incrementally-maintained bucket join: every
+    /// full-flooding/parsimonious transmit runs the join over the two
+    /// slack-layout grids kept in sync by
+    /// [`GridIndexBuffer::update_moved`], regardless of side sizes —
+    /// even where [`EngineMode::Adaptive`] would still mark from scarce
+    /// transmitters. Exists so tests and benches exercise the
+    /// incremental machinery unconditionally, including its full-rebuild
+    /// fallbacks. (Gossip shares the adaptive gossip path.) Identical
+    /// protocol semantics and random streams to all other modes.
+    Incremental,
 }
 
 /// Configuration of a [`FloodingSim`].
@@ -373,9 +412,11 @@ pub struct FloodingSim<M: Mobility, R: Rng + SeedableRng = SimRng> {
     /// rebuilt with the same grid geometry as `grid`.
     tx_grid: GridIndexBuffer,
     /// Diagnostic: steps whose transmit ran the bucket join (forced by
-    /// [`EngineMode::BucketJoin`] or auto-engaged by the adaptive
-    /// policy).
+    /// [`EngineMode::BucketJoin`] / [`EngineMode::Incremental`] or
+    /// auto-engaged by the adaptive policy).
     join_steps: u32,
+    /// Cross-step synchronization state of the incremental re-bin path.
+    inc: IncrementalSync,
     /// Agents informed during the current step (sorted before applying).
     newly: Vec<u32>,
     /// `stamp[a] == time` marks agent `a` as chosen this step (O(1)
@@ -415,6 +456,7 @@ impl<M: Mobility + Clone, R: Rng + SeedableRng + Clone> Clone for FloodingSim<M,
             grid: self.grid.clone(),
             tx_grid: self.tx_grid.clone(),
             join_steps: self.join_steps,
+            inc: self.inc,
             newly: self.newly.clone(),
             stamp: self.stamp.clone(),
             tx_scratch: self.tx_scratch.clone(),
@@ -554,6 +596,7 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
                 g
             },
             join_steps: 0,
+            inc: IncrementalSync::default(),
             newly: Vec::with_capacity(config.n),
             stamp: vec![u32::MAX; config.n],
             tx_scratch: Vec::with_capacity(config.n),
@@ -614,6 +657,10 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
             return;
         }
         self.crashed[agent] = true;
+        // roster surgery below breaks the incremental grids' membership
+        // diff (and shrinks the live population their geometry is sized
+        // by): resync with full rebuilds on the next join step
+        self.inc.ready = false;
         if self.informed[agent] {
             // retire from the transmit roster
             let rk = self.rank[agent] as usize;
@@ -674,13 +721,69 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
     }
 
     /// Diagnostic: how many executed steps ran the bucket-join transmit
-    /// path (forced by [`EngineMode::BucketJoin`], or auto-engaged by
+    /// path (forced by [`EngineMode::BucketJoin`] /
+    /// [`EngineMode::Incremental`], or auto-engaged by
     /// [`EngineMode::Adaptive`] in the dense regime). Used by tests to
     /// assert the adaptive policy actually engages the join, and handy
     /// when tuning the crossover.
     #[inline]
     pub fn bucket_join_steps(&self) -> u32 {
         self.join_steps
+    }
+
+    /// Diagnostic: join steps that resynchronized the two grids via the
+    /// `O(moved + churn)` incremental diff path
+    /// ([`GridIndexBuffer::update_moved`]) instead of full re-bins.
+    /// Tests assert the production policy actually amortizes re-binning;
+    /// see also [`FloodingSim::incremental_full_rebuilds`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fastflood_core::{EngineMode, FloodingSim, SimConfig};
+    /// use fastflood_mobility::Mrwp;
+    ///
+    /// // sparse regime: the flood advances a few agents per step, so
+    /// // the membership diff stays far below the churn-spike threshold
+    /// let model = Mrwp::new(40.0, 0.4)?;
+    /// let config = SimConfig::new(400, 1.8).seed(9).engine(EngineMode::Incremental);
+    /// let mut sim = FloodingSim::new(model, config)?;
+    /// sim.run(5_000);
+    /// // the forced incremental engine re-bins by diff nearly every step
+    /// assert!(sim.incremental_diff_steps() > sim.incremental_full_rebuilds());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    #[inline]
+    pub fn incremental_diff_steps(&self) -> u32 {
+        self.inc.diff_steps
+    }
+
+    /// Diagnostic: join steps that resynchronized the incremental grids
+    /// with **full** slack rebuilds — the cold start plus every
+    /// churn-spike/crash/mark-path fallback since.
+    #[inline]
+    pub fn incremental_full_rebuilds(&self) -> u32 {
+        self.inc.full_rebuilds
+    }
+
+    /// Diagnostic: cumulative slack-overflow re-layouts taken by the two
+    /// incremental grids (see [`GridIndexBuffer::relayouts`]) — the
+    /// amortized-fallback cost knob to watch when tuning slack and
+    /// headroom.
+    #[inline]
+    pub fn incremental_relayouts(&self) -> u64 {
+        self.grid.relayouts() + self.tx_grid.relayouts()
+    }
+
+    /// Diagnostic: the subset of [`FloodingSim::incremental_diff_steps`]
+    /// that **deferred re-binning entirely** — `O(churn)` membership
+    /// surgery plus the stale-tolerant join, no per-agent pass at all.
+    /// In the MRWP speed regime (`v ≪ bucket`) most join steps land
+    /// here; the remainder are the periodic refresh steps that re-file
+    /// everyone and reset the staleness budget.
+    #[inline]
+    pub fn incremental_deferred_steps(&self) -> u32 {
+        self.inc.deferred_steps
     }
 
     /// Executes one move-then-transmit step; returns the number of newly
@@ -787,7 +890,16 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
     /// (roster, uninformed) is smaller into the retained grid, query
     /// from the other side. Appends to `self.newly` (unsorted).
     fn transmit_flooding(&mut self, forward_probability: Option<f64>) {
+        // per-step displacement bound, the incremental path's staleness
+        // increment (Mobility contract: distance traveled per step).
+        // Agents moved this step whether or not a transmit runs, so the
+        // skip paths below must still accrue drift: a later deferred
+        // join trusting an under-counted `stale` could prune a slice
+        // hiding an in-range transmitter. Accrual is harmless when the
+        // chain is down (every resync resets it).
+        let max_move = self.model.speed();
         if self.uninformed.is_empty() {
+            self.inc.stale += max_move;
             return;
         }
         // The transmit roster: all live informed agents, or the
@@ -807,6 +919,8 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
             }
         };
         if tx.is_empty() {
+            // an all-tails parsimonious step: everyone still moved
+            self.inc.stale += max_move;
             return;
         }
         let radius = self.radius;
@@ -829,7 +943,10 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
                 // regime all the way down the tail.
                 if tx.len() * 8 <= self.uninformed.len() {
                     // few transmitters: index the uninformed mass, mark
-                    // everyone in range of a transmitter
+                    // everyone in range of a transmitter. This clobbers
+                    // `grid` with a fine-bucket layout, so the
+                    // incremental join state (if any) dies with it.
+                    self.inc.ready = false;
                     self.grid
                         .rebuild_subset(region, radius, &self.positions, &self.uninformed)
                         .expect("positions finite, radius validated");
@@ -847,14 +964,18 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
                     }
                 } else {
                     self.join_steps += 1;
-                    join_covered(
+                    join_covered_incremental(
                         &mut self.grid,
                         &mut self.tx_grid,
+                        &mut self.inc,
                         region,
                         radius,
+                        max_move,
                         &self.positions,
                         &self.uninformed,
+                        &self.transmitters,
                         tx,
+                        forward_probability.is_none(),
                         &mut self.newly,
                     );
                 }
@@ -889,7 +1010,10 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
                 }
             }
             EngineMode::BucketJoin => {
-                // the join unconditionally, whatever the side sizes
+                // the join unconditionally, whatever the side sizes,
+                // with both sides re-binned from scratch (the PR 2
+                // engine, kept as the incremental path's baseline)
+                self.inc.ready = false;
                 self.join_steps += 1;
                 join_covered(
                     &mut self.grid,
@@ -899,6 +1023,25 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
                     &self.positions,
                     &self.uninformed,
                     tx,
+                    &mut self.newly,
+                );
+            }
+            EngineMode::Incremental => {
+                // the incrementally-maintained join unconditionally,
+                // whatever the side sizes
+                self.join_steps += 1;
+                join_covered_incremental(
+                    &mut self.grid,
+                    &mut self.tx_grid,
+                    &mut self.inc,
+                    region,
+                    radius,
+                    max_move,
+                    &self.positions,
+                    &self.uninformed,
+                    &self.transmitters,
+                    tx,
+                    forward_probability.is_none(),
                     &mut self.newly,
                 );
             }
@@ -919,16 +1062,17 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
         let r2 = radius * radius;
         let region = self.model.region();
         match self.engine {
-            EngineMode::Adaptive | EngineMode::BucketJoin => {
+            EngineMode::Adaptive | EngineMode::BucketJoin | EngineMode::Incremental => {
                 // Index the uninformed mass, gather candidates per
                 // transmitter. Unlike flooding there is no
                 // index-the-roster alternative here: bucketing hits per
                 // transmitter needs an O(candidate-pairs) side list,
                 // which is unbounded in dense regimes and would break
                 // the zero-steady-state-allocation budget — so
-                // BucketJoin (whose join kernel cannot express
-                // per-transmitter sampling either) shares this path and
-                // its random stream.
+                // BucketJoin and Incremental (whose join kernel cannot
+                // express per-transmitter sampling either) share this
+                // path and its random stream.
+                self.inc.ready = false;
                 self.grid
                     .rebuild_subset(region, radius, &self.positions, &self.uninformed)
                     .expect("positions finite, radius validated");
@@ -1069,6 +1213,171 @@ fn join_covered(
         .rebuild_subset_shared(region, bucket, positions, tx, geometry_points)
         .expect("positions finite, radius validated");
     grid.join_covered_by(tx_grid, radius, |u| newly.push(u as u32));
+}
+
+/// Cross-step synchronization state of the incremental re-bin path.
+///
+/// The two join grids are *maintained* across steps instead of rebuilt;
+/// this records whether that maintenance chain is intact and where the
+/// grids stand relative to the transmit roster.
+#[derive(Debug, Clone, Copy, Default)]
+struct IncrementalSync {
+    /// The grids hold valid slack layouts for the current geometry and
+    /// the membership-diff bookkeeping is intact. Cleared at
+    /// construction and by every event that breaks the chain: crashes
+    /// (roster surgery + live-population change), the adaptive mark
+    /// path and gossip (both clobber `grid` with a fine-bucket layout).
+    ready: bool,
+    /// Prefix of `transmitters` the grids are synced to. The suffix —
+    /// agents informed since the last sync — is the next step's
+    /// membership diff: they leave the uninformed grid and join the
+    /// transmitter grid.
+    synced_tx: usize,
+    /// Upper bound on how far any indexed agent has drifted from the
+    /// coordinates it was last filed under (grows by the model speed
+    /// per deferred step; reset by refreshes and full rebuilds). The
+    /// stale-tolerant join stays exact while this fits the staleness
+    /// budget carved out of the bucket margin.
+    stale: f64,
+    /// Join steps resynced with full slack rebuilds (cold start, and
+    /// every churn-spike/crash/mark fallback since).
+    full_rebuilds: u32,
+    /// Join steps resynced via a diff (deferred membership-only or a
+    /// refresh/relocate pass) rather than full rebuilds.
+    diff_steps: u32,
+    /// The subset of `diff_steps` that deferred re-binning entirely:
+    /// `O(churn)` membership surgery, stale-tolerant join, no per-agent
+    /// pass at all.
+    deferred_steps: u32,
+}
+
+/// Membership-churn spike threshold of the incremental join: when one
+/// step informs more than `live/CHURN_SPIKE_DIVISOR` agents, the diff
+/// update's relocation traffic (and the slack-overflow re-layouts it
+/// provokes on the transmitter side) approaches full-rebuild cost, so
+/// the engine resyncs with full slack rebuilds instead. Spikes that
+/// large occur at dense-flood ignition and after mass crash recovery;
+/// mid-flood steps sit orders of magnitude below the threshold.
+const CHURN_SPIKE_DIVISOR: usize = 8;
+
+/// The incrementally-maintained bucket-join transmit kernel shared by
+/// [`EngineMode::Incremental`] and the adaptive dense regime.
+///
+/// Exploits temporal coherence three ways, falling back a level
+/// whenever a budget runs out or the chain breaks:
+///
+/// * **deferred steps (the common case)** — agents move at most
+///   `max_move` per step, so for several steps the existing binning is
+///   still valid up to a known staleness bound. The step then costs
+///   only `O(churn)` membership surgery
+///   ([`GridIndexBuffer::update_membership`]: newly informed agents
+///   leave the uninformed grid and join the transmitter grid) plus the
+///   stale-tolerant join ([`GridIndexBuffer::join_covered_by_stale`]),
+///   which reads exact coordinates through `positions` and inflates
+///   its prunes by the bound — no per-agent pass at all.
+/// * **refresh steps** — when the accumulated staleness would exceed
+///   the budget carved from the bucket margin
+///   (`(bucket − R)/2`, halved for safety), both grids are re-filed by
+///   [`GridIndexBuffer::update_moved`]: one linear coordinate-refresh
+///   pass, `O(moved)` relocations, staleness back to zero, and the
+///   step's join streams packed coordinates again.
+/// * **full rebuilds** — cold start, membership-churn spikes
+///   (`churn·CHURN_SPIKE_DIVISOR > live`) and crashes resync from
+///   scratch via [`GridIndexBuffer::rebuild_incremental`], announcing
+///   every uninformed agent as an expected future transmitter so the
+///   roster grid's rows are pre-sized for the whole flood.
+///
+/// Both grids share one geometry sized by the *live population*
+/// (stable while no one crashes), so shared-geometry joins survive
+/// arbitrarily many diff steps. For parsimonious flooding
+/// (`tx_is_roster == false`) the transmitter side is a fresh coin
+/// subset every step, so only the uninformed grid is maintained
+/// incrementally; the coin side gets a tight shared-geometry rebuild
+/// (cheap: the subset is small and changes wholesale), which is always
+/// staleness-zero and therefore safe under the same join slop.
+///
+/// A free function over split borrows so callers can keep `tx` borrowed
+/// from the sim while the grids are updated.
+#[allow(clippy::too_many_arguments)]
+fn join_covered_incremental(
+    grid: &mut GridIndexBuffer,
+    tx_grid: &mut GridIndexBuffer,
+    inc: &mut IncrementalSync,
+    region: fastflood_geom::Rect,
+    radius: f64,
+    max_move: f64,
+    positions: &[Point],
+    uninformed: &[u32],
+    transmitters: &[u32],
+    tx: &[u32],
+    tx_is_roster: bool,
+    newly: &mut Vec<u32>,
+) {
+    let live = uninformed.len() + transmitters.len();
+    let bucket = JOIN_BUCKET_FACTOR * radius;
+    // staleness budget: the stale join needs R + 2·slop to fit the
+    // bucket side; spend at most half the margin so prune inflation
+    // stays mild and rounding can never graze the guarantee
+    let slop_budget = 0.25 * (bucket - radius);
+    // churn since the last sync is the roster growth; only meaningful
+    // when the chain is intact (a crash shrinks the roster and clears
+    // `ready`, so the saturating difference is never misread)
+    let churn = transmitters.len().saturating_sub(inc.synced_tx);
+    if !inc.ready || churn * CHURN_SPIKE_DIVISOR > live {
+        grid.rebuild_incremental(region, bucket, positions, uninformed, live, &[])
+            .expect("positions finite, radius validated");
+        if tx_is_roster {
+            // every uninformed agent is a future transmitter: announcing
+            // them pre-sizes the roster grid's rows by local density, so
+            // frontier arrivals land in reserved headroom instead of
+            // overflowing slack (which would re-layout every step)
+            tx_grid
+                .rebuild_incremental(region, bucket, positions, transmitters, live, uninformed)
+                .expect("positions finite, radius validated");
+        }
+        inc.ready = true;
+        inc.stale = 0.0;
+        inc.full_rebuilds += 1;
+    } else {
+        let diff = &transmitters[inc.synced_tx..];
+        let stale_after_move = inc.stale + max_move;
+        if stale_after_move <= slop_budget {
+            // deferred: membership surgery only, binning left stale
+            grid.update_membership(positions, diff, &[])
+                .expect("positions finite, diff names indexed agents");
+            if tx_is_roster {
+                tx_grid
+                    .update_membership(positions, &[], diff)
+                    .expect("positions finite, diff names new agents");
+            }
+            inc.stale = stale_after_move;
+            inc.deferred_steps += 1;
+        } else {
+            // staleness budget exhausted: refresh and relocate
+            grid.update_moved(positions, diff, &[])
+                .expect("positions finite, diff names indexed agents");
+            if tx_is_roster {
+                tx_grid
+                    .update_moved(positions, &[], diff)
+                    .expect("positions finite, diff names new agents");
+            }
+            inc.stale = 0.0;
+        }
+        inc.diff_steps += 1;
+    }
+    inc.synced_tx = transmitters.len();
+    if !tx_is_roster {
+        tx_grid
+            .rebuild_subset_shared(region, bucket, positions, tx, live)
+            .expect("positions finite, radius validated");
+    }
+    if inc.stale > 0.0 {
+        grid.join_covered_by_stale(tx_grid, radius, inc.stale, positions, |u| {
+            newly.push(u as u32)
+        });
+    } else {
+        grid.join_covered_by(tx_grid, radius, |u| newly.push(u as u32));
+    }
 }
 
 fn nearest_to(positions: &[Point], target: Point) -> usize {

@@ -118,6 +118,81 @@ fn bucket_join_steps_do_not_allocate() {
 }
 
 #[test]
+fn incremental_steps_do_not_allocate_even_through_relayouts() {
+    let _window = MEASURE.lock().unwrap();
+    // the incremental engine maintains two slack-layout grids by diff;
+    // the measured window must cover diff steps AND the slack-overflow
+    // re-layout fallback (drifting agents overflow rows eventually), all
+    // out of retained storage
+    for protocol in [Protocol::Flooding, Protocol::Parsimonious { p: 0.5 }] {
+        let mut sim = warm_sparse_sim_with_engine(protocol, EngineMode::Incremental);
+        let diff_before = sim.incremental_diff_steps();
+        let before = allocations();
+        for _ in 0..200 {
+            sim.step();
+        }
+        let after = allocations();
+        assert!(
+            !sim.all_informed(),
+            "flood completed mid-measurement; slow the parameters down"
+        );
+        assert!(
+            sim.incremental_diff_steps() > diff_before,
+            "the measured window must contain incremental diff re-bins"
+        );
+        assert_eq!(
+            after - before,
+            0,
+            "{protocol:?} incremental steady state must not allocate"
+        );
+    }
+}
+
+#[test]
+fn adaptive_incremental_join_does_not_allocate_in_dense_regime() {
+    let _window = MEASURE.lock().unwrap();
+    // the production path: a mid-flood state where Adaptive has
+    // auto-engaged the incrementally maintained join (transmitters no
+    // longer scarce), sparse enough that the flood outlasts the window
+    let model = Mrwp::new(100.0, 0.2).unwrap();
+    let mut sim = FloodingSim::new(
+        model,
+        SimConfig::new(2_000, 1.2)
+            .seed(11)
+            .source(SourcePlacement::Center)
+            .engine(EngineMode::Adaptive),
+    )
+    .unwrap();
+    sim.reserve_steps(1 << 15);
+    let mut guard = 0u32;
+    while 2 * sim.informed_count() < sim.n() && guard < 20_000 {
+        sim.step();
+        guard += 1;
+    }
+    assert!(
+        !sim.all_informed() && sim.bucket_join_steps() > 0,
+        "warm state must be mid-flood with the join engaged ({} informed)",
+        sim.informed_count()
+    );
+    let diff_before = sim.incremental_diff_steps();
+    let before = allocations();
+    for _ in 0..200 {
+        sim.step();
+    }
+    let after = allocations();
+    assert!(!sim.all_informed(), "flood completed mid-measurement");
+    assert!(
+        sim.incremental_diff_steps() > diff_before,
+        "the auto-engaged join must re-bin by diff in the window"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "adaptive incremental join steady state must not allocate"
+    );
+}
+
+#[test]
 fn parsimonious_and_gossip_steps_do_not_allocate() {
     let _window = MEASURE.lock().unwrap();
     for protocol in [Protocol::Parsimonious { p: 0.5 }, Protocol::Gossip { k: 2 }] {

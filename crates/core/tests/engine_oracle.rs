@@ -173,6 +173,47 @@ proptest! {
             n, seed, Protocol::Gossip { k }, EngineMode::BucketJoin, EngineMode::Oracle, 3, 400,
         );
     }
+
+    #[test]
+    fn incremental_flooding_matches_oracle(seed in 0u64..1000, n in 40usize..160, stride in 0usize..6) {
+        // stride 1 crashes every non-source agent — a completion edge case
+        lockstep_compare_engines(
+            n, seed, Protocol::Flooding, EngineMode::Incremental, EngineMode::Oracle, stride, 400,
+        );
+    }
+
+    #[test]
+    fn incremental_flooding_matches_bucket_join(seed in 0u64..1000, n in 40usize..160) {
+        // the diff-maintained grids and the per-step tight rebuilds must
+        // inform identical sets with identical random streams
+        lockstep_compare_engines(
+            n, seed, Protocol::Flooding, EngineMode::Incremental, EngineMode::BucketJoin, 0, 400,
+        );
+    }
+
+    #[test]
+    fn incremental_parsimonious_matches_oracle(seed in 0u64..1000, n in 40usize..140, p in 0.05f64..0.95) {
+        // only the uninformed side is maintained incrementally here (the
+        // coin subset is rebuilt each step); streams must still match
+        lockstep_compare_engines(
+            n, seed, Protocol::Parsimonious { p }, EngineMode::Incremental, EngineMode::Oracle, 0, 400,
+        );
+    }
+
+    #[test]
+    fn incremental_parsimonious_with_crashes_matches_oracle(seed in 0u64..500, n in 40usize..120) {
+        lockstep_compare_engines(
+            n, seed, Protocol::Parsimonious { p: 0.4 }, EngineMode::Incremental, EngineMode::Oracle, 4, 400,
+        );
+    }
+
+    #[test]
+    fn incremental_gossip_matches_oracle(seed in 0u64..500, n in 40usize..140, k in 1usize..6) {
+        // gossip rides the shared adaptive path in Incremental mode too
+        lockstep_compare_engines(
+            n, seed, Protocol::Gossip { k }, EngineMode::Incremental, EngineMode::Oracle, 3, 400,
+        );
+    }
 }
 
 /// Gossip with `k >= n` can never need to sample, so it must inform the
@@ -222,7 +263,11 @@ fn fixed_scenarios_match_oracle() {
         3,
         600,
     );
-    for mode in [EngineMode::BucketJoin, EngineMode::Rebuild] {
+    for mode in [
+        EngineMode::BucketJoin,
+        EngineMode::Rebuild,
+        EngineMode::Incremental,
+    ] {
         lockstep_compare_engines(
             100,
             42,
@@ -233,6 +278,59 @@ fn fixed_scenarios_match_oracle() {
             600,
         );
     }
+}
+
+/// Crashing agents *mid-run* — after the incremental grids are warm and
+/// diff-synced — must invalidate the maintenance chain and resync via
+/// full rebuilds without ever diverging from the oracle. This is the
+/// only test that exercises the crash fallback while diffs are in
+/// flight (the proptests crash before the first step).
+#[test]
+fn incremental_survives_mid_run_crashes_and_resyncs() {
+    let n = 300;
+    let model = Mrwp::new(50.0, 0.3).unwrap();
+    let config = |engine: EngineMode| {
+        SimConfig::new(n, 1.5)
+            .seed(77)
+            .source(SourcePlacement::Agent(0))
+            .engine(engine)
+    };
+    let mut inc = FloodingSim::new(model.clone(), config(EngineMode::Incremental)).unwrap();
+    let mut oracle = FloodingSim::new(model, config(EngineMode::Oracle)).unwrap();
+    for t in 1..=3000u32 {
+        if t % 40 == 0 {
+            // crash a deterministic batch in both sims: informed and
+            // uninformed agents alike leave their grids
+            for a in (t as usize % 7 + 1..n).step_by(97) {
+                inc.crash_agent(a);
+                oracle.crash_agent(a);
+            }
+        }
+        inc.step();
+        oracle.step();
+        assert_eq!(
+            inc.informed(),
+            oracle.informed(),
+            "step {t}: incremental diverged after mid-run crashes"
+        );
+        if inc.all_informed() {
+            break;
+        }
+    }
+    assert_eq!(inc.report(), oracle.report());
+    assert!(
+        inc.incremental_full_rebuilds() >= 2,
+        "each crash batch must force a fresh resync (got {})",
+        inc.incremental_full_rebuilds()
+    );
+    assert!(
+        inc.incremental_diff_steps() > inc.incremental_full_rebuilds(),
+        "between crashes the engine must re-bin by diff"
+    );
+    assert!(
+        inc.incremental_deferred_steps() > 0,
+        "some diff steps must have deferred re-binning entirely"
+    );
 }
 
 /// The adaptive engine must actually *engage* the bucket join in the
@@ -268,6 +366,14 @@ fn adaptive_engages_bucket_join_in_dense_regime_and_matches_oracle() {
     assert!(
         adaptive.bucket_join_steps() > 0,
         "the dense regime must have auto-engaged the bucket join"
+    );
+    assert!(
+        adaptive.incremental_diff_steps() > 0,
+        "the auto-engaged join must re-bin incrementally, not from scratch"
+    );
+    assert!(
+        adaptive.incremental_deferred_steps() > 0,
+        "v ≪ bucket here, so some steps must defer re-binning entirely"
     );
     assert_eq!(adaptive.report(), oracle.report());
 }

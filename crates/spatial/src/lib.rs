@@ -16,6 +16,17 @@
 //!   shrinking uninformed set, whichever is smaller) without copying
 //!   positions, and after warm-up a rebuild performs **zero heap
 //!   allocations**;
+//! * **incremental maintenance** — a buffer built with
+//!   [`GridIndexBuffer::rebuild_incremental`] lays its CSR rows out with
+//!   *slack capacity* and can then be kept in sync with a moving
+//!   population by [`GridIndexBuffer::update_moved`]: one linear pass
+//!   refreshes the cached coordinates and relocates only the (few)
+//!   entries whose bucket changed, with `O(1)` membership removals and
+//!   insertions on the side. When agents move far less than a bucket
+//!   per step (the MRWP regime of the source paper) this replaces the
+//!   scatter-bound full re-bin of both join sides — see
+//!   `docs/ARCHITECTURE.md` ("Spatial layer contract") for the
+//!   invariants;
 //! * the **bucket join** — two buffers binned with a *shared* grid
 //!   geometry ([`GridIndexBuffer::rebuild_subset_shared`]) can be joined
 //!   bucket-against-bucket ([`GridIndexBuffer::join_covered_by`]):
@@ -80,6 +91,20 @@ impl fmt::Display for SpatialError {
 }
 
 impl Error for SpatialError {}
+
+/// Outcome of one [`GridIndexBuffer::update_moved`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateStats {
+    /// Entries whose bucket changed and were relocated within the
+    /// retained layout (swap-remove from the old row, append to the
+    /// new row's slack).
+    pub relocated: usize,
+    /// Whether a row ran out of slack (or an insert found no room) and
+    /// the whole layout was rebuilt in place with fresh slack. The
+    /// re-layout runs entirely out of retained storage; `true` here
+    /// signals amortized extra work, not an error.
+    pub relayout: bool,
+}
 
 /// A uniform bucket-grid index over a fixed set of positions.
 ///
@@ -391,6 +416,12 @@ impl GridIndex {
 /// geometry from an explicit population count instead of the subset
 /// size) and join them with [`GridIndexBuffer::join_covered_by`].
 ///
+/// When the indexed population moves only a small fraction of a bucket
+/// per step, skip the per-step full re-bin entirely: build once with
+/// [`GridIndexBuffer::rebuild_incremental`] (a slack-capacity variant
+/// of the same layout) and keep the buffer in sync with
+/// [`GridIndexBuffer::update_moved`].
+///
 /// # Examples
 ///
 /// ```
@@ -411,8 +442,17 @@ pub struct GridIndexBuffer {
     m: usize,
     bucket_len_x: f64,
     bucket_len_y: f64,
-    /// CSR layout: `starts[b]..starts[b+1]` indexes the entry arrays.
+    /// CSR layout: bucket `b` owns the entry-array *slots*
+    /// `starts[b]..starts[b+1]`. In a tight layout every slot is live;
+    /// in a slack (incremental) layout only the prefix up to `ends[b]`
+    /// is, the rest is spare insertion room.
     starts: Vec<u32>,
+    /// Live end of each bucket row: entries of bucket `b` occupy
+    /// `starts[b]..ends[b]`. Tight rebuilds set `ends[b] ==
+    /// starts[b + 1]`; incremental updates move it within the row's
+    /// slot range. Every query path reads rows through this bound, so
+    /// slack slots are never observed.
+    ends: Vec<u32>,
     /// Binning cursor, retained to avoid reallocating each rebuild.
     cursor: Vec<u32>,
     /// Entries sorted by bucket, ids and packed coordinates in parallel
@@ -430,24 +470,74 @@ pub struct GridIndexBuffer {
     /// point instead of twice.
     bkt: Vec<u32>,
     /// Buckets holding at least one point, ascending — the worklist of
-    /// the bucket join (built for free inside the prefix-sum pass).
+    /// the bucket join (built for free inside the prefix-sum pass, and
+    /// re-derived after every incremental update).
     occupied: Vec<u32>,
+    /// Incremental mode only: remaining *expected-arrival headroom* per
+    /// bucket — row capacity pre-reserved for ids announced via
+    /// `rebuild_incremental`'s `expected` list, decremented as arrivals
+    /// land. Keeps a grid whose membership grows monotonically (the
+    /// transmit roster) from overflowing its rows on every frontier
+    /// advance; honored by re-layouts.
+    extra: Vec<u32>,
+    /// Incremental mode only: `slot_of[id]` is the entry slot currently
+    /// holding original id `id` (`u32::MAX` when not indexed), the
+    /// `O(1)` handle behind removals and swap-relocations. Entries for
+    /// ids outside the indexed subset are stale garbage and must never
+    /// be read — callers name ids explicitly, so they never are.
+    slot_of: Vec<u32>,
+    /// Incremental mode only: entries displaced by a full row (plus
+    /// inserts that found no room), parked here until the end-of-update
+    /// re-layout re-files them. Always empty between calls.
+    pending: Vec<(u32, f64, f64)>,
+    /// Whether the current layout is a slack layout with a live slot
+    /// map (built by `rebuild_incremental`, required by `update_moved`).
+    incremental: bool,
+    /// Cumulative full re-layouts taken by incremental updates (the
+    /// slack-overflow fallback); a diagnostic for tests and tuning.
+    relayouts: u64,
     len: usize,
 }
 
 impl GridIndexBuffer {
     /// Pre-allocates storage for rebuilds of up to `points` points, so
     /// no later rebuild of that size or smaller allocates at all.
+    ///
+    /// The reservation also covers the incremental machinery
+    /// ([`GridIndexBuffer::rebuild_incremental`] /
+    /// [`GridIndexBuffer::update_moved`]): the slack layout's spare
+    /// slots (including expected-arrival headroom, for
+    /// `subset + expected` totals up to `points`), the id→slot map,
+    /// and the overflow scratch — for populations and
+    /// `geometry_points` of up to `points`, provided the slack layout's
+    /// geometry has at most `points/4` rows. Slack layouts are built
+    /// with coarse buckets (several radii per side — the join
+    /// geometries), where rows ≪ points; reserving the constant
+    /// per-row slack floor across the *finest* possible table instead
+    /// would cost ~32·points slots up front for a layout shape that is
+    /// never built. A finer-than-`points/4`-rows slack layout simply
+    /// allocates on first build and retains the storage afterwards.
     pub fn reserve(&mut self, points: usize) {
         let cap = (2.0 * (points.max(1) as f64).sqrt()).ceil() as usize + 1;
         let table = cap * cap + 1;
+        // worst-case slack layout: every row keeps `count/4 + 8` spare
+        // slots (see `slack_cap`), so entry storage tops out at
+        // `points + points/4 + 8·rows` — with the per-row floor term
+        // bounded by the coarse-geometry row counts described above
+        let slots = points + points / 4 + 8 * table.min(points / 4 + 1);
         self.starts.reserve(table.saturating_sub(self.starts.len()));
+        self.ends.reserve(table.saturating_sub(self.ends.len()));
+        self.extra.reserve(table.saturating_sub(self.extra.len()));
         self.cursor.reserve(table.saturating_sub(self.cursor.len()));
-        self.ids.reserve(points.saturating_sub(self.ids.len()));
-        self.pts.reserve(points.saturating_sub(self.pts.len()));
+        self.ids.reserve(slots.saturating_sub(self.ids.len()));
+        self.pts.reserve(slots.saturating_sub(self.pts.len()));
         self.gather
             .reserve(points.saturating_sub(self.gather.len()));
         self.bkt.reserve(points.saturating_sub(self.bkt.len()));
+        self.slot_of
+            .reserve(points.saturating_sub(self.slot_of.len()));
+        self.pending
+            .reserve(points.saturating_sub(self.pending.len()));
         // at most one occupied bucket per point (and never more than the
         // bucket table itself)
         self.occupied
@@ -463,12 +553,18 @@ impl GridIndexBuffer {
             bucket_len_x: 1.0,
             bucket_len_y: 1.0,
             starts: Vec::new(),
+            ends: Vec::new(),
             cursor: Vec::new(),
             ids: Vec::new(),
             pts: Vec::new(),
             gather: Vec::new(),
             bkt: Vec::new(),
             occupied: Vec::new(),
+            extra: Vec::new(),
+            slot_of: Vec::new(),
+            pending: Vec::new(),
+            incremental: false,
+            relayouts: 0,
             len: 0,
         }
     }
@@ -484,7 +580,7 @@ impl GridIndexBuffer {
         bucket_size: f64,
         positions: &[Point],
     ) -> Result<(), SpatialError> {
-        self.rebuild_inner(region, bucket_size, positions, None, None)
+        self.rebuild_inner(region, bucket_size, positions, None, None, None)
     }
 
     /// Re-bins only the positions selected by `subset` (original indices
@@ -501,7 +597,7 @@ impl GridIndexBuffer {
         positions: &[Point],
         subset: &[u32],
     ) -> Result<(), SpatialError> {
-        self.rebuild_inner(region, bucket_size, positions, Some(subset), None)
+        self.rebuild_inner(region, bucket_size, positions, Some(subset), None, None)
     }
 
     /// Like [`GridIndexBuffer::rebuild_subset`], but derives the grid
@@ -548,9 +644,77 @@ impl GridIndexBuffer {
             positions,
             Some(subset),
             Some(geometry_points),
+            None,
         )
     }
 
+    /// Like [`GridIndexBuffer::rebuild_subset_shared`], but lays the CSR
+    /// rows out with **slack capacity** (each bucket keeps `count/4 + 8`
+    /// spare slots) and builds an id→slot map, arming the buffer for
+    /// [`GridIndexBuffer::update_moved`].
+    ///
+    /// `expected` announces ids likely to be *inserted later* (they are
+    /// **not** indexed now): each reserves one extra slot in the row its
+    /// current position bins to, consumed as arrivals land and honored
+    /// by overflow re-layouts. A membership that only grows — the
+    /// flooding engine's transmit roster, fed by the shrinking
+    /// uninformed set — would otherwise exhaust any constant slack on
+    /// every frontier advance and re-layout each step; with its future
+    /// members announced, rows absorb the whole flood. Pass `&[]` when
+    /// membership shrinks or churns symmetrically. (Positions of
+    /// `expected` ids are a capacity hint only; non-finite ones are
+    /// tolerated.)
+    ///
+    /// Queries and [`GridIndexBuffer::join_covered_by`] behave exactly
+    /// as after a tight rebuild — every read path walks the *live*
+    /// prefix of each row, never the slack — and the grid geometry is
+    /// derived from `geometry_points` the same way, so an incremental
+    /// buffer joins against tight shared-geometry buffers freely.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fastflood_geom::{Point, Rect};
+    /// use fastflood_spatial::GridIndexBuffer;
+    ///
+    /// let region = Rect::square(100.0)?;
+    /// let mut pts = vec![Point::new(1.0, 1.0), Point::new(40.0, 40.0)];
+    /// let mut buf = GridIndexBuffer::new();
+    /// buf.rebuild_incremental(region, 5.0, &pts, &[0, 1], pts.len(), &[])?;
+    ///
+    /// // agents drift; only bucket-crossers get relocated
+    /// pts[0] = Point::new(1.5, 1.0);
+    /// pts[1] = Point::new(41.0, 40.0);
+    /// buf.update_moved(&pts, &[], &[])?;
+    /// assert!(buf.any_within(Point::new(1.5, 1.0), 0.1));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// As [`GridIndex::build`]. A subset id out of bounds of `positions`
+    /// panics.
+    pub fn rebuild_incremental(
+        &mut self,
+        region: Rect,
+        bucket_size: f64,
+        positions: &[Point],
+        subset: &[u32],
+        geometry_points: usize,
+        expected: &[u32],
+    ) -> Result<(), SpatialError> {
+        self.rebuild_inner(
+            region,
+            bucket_size,
+            positions,
+            Some(subset),
+            Some(geometry_points),
+            Some(expected),
+        )
+    }
+
+    /// Shared rebuild: `expected` is `None` for a tight layout, or
+    /// `Some(arrival hints)` for a slack (incremental) layout.
     fn rebuild_inner(
         &mut self,
         region: Rect,
@@ -558,7 +722,9 @@ impl GridIndexBuffer {
         positions: &[Point],
         subset: Option<&[u32]>,
         geometry_points: Option<usize>,
+        expected: Option<&[u32]>,
     ) -> Result<(), SpatialError> {
+        let slack = expected.is_some();
         if !(bucket_size > 0.0) || !bucket_size.is_finite() {
             return Err(SpatialError::BadBucketSize(bucket_size));
         }
@@ -576,33 +742,24 @@ impl GridIndexBuffer {
         self.bucket_len_x = region.width() / m as f64;
         self.bucket_len_y = region.height() / m as f64;
         self.len = k;
+        self.incremental = false;
+        self.pending.clear();
 
         // retained-capacity resizes: no allocation once warmed up. The
         // bucket table must be zeroed (counts accumulate into it); the
         // entry arrays only ever *grow* — the scatter pass overwrites
-        // exactly the first `k` slots, and every query range stays below
-        // `k`, so stale entries past the current length are never read
-        // and the ~1 MB-per-rebuild memset of a clear-and-resize is
-        // avoided.
+        // exactly the live slots, and every query range stays within a
+        // row's live prefix, so stale entries are never read and the
+        // ~1 MB-per-rebuild memset of a clear-and-resize is avoided.
         self.starts.clear();
         self.starts.resize(m * m + 1, 0);
-        if self.ids.len() < k {
-            self.ids.resize(k, 0);
-        }
-        if self.pts.len() < k {
-            self.pts.resize(k, (0.0, 0.0));
-        }
 
         let min = region.min();
         let inv_x = 1.0 / self.bucket_len_x;
         let inv_y = 1.0 / self.bucket_len_y;
-        // float→int casts saturate in Rust (negatives to 0), so the
-        // truncating cast is the floor-and-clamp-low in one instruction
-        let bucket_of = |x: f64, y: f64| -> usize {
-            let cx = (((x - min.x) * inv_x) as usize).min(m - 1);
-            let cy = (((y - min.y) * inv_y) as usize).min(m - 1);
-            cy * m + cx
-        };
+        // the shared binning formula with the reciprocals hoisted out
+        // of the hot loops
+        let bucket_of = |x: f64, y: f64| -> usize { bin(x, y, min, inv_x, inv_y, m) };
 
         // pass 1, fused gather + count: pay the `positions[id]`
         // indirection once, validate, record the bucket of each point
@@ -638,29 +795,49 @@ impl GridIndexBuffer {
             }
         }
         if let Some(index) = bad {
-            // degrade to an empty index: counts were partially
-            // accumulated, so zero the table and the length — a caller
-            // that catches the error and queries anyway sees nothing
-            // rather than stale entries behind garbage ranges
-            self.len = 0;
-            self.occupied.clear();
-            for s in &mut self.starts {
-                *s = 0;
-            }
+            self.degrade_to_empty();
             return Err(SpatialError::NotFinite { index });
         }
         // prefix sums; the occupied-bucket list falls out of the same
-        // pass, already sorted ascending
-        self.occupied.clear();
-        for b in 1..self.starts.len() {
-            if self.starts[b] > 0 {
-                self.occupied.push((b - 1) as u32);
+        // pass, already sorted ascending. The slack variant widens each
+        // row by `slack_cap` plus expected-arrival headroom and records
+        // the live end separately.
+        if slack {
+            // expected-arrival headroom: one pre-reserved slot per
+            // announced id, in the row its current position bins to
+            self.extra.clear();
+            self.extra.resize(m * m, 0);
+            for &id in expected.unwrap_or(&[]) {
+                self.extra[bucket_of(positions[id as usize].x, positions[id as usize].y)] += 1;
             }
-            self.starts[b] += self.starts[b - 1];
+            self.slack_prefix_from_counts();
+            if self.slot_of.len() < positions.len() {
+                // grow-only; stale values behind non-member ids are
+                // never read (diff lists name member ids only)
+                self.slot_of.resize(positions.len(), u32::MAX);
+            }
+        } else {
+            self.occupied.clear();
+            self.ends.clear();
+            for b in 1..self.starts.len() {
+                if self.starts[b] > 0 {
+                    self.occupied.push((b - 1) as u32);
+                }
+                self.starts[b] += self.starts[b - 1];
+            }
+            self.ends.extend_from_slice(&self.starts[1..]);
+            // grow-only entry storage sized to the slot total (== k)
+            let slots = self.starts[m * m] as usize;
+            if self.ids.len() < slots {
+                self.ids.resize(slots, 0);
+            }
+            if self.pts.len() < slots {
+                self.pts.resize(slots, (0.0, 0.0));
+            }
+            self.cursor.clear();
+            self.cursor.extend_from_slice(&self.starts[..m * m]);
         }
         // pass 2: scatter, reusing the cached bucket indices
-        self.cursor.clear();
-        self.cursor.extend_from_slice(&self.starts[..m * m]);
         match subset {
             Some(sub) => {
                 for ((&b, &xy), &id) in self.bkt.iter().zip(&self.gather).zip(sub) {
@@ -668,6 +845,9 @@ impl GridIndexBuffer {
                     self.cursor[b as usize] += 1;
                     self.ids[at] = id;
                     self.pts[at] = xy;
+                    if slack {
+                        self.slot_of[id as usize] = at as u32;
+                    }
                 }
             }
             None => {
@@ -676,10 +856,484 @@ impl GridIndexBuffer {
                     self.cursor[b as usize] += 1;
                     self.ids[at] = i as u32;
                     self.pts[at] = xy;
+                    if slack {
+                        self.slot_of[i] = at as u32;
+                    }
                 }
             }
         }
+        self.incremental = slack;
         Ok(())
+    }
+
+    /// Collapses the buffer to an empty index after a failed rebuild or
+    /// update: counts/rows were partially mutated, so zero the tables
+    /// and the length — a caller that catches the error and queries
+    /// anyway sees nothing rather than stale entries behind garbage
+    /// ranges.
+    fn degrade_to_empty(&mut self) {
+        self.len = 0;
+        self.occupied.clear();
+        self.pending.clear();
+        self.incremental = false;
+        for s in &mut self.starts {
+            *s = 0;
+        }
+        for e in &mut self.ends {
+            *e = 0;
+        }
+    }
+
+    /// Row-major bucket of a (possibly out-of-region, clamped)
+    /// coordinate pair under the current geometry — the shared [`bin`]
+    /// formula (`1.0 / len` reproduces the exact reciprocals the hot
+    /// loops hoist, so every path agrees bit-for-bit).
+    #[inline]
+    fn bucket_index(&self, x: f64, y: f64) -> usize {
+        bin(
+            x,
+            y,
+            self.region.min(),
+            1.0 / self.bucket_len_x,
+            1.0 / self.bucket_len_y,
+            self.m,
+        )
+    }
+
+    /// Removes one indexed id in `O(1)`: slot-map lookup, swap-remove
+    /// within the row its **cached** coordinates bin to (the coherence
+    /// invariant — valid however stale the cache is).
+    #[inline]
+    fn remove_one(&mut self, id: u32) {
+        let slot = self.slot_of[id as usize] as usize;
+        debug_assert!(
+            slot < self.ids.len() && self.ids[slot] == id,
+            "removed id {id} is not indexed"
+        );
+        let (x, y) = self.pts[slot];
+        let b = self.bucket_index(x, y);
+        debug_assert!(
+            (self.starts[b] as usize..self.ends[b] as usize).contains(&slot),
+            "slot map points outside the entry's row"
+        );
+        let last = self.ends[b] as usize - 1;
+        self.ids[slot] = self.ids[last];
+        self.pts[slot] = self.pts[last];
+        self.slot_of[self.ids[slot] as usize] = slot as u32;
+        self.ends[b] = last as u32;
+        self.slot_of[id as usize] = u32::MAX;
+        self.len -= 1;
+        if last == self.starts[b] as usize {
+            // non-empty → empty transition keeps `occupied` exact
+            // without any table scan (rare: O(occupied) memmove)
+            if let Ok(i) = self.occupied.binary_search(&(b as u32)) {
+                self.occupied.remove(i);
+            }
+        }
+    }
+
+    /// Re-derives the occupied-bucket list (ascending for free) with one
+    /// sequential scan of the row table. Only the paths that already do
+    /// `O(len)` work use this; membership surgery maintains the list
+    /// incrementally on empty↔non-empty row transitions instead, so
+    /// deferred steps stay `O(churn)`.
+    fn rescan_occupied(&mut self) {
+        self.occupied.clear();
+        for b in 0..self.m * self.m {
+            if self.ends[b] > self.starts[b] {
+                self.occupied.push(b as u32);
+            }
+        }
+    }
+
+    /// Membership-only resynchronization of a slack layout: `O(1)`
+    /// removals and insertions, **without** touching the entries that
+    /// merely moved — their cached coordinates go stale instead.
+    ///
+    /// This is the per-step fast path of temporally-coherent
+    /// maintenance: as long as every indexed agent has moved at most
+    /// `slop` from where it was last filed
+    /// ([`GridIndexBuffer::rebuild_incremental`],
+    /// [`GridIndexBuffer::update_moved`], or its own insertion —
+    /// whichever touched it last), radius-`r` transmit joins stay exact
+    /// via [`GridIndexBuffer::join_covered_by_stale`] with that `slop`,
+    /// and no per-step `O(len)` pass runs at all. Call
+    /// [`GridIndexBuffer::update_moved`] to re-file everything and
+    /// reset the staleness budget.
+    ///
+    /// Inserted ids are filed by their **current** position (their own
+    /// staleness starts at zero). A slack overflow re-layouts in place
+    /// exactly as in [`GridIndexBuffer::update_moved`] — re-layouts
+    /// re-bin by *cached* coordinates, so staleness is unaffected.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fastflood_geom::{Point, Rect};
+    /// use fastflood_spatial::GridIndexBuffer;
+    ///
+    /// let region = Rect::square(100.0)?;
+    /// let mut pts = vec![
+    ///     Point::new(10.0, 10.0),
+    ///     Point::new(12.0, 10.0),
+    ///     Point::new(90.0, 90.0),
+    /// ];
+    /// let mut buf = GridIndexBuffer::new();
+    /// buf.rebuild_incremental(region, 8.0, &pts, &[0, 1], pts.len(), &[])?;
+    ///
+    /// // agents drift a little (far less than a bucket) while the
+    /// // membership churns; the index is NOT re-binned
+    /// pts[0] = Point::new(10.5, 10.2);
+    /// pts[1] = Point::new(12.4, 9.8);
+    /// buf.update_membership(&pts, &[0], &[2])?;
+    ///
+    /// // stale-tolerant join against a fresh transmitter grid still
+    /// // answers exactly, given the drift bound
+    /// let mut tx = GridIndexBuffer::new();
+    /// tx.rebuild_subset_shared(region, 8.0, &pts, &[0], pts.len())?;
+    /// let mut covered = Vec::new();
+    /// buf.join_covered_by_stale(&tx, 2.0, 0.6, &pts, |id| covered.push(id));
+    /// assert_eq!(covered, vec![1]); // only 1 is near 0; 2 is far away
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`SpatialError::NotFinite`] when an inserted position is
+    /// NaN/infinite; the buffer degrades to an empty index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer does not hold a slack layout, or — in
+    /// debug builds — when `removed` names an id that is not indexed.
+    pub fn update_membership(
+        &mut self,
+        positions: &[Point],
+        removed: &[u32],
+        inserted: &[u32],
+    ) -> Result<(), SpatialError> {
+        assert!(
+            self.incremental,
+            "update_membership requires a slack layout (build with rebuild_incremental)"
+        );
+        if self.slot_of.len() < positions.len() {
+            self.slot_of.resize(positions.len(), u32::MAX);
+        }
+        for &id in removed {
+            self.remove_one(id);
+        }
+        for &id in inserted {
+            let p = positions[id as usize];
+            if !p.is_finite() {
+                self.degrade_to_empty();
+                return Err(SpatialError::NotFinite { index: id as usize });
+            }
+            self.insert_raw(self.bucket_index(p.x, p.y), id, p.x, p.y, true);
+            self.len += 1;
+        }
+        // `occupied` was maintained in place by the surgery above; only
+        // the overflow fallback re-derives it (inside the re-layout)
+        if !self.pending.is_empty() {
+            self.relayout();
+        }
+        Ok(())
+    }
+
+    /// Diff-based re-synchronization of a slack layout with moved
+    /// positions and changed membership, in one call:
+    ///
+    /// 1. **removals** — each id in `removed` leaves the index in `O(1)`
+    ///    (slot-map lookup, swap-remove within its bucket row);
+    /// 2. **moves** — one pass over the live entries refreshes every
+    ///    cached coordinate from `positions` and relocates the entries
+    ///    whose bucket changed (swap-remove from the old row, append
+    ///    into the new row's slack);
+    /// 3. **insertions** — each id in `inserted` is filed into its
+    ///    bucket's slack.
+    ///
+    /// A row out of slack parks the entry instead of failing; if any
+    /// entry was parked, the whole layout is rebuilt in place with
+    /// fresh slack before returning (reported via
+    /// [`UpdateStats::relayout`], counted by
+    /// [`GridIndexBuffer::relayouts`]). Either way the buffer ends the
+    /// call **coherent**: every entry sits in the row its cached
+    /// position bins to, the occupied-bucket list is exact and sorted,
+    /// and queries / [`GridIndexBuffer::join_covered_by`] behave as
+    /// after a full rebuild over the same membership — which is what
+    /// makes this a drop-in replacement for per-step re-binning when
+    /// agents move far less than a bucket per step. Allocation-free
+    /// once the buffer is warm ([`GridIndexBuffer::reserve`]).
+    ///
+    /// `removed` must name currently indexed ids (each exactly once);
+    /// `inserted` ids must not be indexed and must index `positions`.
+    /// Grid geometry (region, bucket layout) is untouched, so shared
+    /// geometry for joins survives updates.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fastflood_geom::{Point, Rect};
+    /// use fastflood_spatial::GridIndexBuffer;
+    ///
+    /// let region = Rect::square(100.0)?;
+    /// let mut pts = vec![
+    ///     Point::new(10.0, 10.0),
+    ///     Point::new(12.0, 10.0),
+    ///     Point::new(90.0, 90.0),
+    /// ];
+    /// let mut buf = GridIndexBuffer::new();
+    /// buf.rebuild_incremental(region, 5.0, &pts, &[0, 1], pts.len(), &[])?;
+    ///
+    /// // agent 1 drifts across a bucket boundary, 0 leaves, 2 joins
+    /// pts[1] = Point::new(55.0, 10.0);
+    /// let stats = buf.update_moved(&pts, &[0], &[2])?;
+    /// assert_eq!(buf.len(), 2);
+    /// assert!(!buf.any_within(Point::new(10.0, 10.0), 1.0)); // 0 gone
+    /// assert!(buf.any_within(Point::new(55.0, 10.0), 0.1)); // 1 moved
+    /// assert!(buf.any_within(Point::new(90.0, 90.0), 0.1)); // 2 joined
+    /// assert_eq!(stats.relocated, 1);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`SpatialError::NotFinite`] when a live or inserted agent's
+    /// position has a NaN/infinite coordinate; the buffer degrades to
+    /// an empty index (as a failed rebuild does) and must be rebuilt.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer does not hold a slack layout (build with
+    /// [`GridIndexBuffer::rebuild_incremental`] first), or — in debug
+    /// builds — when `removed` names an id that is not indexed.
+    pub fn update_moved(
+        &mut self,
+        positions: &[Point],
+        removed: &[u32],
+        inserted: &[u32],
+    ) -> Result<UpdateStats, SpatialError> {
+        assert!(
+            self.incremental,
+            "update_moved requires a slack layout (build with rebuild_incremental)"
+        );
+        let m = self.m;
+        let min = self.region.min();
+        let inv_x = 1.0 / self.bucket_len_x;
+        let inv_y = 1.0 / self.bucket_len_y;
+        let bucket_of = |x: f64, y: f64| -> usize { bin(x, y, min, inv_x, inv_y, m) };
+        if self.slot_of.len() < positions.len() {
+            self.slot_of.resize(positions.len(), u32::MAX);
+        }
+        // 1. membership removals: O(1) each via the slot map. The
+        // entry's CACHED coordinates name the row it is filed under
+        // (the coherence invariant), whatever `positions` now says.
+        for &id in removed {
+            self.remove_one(id);
+        }
+        // 2. the move pass: refresh every cached coordinate and
+        // relocate bucket-crossers. An entry relocated into a
+        // not-yet-visited row is re-examined there, which is a no-op
+        // (its bucket now matches); the swapped-in entry lands in slot
+        // `e` and is examined next iteration, so nothing is skipped.
+        let mut relocated = 0usize;
+        let mut bad: Option<usize> = None;
+        'rows: for b in 0..m * m {
+            let mut e = self.starts[b] as usize;
+            while e < self.ends[b] as usize {
+                let id = self.ids[e];
+                let p = positions[id as usize];
+                if !p.is_finite() {
+                    bad = Some(id as usize);
+                    break 'rows;
+                }
+                let nb = bucket_of(p.x, p.y);
+                self.pts[e] = (p.x, p.y);
+                if nb == b {
+                    e += 1;
+                    continue;
+                }
+                relocated += 1;
+                let last = self.ends[b] as usize - 1;
+                self.ids[e] = self.ids[last];
+                self.pts[e] = self.pts[last];
+                self.slot_of[self.ids[e] as usize] = e as u32;
+                self.ends[b] = last as u32;
+                self.insert_raw(nb, id, p.x, p.y, false);
+            }
+        }
+        if let Some(index) = bad {
+            self.degrade_to_empty();
+            return Err(SpatialError::NotFinite { index });
+        }
+        // 3. membership insertions, binned by their current position
+        for &id in inserted {
+            let p = positions[id as usize];
+            if !p.is_finite() {
+                self.degrade_to_empty();
+                return Err(SpatialError::NotFinite { index: id as usize });
+            }
+            self.insert_raw(bucket_of(p.x, p.y), id, p.x, p.y, true);
+            self.len += 1;
+        }
+        // overflow fallback, then occupied-list re-derivation (the
+        // re-layout rebuilds occupied itself)
+        let relayout = !self.pending.is_empty();
+        if relayout {
+            self.relayout();
+        } else {
+            self.rescan_occupied();
+        }
+        Ok(UpdateStats {
+            relocated,
+            relayout,
+        })
+    }
+
+    /// Files `id` (cached position `(x, y)`) into row `nb`'s slack; a
+    /// full row parks the entry on the pending list for the
+    /// end-of-update re-layout instead.
+    ///
+    /// `arrival` marks a *membership* insertion from
+    /// [`GridIndexBuffer::update_membership`] /
+    /// [`GridIndexBuffer::update_moved`]'s `inserted` list: it consumes
+    /// one slot of the row's expected-arrival headroom (so a later
+    /// re-layout re-reserves only what is still pending), and — on the
+    /// membership-only path, which never rescans — keeps the occupied
+    /// list exact across empty→non-empty transitions. Relocations of
+    /// already-indexed entries pass `false`: they ride the proportional
+    /// slack (eating reservations for them would erode the headroom the
+    /// announced arrivals depend on), and their caller re-derives the
+    /// occupied list afterwards anyway, so the hot relocation loop
+    /// stays free of list bookkeeping.
+    fn insert_raw(&mut self, nb: usize, id: u32, x: f64, y: f64, arrival: bool) {
+        let end = self.ends[nb] as usize;
+        if end < self.starts[nb + 1] as usize {
+            self.ids[end] = id;
+            self.pts[end] = (x, y);
+            self.slot_of[id as usize] = end as u32;
+            self.ends[nb] = end as u32 + 1;
+            if arrival {
+                if self.extra[nb] > 0 {
+                    self.extra[nb] -= 1;
+                }
+                if end == self.starts[nb] as usize {
+                    // empty → non-empty transition keeps `occupied`
+                    // exact without any table scan (rare: O(occupied)
+                    // memmove; no allocation, the list is reserved for
+                    // worst case)
+                    if let Err(i) = self.occupied.binary_search(&(nb as u32)) {
+                        self.occupied.insert(i, nb as u32);
+                    }
+                }
+            }
+        } else {
+            self.pending.push((id, x, y));
+        }
+    }
+
+    /// Turns per-bucket counts (left in `starts[b + 1]` by a counting
+    /// pass) into the slack-layout prefix shared by full rebuilds and
+    /// re-layouts: `starts` become slot offsets (count + `slack_cap`
+    /// slack + remaining expected-arrival headroom per row), `ends` the
+    /// live row ends, `occupied` the non-empty rows ascending; entry
+    /// storage grows to the slot total and the scatter cursor is reset
+    /// to the row starts.
+    fn slack_prefix_from_counts(&mut self) {
+        let m = self.m;
+        self.occupied.clear();
+        self.ends.clear();
+        for b in 0..m * m {
+            let c = self.starts[b + 1];
+            if c > 0 {
+                self.occupied.push(b as u32);
+            }
+            let start = self.starts[b];
+            self.ends.push(start + c);
+            self.starts[b + 1] = start + slack_cap(c) + self.extra[b];
+        }
+        let slots = self.starts[m * m] as usize;
+        if self.ids.len() < slots {
+            self.ids.resize(slots, 0);
+        }
+        if self.pts.len() < slots {
+            self.pts.resize(slots, (0.0, 0.0));
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.starts[..m * m]);
+    }
+
+    /// Rebuilds the slack layout in place from the currently indexed
+    /// entries (live rows plus pending overflow), granting every row
+    /// fresh slack. `O(len + rows)`, entirely out of retained storage.
+    fn relayout(&mut self) {
+        self.relayouts += 1;
+        let m = self.m;
+        // snapshot live entries into the binning scratch of full
+        // rebuilds (`bkt` doubles as the id scratch here)
+        self.bkt.clear();
+        self.gather.clear();
+        for b in 0..m * m {
+            for e in self.starts[b] as usize..self.ends[b] as usize {
+                self.bkt.push(self.ids[e]);
+                self.gather.push(self.pts[e]);
+            }
+        }
+        while let Some((id, x, y)) = self.pending.pop() {
+            self.bkt.push(id);
+            self.gather.push((x, y));
+        }
+        debug_assert_eq!(self.bkt.len(), self.len, "entry snapshot is complete");
+        let min = self.region.min();
+        let inv_x = 1.0 / self.bucket_len_x;
+        let inv_y = 1.0 / self.bucket_len_y;
+        let bucket_of = |x: f64, y: f64| -> usize { bin(x, y, min, inv_x, inv_y, m) };
+        self.starts.clear();
+        self.starts.resize(m * m + 1, 0);
+        for &(x, y) in &self.gather {
+            self.starts[bucket_of(x, y) + 1] += 1;
+        }
+        // still-pending expected arrivals keep their reservations
+        // (`extra` is consumed by inserts, not reset here)
+        self.slack_prefix_from_counts();
+        for (&id, &(x, y)) in self.bkt.iter().zip(&self.gather) {
+            let b = bucket_of(x, y);
+            let at = self.cursor[b] as usize;
+            self.cursor[b] += 1;
+            self.ids[at] = id;
+            self.pts[at] = (x, y);
+            self.slot_of[id as usize] = at as u32;
+        }
+    }
+
+    /// Whether the buffer holds a slack (incremental) layout — i.e.
+    /// [`GridIndexBuffer::update_moved`] may be called on it.
+    #[inline]
+    pub fn is_incremental(&self) -> bool {
+        self.incremental
+    }
+
+    /// Cumulative slack-overflow re-layouts taken by
+    /// [`GridIndexBuffer::update_moved`] since construction — the
+    /// fallback's amortized-cost diagnostic.
+    #[inline]
+    pub fn relayouts(&self) -> u64 {
+        self.relayouts
+    }
+
+    /// Calls `f(bucket, id, position)` for every live entry, buckets
+    /// ascending (order within a bucket unspecified).
+    ///
+    /// Works on tight and slack layouts alike — the canonical way to
+    /// snapshot the *entry set*, e.g. to assert that an incrementally
+    /// maintained buffer holds exactly what a fresh rebuild would.
+    pub fn for_each_entry<F: FnMut(usize, usize, Point)>(&self, mut f: F) {
+        for &b in &self.occupied {
+            let b = b as usize;
+            for e in self.starts[b] as usize..self.ends[b] as usize {
+                let (x, y) = self.pts[e];
+                f(b, self.ids[e] as usize, Point::new(x, y));
+            }
+        }
     }
 
     /// Number of indexed points.
@@ -737,9 +1391,114 @@ impl GridIndexBuffer {
     /// assert_eq!(buf.ids(), &[0, 2, 1, 3]);
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics on a slack (incremental) layout, whose live entries are
+    /// not one contiguous slice; snapshot those via
+    /// [`GridIndexBuffer::for_each_entry`] instead.
     #[inline]
     pub fn ids(&self) -> &[u32] {
+        assert!(
+            !self.incremental,
+            "ids() requires a tight layout; slack layouts are not contiguous \
+             (use for_each_entry)"
+        );
         &self.ids[..self.len]
+    }
+
+    /// Resolves the ≤ 3×3 facing CSR slices of `other` around bucket
+    /// `(cx, cy)` into `slices` — skipping empty buckets, each slice
+    /// carrying its (possibly unbounded: border buckets absorb clamped
+    /// out-of-region points) cell rectangle for pruning — and returns
+    /// the count. Shared by the exact and stale-tolerant joins so the
+    /// border-extent logic can never diverge between the two kernels.
+    #[inline]
+    fn facing_slices(
+        &self,
+        other: &GridIndexBuffer,
+        cx: usize,
+        cy: usize,
+        slices: &mut [Slice; 9],
+    ) -> usize {
+        let m = self.m;
+        let min = self.region.min();
+        let mut count = 0usize;
+        for ny in cy.saturating_sub(1)..=(cy + 1).min(m - 1) {
+            let cell_y0 = if ny == 0 {
+                f64::NEG_INFINITY
+            } else {
+                min.y + ny as f64 * self.bucket_len_y
+            };
+            let cell_y1 = if ny == m - 1 {
+                f64::INFINITY
+            } else {
+                min.y + (ny + 1) as f64 * self.bucket_len_y
+            };
+            for nx in cx.saturating_sub(1)..=(cx + 1).min(m - 1) {
+                let nb = ny * m + nx;
+                let tlo = other.starts[nb];
+                let thi = other.ends[nb];
+                if tlo == thi {
+                    continue;
+                }
+                let cell_x0 = if nx == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    min.x + nx as f64 * self.bucket_len_x
+                };
+                let cell_x1 = if nx == m - 1 {
+                    f64::INFINITY
+                } else {
+                    min.x + (nx + 1) as f64 * self.bucket_len_x
+                };
+                slices[count] = Slice {
+                    lo: tlo,
+                    hi: thi,
+                    x0: cell_x0,
+                    x1: cell_x1,
+                    y0: cell_y0,
+                    y1: cell_y1,
+                };
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Drops the slices in `slices[..count]` whose cell rectangle is
+    /// farther than `pad2` (squared distance) from the tight AABB of
+    /// this bucket's cached points `lo..hi`; returns the kept count.
+    /// The bucket-pair prune of both join kernels (the stale-tolerant
+    /// one inflates `pad2` for drift on both sides).
+    #[inline]
+    fn prune_slices_by_aabb(
+        &self,
+        lo: usize,
+        hi: usize,
+        slices: &mut [Slice; 9],
+        count: usize,
+        pad2: f64,
+    ) -> usize {
+        let (mut ax0, mut ay0) = self.pts[lo];
+        let (mut ax1, mut ay1) = (ax0, ay0);
+        for &(x, y) in &self.pts[lo + 1..hi] {
+            ax0 = ax0.min(x);
+            ax1 = ax1.max(x);
+            ay0 = ay0.min(y);
+            ay1 = ay1.max(y);
+        }
+        let mut kept = 0usize;
+        for i in 0..count {
+            let s = slices[i];
+            let gap_x = (s.x0 - ax1).max(ax0 - s.x1).max(0.0);
+            let gap_y = (s.y0 - ay1).max(ay0 - s.y1).max(0.0);
+            if gap_x * gap_x + gap_y * gap_y <= pad2 {
+                slices[kept] = s;
+                kept += 1;
+            }
+        }
+        kept
     }
 
     /// Whether `other` was rebuilt with the same grid geometry (region,
@@ -816,58 +1575,15 @@ impl GridIndexBuffer {
         }
         let m = self.m;
         let r2 = r * r;
-        let min = self.region.min();
         for &b in &self.occupied {
             let b = b as usize;
             let lo = self.starts[b] as usize;
-            let hi = self.starts[b + 1] as usize;
+            let hi = self.ends[b] as usize;
             let (cx, cy) = (b % m, b / m);
             // facing slices of `other`, resolved once per bucket (≤ 3×3
-            // because the bucket side is at least r); each keeps its
-            // cell rectangle for the pruning below
+            // because the bucket side is at least r)
             let mut slices = [Slice::EMPTY; 9];
-            let mut count = 0usize;
-            for ny in cy.saturating_sub(1)..=(cy + 1).min(m - 1) {
-                // border buckets absorb clamped out-of-region points, so
-                // their prune rectangle extends outward without bound
-                let cell_y0 = if ny == 0 {
-                    f64::NEG_INFINITY
-                } else {
-                    min.y + ny as f64 * self.bucket_len_y
-                };
-                let cell_y1 = if ny == m - 1 {
-                    f64::INFINITY
-                } else {
-                    min.y + (ny + 1) as f64 * self.bucket_len_y
-                };
-                for nx in cx.saturating_sub(1)..=(cx + 1).min(m - 1) {
-                    let nb = ny * m + nx;
-                    let tlo = other.starts[nb];
-                    let thi = other.starts[nb + 1];
-                    if tlo == thi {
-                        continue;
-                    }
-                    let cell_x0 = if nx == 0 {
-                        f64::NEG_INFINITY
-                    } else {
-                        min.x + nx as f64 * self.bucket_len_x
-                    };
-                    let cell_x1 = if nx == m - 1 {
-                        f64::INFINITY
-                    } else {
-                        min.x + (nx + 1) as f64 * self.bucket_len_x
-                    };
-                    slices[count] = Slice {
-                        lo: tlo,
-                        hi: thi,
-                        x0: cell_x0,
-                        x1: cell_x1,
-                        y0: cell_y0,
-                        y1: cell_y1,
-                    };
-                    count += 1;
-                }
-            }
+            let count = self.facing_slices(other, cx, cy, &mut slices);
             if count == 0 {
                 // the common far-from-frontier case: no facing points at
                 // all, skip before doing any per-point work
@@ -877,25 +1593,7 @@ impl GridIndexBuffer {
             // is farther than r from the tight AABB of this bucket's
             // points (computed lazily — only frontier-adjacent buckets
             // get this far)
-            let (mut ax0, mut ay0) = self.pts[lo];
-            let (mut ax1, mut ay1) = (ax0, ay0);
-            for &(x, y) in &self.pts[lo + 1..hi] {
-                ax0 = ax0.min(x);
-                ax1 = ax1.max(x);
-                ay0 = ay0.min(y);
-                ay1 = ay1.max(y);
-            }
-            let mut kept = 0usize;
-            for i in 0..count {
-                let s = slices[i];
-                let gap_x = (s.x0 - ax1).max(ax0 - s.x1).max(0.0);
-                let gap_y = (s.y0 - ay1).max(ay0 - s.y1).max(0.0);
-                if gap_x * gap_x + gap_y * gap_y <= r2 {
-                    slices[kept] = s;
-                    kept += 1;
-                }
-            }
-            let count = kept;
+            let count = self.prune_slices_by_aabb(lo, hi, &mut slices, count, r2);
             if count == 0 {
                 continue;
             }
@@ -916,6 +1614,102 @@ impl GridIndexBuffer {
                         let (qx, qy) = other.pts[t];
                         let dx = qx - px;
                         let dy = qy - py;
+                        if dx * dx + dy * dy <= r2 {
+                            f(self.ids[e] as usize);
+                            break 'probe;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stale-tolerant bucket join: like
+    /// [`GridIndexBuffer::join_covered_by`], but correct even when the
+    /// indexed entries' cached coordinates lag their true positions by
+    /// up to `slop` — the companion of
+    /// [`GridIndexBuffer::update_membership`]'s deferred-move regime.
+    ///
+    /// Binning and occupied lists are taken from the (stale) cached
+    /// state; every *distance decision* reads the exact coordinates
+    /// from `positions`. The bucket-level prunes are inflated to stay
+    /// conservative under drift: a facing slice survives when its cell
+    /// rectangle is within `r + 2·slop` of the bucket's cached-point
+    /// AABB (both sides may have drifted `slop`), a point skips a slice
+    /// only when it is farther than `r + slop` from the slice's cell
+    /// rectangle (the slice's contents may have drifted out by `slop`),
+    /// and the inner loops compare true positions against `r` exactly —
+    /// so the reported set is *identical* to a fresh re-bin's join.
+    ///
+    /// With `slop = 0` this is semantically `join_covered_by`; prefer
+    /// that one on freshly re-binned buffers (it streams the packed
+    /// coordinates instead of reading `positions` through the ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffers do not share a geometry, or when
+    /// `r + 2·slop` exceeds the bucket side (the 3×3 neighborhood could
+    /// miss drifted pairs; re-file entries with
+    /// [`GridIndexBuffer::update_moved`] before the staleness budget
+    /// runs out). Indexed ids must be in bounds of `positions`.
+    pub fn join_covered_by_stale<F: FnMut(usize)>(
+        &self,
+        other: &GridIndexBuffer,
+        r: f64,
+        slop: f64,
+        positions: &[Point],
+        mut f: F,
+    ) {
+        assert!(
+            self.shares_geometry_with(other),
+            "join requires both buffers rebuilt with a shared geometry"
+        );
+        debug_assert!(r >= 0.0, "join radius must be nonnegative");
+        debug_assert!(slop >= 0.0, "staleness bound must be nonnegative");
+        assert!(
+            self.m == 1
+                || r + 2.0 * slop <= self.bucket_len_x.min(self.bucket_len_y) * (1.0 + 1e-12),
+            "join radius {r} + twice staleness {slop} exceeds bucket side {}",
+            self.bucket_len_x.min(self.bucket_len_y)
+        );
+        if self.len == 0 || other.len == 0 {
+            return;
+        }
+        let m = self.m;
+        let r2 = r * r;
+        let pair_pad = (r + 2.0 * slop) * (r + 2.0 * slop);
+        let point_pad = (r + slop) * (r + slop);
+        for &b in &self.occupied {
+            let b = b as usize;
+            let lo = self.starts[b] as usize;
+            let hi = self.ends[b] as usize;
+            let (cx, cy) = (b % m, b / m);
+            let mut slices = [Slice::EMPTY; 9];
+            let count = self.facing_slices(other, cx, cy, &mut slices);
+            if count == 0 {
+                continue;
+            }
+            // bucket-pair prune on the CACHED AABB, inflated for drift
+            // on both sides
+            let count = self.prune_slices_by_aabb(lo, hi, &mut slices, count, pair_pad);
+            if count == 0 {
+                continue;
+            }
+            // exact distances on true positions; prunes tolerate the
+            // slices' contents having drifted out of their cells
+            for e in lo..hi {
+                let p = positions[self.ids[e] as usize];
+                let (px, py) = (p.x, p.y);
+                'probe: for s in &slices[..count] {
+                    let ddx = px.clamp(s.x0, s.x1) - px;
+                    let ddy = py.clamp(s.y0, s.y1) - py;
+                    if ddx * ddx + ddy * ddy > point_pad {
+                        continue;
+                    }
+                    for t in s.lo as usize..s.hi as usize {
+                        let q = positions[other.ids[t] as usize];
+                        let dx = q.x - px;
+                        let dy = q.y - py;
                         if dx * dx + dy * dy <= r2 {
                             f(self.ids[e] as usize);
                             break 'probe;
@@ -963,7 +1757,7 @@ impl GridIndexBuffer {
             for cx in cx0..=cx1 {
                 let b = cy * self.m + cx;
                 let lo = self.starts[b] as usize;
-                let hi = self.starts[b + 1] as usize;
+                let hi = self.ends[b] as usize;
                 for e in lo..hi {
                     let (x, y) = self.pts[e];
                     let dx = x - p.x;
@@ -992,6 +1786,34 @@ impl GridIndexBuffer {
     pub fn any_within(&self, p: Point, r: f64) -> bool {
         !self.visit_within(p, r, |_| false)
     }
+}
+
+/// Slot capacity of a slack-layout row currently holding `count` live
+/// entries: proportional headroom plus a constant floor, so row
+/// occupancy can random-walk under drift (relocations in ≈ relocations
+/// out, but excursions happen) without forcing a re-layout, while total
+/// storage stays within `len + len/4 + 8·rows`.
+#[inline]
+fn slack_cap(count: u32) -> u32 {
+    count + count / 4 + 8
+}
+
+/// THE binning formula of `GridIndexBuffer`: reciprocal multiply with
+/// truncating casts (float→int casts saturate in Rust, negatives to 0,
+/// so the cast is the floor-and-clamp-low in one instruction).
+///
+/// Every buffer path — rebuild counting/scatter, incremental
+/// removal/insertion/relocation, re-layout — must bin through this one
+/// function with the same `inv_*` values (`1.0 / bucket_len`): mixing
+///, say, a division-based variant can disagree by one bucket for
+/// coordinates within an ulp of a row boundary, and a removal that
+/// recomputes a different bucket than the one an entry was filed under
+/// corrupts two rows' bookkeeping.
+#[inline]
+fn bin(x: f64, y: f64, min: Point, inv_x: f64, inv_y: f64, m: usize) -> usize {
+    let cx = (((x - min.x) * inv_x) as usize).min(m - 1);
+    let cy = (((y - min.y) * inv_y) as usize).min(m - 1);
+    cy * m + cx
 }
 
 /// One facing CSR slice of a bucket join, with the (possibly
@@ -1584,6 +2406,203 @@ mod tests {
         let mut seen = 0;
         buf.for_each_within(Point::new(1.0, 1.0), 50.0, |_| seen += 1);
         assert_eq!(seen, 0, "errored buffer must act empty");
+    }
+
+    /// Sorted `(bucket, id)` snapshot of a buffer's live entries.
+    fn entry_set(buf: &GridIndexBuffer) -> Vec<(usize, usize)> {
+        let mut v = Vec::new();
+        buf.for_each_entry(|b, id, _| v.push((b, id)));
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn incremental_tracks_drift_and_matches_fresh_rebuild() {
+        // every point marches diagonally, guaranteeing bucket crossings
+        // and, eventually, slack overflow (a re-layout)
+        let mut pts: Vec<Point> = (0..300)
+            .map(|i| Point::new((i % 17) as f64 * 5.3 + 0.2, (i / 17) as f64 * 5.1 + 0.4))
+            .collect();
+        let subset: Vec<u32> = (0..300).collect();
+        let mut inc = GridIndexBuffer::new();
+        inc.rebuild_incremental(region(), 8.0, &pts, &subset, pts.len(), &[])
+            .unwrap();
+        assert!(inc.is_incremental());
+        let mut fresh = GridIndexBuffer::new();
+        let mut total_relocated = 0;
+        for round in 0..60 {
+            for p in &mut pts {
+                *p = Point::new((p.x + 0.9).min(99.9), (p.y + 0.7).min(99.9));
+            }
+            let stats = inc.update_moved(&pts, &[], &[]).unwrap();
+            total_relocated += stats.relocated;
+            fresh
+                .rebuild_subset_shared(region(), 8.0, &pts, &subset, pts.len())
+                .unwrap();
+            assert!(inc.shares_geometry_with(&fresh), "round {round}");
+            assert_eq!(entry_set(&inc), entry_set(&fresh), "round {round}");
+            assert_eq!(
+                inc.occupied_buckets(),
+                fresh.occupied_buckets(),
+                "round {round}"
+            );
+        }
+        assert!(total_relocated > 0, "drift must relocate entries");
+        assert!(inc.relayouts() > 0, "sustained drift must overflow slack");
+    }
+
+    #[test]
+    fn incremental_membership_and_join_match_tight_buffers() {
+        let pts: Vec<Point> = (0..120)
+            .map(|i| Point::new((i * 37 % 100) as f64, (i * 53 % 100) as f64))
+            .collect();
+        // membership split drifts over rounds: ids migrate from the
+        // "uninformed" incremental side to a tight "transmitter" side
+        let mut members: Vec<u32> = (0..120).collect();
+        let mut inc = GridIndexBuffer::new();
+        inc.rebuild_incremental(region(), 10.0, &pts, &members, pts.len(), &[])
+            .unwrap();
+        let mut gone: Vec<u32> = Vec::new();
+        for round in 0..10 {
+            // remove every 7th remaining member, reinstate one old one
+            let removed: Vec<u32> = members.iter().copied().step_by(7).collect();
+            members.retain(|id| !removed.contains(id));
+            let inserted: Vec<u32> = gone.pop().into_iter().collect();
+            members.extend(&inserted);
+            gone.extend(&removed);
+            inc.update_moved(&pts, &removed, &inserted).unwrap();
+            assert_eq!(inc.len(), members.len(), "round {round}");
+
+            let mut fresh = GridIndexBuffer::new();
+            fresh
+                .rebuild_subset_shared(region(), 10.0, &pts, &members, pts.len())
+                .unwrap();
+            assert_eq!(entry_set(&inc), entry_set(&fresh), "round {round}");
+
+            // the incremental side joins against a tight shared-geometry
+            // buffer exactly as a tight buffer would
+            let mut tx = GridIndexBuffer::new();
+            tx.rebuild_subset_shared(region(), 10.0, &pts, &gone, pts.len())
+                .unwrap();
+            let mut got = Vec::new();
+            inc.join_covered_by(&tx, 10.0, |id| got.push(id));
+            got.sort_unstable();
+            let mut expected = Vec::new();
+            fresh.join_covered_by(&tx, 10.0, |id| expected.push(id));
+            expected.sort_unstable();
+            assert_eq!(got, expected, "round {round}");
+        }
+    }
+
+    #[test]
+    fn expected_headroom_absorbs_monotone_growth_without_relayouts() {
+        // transmit-roster pattern: membership only grows, every future
+        // member announced up front; the reserved headroom must absorb
+        // the whole influx without a single slack-overflow re-layout
+        let n = 500usize;
+        let pts: Vec<Point> = (0..n)
+            .map(|i| Point::new(((i * 37) % 100) as f64, ((i * 53) % 100) as f64))
+            .collect();
+        let expected: Vec<u32> = (1..n as u32).collect();
+        let mut buf = GridIndexBuffer::new();
+        buf.rebuild_incremental(region(), 8.0, &pts, &[0], n, &expected)
+            .unwrap();
+        let mut next = 1u32;
+        while (next as usize) < n {
+            let batch: Vec<u32> = (next..(next + 7).min(n as u32)).collect();
+            next += batch.len() as u32;
+            buf.update_moved(&pts, &[], &batch).unwrap();
+        }
+        assert_eq!(buf.len(), n);
+        assert_eq!(buf.relayouts(), 0, "headroom must absorb monotone growth");
+        // without the announcement the same influx must have overflowed
+        let mut bare = GridIndexBuffer::new();
+        bare.rebuild_incremental(region(), 8.0, &pts, &[0], n, &[])
+            .unwrap();
+        let all: Vec<u32> = (1..n as u32).collect();
+        bare.update_moved(&pts, &[], &all).unwrap();
+        assert!(
+            bare.relayouts() > 0,
+            "plain slack cannot absorb n-1 inserts"
+        );
+        assert_eq!(bare.len(), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a slack layout")]
+    fn update_moved_requires_incremental_layout() {
+        let pts = [Point::new(1.0, 1.0)];
+        let mut buf = GridIndexBuffer::new();
+        buf.rebuild(region(), 5.0, &pts).unwrap();
+        let _ = buf.update_moved(&pts, &[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a tight layout")]
+    fn ids_panics_on_slack_layout() {
+        let pts = [Point::new(1.0, 1.0)];
+        let mut buf = GridIndexBuffer::new();
+        buf.rebuild_incremental(region(), 5.0, &pts, &[0], 1, &[])
+            .unwrap();
+        let _ = buf.ids();
+    }
+
+    #[test]
+    fn failed_update_degrades_to_empty_index() {
+        let mut pts = vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
+        let mut buf = GridIndexBuffer::new();
+        buf.rebuild_incremental(region(), 5.0, &pts, &[0, 1], 2, &[])
+            .unwrap();
+        pts[1] = Point::new(f64::NAN, 2.0);
+        assert!(matches!(
+            buf.update_moved(&pts, &[], &[]),
+            Err(SpatialError::NotFinite { index: 1 })
+        ));
+        assert!(buf.is_empty());
+        assert!(!buf.is_incremental());
+        assert!(buf.occupied_buckets().is_empty());
+        assert!(!buf.any_within(Point::new(1.0, 1.0), 50.0));
+    }
+
+    #[test]
+    fn incremental_updates_reuse_capacity_after_reserve() {
+        let n = 400usize;
+        let mut pts: Vec<Point> = (0..n)
+            .map(|i| Point::new((i % 21) as f64 * 4.7 + 0.5, (i % 23) as f64 * 4.3 + 0.5))
+            .collect();
+        let subset: Vec<u32> = (0..n as u32).collect();
+        let mut buf = GridIndexBuffer::new();
+        buf.reserve(n);
+        buf.rebuild_incremental(region(), 6.0, &pts, &subset, n, &[])
+            .unwrap();
+        let caps = buf.capacities();
+        for round in 0..80 {
+            for p in &mut pts {
+                // contraction piles everyone into the corner bucket, so
+                // rows must overflow their slack and re-layout
+                *p = Point::new(p.x * 0.93 + 0.1, p.y * 0.93 + 0.1);
+            }
+            buf.update_moved(&pts, &[], &[]).unwrap();
+            assert_eq!(buf.capacities(), caps, "round {round} grew storage");
+        }
+        assert!(buf.relayouts() > 0, "contracting drift must re-layout");
+    }
+
+    #[test]
+    fn clamped_out_of_region_points_survive_updates() {
+        // positions outside the region clamp into border buckets; moves
+        // that exit/enter the region must relocate coherently
+        let mut pts = vec![Point::new(99.0, 50.0), Point::new(50.0, 50.0)];
+        let mut buf = GridIndexBuffer::new();
+        buf.rebuild_incremental(region(), 10.0, &pts, &[0, 1], 2, &[])
+            .unwrap();
+        pts[0] = Point::new(107.0, 50.0); // wandered out east
+        buf.update_moved(&pts, &[], &[]).unwrap();
+        assert!(buf.any_within(Point::new(100.0, 50.0), 8.0));
+        pts[0] = Point::new(95.0, 50.0); // back inside
+        buf.update_moved(&pts, &[], &[]).unwrap();
+        assert!(buf.any_within(Point::new(95.0, 50.0), 0.1));
+        assert_eq!(buf.len(), 2);
     }
 
     #[test]

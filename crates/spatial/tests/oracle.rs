@@ -122,6 +122,180 @@ proptest! {
         prop_assert_eq!(got, expected);
     }
 
+    /// An incrementally maintained buffer must hold the **identical
+    /// entry set** to a fresh shared-geometry rebuild after arbitrarily
+    /// long sequences of small moves, teleports, membership removals
+    /// (informs/crashes) and insertions — and keep answering the
+    /// transmit join exactly like the brute-force oracle throughout.
+    #[test]
+    fn incremental_update_equals_fresh_rebuild_under_churn(
+        seed in 0u64..500,
+        n in 20usize..160,
+        rounds in 1usize..25,
+        bucket in 2.0f64..25.0,
+    ) {
+        let region = Rect::square(SIDE).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pts: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..SIDE), rng.gen_range(0.0..SIDE)))
+            .collect();
+        let mut members: Vec<u32> = (0..n as u32).filter(|_| rng.gen::<f64>() < 0.7).collect();
+        let mut inc = GridIndexBuffer::new();
+        // announce the non-members as expected arrivals, exercising the
+        // headroom machinery alongside plain slack
+        let expected: Vec<u32> = (0..n as u32).filter(|id| !members.contains(id)).collect();
+        inc.rebuild_incremental(region, bucket, &pts, &members, n, &expected)
+            .unwrap();
+        let mut fresh = GridIndexBuffer::new();
+        for round in 0..rounds {
+            // moves: mostly small drift (a fraction of a bucket), with
+            // occasional teleports and excursions past the region border
+            for p in &mut pts {
+                *p = if rng.gen::<f64>() < 0.05 {
+                    Point::new(rng.gen_range(-10.0..SIDE + 10.0), rng.gen_range(-10.0..SIDE + 10.0))
+                } else {
+                    Point::new(
+                        p.x + rng.gen_range(-bucket / 3.0..bucket / 3.0),
+                        p.y + rng.gen_range(-bucket / 3.0..bucket / 3.0),
+                    )
+                };
+            }
+            // membership churn: remove up to a quarter of the members,
+            // insert a few non-members
+            let mut removed = Vec::new();
+            let mut keep = Vec::new();
+            for &id in &members {
+                if removed.len() * 4 < members.len() && rng.gen::<f64>() < 0.2 {
+                    removed.push(id);
+                } else {
+                    keep.push(id);
+                }
+            }
+            members = keep;
+            let inserted: Vec<u32> = (0..n as u32)
+                .filter(|id| !members.contains(id) && !removed.contains(id))
+                .filter(|_| rng.gen::<f64>() < 0.1)
+                .collect();
+            members.extend(&inserted);
+            let stats = inc.update_moved(&pts, &removed, &inserted).unwrap();
+            prop_assert_eq!(inc.len(), members.len());
+            prop_assert!(inc.is_incremental());
+
+            fresh
+                .rebuild_subset_shared(region, bucket, &pts, &members, n)
+                .unwrap();
+            prop_assert!(inc.shares_geometry_with(&fresh), "geometry survives updates");
+            let snapshot = |buf: &GridIndexBuffer| {
+                let mut v: Vec<(usize, usize, u64, u64)> = Vec::new();
+                buf.for_each_entry(|b, id, p| v.push((b, id, p.x.to_bits(), p.y.to_bits())));
+                v.sort_unstable();
+                v
+            };
+            prop_assert_eq!(
+                snapshot(&inc),
+                snapshot(&fresh),
+                "round {} (relocated {}, relayout {})",
+                round,
+                stats.relocated,
+                stats.relayout
+            );
+            prop_assert_eq!(inc.occupied_buckets(), fresh.occupied_buckets());
+
+            // the join through the incremental side answers the transmit
+            // question exactly like brute force
+            let others: Vec<u32> = (0..n as u32).filter(|id| !members.contains(id)).collect();
+            let mut tx = GridIndexBuffer::new();
+            tx.rebuild_subset_shared(region, bucket, &pts, &others, n).unwrap();
+            let r = bucket.min(SIDE / 4.0);
+            let mut got = Vec::new();
+            inc.join_covered_by(&tx, r, |id| got.push(id));
+            got.sort_unstable();
+            let r2 = r * r;
+            let expected: Vec<usize> = members
+                .iter()
+                .filter(|&&u| {
+                    others.iter().any(|&t| pts[u as usize].euclid_sq(pts[t as usize]) <= r2)
+                })
+                .map(|&u| u as usize)
+                .collect();
+            let mut expected = expected;
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected, "join after round {}", round);
+        }
+    }
+
+    /// Deferred-move maintenance: membership churns via
+    /// `update_membership` while every point drifts (binning left
+    /// stale); the stale-tolerant join must stay **exact** against
+    /// brute force on the true positions for as long as the drift
+    /// stays within the announced slop — including directly after
+    /// `update_moved` refreshes (slop back to 0).
+    #[test]
+    fn stale_join_with_deferred_moves_matches_brute_force(
+        seed in 0u64..500,
+        n in 30usize..150,
+        rounds in 1usize..20,
+        r in 1.0f64..12.0,
+    ) {
+        let region = Rect::square(SIDE).unwrap();
+        let bucket = 4.0 * r;
+        // staleness budget from the slice guarantee: r + 2·slop ≤ bucket
+        let slop_budget = 0.5 * (bucket - r) / 2.0;
+        let step = slop_budget / 4.0;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pts: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..SIDE), rng.gen_range(0.0..SIDE)))
+            .collect();
+        let mut members: Vec<u32> = (0..n as u32).filter(|_| rng.gen::<f64>() < 0.6).collect();
+        let mut inc = GridIndexBuffer::new();
+        inc.rebuild_incremental(region, bucket, &pts, &members, n, &[]).unwrap();
+        let mut stale = 0.0f64;
+        for round in 0..rounds {
+            // drift everyone by at most `step` (pythagorean bound)
+            for p in &mut pts {
+                let dx = rng.gen_range(-step / 1.5..step / 1.5);
+                let dy = rng.gen_range(-step / 1.5..step / 1.5);
+                *p = Point::new(p.x + dx, p.y + dy);
+            }
+            if stale + step > slop_budget {
+                inc.update_moved(&pts, &[], &[]).unwrap();
+                stale = 0.0;
+            } else {
+                stale += step;
+                // membership churn without re-binning
+                let removed: Vec<u32> =
+                    members.iter().copied().filter(|_| rng.gen::<f64>() < 0.15).collect();
+                members.retain(|id| !removed.contains(id));
+                let inserted: Vec<u32> = (0..n as u32)
+                    .filter(|id| !members.contains(id) && !removed.contains(id))
+                    .filter(|_| rng.gen::<f64>() < 0.1)
+                    .collect();
+                members.extend(&inserted);
+                inc.update_membership(&pts, &removed, &inserted).unwrap();
+            }
+            prop_assert_eq!(inc.len(), members.len());
+
+            // the transmitter side: a fresh tight shared-geometry grid
+            // (staleness 0 ≤ slop), as the engine's parsimonious path
+            let others: Vec<u32> = (0..n as u32).filter(|id| !members.contains(id)).collect();
+            let mut tx = GridIndexBuffer::new();
+            tx.rebuild_subset_shared(region, bucket, &pts, &others, n).unwrap();
+            let mut got = Vec::new();
+            inc.join_covered_by_stale(&tx, r, stale, &pts, |id| got.push(id));
+            got.sort_unstable();
+            let r2 = r * r;
+            let mut expected: Vec<usize> = members
+                .iter()
+                .filter(|&&u| {
+                    others.iter().any(|&t| pts[u as usize].euclid_sq(pts[t as usize]) <= r2)
+                })
+                .map(|&u| u as usize)
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected, "round {} stale {}", round, stale);
+        }
+    }
+
     #[test]
     fn any_within_consistent_with_count(
         pts in points(60),

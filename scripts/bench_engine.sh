@@ -31,7 +31,7 @@ machine="$(uname -srm); $(grep -m1 'model name' /proc/cpuinfo 2>/dev/null | cut 
   echo '  "units": "ns_per_iter; engine_step iterates a whole step batch (see throughput_per_iter for agent-steps), engine_step_sustained iterates one step",'
   echo "  \"recorded_at\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
   echo "  \"machine\": \"${machine}\","
-  echo '  "notes": "Two protocols measure different things. engine_step isolates the transmit ALGORITHM: fixed mid-flood step batches (completion asserted not to occur), adaptive and forced bucket_join vs seed_rebuild, all riding the same optimized mobility layer. engine_step_sustained reproduces the whole-run protocol of the PR-start baselines (warm to 50%, time-sized loop through completion): comparing its adaptive rows against baseline_pr1_adaptive_at_pr2_start measures the PR-2 bucket-join rework like-for-like (the PR-2 acceptance figure, >=1.5x at n=100k, refers to this comparison), and against baseline_seed_at_pr_start the full engine rework since the seed.",'
+  echo '  "notes": "Two protocols measure different things. engine_step isolates the transmit ALGORITHM: fixed mid-flood step batches (completion asserted not to occur); adaptive (production policy), forced bucket_join (full re-bins every step, the PR 2 engine) and forced incremental (diff-maintained slack grids) vs seed_rebuild, all riding the same optimized mobility layer. engine_step_sustained reproduces the whole-run protocol of the PR-start baselines (warm to 50%, time-sized loop through completion): comparing its adaptive rows against baseline_pr2_adaptive_at_pr3_start measures the PR-3 incremental re-binning rework like-for-like (the PR-3 acceptance figure, >=1.25x at n=100k, refers to this comparison); the bucket_join rows re-record the PR 2 engine in the same run as the machine-stability check (they should track the PR-2 baseline block, not the adaptive rows). Older baselines measure the full history: baseline_pr1_adaptive_at_pr2_start the PR-2 join rework, baseline_seed_at_pr_start the whole engine rework since the seed.",'
   # The seed implementation (per-step GridIndex rebuild + full agent
   # scans + uncached L-path mobility + ChaCha12 StdRng), measured with
   # the sustained protocol at the start of the engine rework, before any
@@ -52,6 +52,16 @@ machine="$(uname -srm); $(grep -m1 'model name' /proc/cpuinfo 2>/dev/null | cut 
   echo '    "protocol": "engine_step_sustained (time-sized step loop from ~50% informed, radius 0.4*scale, v 0.2*radius)",'
   echo '    "machine": "Linux 6.18.5-fc-v18 x86_64 (PR 2 machine; cross-machine comparison with \"results\" below is invalid unless \"machine\" matches)",'
   echo '    "ns_per_step": {"1000": 3167.5, "10000": 25405.0, "100000": 4022879.3}'
+  echo '  },'
+  # The PR 2 adaptive engine (bucket join with full re-bins of both
+  # sides every step), measured with the sustained protocol at the
+  # start of the PR 3 incremental re-binning work — the reference the
+  # PR 3 speedup figures are measured against. The in-tree bucket_join
+  # rows re-record this engine every run as the stability check.
+  echo '  "baseline_pr2_adaptive_at_pr3_start": {'
+  echo '    "protocol": "engine_step_sustained (time-sized step loop from ~50% informed, radius 0.4*scale, v 0.2*radius)",'
+  echo '    "machine": "Linux 6.18.5-fc-v18 x86_64 (PR 3 machine; cross-machine comparison with \"results\" below is invalid unless \"machine\" matches)",'
+  echo '    "ns_per_step": {"1000": 2975.4, "10000": 26331.6, "100000": 2635528.1, "300000": 9692691.9}'
   echo '  },'
   echo '  "results":'
   sed 's/^/  /' "$tmp"

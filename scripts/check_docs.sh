@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Documentation gates, run by tier1.sh after the rustdoc build:
+#   1. link check — every relative markdown link in README.md and
+#      docs/*.md must resolve to a file in the repo (links are resolved
+#      against the linking file's directory, like a markdown viewer);
+#   2. doc coverage — the generated rustdoc must contain the pages and
+#      items of the spatial/engine incremental contract, so a rename or
+#      visibility change cannot silently orphan the documented design.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# ---- 1. relative links in markdown ----
+for f in README.md docs/*.md; do
+  dir="$(dirname "$f")"
+  while IFS= read -r target; do
+    target="${target%%#*}"
+    [ -z "$target" ] && continue
+    if [ ! -e "$dir/$target" ]; then
+      echo "check_docs: broken link in $f -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//' \
+           | grep -vE '^(https?://|mailto:|#)' || true)
+done
+
+# ---- 2. rustdoc coverage of the incremental spatial/engine API ----
+doc_expect() {
+  local file="$1" needle="$2"
+  if [ ! -f "target/doc/$file" ]; then
+    echo "check_docs: missing rustdoc page target/doc/$file (run cargo doc first)"
+    fail=1
+  elif ! grep -q "$needle" "target/doc/$file"; then
+    echo "check_docs: target/doc/$file does not document '$needle'"
+    fail=1
+  fi
+}
+doc_expect fastflood_spatial/struct.GridIndexBuffer.html update_moved
+doc_expect fastflood_spatial/struct.GridIndexBuffer.html update_membership
+doc_expect fastflood_spatial/struct.GridIndexBuffer.html rebuild_incremental
+doc_expect fastflood_spatial/struct.GridIndexBuffer.html join_covered_by_stale
+doc_expect fastflood_spatial/struct.UpdateStats.html relocated
+doc_expect fastflood_core/enum.EngineMode.html Incremental
+doc_expect fastflood_core/struct.FloodingSim.html incremental_diff_steps
+doc_expect fastflood_core/struct.FloodingSim.html incremental_deferred_steps
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED"
+  exit 1
+fi
+echo "check_docs: relative links resolve + rustdoc covers the incremental API"

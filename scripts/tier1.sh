@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification flow: release build, full test suite, formatting
-# and documentation gates, and the bench smoke (compiles all Criterion
-# targets and runs each body once so bench code cannot rot).
+# and documentation gates (rustdoc warnings-as-errors, markdown link
+# check, rustdoc coverage of the documented API contract), and the
+# bench smoke (compiles all Criterion targets and runs each body once
+# so bench code cannot rot).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,5 +11,6 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+scripts/check_docs.sh
 scripts/bench_smoke.sh
-echo "tier-1: build + tests + fmt + docs + bench smoke all green"
+echo "tier-1: build + tests + fmt + docs + link/coverage gates + bench smoke all green"
