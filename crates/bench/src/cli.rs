@@ -55,6 +55,9 @@ impl ExpArgs {
     /// # Panics
     ///
     /// Panics on malformed arguments.
+    // not the FromIterator trait: this parses and panics, it does not
+    // collect — the name mirrors clap's conventional constructor
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I, S>(args: I) -> ExpArgs
     where
         I: IntoIterator<Item = S>,

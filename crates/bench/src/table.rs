@@ -108,7 +108,7 @@ pub fn fmt_f64(v: f64) -> String {
         return format!("{v}");
     }
     let a = v.abs();
-    if a >= 1e5 || a < 1e-3 {
+    if !(1e-3..1e5).contains(&a) {
         format!("{v:.2e}")
     } else if a >= 100.0 {
         format!("{v:.1}")

@@ -56,6 +56,17 @@
 //!   (roster surgery invalidates the diff bookkeeping).
 //!   [`EngineMode::Adaptive`] runs this path by default in the join
 //!   regime; [`EngineMode::Incremental`] forces it everywhere.
+//! * **Batched SoA move pass with measured drift.** The move phase is
+//!   one [`Mobility::step_batch`] call over the model's batched state
+//!   layout — for MRWP a hot/cold split (`MrwpBatch`) whose 32-byte hot
+//!   entries hold exactly what the fused leg step touches, with the
+//!   cold trip geometry in a side array read only at leg boundaries.
+//!   The pass also returns the step's **measured** maximum
+//!   displacement, and the staleness bound above grows by that value
+//!   instead of the worst-case [`Mobility::speed`] — so steps where
+//!   agents pause or only bend around corners spend less of the
+//!   deferral budget. Trajectories, events, and RNG draws are identical
+//!   to the scalar [`Mobility::step_from`] loop (property-tested).
 //! * **Zero steady-state allocations.** All scratch (the spatial index,
 //!   worklists, candidate buffers, the newly-informed list) is retained
 //!   across steps; after warm-up a full-flooding step performs no heap
@@ -75,7 +86,7 @@
 //!
 //! Complexity per step, with `T` live transmitters and `U` live
 //! uninformed agents: moving is `O(n)` (every agent moves, one fused
-//! increment each via [`Mobility::step_from`]); full-flooding transmit
+//! increment each via [`Mobility::step_batch`]); full-flooding transmit
 //! is `O(U + T·d̄)` early in the flood (one linear re-bin of the
 //! uninformed mass plus a disk query per transmitter, `d̄` the
 //! per-query bucket work) and `O(churn + pairs)` amortized afterwards
@@ -94,6 +105,7 @@ use fastflood_spatial::{GridIndex, GridIndexBuffer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+use std::time::Instant;
 
 /// The default simulation generator: a small fast PRNG (xoshiro256++).
 ///
@@ -134,12 +146,13 @@ pub enum InitMode {
 }
 
 /// The information-propagation rule applied each step.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Protocol {
     /// The paper's flooding: every informed agent transmits every step;
     /// any non-informed agent within distance `R` of an informed agent
     /// becomes informed.
+    #[default]
     Flooding,
     /// Parsimonious flooding (cf. Baumann–Crescenzi–Fraigniaud \[3\]):
     /// each informed agent transmits each step independently with
@@ -154,12 +167,6 @@ pub enum Protocol {
         /// Fan-out per informed agent per step.
         k: usize,
     },
-}
-
-impl Default for Protocol {
-    fn default() -> Self {
-        Protocol::Flooding
-    }
 }
 
 /// Which transmit implementation a [`FloodingSim`] runs.
@@ -381,7 +388,10 @@ pub struct FloodingSim<M: Mobility, R: Rng + SeedableRng = SimRng> {
     protocol: Protocol,
     engine: EngineMode,
     rng: R,
-    states: Vec<M::State>,
+    /// The population's trajectory state in the model's batched layout
+    /// (hot/cold SoA for MRWP): the move pass is one
+    /// [`Mobility::step_batch`] call over it.
+    batch: M::Batch,
     positions: Vec<Point>,
     informed: Vec<bool>,
     /// Fail-stop agents: radios dead both ways, but still moving bodies.
@@ -427,6 +437,34 @@ pub struct FloodingSim<M: Mobility, R: Rng + SeedableRng = SimRng> {
     /// Gossip: one transmitter's candidate neighbors (bounded by the
     /// worklist length, so gossip keeps the zero-allocation budget).
     cand: Vec<u32>,
+    /// Whether [`FloodingSim::step`] accumulates per-phase wall-clock
+    /// times into `phases` (off by default: two `Instant` reads per step
+    /// are noise at benchmark sizes but not free).
+    phase_timing: bool,
+    /// Cumulative per-phase times (see [`StepPhases`]).
+    phases: StepPhases,
+}
+
+/// Cumulative wall-clock time of [`FloodingSim::step`]'s phases, in
+/// nanoseconds, collected when
+/// [`FloodingSim::enable_phase_timing`] is on — the measurement behind
+/// the `phase_breakdown` block of `BENCH_engine.json` (schema in
+/// `docs/BENCHMARKING.md`).
+///
+/// `transmit_ns` covers the whole post-move half of the step (protocol
+/// transmit plus applying the newly-informed set); `refresh_ns` is the
+/// subset of it spent synchronizing the incremental join grids (full
+/// rebuilds, membership surgery, refresh/relocate passes), so
+/// `refresh_ns ≤ transmit_ns` and pure join/scan cost is their
+/// difference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepPhases {
+    /// Move pass: the batched mobility step over all agents.
+    pub move_ns: u64,
+    /// Transmit pass, inclusive of `refresh_ns`.
+    pub transmit_ns: u64,
+    /// Incremental-grid synchronization inside the transmit pass.
+    pub refresh_ns: u64,
 }
 
 impl<M: Mobility + Clone, R: Rng + SeedableRng + Clone> Clone for FloodingSim<M, R> {
@@ -437,7 +475,7 @@ impl<M: Mobility + Clone, R: Rng + SeedableRng + Clone> Clone for FloodingSim<M,
             protocol: self.protocol,
             engine: self.engine,
             rng: self.rng.clone(),
-            states: self.states.clone(),
+            batch: self.batch.clone(),
             positions: self.positions.clone(),
             informed: self.informed.clone(),
             crashed: self.crashed.clone(),
@@ -461,6 +499,8 @@ impl<M: Mobility + Clone, R: Rng + SeedableRng + Clone> Clone for FloodingSim<M,
             stamp: self.stamp.clone(),
             tx_scratch: self.tx_scratch.clone(),
             cand: self.cand.clone(),
+            phase_timing: self.phase_timing,
+            phases: self.phases,
         }
     }
 }
@@ -492,7 +532,7 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
         if config.n == 0 {
             return Err(CoreError::BadParameter("n must be at least 1"));
         }
-        if !(config.radius > 0.0) || !config.radius.is_finite() {
+        if config.radius <= 0.0 || !config.radius.is_finite() {
             return Err(CoreError::BadParameter(
                 "radius must be positive and finite",
             ));
@@ -501,7 +541,7 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
             Protocol::Parsimonious { p } if !(p > 0.0 && p <= 1.0) => {
                 return Err(CoreError::BadParameter("parsimonious p must be in (0, 1]"));
             }
-            Protocol::Gossip { k } if k == 0 => {
+            Protocol::Gossip { k: 0 } => {
                 return Err(CoreError::BadParameter("gossip k must be at least 1"));
             }
             _ => {}
@@ -554,12 +594,12 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
         rank[source] = 0;
 
         Ok(FloodingSim {
+            batch: model.batch_from_states(states),
             model,
             radius: config.radius,
             protocol: config.protocol,
             engine: config.engine,
             rng,
-            states,
             positions,
             informed,
             crashed: vec![false; config.n],
@@ -601,6 +641,8 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
             stamp: vec![u32::MAX; config.n],
             tx_scratch: Vec::with_capacity(config.n),
             cand: Vec::with_capacity(config.n),
+            phase_timing: false,
+            phases: StepPhases::default(),
         })
     }
 
@@ -786,38 +828,88 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
         self.inc.deferred_steps
     }
 
+    /// Diagnostic: the incremental join's current accumulated staleness
+    /// bound — an upper bound on how far any indexed agent has drifted
+    /// from the coordinates it was last filed under, accrued from the
+    /// **measured** per-step drift of the batched move pass and reset to
+    /// zero by every refresh or rebuild. The soundness invariant the
+    /// measured-drift property tests assert: every agent's true
+    /// displacement since the last grid synchronization is at most this
+    /// value.
+    #[inline]
+    pub fn incremental_staleness(&self) -> f64 {
+        self.inc.stale
+    }
+
+    /// Turns per-phase wall-clock accounting on or off (see
+    /// [`StepPhases`]); off by default. Enabling does not reset
+    /// already-accumulated times.
+    pub fn enable_phase_timing(&mut self, on: bool) {
+        self.phase_timing = on;
+    }
+
+    /// Cumulative per-phase times collected while
+    /// [`FloodingSim::enable_phase_timing`] was on.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fastflood_core::{FloodingSim, SimConfig};
+    /// use fastflood_mobility::Mrwp;
+    ///
+    /// let model = Mrwp::new(20.0, 0.5)?;
+    /// let mut sim = FloodingSim::new(model, SimConfig::new(300, 2.0).seed(3))?;
+    /// sim.enable_phase_timing(true);
+    /// sim.run(50);
+    /// let phases = sim.phase_times();
+    /// assert!(phases.move_ns > 0 && phases.transmit_ns > 0);
+    /// assert!(phases.refresh_ns <= phases.transmit_ns);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn phase_times(&self) -> StepPhases {
+        self.phases
+    }
+
     /// Executes one move-then-transmit step; returns the number of newly
     /// informed agents.
     pub fn step(&mut self) -> usize {
         self.time += 1;
-        // 1. move (recorder branch hoisted out of the per-agent loop)
-        match &mut self.turns {
-            Some(rec) => {
-                for i in 0..self.states.len() {
-                    let (p, ev) =
-                        self.model
-                            .step_from(&mut self.states[i], self.positions[i], &mut self.rng);
-                    self.positions[i] = p;
-                    let changes = ev.direction_changes();
-                    if changes > 0 {
-                        rec.record(i, self.time, changes);
+        let move_started = self.phase_timing.then(Instant::now);
+        // 1. move: one batched pass over the model's hot state layout.
+        // The events callback fires only for the (few) agents whose step
+        // produced events, so the recorder check costs nothing per quiet
+        // agent. The pass returns the step's measured maximum
+        // displacement: the staleness increment of the incremental join
+        // (never looser than `speed()`, tighter whenever every agent
+        // pauses or bends around a corner).
+        let drift = {
+            let turns = &mut self.turns;
+            let time = self.time;
+            self.model.step_batch(
+                &mut self.batch,
+                &mut self.positions,
+                &mut self.rng,
+                |i, ev| {
+                    if let Some(rec) = turns.as_mut() {
+                        let changes = ev.direction_changes();
+                        if changes > 0 {
+                            rec.record(i, time, changes);
+                        }
                     }
-                }
-            }
-            None => {
-                for i in 0..self.states.len() {
-                    let (p, _) =
-                        self.model
-                            .step_from(&mut self.states[i], self.positions[i], &mut self.rng);
-                    self.positions[i] = p;
-                }
-            }
-        }
+                },
+            )
+        };
+        let transmit_started = if let Some(t0) = move_started {
+            self.phases.move_ns += t0.elapsed().as_nanos() as u64;
+            Some(Instant::now())
+        } else {
+            None
+        };
         // 2. transmit on the post-move snapshot, into the `newly` scratch
         self.newly.clear();
         match self.protocol {
-            Protocol::Flooding => self.transmit_flooding(None),
-            Protocol::Parsimonious { p } => self.transmit_flooding(Some(p)),
+            Protocol::Flooding => self.transmit_flooding(None, drift),
+            Protocol::Parsimonious { p } => self.transmit_flooding(Some(p), drift),
             Protocol::Gossip { k } => self.transmit_gossip(k),
         }
         // canonical order: collection order differs between index sides,
@@ -840,6 +932,9 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
         }
         self.informed_count += self.newly.len();
         self.spread.push(self.informed_count as u32);
+        if let Some(t1) = transmit_started {
+            self.phases.transmit_ns += t1.elapsed().as_nanos() as u64;
+        }
         // 3. zone completion
         self.update_zone_completion();
         self.newly.len()
@@ -889,15 +984,15 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
     /// Adaptive path: draw the transmit roster, re-bin whichever of
     /// (roster, uninformed) is smaller into the retained grid, query
     /// from the other side. Appends to `self.newly` (unsorted).
-    fn transmit_flooding(&mut self, forward_probability: Option<f64>) {
-        // per-step displacement bound, the incremental path's staleness
-        // increment (Mobility contract: distance traveled per step).
-        // Agents moved this step whether or not a transmit runs, so the
-        // skip paths below must still accrue drift: a later deferred
-        // join trusting an under-counted `stale` could prune a slice
-        // hiding an in-range transmitter. Accrual is harmless when the
-        // chain is down (every resync resets it).
-        let max_move = self.model.speed();
+    ///
+    /// `max_move` is this step's **measured** displacement bound from
+    /// the batched move pass, the incremental path's staleness
+    /// increment. Agents moved this step whether or not a transmit
+    /// runs, so the skip paths below must still accrue drift: a later
+    /// deferred join trusting an under-counted `stale` could prune a
+    /// slice hiding an in-range transmitter. Accrual is harmless when
+    /// the chain is down (every resync resets it).
+    fn transmit_flooding(&mut self, forward_probability: Option<f64>, max_move: f64) {
         if self.uninformed.is_empty() {
             self.inc.stale += max_move;
             return;
@@ -964,7 +1059,7 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
                     }
                 } else {
                     self.join_steps += 1;
-                    join_covered_incremental(
+                    let refresh_ns = join_covered_incremental(
                         &mut self.grid,
                         &mut self.tx_grid,
                         &mut self.inc,
@@ -977,7 +1072,9 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
                         tx,
                         forward_probability.is_none(),
                         &mut self.newly,
+                        self.phase_timing,
                     );
+                    self.phases.refresh_ns += refresh_ns;
                 }
             }
             EngineMode::Rebuild => {
@@ -1030,7 +1127,7 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
                 // the incrementally-maintained join unconditionally,
                 // whatever the side sizes
                 self.join_steps += 1;
-                join_covered_incremental(
+                let refresh_ns = join_covered_incremental(
                     &mut self.grid,
                     &mut self.tx_grid,
                     &mut self.inc,
@@ -1043,7 +1140,9 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
                     tx,
                     forward_probability.is_none(),
                     &mut self.newly,
+                    self.phase_timing,
                 );
+                self.phases.refresh_ns += refresh_ns;
             }
         }
     }
@@ -1234,10 +1333,10 @@ struct IncrementalSync {
     /// transmitter grid.
     synced_tx: usize,
     /// Upper bound on how far any indexed agent has drifted from the
-    /// coordinates it was last filed under (grows by the model speed
-    /// per deferred step; reset by refreshes and full rebuilds). The
-    /// stale-tolerant join stays exact while this fits the staleness
-    /// budget carved out of the bucket margin.
+    /// coordinates it was last filed under (grows by the move pass's
+    /// **measured** per-step drift on deferred steps; reset by refreshes
+    /// and full rebuilds). The stale-tolerant join stays exact while
+    /// this fits the staleness budget carved out of the bucket margin.
     stale: f64,
     /// Join steps resynced with full slack rebuilds (cold start, and
     /// every churn-spike/crash/mark fallback since).
@@ -1298,6 +1397,14 @@ const CHURN_SPIKE_DIVISOR: usize = 8;
 ///
 /// A free function over split borrows so callers can keep `tx` borrowed
 /// from the sim while the grids are updated.
+///
+/// `max_move` is the step's measured drift from the batched move pass —
+/// accrued into `inc.stale`, so the deferral budget is spent on drift
+/// that actually happened rather than the worst-case model speed.
+///
+/// Returns the wall-clock nanoseconds of the grid-synchronization
+/// section (the `refresh` phase of [`StepPhases`]) when `timing` is on,
+/// 0 otherwise.
 #[allow(clippy::too_many_arguments)]
 fn join_covered_incremental(
     grid: &mut GridIndexBuffer,
@@ -1312,7 +1419,9 @@ fn join_covered_incremental(
     tx: &[u32],
     tx_is_roster: bool,
     newly: &mut Vec<u32>,
-) {
+    timing: bool,
+) -> u64 {
+    let sync_started = timing.then(Instant::now);
     let live = uninformed.len() + transmitters.len();
     let bucket = JOIN_BUCKET_FACTOR * radius;
     // staleness budget: the stale join needs R + 2·slop to fit the
@@ -1367,10 +1476,13 @@ fn join_covered_incremental(
     }
     inc.synced_tx = transmitters.len();
     if !tx_is_roster {
+        // the per-step coin-subset rebuild is grid synchronization too,
+        // so it belongs inside the refresh-phase window
         tx_grid
             .rebuild_subset_shared(region, bucket, positions, tx, live)
             .expect("positions finite, radius validated");
     }
+    let refresh_ns = sync_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
     if inc.stale > 0.0 {
         grid.join_covered_by_stale(tx_grid, radius, inc.stale, positions, |u| {
             newly.push(u as u32)
@@ -1378,6 +1490,7 @@ fn join_covered_incremental(
     } else {
         grid.join_covered_by(tx_grid, radius, |u| newly.push(u as u32));
     }
+    refresh_ns
 }
 
 fn nearest_to(positions: &[Point], target: Point) -> usize {
@@ -1510,7 +1623,8 @@ mod tests {
         // (re-initialize states by hand: Static state is just the point)
         let mut rng = StdRng::seed_from_u64(9);
         for (i, x) in [0.0, 1.0, 2.0, 3.0].iter().enumerate() {
-            sim.states[i] = sim.model.init_at(Point::new(*x, 5.0), &mut rng);
+            let st = sim.model.init_at(Point::new(*x, 5.0), &mut rng);
+            sim.model.batch_set_state(&mut sim.batch, i, st);
             sim.positions[i] = Point::new(*x, 5.0);
         }
         let report = sim.run(10);
@@ -1534,8 +1648,10 @@ mod tests {
         )
         .unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        sim.states[0] = sim.model.init_at(Point::new(0.0, 0.0), &mut rng);
-        sim.states[1] = sim.model.init_at(Point::new(90.0, 90.0), &mut rng);
+        let st0 = sim.model.init_at(Point::new(0.0, 0.0), &mut rng);
+        let st1 = sim.model.init_at(Point::new(90.0, 90.0), &mut rng);
+        sim.model.batch_set_state(&mut sim.batch, 0, st0);
+        sim.model.batch_set_state(&mut sim.batch, 1, st1);
         sim.positions[0] = Point::new(0.0, 0.0);
         sim.positions[1] = Point::new(90.0, 90.0);
         let report = sim.run(200);
@@ -1634,7 +1750,7 @@ mod tests {
         let half = report.time_to_fraction(0.5).unwrap();
         let full = report.time_to_fraction(1.0).unwrap();
         assert!(half <= full);
-        assert_eq!(Some(full), report.flooding_time.map(|t| t));
+        assert_eq!(Some(full), report.flooding_time);
         assert_eq!(report.time_to_fraction(0.0), Some(0));
     }
 
@@ -1690,7 +1806,8 @@ mod tests {
         .unwrap();
         let mut rng = StdRng::seed_from_u64(32);
         for (i, x) in [0.0, 1.0, 2.0, 3.0].iter().enumerate() {
-            sim.states[i] = sim.model.init_at(Point::new(*x, 5.0), &mut rng);
+            let st = sim.model.init_at(Point::new(*x, 5.0), &mut rng);
+            sim.model.batch_set_state(&mut sim.batch, i, st);
             sim.positions[i] = Point::new(*x, 5.0);
         }
         sim.crash_agent(1);

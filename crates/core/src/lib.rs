@@ -45,7 +45,8 @@ mod zones;
 
 pub use density::DensityMonitor;
 pub use flooding::{
-    EngineMode, FloodingReport, FloodingSim, InitMode, Protocol, SimConfig, SimRng, SourcePlacement,
+    EngineMode, FloodingReport, FloodingSim, InitMode, Protocol, SimConfig, SimRng,
+    SourcePlacement, StepPhases,
 };
 pub use params::SimParams;
 pub use trials::run_trials;

@@ -57,15 +57,15 @@ impl SimParams {
         if n == 0 {
             return Err(CoreError::BadParameter("n must be at least 1"));
         }
-        if !(side > 0.0) || !side.is_finite() {
+        if side <= 0.0 || !side.is_finite() {
             return Err(CoreError::BadParameter("side must be positive and finite"));
         }
-        if !(radius > 0.0) || !radius.is_finite() {
+        if radius <= 0.0 || !radius.is_finite() {
             return Err(CoreError::BadParameter(
                 "radius must be positive and finite",
             ));
         }
-        if !(speed >= 0.0) || !speed.is_finite() {
+        if speed < 0.0 || !speed.is_finite() {
             return Err(CoreError::BadParameter(
                 "speed must be nonnegative and finite",
             ));

@@ -344,9 +344,8 @@ mod tests {
                 Cell::new(r, m - 1 - c),
                 Cell::new(m - 1 - r, m - 1 - c),
             ] {
-                assert_eq!(
-                    z.is_central(mirror),
-                    false,
+                assert!(
+                    !z.is_central(mirror),
                     "mirror {mirror} of suburb cell {cell} must be suburb"
                 );
             }

@@ -5,6 +5,14 @@
 //! a sim mid-flood (worklist non-empty), warms the engine, then asserts
 //! that further steps allocate nothing. The lib crate forbids unsafe
 //! code; the `GlobalAlloc` shim lives here in the test crate.
+//!
+//! Every test below also covers the batched SoA move pass implicitly —
+//! `FloodingSim::step` moves all agents through `Mobility::step_batch`
+//! over the hot/cold `MrwpBatch` arrays, which are sized once at
+//! construction and must never grow (way-point rollovers replace cold
+//! entries in place; the drift measurement is pure arithmetic). The
+//! pause-model test exercises the batch's slow path (pauses, rollovers,
+//! leg-cache refills) explicitly.
 
 use fastflood_core::{EngineMode, FloodingSim, Protocol, SimConfig, SourcePlacement};
 use fastflood_mobility::Mrwp;
@@ -206,6 +214,46 @@ fn parsimonious_and_gossip_steps_do_not_allocate() {
             after - before,
             0,
             "{protocol:?} steady state must not allocate"
+        );
+    }
+}
+
+#[test]
+fn batched_move_pass_with_pauses_does_not_allocate() {
+    let _window = MEASURE.lock().unwrap();
+    // pause-heavy population: the batch's slow path (pause countdowns,
+    // way-point rollovers into fresh trips, leg-cache refills) and the
+    // measured-drift staleness accrual must run without heap traffic,
+    // on both the forced incremental engine and the adaptive policy
+    for engine in [EngineMode::Incremental, EngineMode::Adaptive] {
+        let model = Mrwp::new(100.0, 0.2).unwrap().with_pause(3);
+        let mut sim = FloodingSim::new(
+            model,
+            SimConfig::new(800, 1.5)
+                .seed(7)
+                .source(SourcePlacement::Center)
+                .engine(engine),
+        )
+        .unwrap();
+        sim.reserve_steps(4_096);
+        for _ in 0..300 {
+            sim.step();
+        }
+        assert!(
+            !sim.all_informed() && sim.informed_count() > 1,
+            "test needs a mid-flood state: {} informed",
+            sim.informed_count()
+        );
+        let before = allocations();
+        for _ in 0..200 {
+            sim.step();
+        }
+        let after = allocations();
+        assert!(!sim.all_informed(), "flood completed mid-measurement");
+        assert_eq!(
+            after - before,
+            0,
+            "{engine:?} batched move pass with pauses must not allocate"
         );
     }
 }

@@ -78,7 +78,7 @@ impl CellGrid {
     /// Returns [`GeomError::NonPositiveLength`] if `side` is not strictly
     /// positive and finite, and [`GeomError::ZeroSubdivision`] if `m == 0`.
     pub fn new(side: f64, m: usize) -> Result<CellGrid, GeomError> {
-        if !(side > 0.0) || !side.is_finite() {
+        if side <= 0.0 || !side.is_finite() {
             return Err(GeomError::NonPositiveLength(side));
         }
         if m == 0 {

@@ -64,7 +64,7 @@ impl Rect {
     ///
     /// Returns [`GeomError::NonPositiveLength`] if `side <= 0` or not finite.
     pub fn square(side: f64) -> Result<Rect, GeomError> {
-        if !(side > 0.0) || !side.is_finite() {
+        if side <= 0.0 || !side.is_finite() {
             return Err(GeomError::NonPositiveLength(side));
         }
         Rect::new(Point::ORIGIN, Point::new(side, side))

@@ -24,14 +24,14 @@ impl Components {
         let mut labels = vec![u32::MAX; n];
         let mut root_label = vec![u32::MAX; n];
         let mut sizes = Vec::new();
-        for v in 0..n {
+        for (v, lab) in labels.iter_mut().enumerate() {
             let r = uf.find(v);
             if root_label[r] == u32::MAX {
                 root_label[r] = sizes.len() as u32;
                 sizes.push(0);
             }
             let label = root_label[r];
-            labels[v] = label;
+            *lab = label;
             sizes[label as usize] += 1;
         }
         Components { labels, sizes }

@@ -1,6 +1,7 @@
 //! The disk-based random-walk model of the authors' earlier papers
 //! \[10, 11\], used as the "uniform stationary distribution" baseline.
 
+use crate::model::step_batch_sequential;
 use crate::{Mobility, MobilityError, StepEvents};
 use fastflood_geom::{Point, Rect};
 use rand::Rng;
@@ -63,13 +64,13 @@ impl DiskWalk {
     /// * [`MobilityError::BadRadius`] — `walk_radius` not strictly
     ///   positive/finite.
     pub fn new(side: f64, speed: f64, walk_radius: f64) -> Result<DiskWalk, MobilityError> {
-        if !(side > 0.0) || !side.is_finite() {
+        if side <= 0.0 || !side.is_finite() {
             return Err(MobilityError::BadSide(side));
         }
-        if !(speed >= 0.0) || !speed.is_finite() {
+        if speed < 0.0 || !speed.is_finite() {
             return Err(MobilityError::BadSpeed(speed));
         }
-        if !(walk_radius > 0.0) || !walk_radius.is_finite() {
+        if walk_radius <= 0.0 || !walk_radius.is_finite() {
             return Err(MobilityError::BadRadius(walk_radius));
         }
         Ok(DiskWalk {
@@ -113,6 +114,9 @@ impl DiskWalk {
 
 impl Mobility for DiskWalk {
     type State = DiskWalkState;
+    /// AoS batch: straight-line trips touch the whole state every step,
+    /// so there is no hot/cold split to exploit.
+    type Batch = Vec<DiskWalkState>;
 
     fn region(&self) -> Rect {
         Rect::square(self.side).expect("validated side")
@@ -177,6 +181,28 @@ impl Mobility for DiskWalk {
             }
         }
         events
+    }
+
+    fn batch_from_states(&self, states: Vec<DiskWalkState>) -> Self::Batch {
+        states
+    }
+
+    fn batch_state(&self, batch: &Self::Batch, agent: usize) -> DiskWalkState {
+        batch[agent].clone()
+    }
+
+    fn batch_set_state(&self, batch: &mut Self::Batch, agent: usize, state: DiskWalkState) {
+        batch[agent] = state;
+    }
+
+    fn step_batch<R: Rng + ?Sized, F: FnMut(usize, StepEvents)>(
+        &self,
+        batch: &mut Self::Batch,
+        positions: &mut [Point],
+        rng: &mut R,
+        on_events: F,
+    ) -> f64 {
+        step_batch_sequential(self, batch, positions, rng, on_events)
     }
 }
 

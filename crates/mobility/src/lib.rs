@@ -21,7 +21,12 @@
 //! * [`TurnRecorder`] instrumentation for the Lemma 13 turn-count bound.
 //!
 //! All models implement the [`Mobility`] trait, which the flooding engine
-//! in `fastflood-core` is generic over.
+//! in `fastflood-core` is generic over. The engine's move pass steps the
+//! whole population through [`Mobility::step_batch`] — one pass over a
+//! model-chosen [`Mobility::Batch`] layout (for [`Mrwp`], the hot/cold
+//! split [`MrwpBatch`]) that also *measures* the step's maximum
+//! displacement, the drift bound behind the spatial layer's deferred
+//! re-binning.
 //!
 //! # Examples
 //!
@@ -53,8 +58,8 @@ mod street_grid;
 mod turns;
 
 pub use disk_walk::{DiskWalk, DiskWalkState};
-pub use model::{Mobility, StepEvents};
-pub use mrwp::{Mrwp, MrwpState};
+pub use model::{step_batch_sequential, Mobility, StepEvents};
+pub use mrwp::{Mrwp, MrwpBatch, MrwpState};
 pub use rwp::{Rwp, RwpState};
 pub use statik::{Placement, Static, StaticState};
 pub use street_grid::{StreetMrwp, StreetMrwpState};

@@ -35,9 +35,31 @@ impl StepEvents {
 /// integer times.
 ///
 /// Implementations must keep agents inside [`Mobility::region`] forever.
+///
+/// # Batched stepping
+///
+/// A driver that advances *every* agent each step (the flooding engine's
+/// move pass) should hold the population as one [`Mobility::Batch`] and
+/// call [`Mobility::step_batch`], which advances all agents in one pass
+/// and returns the **measured** maximum displacement of the step — a
+/// per-step drift bound that is never looser than [`Mobility::speed`]
+/// and often much tighter (paused or slow agents). Models with a natural
+/// AoS state simply set `type Batch = Vec<Self::State>` and delegate to
+/// [`step_batch_sequential`]; models with a hot/cold state split (e.g.
+/// [`Mrwp`](crate::Mrwp)) pack the per-step-touched fields into
+/// cache-dense parallel arrays instead. Whatever the layout, a batch
+/// step must advance agents in index order and draw exactly the random
+/// numbers the equivalent [`Mobility::step_from`] loop would, so batched
+/// and scalar drivers stay in RNG lockstep.
 pub trait Mobility {
     /// Per-agent trajectory state.
     type State: Clone + std::fmt::Debug + Send;
+
+    /// The whole population's trajectory state in the layout the model
+    /// steps fastest: `Vec<Self::State>` for AoS models, hot/cold
+    /// parallel arrays for models that split per-step-touched fields
+    /// from cold trip geometry.
+    type Batch: Clone + std::fmt::Debug + Send;
 
     /// The square region agents live in.
     fn region(&self) -> Rect;
@@ -83,6 +105,102 @@ pub trait Mobility {
         let ev = self.step(state, rng);
         (self.position(state), ev)
     }
+
+    /// Packs per-agent states into the model's batch layout (agent `i`
+    /// of the batch is `states[i]`). The inverse views are
+    /// [`Mobility::batch_state`] / [`Mobility::batch_set_state`].
+    fn batch_from_states(&self, states: Vec<Self::State>) -> Self::Batch;
+
+    /// Reconstructs agent `agent`'s scalar state from the batch.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `agent` is out of range.
+    fn batch_state(&self, batch: &Self::Batch, agent: usize) -> Self::State;
+
+    /// Overwrites agent `agent`'s state inside the batch (used by tests
+    /// and scenario builders that pin individual agents).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `agent` is out of range.
+    fn batch_set_state(&self, batch: &mut Self::Batch, agent: usize, state: Self::State);
+
+    /// Advances every agent in the batch by one time unit, updating
+    /// `positions` in place (`positions[i]` must hold agent `i`'s
+    /// current position on entry, and holds the post-step position on
+    /// return).
+    ///
+    /// Returns the **measured drift** of the step: an upper bound on
+    /// every agent's Euclidean displacement between the two step
+    /// boundaries, computed from what actually happened rather than the
+    /// worst-case [`Mobility::speed`]. The flooding engine accrues its
+    /// spatial-index staleness budget from this value, so a step where
+    /// all agents pause (or move slowly) widens the deferred re-binning
+    /// window. The bound must be sound: no agent's actual displacement
+    /// may exceed it.
+    ///
+    /// `on_events` is invoked, in agent order, for every agent whose
+    /// step produced nonzero [`StepEvents`] (turns or arrivals).
+    ///
+    /// Semantically this is exactly a [`Mobility::step_from`] loop over
+    /// agents `0..n` — identical trajectories, events, and RNG draws.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `positions` and the batch disagree
+    /// on the population size.
+    fn step_batch<R: Rng + ?Sized, F: FnMut(usize, StepEvents)>(
+        &self,
+        batch: &mut Self::Batch,
+        positions: &mut [Point],
+        rng: &mut R,
+        on_events: F,
+    ) -> f64;
+}
+
+/// The reference [`Mobility::step_batch`] implementation for models
+/// whose batch layout is a plain `Vec<State>`: a sequential
+/// [`Mobility::step_from`] loop that measures the step's maximum
+/// Euclidean displacement as it goes.
+///
+/// [`Rwp`](crate::Rwp), [`DiskWalk`](crate::DiskWalk),
+/// [`Static`](crate::Static) and [`StreetMrwp`](crate::StreetMrwp)
+/// delegate to this; it is also the behavioral oracle the batched-move
+/// property tests compare specialized implementations against.
+pub fn step_batch_sequential<M, R, F>(
+    model: &M,
+    states: &mut [M::State],
+    positions: &mut [Point],
+    rng: &mut R,
+    mut on_events: F,
+) -> f64
+where
+    M: Mobility + ?Sized,
+    R: Rng + ?Sized,
+    F: FnMut(usize, StepEvents),
+{
+    assert_eq!(
+        states.len(),
+        positions.len(),
+        "batch and position array must agree on the population size"
+    );
+    let mut max_d2 = 0.0f64;
+    for (i, state) in states.iter_mut().enumerate() {
+        let before = positions[i];
+        let (p, ev) = model.step_from(state, before, rng);
+        positions[i] = p;
+        let dx = p.x - before.x;
+        let dy = p.y - before.y;
+        let d2 = dx * dx + dy * dy;
+        if d2 > max_d2 {
+            max_d2 = d2;
+        }
+        if ev.turns | ev.arrivals != 0 {
+            on_events(i, ev);
+        }
+    }
+    max_d2.sqrt()
 }
 
 #[cfg(test)]

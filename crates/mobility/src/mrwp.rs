@@ -121,6 +121,78 @@ impl MrwpState {
     }
 }
 
+/// Hot per-agent move state of the batched MRWP step: exactly the
+/// fields the fused leg step reads and writes, packed to 32 bytes so
+/// two agents share a cache line (where the AoS [`MrwpState`] spreads
+/// them across a ~100-byte struct dominated by cold trip geometry).
+#[derive(Debug, Clone, Copy)]
+struct MrwpHot {
+    /// Arc-length progress along the current path.
+    s: f64,
+    /// Fast-path guard: while `s + speed < leg_end` a step is
+    /// `position += (vx, vy)`. Negative when invalid (pause or leg
+    /// boundary ahead), routing the agent through the slow path.
+    leg_end: f64,
+    /// Cached per-step displacement on the current leg.
+    vx: f64,
+    vy: f64,
+}
+
+/// Cold per-agent state: the trip geometry and pause counter, touched
+/// only at leg boundaries, way-point rollovers, and pauses — a few
+/// agents per step in the MRWP speed regime.
+#[derive(Debug, Clone, Copy)]
+struct MrwpCold {
+    path: LPath,
+    /// Remaining pause steps at the current way-point (0 = traveling).
+    pause_left: u32,
+}
+
+/// The whole MRWP population in the batched hot/cold split-layout form
+/// of [`Mobility::step_batch`] (built by [`Mobility::batch_from_states`]).
+///
+/// Two parallel arrays: a dense 32-byte hot entry per agent (progress
+/// plus the fused leg cache) streamed by every step, and a cold side
+/// array (trip geometry, pause counter) read only when an agent hits a
+/// leg boundary. The common full-leg step therefore touches 32 bytes of
+/// state instead of the ~100-byte [`MrwpState`], which is what makes the
+/// dense-regime move pass cache-bound rather than stride-bound.
+///
+/// # Examples
+///
+/// ```
+/// use fastflood_mobility::{Mobility, Mrwp};
+/// use fastflood_geom::Point;
+/// use rand::SeedableRng;
+///
+/// let model = Mrwp::new(50.0, 0.5)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let states: Vec<_> = (0..4).map(|_| model.init_stationary(&mut rng)).collect();
+/// let mut positions: Vec<Point> = states.iter().map(|s| model.position(s)).collect();
+/// let mut batch = model.batch_from_states(states);
+/// let drift = model.step_batch(&mut batch, &mut positions, &mut rng, |_, _| {});
+/// // the measured drift bounds every agent's step displacement
+/// assert!(drift <= 0.5 + 1e-12);
+/// # Ok::<(), fastflood_mobility::MobilityError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MrwpBatch {
+    hot: Vec<MrwpHot>,
+    cold: Vec<MrwpCold>,
+}
+
+impl MrwpBatch {
+    /// Number of agents in the batch.
+    pub fn len(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// Whether the batch holds no agents.
+    pub fn is_empty(&self) -> bool {
+        self.hot.is_empty()
+    }
+}
+
 impl Mrwp {
     /// Creates the model over `[0, side]²` with per-step travel distance
     /// `speed`.
@@ -130,10 +202,10 @@ impl Mrwp {
     /// * [`MobilityError::BadSide`] — `side` not strictly positive/finite;
     /// * [`MobilityError::BadSpeed`] — `speed` negative or not finite.
     pub fn new(side: f64, speed: f64) -> Result<Mrwp, MobilityError> {
-        if !(side > 0.0) || !side.is_finite() {
+        if side <= 0.0 || !side.is_finite() {
             return Err(MobilityError::BadSide(side));
         }
-        if !(speed >= 0.0) || !speed.is_finite() {
+        if speed < 0.0 || !speed.is_finite() {
             return Err(MobilityError::BadSpeed(speed));
         }
         Ok(Mrwp {
@@ -180,6 +252,8 @@ impl Mrwp {
 
 impl Mobility for Mrwp {
     type State = MrwpState;
+    /// Hot/cold split batch: see [`MrwpBatch`].
+    type Batch = MrwpBatch;
 
     fn region(&self) -> Rect {
         Rect::square(self.side).expect("validated side")
@@ -241,65 +315,7 @@ impl Mobility for Mrwp {
         // a direct step() bypasses the fused fast path; invalidate its
         // cache so a later step_from cannot move along stale geometry
         state.leg_end = -1.0;
-        if state.pause_left > 0 {
-            state.pause_left -= 1;
-            if state.pause_left == 0 {
-                // the pause ends at this step's boundary; travel resumes
-                // next step on a fresh trip
-                let from = state.path.dest();
-                state.path = self.fresh_trip(from, rng);
-                state.s = 0.0;
-            }
-            return StepEvents::default();
-        }
-        let mut budget = self.speed;
-        let mut events = StepEvents::default();
-        // Carry leftover budget across corners and arrivals so the agent
-        // travels exactly `speed` per step (continuous trajectory sampled
-        // at integer times). The loop is bounded: every iteration but the
-        // last consumes a full trip, and a fresh trip has positive length
-        // with probability one (a zero-length trip is resampled, counted,
-        // and capped to keep the step total).
-        let mut guard = 0;
-        loop {
-            let remaining = state.path.remaining(state.s);
-            if budget < remaining {
-                let before = state.s;
-                state.s += budget;
-                if let Some(t) = state.path.turn_at() {
-                    if before < t && state.s >= t {
-                        events.turns += 1;
-                    }
-                }
-                break;
-            }
-            // the step finishes this trip: account for a corner still ahead
-            if let Some(t) = state.path.turn_at() {
-                if state.s < t {
-                    events.turns += 1;
-                }
-            }
-            budget -= remaining;
-            events.arrivals += 1;
-            let from = state.path.dest();
-            if self.pause > 0 {
-                // hold position for `pause` whole steps; leftover budget
-                // in the arrival step is forfeited
-                state.path = LPath::new(from, from, Axis::X);
-                state.s = 0.0;
-                state.pause_left = self.pause;
-                break;
-            }
-            state.path = self.fresh_trip(from, rng);
-            state.s = 0.0;
-            guard += 1;
-            if guard > 10_000 {
-                // astronomically unlikely (requires thousands of
-                // zero-length trips or speed >> L); stop at the waypoint
-                break;
-            }
-        }
-        events
+        self.step_core(&mut state.path, &mut state.s, &mut state.pause_left, rng)
     }
 
     #[inline]
@@ -328,32 +344,219 @@ impl Mobility for Mrwp {
         self.refresh_leg_cache(state);
         (self.position(state), ev)
     }
+
+    fn batch_from_states(&self, states: Vec<MrwpState>) -> MrwpBatch {
+        let mut hot = Vec::with_capacity(states.len());
+        let mut cold = Vec::with_capacity(states.len());
+        for st in states {
+            hot.push(MrwpHot {
+                s: st.s,
+                leg_end: st.leg_end,
+                vx: st.vx,
+                vy: st.vy,
+            });
+            cold.push(MrwpCold {
+                path: st.path,
+                pause_left: st.pause_left,
+            });
+        }
+        MrwpBatch { hot, cold }
+    }
+
+    fn batch_state(&self, batch: &MrwpBatch, agent: usize) -> MrwpState {
+        let h = batch.hot[agent];
+        let c = batch.cold[agent];
+        MrwpState {
+            path: c.path,
+            s: h.s,
+            pause_left: c.pause_left,
+            leg_end: h.leg_end,
+            vx: h.vx,
+            vy: h.vy,
+        }
+    }
+
+    fn batch_set_state(&self, batch: &mut MrwpBatch, agent: usize, state: MrwpState) {
+        batch.hot[agent] = MrwpHot {
+            s: state.s,
+            leg_end: state.leg_end,
+            vx: state.vx,
+            vy: state.vy,
+        };
+        batch.cold[agent] = MrwpCold {
+            path: state.path,
+            pause_left: state.pause_left,
+        };
+    }
+
+    fn step_batch<R: Rng + ?Sized, F: FnMut(usize, StepEvents)>(
+        &self,
+        batch: &mut MrwpBatch,
+        positions: &mut [Point],
+        rng: &mut R,
+        mut on_events: F,
+    ) -> f64 {
+        assert_eq!(
+            batch.hot.len(),
+            positions.len(),
+            "batch and position array must agree on the population size"
+        );
+        debug_assert_eq!(batch.hot.len(), batch.cold.len());
+        let speed = self.speed;
+        // Measured drift, split by path: a fused leg step displaces by
+        // exactly `speed` (one axis, |v| = speed), so the fast path only
+        // needs a flag; slow-path displacements (corner/arrival
+        // carryover, pauses) are measured individually and can only be
+        // shorter in L2 than the L1 budget.
+        let mut any_leg_step = false;
+        let mut slow_max2 = 0.0f64;
+        let MrwpBatch { hot, cold } = batch;
+        for (i, (h, pos)) in hot.iter_mut().zip(positions.iter_mut()).enumerate() {
+            let s_new = h.s + speed;
+            if s_new < h.leg_end {
+                // the fused fast path of `step_from`, on 32-byte state
+                h.s = s_new;
+                *pos = Point::new(pos.x + h.vx, pos.y + h.vy);
+                any_leg_step = true;
+                continue;
+            }
+            // slow path: identical to the scalar `step_from` fallback —
+            // full step logic on the cold state, leg-cache refill,
+            // arc-length-to-point conversion
+            let c = &mut cold[i];
+            let ev = self.step_core(&mut c.path, &mut h.s, &mut c.pause_left, rng);
+            let (leg_end, vx, vy) = self.leg_cache(&c.path, h.s, c.pause_left);
+            h.leg_end = leg_end;
+            h.vx = vx;
+            h.vy = vy;
+            let before = *pos;
+            let p = c.path.point_at(h.s);
+            *pos = p;
+            let dx = p.x - before.x;
+            let dy = p.y - before.y;
+            let d2 = dx * dx + dy * dy;
+            if d2 > slow_max2 {
+                slow_max2 = d2;
+            }
+            if ev.turns | ev.arrivals != 0 {
+                on_events(i, ev);
+            }
+        }
+        let slow = slow_max2.sqrt();
+        if any_leg_step && speed > slow {
+            speed
+        } else {
+            slow
+        }
+    }
 }
 
 impl Mrwp {
-    /// Recomputes the [`Mobility::step_from`] fast-path cache from the
-    /// authoritative `(path, s, pause_left)` state.
-    fn refresh_leg_cache(&self, state: &mut MrwpState) {
-        if state.pause_left > 0 || self.speed == 0.0 {
-            state.leg_end = -1.0;
-            return;
+    /// The authoritative one-step logic over the `(path, s, pause_left)`
+    /// parts of an agent's state, shared verbatim by the scalar
+    /// [`Mobility::step`]/[`Mobility::step_from`] entry points and the
+    /// slow path of the batched [`Mobility::step_batch`] — one body, so
+    /// the three paths can never drift apart in semantics or RNG draws.
+    fn step_core<R: Rng + ?Sized>(
+        &self,
+        path: &mut LPath,
+        s: &mut f64,
+        pause_left: &mut u32,
+        rng: &mut R,
+    ) -> StepEvents {
+        if *pause_left > 0 {
+            *pause_left -= 1;
+            if *pause_left == 0 {
+                // the pause ends at this step's boundary; travel resumes
+                // next step on a fresh trip
+                let from = path.dest();
+                *path = self.fresh_trip(from, rng);
+                *s = 0.0;
+            }
+            return StepEvents::default();
         }
-        let path = &state.path;
-        let (from, to, end) = if state.s < path.leg1_len() {
+        let mut budget = self.speed;
+        let mut events = StepEvents::default();
+        // Carry leftover budget across corners and arrivals so the agent
+        // travels exactly `speed` per step (continuous trajectory sampled
+        // at integer times). The loop is bounded: every iteration but the
+        // last consumes a full trip, and a fresh trip has positive length
+        // with probability one (a zero-length trip is resampled, counted,
+        // and capped to keep the step total).
+        let mut guard = 0;
+        loop {
+            let remaining = path.remaining(*s);
+            if budget < remaining {
+                let before = *s;
+                *s += budget;
+                if let Some(t) = path.turn_at() {
+                    if before < t && *s >= t {
+                        events.turns += 1;
+                    }
+                }
+                break;
+            }
+            // the step finishes this trip: account for a corner still ahead
+            if let Some(t) = path.turn_at() {
+                if *s < t {
+                    events.turns += 1;
+                }
+            }
+            budget -= remaining;
+            events.arrivals += 1;
+            let from = path.dest();
+            if self.pause > 0 {
+                // hold position for `pause` whole steps; leftover budget
+                // in the arrival step is forfeited
+                *path = LPath::new(from, from, Axis::X);
+                *s = 0.0;
+                *pause_left = self.pause;
+                break;
+            }
+            *path = self.fresh_trip(from, rng);
+            *s = 0.0;
+            guard += 1;
+            if guard > 10_000 {
+                // astronomically unlikely (requires thousands of
+                // zero-length trips or speed >> L); stop at the waypoint
+                break;
+            }
+        }
+        events
+    }
+
+    /// Computes the fused fast-path cache `(leg_end, vx, vy)` from the
+    /// authoritative `(path, s, pause_left)` parts: while
+    /// `s + speed < leg_end` a step is `position += (vx, vy)`. Shared by
+    /// the scalar cache refresh and the batched hot-array refill.
+    fn leg_cache(&self, path: &LPath, s: f64, pause_left: u32) -> (f64, f64, f64) {
+        if pause_left > 0 || self.speed == 0.0 {
+            return (-1.0, 0.0, 0.0);
+        }
+        let (from, to, end) = if s < path.leg1_len() {
             (path.start(), path.corner(), path.leg1_len())
         } else {
             (path.corner(), path.dest(), path.len())
         };
-        state.leg_end = end;
-        state.vx = (to.x - from.x).signum() * self.speed;
-        state.vy = (to.y - from.y).signum() * self.speed;
+        let mut vx = (to.x - from.x).signum() * self.speed;
+        let mut vy = (to.y - from.y).signum() * self.speed;
         // axis-aligned legs move along exactly one axis
         if to.x == from.x {
-            state.vx = 0.0;
+            vx = 0.0;
         }
         if to.y == from.y {
-            state.vy = 0.0;
+            vy = 0.0;
         }
+        (end, vx, vy)
+    }
+
+    /// Recomputes the [`Mobility::step_from`] fast-path cache from the
+    /// authoritative `(path, s, pause_left)` state.
+    fn refresh_leg_cache(&self, state: &mut MrwpState) {
+        let (leg_end, vx, vy) = self.leg_cache(&state.path, state.s, state.pause_left);
+        state.leg_end = leg_end;
+        state.vx = vx;
+        state.vy = vy;
     }
 }
 

@@ -1,6 +1,7 @@
 //! The classical Random Way-Point model (straight-line trips), used as a
 //! baseline against MRWP.
 
+use crate::model::step_batch_sequential;
 use crate::{Mobility, MobilityError, StepEvents};
 use fastflood_geom::{Point, Rect};
 use rand::Rng;
@@ -67,10 +68,10 @@ impl Rwp {
     ///
     /// As [`crate::Mrwp::new`].
     pub fn new(side: f64, speed: f64) -> Result<Rwp, MobilityError> {
-        if !(side > 0.0) || !side.is_finite() {
+        if side <= 0.0 || !side.is_finite() {
             return Err(MobilityError::BadSide(side));
         }
-        if !(speed >= 0.0) || !speed.is_finite() {
+        if speed < 0.0 || !speed.is_finite() {
             return Err(MobilityError::BadSpeed(speed));
         }
         Ok(Rwp { side, speed })
@@ -99,6 +100,9 @@ impl Rwp {
 
 impl Mobility for Rwp {
     type State = RwpState;
+    /// AoS batch: straight-line trips touch the whole state every step,
+    /// so there is no hot/cold split to exploit.
+    type Batch = Vec<RwpState>;
 
     fn region(&self) -> Rect {
         Rect::square(self.side).expect("validated side")
@@ -168,6 +172,28 @@ impl Mobility for Rwp {
             }
         }
         events
+    }
+
+    fn batch_from_states(&self, states: Vec<RwpState>) -> Self::Batch {
+        states
+    }
+
+    fn batch_state(&self, batch: &Self::Batch, agent: usize) -> RwpState {
+        batch[agent].clone()
+    }
+
+    fn batch_set_state(&self, batch: &mut Self::Batch, agent: usize, state: RwpState) {
+        batch[agent] = state;
+    }
+
+    fn step_batch<R: Rng + ?Sized, F: FnMut(usize, StepEvents)>(
+        &self,
+        batch: &mut Self::Batch,
+        positions: &mut [Point],
+        rng: &mut R,
+        on_events: F,
+    ) -> f64 {
+        step_batch_sequential(self, batch, positions, rng, on_events)
     }
 }
 

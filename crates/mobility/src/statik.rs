@@ -59,7 +59,7 @@ impl Static {
     /// [`MobilityError::BadSide`] when `side` is not strictly positive and
     /// finite.
     pub fn new(side: f64, placement: Placement) -> Result<Static, MobilityError> {
-        if !(side > 0.0) || !side.is_finite() {
+        if side <= 0.0 || !side.is_finite() {
             return Err(MobilityError::BadSide(side));
         }
         Ok(Static { side, placement })
@@ -80,6 +80,8 @@ impl Static {
 
 impl Mobility for Static {
     type State = StaticState;
+    /// AoS batch (the state is just a point; nothing is ever hot).
+    type Batch = Vec<StaticState>;
 
     fn region(&self) -> Rect {
         Rect::square(self.side).expect("validated side")
@@ -113,6 +115,35 @@ impl Mobility for Static {
 
     fn step<R: Rng + ?Sized>(&self, _state: &mut StaticState, _rng: &mut R) -> StepEvents {
         StepEvents::default()
+    }
+
+    fn batch_from_states(&self, states: Vec<StaticState>) -> Self::Batch {
+        states
+    }
+
+    fn batch_state(&self, batch: &Self::Batch, agent: usize) -> StaticState {
+        batch[agent]
+    }
+
+    fn batch_set_state(&self, batch: &mut Self::Batch, agent: usize, state: StaticState) {
+        batch[agent] = state;
+    }
+
+    /// Static agents never move, draw no randomness, and emit no events:
+    /// the batch step is a no-op with measured drift exactly zero.
+    fn step_batch<R: Rng + ?Sized, F: FnMut(usize, StepEvents)>(
+        &self,
+        batch: &mut Self::Batch,
+        positions: &mut [Point],
+        _rng: &mut R,
+        _on_events: F,
+    ) -> f64 {
+        assert_eq!(
+            batch.len(),
+            positions.len(),
+            "batch and position array must agree on the population size"
+        );
+        0.0
     }
 }
 

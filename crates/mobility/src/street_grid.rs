@@ -11,6 +11,7 @@
 //! to the continuous [`Mrwp`](crate::Mrwp).
 
 use crate::distributions::sample_trip_length_biased;
+use crate::model::step_batch_sequential;
 use crate::{Mobility, MobilityError, StepEvents};
 use fastflood_geom::{Axis, LPath, Point, Rect};
 use rand::Rng;
@@ -69,10 +70,10 @@ impl StreetMrwp {
     ///   [`crate::Mrwp::new`];
     /// * [`MobilityError::BadRadius`] when `blocks == 0` (no streets).
     pub fn new(side: f64, speed: f64, blocks: usize) -> Result<StreetMrwp, MobilityError> {
-        if !(side > 0.0) || !side.is_finite() {
+        if side <= 0.0 || !side.is_finite() {
             return Err(MobilityError::BadSide(side));
         }
-        if !(speed >= 0.0) || !speed.is_finite() {
+        if speed < 0.0 || !speed.is_finite() {
             return Err(MobilityError::BadSpeed(speed));
         }
         if blocks == 0 {
@@ -136,6 +137,9 @@ impl StreetMrwp {
 
 impl Mobility for StreetMrwp {
     type State = StreetMrwpState;
+    /// AoS batch: the street-grid variant is an experiment-scale model,
+    /// stepped through the fused scalar path.
+    type Batch = Vec<StreetMrwpState>;
 
     fn region(&self) -> Rect {
         Rect::square(self.side).expect("validated side")
@@ -212,6 +216,28 @@ impl Mobility for StreetMrwp {
             }
         }
         events
+    }
+
+    fn batch_from_states(&self, states: Vec<StreetMrwpState>) -> Self::Batch {
+        states
+    }
+
+    fn batch_state(&self, batch: &Self::Batch, agent: usize) -> StreetMrwpState {
+        batch[agent].clone()
+    }
+
+    fn batch_set_state(&self, batch: &mut Self::Batch, agent: usize, state: StreetMrwpState) {
+        batch[agent] = state;
+    }
+
+    fn step_batch<R: Rng + ?Sized, F: FnMut(usize, StepEvents)>(
+        &self,
+        batch: &mut Self::Batch,
+        positions: &mut [Point],
+        rng: &mut R,
+        on_events: F,
+    ) -> f64 {
+        step_batch_sequential(self, batch, positions, rng, on_events)
     }
 }
 

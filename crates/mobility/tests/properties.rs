@@ -167,3 +167,146 @@ proptest! {
         prop_assert!(mo <= 1.0 + 1e-12);
     }
 }
+
+/// Batched stepping must be indistinguishable from the scalar
+/// `step_from` loop it replaces: same trajectories (bitwise), same
+/// events, same RNG stream, and a measured drift that soundly bounds
+/// every agent's displacement while never exceeding the model speed.
+fn assert_batch_lockstep<M>(model: &M, n: usize, steps: usize, seed: u64)
+where
+    M: Mobility,
+    M::State: PartialEq,
+{
+    let mut init_rng = rng(seed);
+    let states: Vec<M::State> = (0..n)
+        .map(|_| model.init_stationary(&mut init_rng))
+        .collect();
+    let mut scalar_states = states.clone();
+    let mut scalar_positions: Vec<Point> = states.iter().map(|s| model.position(s)).collect();
+    let mut positions = scalar_positions.clone();
+    let mut batch = model.batch_from_states(states);
+    let mut batch_rng = rng(seed ^ 0x9e37_79b9);
+    let mut scalar_rng = rng(seed ^ 0x9e37_79b9);
+    for step in 0..steps {
+        let mut batch_events = Vec::new();
+        let drift = model.step_batch(&mut batch, &mut positions, &mut batch_rng, |i, ev| {
+            batch_events.push((i, ev))
+        });
+        let mut scalar_events = Vec::new();
+        let mut max_disp = 0.0f64;
+        for (i, state) in scalar_states.iter_mut().enumerate() {
+            let before = scalar_positions[i];
+            let (p, ev) = model.step_from(state, before, &mut scalar_rng);
+            scalar_positions[i] = p;
+            max_disp = max_disp.max(before.euclid(p));
+            if ev.turns | ev.arrivals != 0 {
+                scalar_events.push((i, ev));
+            }
+        }
+        for i in 0..n {
+            assert_eq!(
+                (positions[i].x.to_bits(), positions[i].y.to_bits()),
+                (
+                    scalar_positions[i].x.to_bits(),
+                    scalar_positions[i].y.to_bits()
+                ),
+                "step {step}: agent {i} position diverged from the scalar loop"
+            );
+            assert!(
+                model.batch_state(&batch, i) == scalar_states[i],
+                "step {step}: agent {i} state diverged from the scalar loop"
+            );
+        }
+        assert_eq!(batch_events, scalar_events, "step {step}: events diverged");
+        assert!(
+            drift + 1e-12 >= max_disp,
+            "step {step}: measured drift {drift} under-counts displacement {max_disp}"
+        );
+        assert!(
+            drift <= model.speed() + 1e-9,
+            "step {step}: measured drift {drift} exceeds the speed bound {}",
+            model.speed()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mrwp_step_batch_matches_scalar_loop(
+        seed in 0u64..1000,
+        n in 1usize..40,
+        speed_frac in 0.001f64..0.3,
+        pause in 0u32..4,
+    ) {
+        let side = 60.0;
+        let model = Mrwp::new(side, speed_frac * side).unwrap().with_pause(pause);
+        assert_batch_lockstep(&model, n, 40, seed);
+    }
+
+    #[test]
+    fn rwp_step_batch_matches_scalar_loop(seed in 0u64..1000, n in 1usize..40) {
+        let model = Rwp::new(80.0, 2.5).unwrap();
+        assert_batch_lockstep(&model, n, 30, seed);
+    }
+
+    #[test]
+    fn disk_walk_step_batch_matches_scalar_loop(seed in 0u64..1000, n in 1usize..40) {
+        let model = DiskWalk::new(80.0, 2.0, 9.0).unwrap();
+        assert_batch_lockstep(&model, n, 30, seed);
+    }
+
+    #[test]
+    fn street_mrwp_step_batch_matches_scalar_loop(seed in 0u64..1000, n in 1usize..30) {
+        let model = fastflood_mobility::StreetMrwp::new(80.0, 1.5, 8).unwrap();
+        assert_batch_lockstep(&model, n, 30, seed);
+    }
+
+    #[test]
+    fn static_step_batch_is_motionless_with_zero_drift(seed in 0u64..1000, n in 1usize..40) {
+        let model = Static::new(50.0, Placement::Uniform).unwrap();
+        let mut r = rng(seed);
+        let states: Vec<_> = (0..n).map(|_| model.init_stationary(&mut r)).collect();
+        let mut positions: Vec<Point> = states.iter().map(|s| model.position(s)).collect();
+        let before = positions.clone();
+        let mut batch = model.batch_from_states(states);
+        for _ in 0..10 {
+            let drift = model.step_batch(&mut batch, &mut positions, &mut r, |_, _| {
+                panic!("static agents emit no events")
+            });
+            prop_assert_eq!(drift, 0.0);
+        }
+        prop_assert_eq!(positions, before);
+    }
+}
+
+/// With way-point pauses, steps where *every* agent happens to pause
+/// must report a measured drift strictly below the speed bound — the
+/// slack the engine's deferred re-binning window gains over the
+/// worst-case `speed()` accrual.
+#[test]
+fn mrwp_paused_steps_measure_drift_below_speed() {
+    let model = Mrwp::new(30.0, 2.0).unwrap().with_pause(8);
+    let mut r = rng(11);
+    let n = 3;
+    let states: Vec<_> = (0..n).map(|_| model.init_stationary(&mut r)).collect();
+    let mut positions: Vec<Point> = states.iter().map(|s| model.position(s)).collect();
+    let mut batch = model.batch_from_states(states);
+    let mut below = 0u32;
+    let mut exact = 0u32;
+    for _ in 0..400 {
+        let drift = model.step_batch(&mut batch, &mut positions, &mut r, |_, _| {});
+        assert!(drift <= model.speed() + 1e-9);
+        if drift < model.speed() - 1e-9 {
+            below += 1;
+        } else {
+            exact += 1;
+        }
+    }
+    assert!(
+        below > 0,
+        "some all-paused steps must measure drift < speed"
+    );
+    assert!(exact > 0, "traveling steps still measure full-speed drift");
+}

@@ -296,6 +296,62 @@ proptest! {
         }
     }
 
+    /// The frontier-band iteration of the stale join engages only when
+    /// the facing side occupies fewer buckets; whichever way the
+    /// asymmetry goes — a tiny clustered transmitter side against a
+    /// spread-out marked side (band path) or the reverse (plain path) —
+    /// the reported set must match brute force on the true positions.
+    #[test]
+    fn stale_join_band_regimes_match_brute_force(
+        seed in 0u64..500,
+        n in 40usize..160,
+        cluster in 2usize..20,
+        r in 1.0f64..10.0,
+        flip_bit in 0usize..2,
+    ) {
+        let flip = flip_bit == 1;
+        let region = Rect::square(SIDE).unwrap();
+        let bucket = 4.0 * r;
+        let slop = 0.25 * (bucket - r);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pts: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..SIDE), rng.gen_range(0.0..SIDE)))
+            .collect();
+        // the clustered side huddles in one corner so it occupies very
+        // few buckets; `flip` swaps which side is clustered
+        for p in pts.iter_mut().take(cluster) {
+            *p = Point::new(rng.gen_range(0.0..2.0 * r), rng.gen_range(0.0..2.0 * r));
+        }
+        let (members, others): (Vec<u32>, Vec<u32>) = if flip {
+            ((cluster as u32..n as u32).collect(), (0..cluster as u32).collect())
+        } else {
+            ((0..cluster as u32).collect(), (cluster as u32..n as u32).collect())
+        };
+        let mut inc = GridIndexBuffer::new();
+        inc.rebuild_incremental(region, bucket, &pts, &members, n, &[]).unwrap();
+        // drift everyone within the announced slop, binning left stale
+        for p in &mut pts {
+            let dx = rng.gen_range(-slop / 1.5..slop / 1.5);
+            let dy = rng.gen_range(-slop / 1.5..slop / 1.5);
+            *p = Point::new(p.x + dx, p.y + dy);
+        }
+        let mut tx = GridIndexBuffer::new();
+        tx.rebuild_subset_shared(region, bucket, &pts, &others, n).unwrap();
+        let mut got = Vec::new();
+        inc.join_covered_by_stale(&tx, r, slop, &pts, |id| got.push(id));
+        got.sort_unstable();
+        let r2 = r * r;
+        let mut expected: Vec<usize> = members
+            .iter()
+            .filter(|&&u| {
+                others.iter().any(|&t| pts[u as usize].euclid_sq(pts[t as usize]) <= r2)
+            })
+            .map(|&u| u as usize)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected, "cluster {} flip {}", cluster, flip);
+    }
+
     #[test]
     fn any_within_consistent_with_count(
         pts in points(60),

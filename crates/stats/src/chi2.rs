@@ -140,7 +140,7 @@ pub fn chi2_gof_masses(
         });
     }
     let mass_sum: f64 = masses.iter().sum();
-    if !(mass_sum > 0.0) {
+    if mass_sum.is_nan() || mass_sum <= 0.0 {
         return Err(StatsError::BadParameter("masses must have positive sum"));
     }
     let total: f64 = observed.iter().sum();

@@ -43,7 +43,7 @@ impl Histogram1d {
     /// Returns [`StatsError::BadBins`] when `bins == 0`, when the range is
     /// empty or inverted, or when a bound is not finite.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Histogram1d, StatsError> {
-        if bins == 0 || !(hi > lo) || !lo.is_finite() || !hi.is_finite() {
+        if bins == 0 || hi <= lo || !lo.is_finite() || !hi.is_finite() {
             return Err(StatsError::BadBins);
         }
         Ok(Histogram1d {
@@ -286,8 +286,8 @@ impl Histogram2d {
         let (y_lo, y_hi) = y_range;
         if cols == 0
             || rows == 0
-            || !(x_hi > x_lo)
-            || !(y_hi > y_lo)
+            || x_hi <= x_lo
+            || y_hi <= y_lo
             || !x_lo.is_finite()
             || !x_hi.is_finite()
             || !y_lo.is_finite()

@@ -130,7 +130,7 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, StatsError> {
 /// # Ok::<(), fastflood_stats::StatsError>(())
 /// ```
 pub fn loglog_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, StatsError> {
-    if xs.iter().chain(ys.iter()).any(|&v| !(v > 0.0)) {
+    if xs.iter().chain(ys.iter()).any(|&v| v.is_nan() || v <= 0.0) {
         return Err(StatsError::BadParameter(
             "log-log fit requires positive data",
         ));

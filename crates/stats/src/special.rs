@@ -233,8 +233,8 @@ mod tests {
 
     #[test]
     fn gamma_p_is_exponential_cdf_for_a1() {
-        for x in [0.0, 0.5, 1.0, 3.0, 10.0] {
-            let expected = 1.0 - (-x as f64).exp();
+        for x in [0.0f64, 0.5, 1.0, 3.0, 10.0] {
+            let expected = 1.0 - (-x).exp();
             assert!((gamma_p(1.0, x) - expected).abs() < 1e-10);
         }
     }

@@ -72,6 +72,9 @@ impl Summary {
     /// # Errors
     ///
     /// Same as [`Summary::from_slice`].
+    // not the FromIterator trait: summaries of empty/non-finite data
+    // must be able to fail, so this returns Result
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Result<Summary, StatsError> {
         let data: Vec<f64> = iter.into_iter().collect();
         Summary::from_slice(&data)

@@ -18,10 +18,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+phases="$(mktemp)"
+trap 'rm -f "$tmp" "$phases"' EXIT
 
 FASTFLOOD_BENCH_JSON="$tmp" FASTFLOOD_BENCH_LARGE=1 \
   cargo bench -p fastflood-bench --bench flood_end_to_end -- engine_step
+
+# per-phase breakdown of the sustained protocol (move vs transmit vs
+# incremental refresh), from the phase-timing instrumentation
+FASTFLOOD_BENCH_LARGE=1 \
+  cargo run --release -p fastflood-bench --bin phase_breakdown > "$phases"
 
 machine="$(uname -srm); $(grep -m1 'model name' /proc/cpuinfo 2>/dev/null | cut -d: -f2- | sed 's/^ //' || true)"
 
@@ -31,7 +37,7 @@ machine="$(uname -srm); $(grep -m1 'model name' /proc/cpuinfo 2>/dev/null | cut 
   echo '  "units": "ns_per_iter; engine_step iterates a whole step batch (see throughput_per_iter for agent-steps), engine_step_sustained iterates one step",'
   echo "  \"recorded_at\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
   echo "  \"machine\": \"${machine}\","
-  echo '  "notes": "Two protocols measure different things. engine_step isolates the transmit ALGORITHM: fixed mid-flood step batches (completion asserted not to occur); adaptive (production policy), forced bucket_join (full re-bins every step, the PR 2 engine) and forced incremental (diff-maintained slack grids) vs seed_rebuild, all riding the same optimized mobility layer. engine_step_sustained reproduces the whole-run protocol of the PR-start baselines (warm to 50%, time-sized loop through completion): comparing its adaptive rows against baseline_pr2_adaptive_at_pr3_start measures the PR-3 incremental re-binning rework like-for-like (the PR-3 acceptance figure, >=1.25x at n=100k, refers to this comparison); the bucket_join rows re-record the PR 2 engine in the same run as the machine-stability check (they should track the PR-2 baseline block, not the adaptive rows). Older baselines measure the full history: baseline_pr1_adaptive_at_pr2_start the PR-2 join rework, baseline_seed_at_pr_start the whole engine rework since the seed.",'
+  echo '  "notes": "Two protocols measure different things. engine_step isolates the transmit ALGORITHM: fixed mid-flood step batches (completion asserted not to occur); adaptive (production policy), forced bucket_join (full re-bins every step, the PR 2 engine) and forced incremental (diff-maintained slack grids) vs seed_rebuild, all riding the same optimized mobility layer. engine_step_sustained reproduces the whole-run protocol of the PR-start baselines (warm to 50%, time-sized loop through completion): comparing its adaptive rows against baseline_pr3_adaptive_at_pr4_start measures the PR-4 batched-SoA-move-pass + measured-drift rework like-for-like (the PR-4 acceptance figure, >=1.3x at n=100k, refers to this comparison; note the move pass is shared by every engine mode, so ALL rows move together and no in-tree mode re-records the PR-3 engine — the PR-4 baseline block was measured from the PR-3 tree on this machine at PR-4 start instead, its 100k row tracking the PR-3-era recording within ~3%). phase_breakdown splits the sustained step into move/transmit/refresh so move-pass regressions are visible in the share, not just the total. Older baselines measure the full history: baseline_pr2_adaptive_at_pr3_start the PR-3 incremental re-binning rework, baseline_pr1_adaptive_at_pr2_start the PR-2 join rework, baseline_seed_at_pr_start the whole engine rework since the seed.",'
   # The seed implementation (per-step GridIndex rebuild + full agent
   # scans + uncached L-path mobility + ChaCha12 StdRng), measured with
   # the sustained protocol at the start of the engine rework, before any
@@ -63,6 +69,20 @@ machine="$(uname -srm); $(grep -m1 'model name' /proc/cpuinfo 2>/dev/null | cut 
   echo '    "machine": "Linux 6.18.5-fc-v18 x86_64 (PR 3 machine; cross-machine comparison with \"results\" below is invalid unless \"machine\" matches)",'
   echo '    "ns_per_step": {"1000": 2975.4, "10000": 26331.6, "100000": 2635528.1, "300000": 9692691.9}'
   echo '  },'
+  # The PR 3 adaptive engine (incrementally-maintained join, AoS move
+  # pass, speed()-bound staleness), measured with the sustained protocol
+  # from the PR-3 tree at the start of the PR 4 batched-move-pass work —
+  # the reference the PR 4 speedup figures are measured against. The
+  # move pass is shared by every engine mode, so no in-tree mode can
+  # re-record this engine after the rework.
+  echo '  "baseline_pr3_adaptive_at_pr4_start": {'
+  echo '    "protocol": "engine_step_sustained (time-sized step loop from ~50% informed, radius 0.4*scale, v 0.2*radius)",'
+  echo '    "machine": "Linux 6.18.5-fc-v18 x86_64 (PR 4 machine; cross-machine comparison with \"results\" below is invalid unless \"machine\" matches)",'
+  echo '    "ns_per_step": {"1000": 2976.3, "10000": 25459.5, "100000": 864851.9, "300000": 7003619.2}'
+  echo '  },'
+  echo '  "phase_breakdown":'
+  sed 's/^/  /' "$phases"
+  echo '  ,'
   echo '  "results":'
   sed 's/^/  /' "$tmp"
   echo '}'

@@ -40,10 +40,18 @@ doc_expect fastflood_spatial/struct.GridIndexBuffer.html update_moved
 doc_expect fastflood_spatial/struct.GridIndexBuffer.html update_membership
 doc_expect fastflood_spatial/struct.GridIndexBuffer.html rebuild_incremental
 doc_expect fastflood_spatial/struct.GridIndexBuffer.html join_covered_by_stale
+doc_expect fastflood_spatial/struct.GridIndexBuffer.html "Frontier-band iteration"
 doc_expect fastflood_spatial/struct.UpdateStats.html relocated
 doc_expect fastflood_core/enum.EngineMode.html Incremental
 doc_expect fastflood_core/struct.FloodingSim.html incremental_diff_steps
 doc_expect fastflood_core/struct.FloodingSim.html incremental_deferred_steps
+doc_expect fastflood_core/struct.FloodingSim.html incremental_staleness
+doc_expect fastflood_core/struct.FloodingSim.html phase_times
+doc_expect fastflood_core/struct.StepPhases.html refresh_ns
+doc_expect fastflood_mobility/trait.Mobility.html step_batch
+doc_expect fastflood_mobility/trait.Mobility.html batch_from_states
+doc_expect fastflood_mobility/struct.MrwpBatch.html "hot/cold"
+doc_expect fastflood_mobility/fn.step_batch_sequential.html measures
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED"
