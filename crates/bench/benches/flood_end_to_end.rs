@@ -17,7 +17,7 @@
 //! `BENCH_engine.json`; `docs/BENCHMARKING.md` documents the protocol.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fastflood_core::{EngineMode, FloodingSim, SimConfig, SimParams, SourcePlacement};
+use fastflood_core::{EngineMode, FloodingSim, Parallelism, SimConfig, SimParams, SourcePlacement};
 use fastflood_mobility::Mrwp;
 use std::hint::black_box;
 
@@ -73,7 +73,7 @@ fn flood_end_to_end(c: &mut Criterion) {
 /// for both engines). Throughput is agent-steps per second (`n × batch`
 /// elements per iteration).
 fn engine_step(c: &mut Criterion) {
-    fn warm<R: rand::Rng + rand::SeedableRng>(
+    fn warm<R: rand::Rng + rand::SeedableRng + Send>(
         params: &SimParams,
         engine: EngineMode,
     ) -> FloodingSim<Mrwp, R> {
@@ -94,7 +94,7 @@ fn engine_step(c: &mut Criterion) {
         sim
     }
 
-    fn batch_steps<R: rand::Rng + rand::SeedableRng + Clone>(
+    fn batch_steps<R: rand::Rng + rand::SeedableRng + Send + Clone>(
         warm: &FloodingSim<Mrwp, R>,
         batch: u32,
     ) -> u32 {
@@ -169,12 +169,39 @@ fn bench_large() -> bool {
 /// incrementally-maintained join in the dense regime); `bucket_join`
 /// rows force the full-re-bin join of PR 2 on every step (the stability
 /// reference for the incremental rework); `incremental` rows force the
-/// diff-maintained join everywhere.
+/// diff-maintained join everywhere. `adaptive_par_tT` rows run the
+/// chunked-parallel engine on a `T`-thread pool (the PR 5 threads
+/// sweep; deterministic per thread count, different trajectories than
+/// the sequential rows — see `docs/BENCHMARKING.md`).
 fn engine_step_sustained(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_step_sustained");
     let mut sizes = vec![1_000usize, 10_000, 100_000];
     if bench_large() {
         sizes.push(300_000);
+    }
+    let mut variants: Vec<(String, EngineMode, Parallelism)> = vec![
+        (
+            "adaptive".into(),
+            EngineMode::Adaptive,
+            Parallelism::Sequential,
+        ),
+        (
+            "bucket_join".into(),
+            EngineMode::BucketJoin,
+            Parallelism::Sequential,
+        ),
+        (
+            "incremental".into(),
+            EngineMode::Incremental,
+            Parallelism::Sequential,
+        ),
+    ];
+    for threads in [1usize, 2, 4] {
+        variants.push((
+            format!("adaptive_par_t{threads}"),
+            EngineMode::Adaptive,
+            Parallelism::Chunked { threads },
+        ));
     }
     for &n in &sizes {
         let scale = SimParams::standard(n, 1.0, 0.0)
@@ -183,19 +210,16 @@ fn engine_step_sustained(c: &mut Criterion) {
         let radius = 0.4 * scale;
         let params = SimParams::standard(n, radius, 0.2 * radius).expect("valid");
         group.throughput(Throughput::Elements(n as u64));
-        for (label, engine) in [
-            ("adaptive", EngineMode::Adaptive),
-            ("bucket_join", EngineMode::BucketJoin),
-            ("incremental", EngineMode::Incremental),
-        ] {
-            group.bench_with_input(BenchmarkId::new(label, n), &params, |b, p| {
+        for (label, engine, parallelism) in &variants {
+            group.bench_with_input(BenchmarkId::new(label.clone(), n), &params, |b, p| {
                 let model = Mrwp::new(p.side(), p.speed()).expect("valid");
                 let mut sim = FloodingSim::new(
                     model,
                     SimConfig::new(p.n(), p.radius())
                         .seed(1)
                         .source(SourcePlacement::Center)
-                        .engine(engine),
+                        .engine(*engine)
+                        .parallelism(*parallelism),
                 )
                 .expect("valid config");
                 sim.reserve_steps(1 << 22);

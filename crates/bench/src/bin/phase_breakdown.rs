@@ -12,8 +12,11 @@
 //! total. Schema in `docs/BENCHMARKING.md`.
 //!
 //! `FASTFLOOD_BENCH_LARGE=1` adds the n = 300k row, as in the bench.
+//! `--threads <T>` runs the chunked-parallel engine on a `T`-thread
+//! pool instead of the sequential default (`scripts/bench_engine.sh`
+//! records both as separate blocks).
 
-use fastflood_core::{EngineMode, FloodingSim, SimConfig, SimParams, SourcePlacement};
+use fastflood_core::{EngineMode, FloodingSim, Parallelism, SimConfig, SimParams, SourcePlacement};
 use fastflood_mobility::Mrwp;
 use std::hint::black_box;
 use std::time::Instant;
@@ -21,15 +24,37 @@ use std::time::Instant;
 fn main() {
     let large =
         std::env::var_os("FASTFLOOD_BENCH_LARGE").is_some_and(|v| v != "0" && !v.is_empty());
+    let mut threads = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let v = args.next().expect("--threads requires a value");
+                threads = v.parse().expect("--threads must be a usize");
+                assert!(threads > 0, "--threads must be positive");
+            }
+            other => panic!("unknown argument {other:?}; supported: --threads <n>"),
+        }
+    }
+    let parallelism = if threads == 0 {
+        Parallelism::Sequential
+    } else {
+        Parallelism::Chunked { threads }
+    };
     let mut sizes = vec![1_000usize, 10_000, 100_000];
     if large {
         sizes.push(300_000);
     }
     println!("{{");
     println!(
-        "  \"protocol\": \"engine_step_sustained shape (adaptive engine, warm to ~50% informed, \
+        "  \"protocol\": \"engine_step_sustained shape (adaptive engine{}, warm to ~50% informed, \
          fixed timed step loop through completion); ns per step, refresh is the subset of \
-         transmit spent synchronizing the incremental grids\","
+         transmit spent synchronizing the incremental grids\",",
+        if threads == 0 {
+            String::from(", sequential")
+        } else {
+            format!(", chunked-parallel on {threads} threads")
+        }
     );
     for (k, &n) in sizes.iter().enumerate() {
         let scale = SimParams::standard(n, 1.0, 0.0)
@@ -43,7 +68,8 @@ fn main() {
             SimConfig::new(params.n(), params.radius())
                 .seed(1)
                 .source(SourcePlacement::Center)
-                .engine(EngineMode::Adaptive),
+                .engine(EngineMode::Adaptive)
+                .parallelism(parallelism),
         )
         .expect("valid config");
         sim.reserve_steps(1 << 22);

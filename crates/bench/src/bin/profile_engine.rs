@@ -10,7 +10,7 @@ use fastflood_mobility::Mrwp;
 use std::hint::black_box;
 use std::time::Instant;
 
-fn time_steps<R: rand::Rng + rand::SeedableRng>(
+fn time_steps<R: rand::Rng + rand::SeedableRng + Send>(
     params: &SimParams,
     engine: EngineMode,
     warm_fraction: f64,

@@ -6,8 +6,9 @@
 /// * `--seed <u64>` — master seed (default 2010, the paper's year);
 /// * `--trials <usize>` — trials per configuration (experiment-specific
 ///   default);
-/// * `--threads <usize>` — worker threads (default: available
-///   parallelism).
+/// * `--threads <usize>` — worker threads (default: the
+///   `FASTFLOOD_THREADS` environment variable, else available
+///   parallelism — see [`fastflood_parallel::default_threads`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExpArgs {
     /// Reduced configuration for smoke runs.
@@ -32,9 +33,7 @@ impl Default for ExpArgs {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    fastflood_parallel::default_threads()
 }
 
 impl ExpArgs {

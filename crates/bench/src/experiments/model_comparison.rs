@@ -60,9 +60,7 @@ impl Default for Config {
             v_frac: 0.3,
             walk_radius_mult: 4.0,
             trials: 8,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: fastflood_parallel::default_threads(),
             max_steps: 100_000,
             seed: 2010,
         }

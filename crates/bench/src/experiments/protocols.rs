@@ -57,9 +57,7 @@ impl Default for Config {
             ps: vec![0.5, 0.2, 0.05],
             ks: vec![1, 3],
             trials: 8,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: fastflood_parallel::default_threads(),
             max_steps: 300_000,
             seed: 2010,
         }

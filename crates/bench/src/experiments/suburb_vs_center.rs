@@ -39,9 +39,7 @@ impl Default for Config {
             c1: 4.0,
             v_frac: 0.3,
             trials: 10,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: fastflood_parallel::default_threads(),
             max_steps: 500_000,
             seed: 2010,
         }

@@ -57,9 +57,7 @@ impl Default for Config {
             fractions: vec![0.2, 0.4, 0.7, 1.05, 1.5],
             v_frac: 0.3,
             trials: 8,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: fastflood_parallel::default_threads(),
             max_steps: 500_000,
             seed: 2010,
         }

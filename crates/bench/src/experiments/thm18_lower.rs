@@ -66,9 +66,7 @@ impl Default for Config {
             speed: 0.25,
             event_trials: 3_000,
             flood_trials: 8,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: fastflood_parallel::default_threads(),
             max_steps: 1_000_000,
             seed: 2010,
         }

@@ -66,9 +66,7 @@ impl Default for Config {
             c1s: vec![1.5, 3.0, 5.0, 8.0],
             v_fracs: vec![0.1, 0.3, 1.0],
             trials: 10,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: fastflood_parallel::default_threads(),
             max_steps: 500_000,
             seed: 2010,
         }

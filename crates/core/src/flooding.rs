@@ -100,18 +100,21 @@
 
 use crate::{CoreError, Zone, ZoneMap};
 use fastflood_geom::Point;
-use fastflood_mobility::{Mobility, TurnRecorder};
+use fastflood_mobility::{move_chunk_count, ChunkCtx, Mobility, TurnRecorder, MOVE_CHUNK};
+use fastflood_parallel::{default_threads, WorkerPool};
 use fastflood_spatial::{GridIndex, GridIndexBuffer};
+use fastflood_stats::seeds::derive_seed;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The default simulation generator: a small fast PRNG (xoshiro256++).
 ///
 /// The paper's experiments burn billions of draws on mobility stepping;
 /// a cryptographic generator (ChaCha12 [`rand::rngs::StdRng`]) is wasted
-/// there. Any `R: Rng + SeedableRng` can be substituted via
+/// there. Any `R: Rng + SeedableRng + Send` can be substituted via
 /// [`FloodingSim::with_rng`].
 pub type SimRng = SmallRng;
 
@@ -221,6 +224,41 @@ pub enum EngineMode {
     Incremental,
 }
 
+/// Intra-step parallelism of a [`FloodingSim`].
+///
+/// The default, [`Parallelism::Sequential`], is the single-stream
+/// engine: every random draw comes from the sim's one generator, and
+/// trajectories are **bitwise identical to releases before the worker
+/// pool existed** — nothing in the sequential path reads the chunk
+/// machinery.
+///
+/// [`Parallelism::Chunked`] runs the step's embarrassingly parallel
+/// phases on a retained [`WorkerPool`]: the move pass in the fixed
+/// [`MOVE_CHUNK`] chunk geometry with **one counter-derived RNG stream
+/// per chunk** (seeded from `(seed, chunk_index)`), and — in the
+/// incremental join regime — the sharded stale join and refresh
+/// passes. Chunked trajectories *differ* from Sequential ones (the
+/// move draws come from the chunk streams, not the main stream) but
+/// are the same stochastic process, and they are **deterministic for a
+/// fixed `(seed, n, chunk layout)` whatever the thread count or
+/// scheduling** — `threads` affects wall-clock only. See
+/// `docs/ARCHITECTURE.md` ("Determinism & parallelism contract").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Parallelism {
+    /// Single-stream engine; bitwise-identical to the pre-pool engine.
+    #[default]
+    Sequential,
+    /// Deterministic chunked parallel step on a retained worker pool.
+    Chunked {
+        /// Worker threads (pool executors). `0` resolves to
+        /// [`default_threads`] (the `FASTFLOOD_THREADS` environment
+        /// variable, else available parallelism). The resolved count
+        /// never changes results, only speed.
+        threads: usize,
+    },
+}
+
 /// Configuration of a [`FloodingSim`].
 ///
 /// # Examples
@@ -252,6 +290,8 @@ pub struct SimConfig {
     pub turns: bool,
     /// Transmit engine implementation (default: [`EngineMode::Adaptive`]).
     pub engine: EngineMode,
+    /// Intra-step parallelism (default: [`Parallelism::Sequential`]).
+    pub parallelism: Parallelism,
 }
 
 impl SimConfig {
@@ -267,6 +307,7 @@ impl SimConfig {
             seed: 0,
             turns: false,
             engine: EngineMode::Adaptive,
+            parallelism: Parallelism::Sequential,
         }
     }
 
@@ -303,6 +344,12 @@ impl SimConfig {
     /// Selects the transmit engine implementation.
     pub fn engine(mut self, engine: EngineMode) -> SimConfig {
         self.engine = engine;
+        self
+    }
+
+    /// Selects the intra-step parallelism (see [`Parallelism`]).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> SimConfig {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -382,7 +429,7 @@ impl fmt::Display for FloodingReport {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
-pub struct FloodingSim<M: Mobility, R: Rng + SeedableRng = SimRng> {
+pub struct FloodingSim<M: Mobility, R: Rng + SeedableRng + Send = SimRng> {
     model: M,
     radius: f64,
     protocol: Protocol,
@@ -443,7 +490,39 @@ pub struct FloodingSim<M: Mobility, R: Rng + SeedableRng = SimRng> {
     phase_timing: bool,
     /// Cumulative per-phase times (see [`StepPhases`]).
     phases: StepPhases,
+    /// The chunked-parallel machinery (`None` in the sequential
+    /// default): the retained worker pool plus one per-chunk context
+    /// (counter-derived RNG stream + move scratch) per [`MOVE_CHUNK`]
+    /// chunk of the population.
+    par: Option<ParState<R>>,
 }
+
+/// Retained state of [`Parallelism::Chunked`]: the worker pool and the
+/// per-chunk move contexts (streams continue across steps; scratch
+/// keeps its capacity).
+#[derive(Debug)]
+struct ParState<R> {
+    /// Shared so sim clones reuse the threads (dispatches serialize;
+    /// concurrent use from clones degrades to inline execution, never
+    /// to different results).
+    pool: Arc<WorkerPool>,
+    chunks: Vec<ChunkCtx<R>>,
+}
+
+impl<R: Clone> Clone for ParState<R> {
+    fn clone(&self) -> Self {
+        ParState {
+            pool: Arc::clone(&self.pool),
+            chunks: self.chunks.clone(),
+        }
+    }
+}
+
+/// Domain-separation salt of the per-chunk move streams: chunk `c` of a
+/// sim seeded `s` draws from `seed_from_u64(derive_seed(s ^ SALT, c))`,
+/// decorrelated from the main stream (`seed_from_u64(s)`) and from
+/// `run_trials`'s per-trial derivation (`derive_seed(s, trial)`).
+const CHUNK_STREAM_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Cumulative wall-clock time of [`FloodingSim::step`]'s phases, in
 /// nanoseconds, collected when
@@ -467,7 +546,7 @@ pub struct StepPhases {
     pub refresh_ns: u64,
 }
 
-impl<M: Mobility + Clone, R: Rng + SeedableRng + Clone> Clone for FloodingSim<M, R> {
+impl<M: Mobility + Clone, R: Rng + SeedableRng + Send + Clone> Clone for FloodingSim<M, R> {
     fn clone(&self) -> Self {
         FloodingSim {
             model: self.model.clone(),
@@ -501,6 +580,7 @@ impl<M: Mobility + Clone, R: Rng + SeedableRng + Clone> Clone for FloodingSim<M,
             cand: self.cand.clone(),
             phase_timing: self.phase_timing,
             phases: self.phases,
+            par: self.par.clone(),
         }
     }
 }
@@ -520,7 +600,7 @@ impl<M: Mobility> FloodingSim<M> {
     }
 }
 
-impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
+impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
     /// Builds the simulator with an explicit generator type (e.g.
     /// `FloodingSim::<_, rand::rngs::StdRng>::with_rng` to reproduce
     /// ChaCha12-driven runs).
@@ -593,6 +673,33 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
         let mut rank = vec![u32::MAX; config.n];
         rank[source] = 0;
 
+        let par = match config.parallelism {
+            Parallelism::Sequential => None,
+            Parallelism::Chunked { threads } => {
+                let threads = if threads == 0 {
+                    default_threads()
+                } else {
+                    threads
+                };
+                let chunks = (0..move_chunk_count(config.n))
+                    .map(|c| {
+                        let len = MOVE_CHUNK.min(config.n - c * MOVE_CHUNK);
+                        ChunkCtx::new(
+                            R::seed_from_u64(derive_seed(
+                                config.seed ^ CHUNK_STREAM_SALT,
+                                c as u64,
+                            )),
+                            len,
+                        )
+                    })
+                    .collect();
+                Some(ParState {
+                    pool: Arc::new(WorkerPool::new(threads)),
+                    chunks,
+                })
+            }
+        };
+
         Ok(FloodingSim {
             batch: model.batch_from_states(states),
             model,
@@ -628,11 +735,17 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
                 // makes every later rebuild allocation-free
                 let mut g = GridIndexBuffer::new();
                 g.reserve(config.n);
+                if par.is_some() {
+                    g.reserve_parallel(config.n);
+                }
                 g
             },
             tx_grid: {
                 let mut g = GridIndexBuffer::new();
                 g.reserve(config.n);
+                if par.is_some() {
+                    g.reserve_parallel(config.n);
+                }
                 g
             },
             join_steps: 0,
@@ -643,6 +756,7 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
             cand: Vec::with_capacity(config.n),
             phase_timing: false,
             phases: StepPhases::default(),
+            par,
         })
     }
 
@@ -841,6 +955,31 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
         self.inc.stale
     }
 
+    /// Worker threads of the chunked-parallel step, or 0 when the sim
+    /// runs the sequential engine — the resolved value of
+    /// [`SimConfig::parallelism`] (a `Chunked { threads: 0 }` config
+    /// reports what [`default_threads`] resolved to at construction).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fastflood_core::{FloodingSim, Parallelism, SimConfig};
+    /// use fastflood_mobility::Mrwp;
+    ///
+    /// let model = Mrwp::new(20.0, 0.5)?;
+    /// let seq = FloodingSim::new(model.clone(), SimConfig::new(100, 2.0))?;
+    /// assert_eq!(seq.parallel_threads(), 0);
+    /// let config = SimConfig::new(100, 2.0)
+    ///     .parallelism(Parallelism::Chunked { threads: 2 });
+    /// let par = FloodingSim::new(model, config)?;
+    /// assert_eq!(par.parallel_threads(), 2);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    #[inline]
+    pub fn parallel_threads(&self) -> usize {
+        self.par.as_ref().map_or(0, |p| p.pool.threads())
+    }
+
     /// Turns per-phase wall-clock accounting on or off (see
     /// [`StepPhases`]); off by default. Enabling does not reset
     /// already-accumulated times.
@@ -885,19 +1024,32 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
         let drift = {
             let turns = &mut self.turns;
             let time = self.time;
-            self.model.step_batch(
-                &mut self.batch,
-                &mut self.positions,
-                &mut self.rng,
-                |i, ev| {
-                    if let Some(rec) = turns.as_mut() {
-                        let changes = ev.direction_changes();
-                        if changes > 0 {
-                            rec.record(i, time, changes);
-                        }
+            let on_events = |i: usize, ev: fastflood_mobility::StepEvents| {
+                if let Some(rec) = turns.as_mut() {
+                    let changes = ev.direction_changes();
+                    if changes > 0 {
+                        rec.record(i, time, changes);
                     }
-                },
-            )
+                }
+            };
+            match self.par.as_mut() {
+                // parallel: chunks draw from their own streams on the
+                // retained pool; events are merged in canonical chunk
+                // order, so the recorder sees agent order either way
+                Some(par) => self.model.step_batch_chunked(
+                    &mut self.batch,
+                    &mut self.positions,
+                    &mut par.chunks,
+                    &par.pool,
+                    on_events,
+                ),
+                None => self.model.step_batch(
+                    &mut self.batch,
+                    &mut self.positions,
+                    &mut self.rng,
+                    on_events,
+                ),
+            }
         };
         let transmit_started = if let Some(t0) = move_started {
             self.phases.move_ns += t0.elapsed().as_nanos() as u64;
@@ -1073,6 +1225,7 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
                         forward_probability.is_none(),
                         &mut self.newly,
                         self.phase_timing,
+                        self.par.as_ref().map(|p| &*p.pool),
                     );
                     self.phases.refresh_ns += refresh_ns;
                 }
@@ -1141,6 +1294,7 @@ impl<M: Mobility, R: Rng + SeedableRng> FloodingSim<M, R> {
                     forward_probability.is_none(),
                     &mut self.newly,
                     self.phase_timing,
+                    self.par.as_ref().map(|p| &*p.pool),
                 );
                 self.phases.refresh_ns += refresh_ns;
             }
@@ -1402,6 +1556,16 @@ const CHURN_SPIKE_DIVISOR: usize = 8;
 /// accrued into `inc.stale`, so the deferral budget is spent on drift
 /// that actually happened rather than the worst-case model speed.
 ///
+/// With `pool` set (the chunked-parallel engine), the two `O(live)`
+/// phases run sharded on it: the periodic refresh relocates by bucket
+/// row ([`GridIndexBuffer::update_moved_par`]) and the join partitions
+/// its occupied buckets with per-worker output merged in canonical
+/// shard order ([`GridIndexBuffer::join_covered_by_stale_par`]) — the
+/// reported sequence is identical to the sequential kernels whatever
+/// the thread count, so `newly` (sorted by the caller anyway) cannot
+/// depend on scheduling. The `O(churn)` surgery and the rare full
+/// rebuilds stay sequential.
+///
 /// Returns the wall-clock nanoseconds of the grid-synchronization
 /// section (the `refresh` phase of [`StepPhases`]) when `timing` is on,
 /// 0 otherwise.
@@ -1420,6 +1584,7 @@ fn join_covered_incremental(
     tx_is_roster: bool,
     newly: &mut Vec<u32>,
     timing: bool,
+    pool: Option<&WorkerPool>,
 ) -> u64 {
     let sync_started = timing.then(Instant::now);
     let live = uninformed.len() + transmitters.len();
@@ -1462,13 +1627,27 @@ fn join_covered_incremental(
             inc.stale = stale_after_move;
             inc.deferred_steps += 1;
         } else {
-            // staleness budget exhausted: refresh and relocate
-            grid.update_moved(positions, diff, &[])
-                .expect("positions finite, diff names indexed agents");
-            if tx_is_roster {
-                tx_grid
-                    .update_moved(positions, &[], diff)
-                    .expect("positions finite, diff names new agents");
+            // staleness budget exhausted: refresh and relocate (row-
+            // sharded on the pool when the parallel engine runs)
+            match pool {
+                Some(pl) => {
+                    grid.update_moved_par(positions, diff, &[], pl)
+                        .expect("positions finite, diff names indexed agents");
+                    if tx_is_roster {
+                        tx_grid
+                            .update_moved_par(positions, &[], diff, pl)
+                            .expect("positions finite, diff names new agents");
+                    }
+                }
+                None => {
+                    grid.update_moved(positions, diff, &[])
+                        .expect("positions finite, diff names indexed agents");
+                    if tx_is_roster {
+                        tx_grid
+                            .update_moved(positions, &[], diff)
+                            .expect("positions finite, diff names new agents");
+                    }
+                }
             }
             inc.stale = 0.0;
         }
@@ -1483,7 +1662,11 @@ fn join_covered_incremental(
             .expect("positions finite, radius validated");
     }
     let refresh_ns = sync_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
-    if inc.stale > 0.0 {
+    if let Some(pl) = pool {
+        // the parallel kernel reads exact positions either way, so a
+        // zero-slop (just-refreshed) step is simply an exact join
+        grid.join_covered_by_stale_par(tx_grid, radius, inc.stale, positions, pl, newly);
+    } else if inc.stale > 0.0 {
         grid.join_covered_by_stale(tx_grid, radius, inc.stale, positions, |u| {
             newly.push(u as u32)
         });

@@ -45,7 +45,7 @@ mod zones;
 
 pub use density::DensityMonitor;
 pub use flooding::{
-    EngineMode, FloodingReport, FloodingSim, InitMode, Protocol, SimConfig, SimRng,
+    EngineMode, FloodingReport, FloodingSim, InitMode, Parallelism, Protocol, SimConfig, SimRng,
     SourcePlacement, StepPhases,
 };
 pub use params::SimParams;

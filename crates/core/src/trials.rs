@@ -1,15 +1,26 @@
 //! Deterministic multi-threaded trial running.
 
+use fastflood_parallel::{run_ctx, WorkerPool};
 use fastflood_stats::seeds::derive_seed;
 
-/// Runs `trials` independent executions of `f` across `threads` OS
-/// threads and returns the results **in trial order**.
+/// Runs `trials` independent executions of `f` across `threads` worker
+/// threads (a [`WorkerPool`]) and returns the results **in trial
+/// order**.
 ///
 /// Each trial receives its index and a seed derived deterministically from
 /// `master_seed` via
 /// [`derive_seed`](fastflood_stats::seeds::derive_seed), so results do not
 /// depend on thread scheduling — the same `(master_seed, trials)` always
 /// produces the same output, whatever `threads` is.
+///
+/// Cross-trial parallelism composes with the engine's intra-step
+/// parallelism without oversubscribing cores: trials execute as pool
+/// tasks, so a sim running
+/// [`Parallelism::Chunked`](crate::Parallelism::Chunked) *inside* a
+/// trial detects the enclosing pool and executes its chunks inline on
+/// the trial's thread — same deterministic results, no thread
+/// explosion. Parallelize the outer level (trials) when there are many
+/// trials; reserve the inner level for single big runs.
 ///
 /// # Panics
 ///
@@ -35,30 +46,10 @@ where
     if trials == 0 {
         return Vec::new();
     }
-    let threads = threads.min(trials);
+    let pool = WorkerPool::new(threads.min(trials));
     let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
-    let chunk = trials.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut remaining: &mut [Option<T>] = &mut results;
-        let mut start = 0usize;
-        let mut handles = Vec::new();
-        while !remaining.is_empty() {
-            let take = chunk.min(remaining.len());
-            let (head, tail) = remaining.split_at_mut(take);
-            remaining = tail;
-            let base = start;
-            start += take;
-            let f = &f;
-            handles.push(scope.spawn(move || {
-                for (offset, slot) in head.iter_mut().enumerate() {
-                    let trial = base + offset;
-                    *slot = Some(f(trial, derive_seed(master_seed, trial as u64)));
-                }
-            }));
-        }
-        for h in handles {
-            h.join().expect("trial thread panicked");
-        }
+    run_ctx(&pool, &mut results, |trial, slot| {
+        *slot = Some(f(trial, derive_seed(master_seed, trial as u64)));
     });
     results
         .into_iter()

@@ -14,7 +14,7 @@
 //! pause-model test exercises the batch's slow path (pauses, rollovers,
 //! leg-cache refills) explicitly.
 
-use fastflood_core::{EngineMode, FloodingSim, Protocol, SimConfig, SourcePlacement};
+use fastflood_core::{EngineMode, FloodingSim, Parallelism, Protocol, SimConfig, SourcePlacement};
 use fastflood_mobility::Mrwp;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -254,6 +254,53 @@ fn batched_move_pass_with_pauses_does_not_allocate() {
             after - before,
             0,
             "{engine:?} batched move pass with pauses must not allocate"
+        );
+    }
+}
+
+#[test]
+fn parallel_chunked_steps_do_not_allocate() {
+    let _window = MEASURE.lock().unwrap();
+    // the chunked-parallel engine: pool dispatches, per-chunk event
+    // scratch, sharded stale joins (per-shard output regions), and
+    // sharded refresh passes (relocation/fixup regions) must all run
+    // out of retained storage once the pool and scratch are warm —
+    // on the forced incremental engine and the adaptive policy alike
+    for engine in [EngineMode::Incremental, EngineMode::Adaptive] {
+        let model = Mrwp::new(100.0, 0.2).unwrap();
+        let mut sim = FloodingSim::new(
+            model,
+            SimConfig::new(800, 1.5)
+                .seed(7)
+                .source(SourcePlacement::Center)
+                .engine(engine)
+                .parallelism(Parallelism::Chunked { threads: 2 }),
+        )
+        .unwrap();
+        sim.reserve_steps(4_096);
+        for _ in 0..300 {
+            sim.step();
+        }
+        assert!(
+            !sim.all_informed() && sim.informed_count() > 1,
+            "test needs a mid-flood state: {} informed",
+            sim.informed_count()
+        );
+        let diff_before = sim.incremental_diff_steps();
+        let before = allocations();
+        for _ in 0..200 {
+            sim.step();
+        }
+        let after = allocations();
+        assert!(!sim.all_informed(), "flood completed mid-measurement");
+        assert!(
+            sim.incremental_diff_steps() > diff_before,
+            "the measured window must contain parallel diff re-bins"
+        );
+        assert_eq!(
+            after - before,
+            0,
+            "{engine:?} chunked-parallel steady state must not allocate"
         );
     }
 }

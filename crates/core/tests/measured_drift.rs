@@ -13,7 +13,7 @@
 //!   grows much slower than `speed()` and the DEFER window stretches
 //!   accordingly.
 
-use fastflood_core::{EngineMode, FloodingSim, SimConfig, SourcePlacement};
+use fastflood_core::{EngineMode, FloodingSim, Parallelism, SimConfig, SourcePlacement};
 use fastflood_geom::Point;
 use fastflood_mobility::Mrwp;
 use proptest::prelude::*;
@@ -104,6 +104,80 @@ proptest! {
         prop_assert_eq!(inc.report(), oracle.report());
         prop_assert!(inc.incremental_deferred_steps() > 0);
     }
+}
+
+/// The soundness invariant under the chunked-parallel engine: the
+/// per-chunk measured drifts reduce (max, canonical order) to a bound
+/// that still covers every agent's true displacement since the last
+/// grid synchronization. Runs with `threads: 0`, so `scripts/tier1.sh`
+/// re-exercises it under `FASTFLOOD_THREADS=2`.
+#[test]
+fn parallel_accumulated_staleness_bounds_true_displacement() {
+    for pause in [0u32, 3] {
+        let model = Mrwp::new(24.0, 0.4).unwrap().with_pause(pause);
+        let mut sim = FloodingSim::new(
+            model,
+            SimConfig::new(60, 2.0)
+                .seed(11 + pause as u64)
+                .source(SourcePlacement::Agent(0))
+                .engine(EngineMode::Incremental)
+                .parallelism(Parallelism::Chunked { threads: 0 }),
+        )
+        .unwrap();
+        let mut filed: Vec<Point> = sim.positions().to_vec();
+        for t in 1..=600u32 {
+            sim.step();
+            let stale = sim.incremental_staleness();
+            if stale == 0.0 {
+                filed.copy_from_slice(sim.positions());
+            } else {
+                for (i, p) in sim.positions().iter().enumerate() {
+                    let moved = filed[i].euclid(*p);
+                    assert!(
+                        moved <= stale + 1e-9,
+                        "pause {pause}, step {t}: agent {i} drifted {moved} > bound {stale}"
+                    );
+                }
+            }
+        }
+        assert!(
+            sim.incremental_deferred_steps() > 0,
+            "the parallel run must exercise deferred (stale) joins"
+        );
+    }
+}
+
+/// Long pause-heavy deferrals under the chunked-parallel engine: the
+/// sharded stale join must stay lockstep-identical to a brute-force
+/// oracle sharing the same chunk streams.
+#[test]
+fn parallel_stale_join_lockstep_with_oracle_under_pauses() {
+    let parallelism = Parallelism::Chunked { threads: 0 };
+    let config = |engine: EngineMode| {
+        SimConfig::new(80, 2.2)
+            .seed(31)
+            .source(SourcePlacement::Agent(0))
+            .engine(engine)
+            .parallelism(parallelism)
+    };
+    let model = Mrwp::new(20.0, 0.25).unwrap().with_pause(3);
+    let mut inc = FloodingSim::new(model.clone(), config(EngineMode::Incremental)).unwrap();
+    let mut oracle = FloodingSim::new(model, config(EngineMode::Oracle)).unwrap();
+    for t in 1..=800u32 {
+        let a = inc.step();
+        let b = oracle.step();
+        assert_eq!(a, b, "step {t}: newly-informed counts diverged");
+        assert_eq!(
+            inc.informed(),
+            oracle.informed(),
+            "step {t}: informed sets diverged under parallel deferred joins"
+        );
+        if inc.all_informed() {
+            break;
+        }
+    }
+    assert_eq!(inc.report(), oracle.report());
+    assert!(inc.incremental_deferred_steps() > 0);
 }
 
 /// The measured bound is strictly tighter than the worst case when

@@ -1,9 +1,10 @@
 //! The disk-based random-walk model of the authors' earlier papers
 //! \[10, 11\], used as the "uniform stationary distribution" baseline.
 
-use crate::model::step_batch_sequential;
+use crate::model::{step_batch_chunked_aos, step_batch_sequential, ChunkCtx};
 use crate::{Mobility, MobilityError, StepEvents};
 use fastflood_geom::{Point, Rect};
+use fastflood_parallel::WorkerPool;
 use rand::Rng;
 
 /// Random-walk mobility: each trip's destination is drawn uniformly from
@@ -203,6 +204,17 @@ impl Mobility for DiskWalk {
         on_events: F,
     ) -> f64 {
         step_batch_sequential(self, batch, positions, rng, on_events)
+    }
+
+    fn step_batch_chunked<R: Rng + Send, F: FnMut(usize, StepEvents)>(
+        &self,
+        batch: &mut Self::Batch,
+        positions: &mut [Point],
+        chunks: &mut [ChunkCtx<R>],
+        pool: &WorkerPool,
+        on_events: F,
+    ) -> f64 {
+        step_batch_chunked_aos(self, batch, positions, chunks, pool, on_events)
     }
 }
 

@@ -58,7 +58,10 @@ mod street_grid;
 mod turns;
 
 pub use disk_walk::{DiskWalk, DiskWalkState};
-pub use model::{step_batch_sequential, Mobility, StepEvents};
+pub use model::{
+    drain_chunks, move_chunk_count, step_batch_chunked_aos, step_batch_sequential, ChunkCtx,
+    Mobility, StepEvents, MOVE_CHUNK,
+};
 pub use mrwp::{Mrwp, MrwpBatch, MrwpState};
 pub use rwp::{Rwp, RwpState};
 pub use statik::{Placement, Static, StaticState};

@@ -1,6 +1,7 @@
 //! The mobility-model abstraction the flooding engine is generic over.
 
 use fastflood_geom::{Point, Rect};
+use fastflood_parallel::{run_chunks2, WorkerPool};
 use rand::Rng;
 
 /// What happened to one agent during one time step.
@@ -24,6 +25,102 @@ impl StepEvents {
     pub fn direction_changes(&self) -> u32 {
         self.turns + self.arrivals
     }
+}
+
+/// Agents per chunk of the deterministic parallel move pass.
+///
+/// The chunk layout is a **pure function of the population size** —
+/// agent `i` belongs to chunk `i / MOVE_CHUNK`, never re-balanced by
+/// thread count — because each chunk owns a private RNG stream: the
+/// layout is part of the parallel trajectory definition, so it must be
+/// identical whatever the pool size or scheduling. 4096 agents keep
+/// per-chunk overhead (one atomic claim, a cold read of the chunk's
+/// stream + context, the event-scratch drain) below ~1% of the chunk's
+/// memory traffic — measured: 1024-agent chunks cost the 1-thread
+/// parallel path ~8% at n = 100k, 4096 cuts that to ~2% — while still
+/// giving a wide pool tens of chunks to balance at the benchmark
+/// sizes. Changing this constant changes parallel-mode trajectories
+/// (never their statistics); the sequential path does not read it.
+pub const MOVE_CHUNK: usize = 4096;
+
+/// Number of move-pass chunks for a population of `n` agents (at least
+/// one, so an empty population still has a well-formed layout).
+pub fn move_chunk_count(n: usize) -> usize {
+    n.div_ceil(MOVE_CHUNK).max(1)
+}
+
+/// Per-chunk context of the parallel move pass: the chunk's private
+/// random stream plus the scratch its task writes (measured drift and
+/// deferred step events), merged by [`drain_chunks`] in canonical chunk
+/// order after the parallel region.
+///
+/// The driver retains one `ChunkCtx` per chunk across steps (streams
+/// must continue where they left off; the scratch keeps its capacity so
+/// steady-state steps stay allocation-free).
+#[derive(Debug, Clone)]
+pub struct ChunkCtx<R> {
+    /// The chunk's private random stream, advanced only by this chunk's
+    /// agents.
+    pub(crate) rng: R,
+    /// Measured maximum displacement of this chunk's agents this step.
+    pub(crate) drift: f64,
+    /// Events recorded this step, in agent order within the chunk.
+    pub(crate) events: Vec<(u32, StepEvents)>,
+}
+
+impl<R> ChunkCtx<R> {
+    /// Creates the context for one chunk of up to `chunk_len` agents
+    /// with its private stream; the event scratch is fully reserved so
+    /// steps never grow it.
+    pub fn new(rng: R, chunk_len: usize) -> ChunkCtx<R> {
+        ChunkCtx {
+            rng,
+            drift: 0.0,
+            events: Vec::with_capacity(chunk_len),
+        }
+    }
+
+    /// Resets the per-step scratch (drift and events); the stream keeps
+    /// its position.
+    pub fn begin(&mut self) {
+        self.drift = 0.0;
+        self.events.clear();
+    }
+
+    /// Records an event for `agent` (a global index).
+    pub fn record(&mut self, agent: usize, ev: StepEvents) {
+        self.events.push((agent as u32, ev));
+    }
+
+    /// Sets the chunk's measured drift for this step.
+    pub fn set_drift(&mut self, drift: f64) {
+        self.drift = drift;
+    }
+
+    /// The chunk's measured drift for this step.
+    pub fn drift(&self) -> f64 {
+        self.drift
+    }
+}
+
+/// Merges per-chunk results after a parallel move pass: forwards every
+/// recorded event in canonical (chunk, then agent) order — which is
+/// global agent order, since chunks partition the index space
+/// contiguously — and returns the maximum drift over all chunks.
+pub fn drain_chunks<R, F: FnMut(usize, StepEvents)>(
+    chunks: &mut [ChunkCtx<R>],
+    mut on_events: F,
+) -> f64 {
+    let mut max_drift = 0.0f64;
+    for c in chunks.iter_mut() {
+        if c.drift > max_drift {
+            max_drift = c.drift;
+        }
+        for &(i, ev) in &c.events {
+            on_events(i as usize, ev);
+        }
+    }
+    max_drift
 }
 
 /// A mobility model over a square region with synchronous unit time steps.
@@ -157,6 +254,81 @@ pub trait Mobility {
         rng: &mut R,
         on_events: F,
     ) -> f64;
+
+    /// Advances every agent by one time unit in the fixed
+    /// [`MOVE_CHUNK`] chunk geometry, each chunk drawing from **its own
+    /// stream** (`chunks[c].rng`) and chunks executing concurrently on
+    /// `pool` — the deterministic parallel move pass.
+    ///
+    /// Contract, on top of [`Mobility::step_batch`]'s semantics:
+    ///
+    /// * chunk `c` covers agents `c·MOVE_CHUNK ..` and steps them **in
+    ///   index order** using only `chunks[c].rng`, so the result is a
+    ///   pure function of `(batch, positions, chunk streams)` — bitwise
+    ///   identical whatever the pool's thread count or scheduling;
+    /// * trajectories *differ* from a [`Mobility::step_batch`] call on
+    ///   a single stream (different draws reach different agents) but
+    ///   are statistically the same process;
+    /// * `on_events` fires in global agent order after all chunks
+    ///   complete (see [`drain_chunks`]); the returned measured drift
+    ///   is the maximum over chunks and bounds every agent's
+    ///   displacement exactly as in `step_batch`.
+    ///
+    /// The default implementation is the **sequential reference**: it
+    /// steps each chunk in order through the scalar state views
+    /// ([`Mobility::batch_state`] / [`Mobility::batch_set_state`]) —
+    /// correct, stream-identical to any conforming override, and the
+    /// oracle the property tests compare real implementations against,
+    /// but state-copying and single-threaded. Models override it:
+    /// AoS models via [`step_batch_chunked_aos`], [`Mrwp`](crate::Mrwp)
+    /// with a chunk-split of its hot/cold arrays.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `positions` and the batch
+    /// disagree on the population size or `chunks` does not hold
+    /// exactly [`move_chunk_count`]`(n)` contexts.
+    fn step_batch_chunked<R: Rng + Send, F: FnMut(usize, StepEvents)>(
+        &self,
+        batch: &mut Self::Batch,
+        positions: &mut [Point],
+        chunks: &mut [ChunkCtx<R>],
+        pool: &WorkerPool,
+        on_events: F,
+    ) -> f64 {
+        let _ = pool;
+        let n = positions.len();
+        assert_eq!(
+            chunks.len(),
+            move_chunk_count(n),
+            "one context per move chunk"
+        );
+        for (ci, ctx) in chunks.iter_mut().enumerate() {
+            ctx.begin();
+            let lo = ci * MOVE_CHUNK;
+            let hi = ((ci + 1) * MOVE_CHUNK).min(n);
+            let mut max_d2 = 0.0f64;
+            for (k, pos) in positions[lo..hi].iter_mut().enumerate() {
+                let i = lo + k;
+                let mut st = self.batch_state(batch, i);
+                let before = *pos;
+                let (p, ev) = self.step_from(&mut st, before, &mut ctx.rng);
+                self.batch_set_state(batch, i, st);
+                *pos = p;
+                let dx = p.x - before.x;
+                let dy = p.y - before.y;
+                let d2 = dx * dx + dy * dy;
+                if d2 > max_d2 {
+                    max_d2 = d2;
+                }
+                if ev.turns | ev.arrivals != 0 {
+                    ctx.record(i, ev);
+                }
+            }
+            ctx.set_drift(max_d2.sqrt());
+        }
+        drain_chunks(chunks, on_events)
+    }
 }
 
 /// The reference [`Mobility::step_batch`] implementation for models
@@ -201,6 +373,71 @@ where
         }
     }
     max_d2.sqrt()
+}
+
+/// The parallel [`Mobility::step_batch_chunked`] implementation for
+/// models whose batch layout is a plain `Vec<State>`: chunks of the
+/// state and position arrays run as disjoint pool tasks, each stepping
+/// its agents in index order through [`Mobility::step_from`] on the
+/// chunk's private stream.
+///
+/// [`Rwp`](crate::Rwp), [`DiskWalk`](crate::DiskWalk),
+/// [`Static`](crate::Static) and [`StreetMrwp`](crate::StreetMrwp)
+/// delegate to this. Results are bitwise identical to the trait's
+/// sequential reference default whatever the pool's thread count.
+pub fn step_batch_chunked_aos<M, R, F>(
+    model: &M,
+    states: &mut [M::State],
+    positions: &mut [Point],
+    chunks: &mut [ChunkCtx<R>],
+    pool: &WorkerPool,
+    on_events: F,
+) -> f64
+where
+    M: Mobility + Sync,
+    R: Rng + Send,
+    F: FnMut(usize, StepEvents),
+{
+    let n = positions.len();
+    assert_eq!(
+        states.len(),
+        n,
+        "batch and position array must agree on the population size"
+    );
+    assert_eq!(
+        chunks.len(),
+        move_chunk_count(n),
+        "one context per move chunk"
+    );
+    run_chunks2(
+        pool,
+        MOVE_CHUNK,
+        states,
+        positions,
+        chunks,
+        |ci, st_part, pos_part, ctx| {
+            ctx.begin();
+            let base = ci * MOVE_CHUNK;
+            let ChunkCtx { rng, drift, events } = ctx;
+            let mut max_d2 = 0.0f64;
+            for (k, (st, pos)) in st_part.iter_mut().zip(pos_part.iter_mut()).enumerate() {
+                let before = *pos;
+                let (p, ev) = model.step_from(st, before, rng);
+                *pos = p;
+                let dx = p.x - before.x;
+                let dy = p.y - before.y;
+                let d2 = dx * dx + dy * dy;
+                if d2 > max_d2 {
+                    max_d2 = d2;
+                }
+                if ev.turns | ev.arrivals != 0 {
+                    events.push(((base + k) as u32, ev));
+                }
+            }
+            *drift = max_d2.sqrt();
+        },
+    );
+    drain_chunks(chunks, on_events)
 }
 
 #[cfg(test)]

@@ -1,8 +1,10 @@
 //! The Manhattan Random Way-Point mobility model (paper §2).
 
 use crate::distributions::{sample_spatial, sample_trip_length_biased};
+use crate::model::{drain_chunks, move_chunk_count, ChunkCtx, MOVE_CHUNK};
 use crate::{Mobility, MobilityError, StepEvents};
 use fastflood_geom::{Axis, LPath, Point, Rect};
+use fastflood_parallel::{run_chunks3, WorkerPool};
 use rand::Rng;
 
 /// The Manhattan Random Way-Point model.
@@ -122,20 +124,52 @@ impl MrwpState {
 }
 
 /// Hot per-agent move state of the batched MRWP step: exactly the
-/// fields the fused leg step reads and writes, packed to 32 bytes so
-/// two agents share a cache line (where the AoS [`MrwpState`] spreads
-/// them across a ~100-byte struct dominated by cold trip geometry).
+/// fields the fused leg step reads and writes, packed to 24 bytes so
+/// nearly three agents share a cache line (where the AoS [`MrwpState`]
+/// spreads them across a ~100-byte struct dominated by cold trip
+/// geometry).
+///
+/// The per-leg step vector is **not** stored: legs are axis-aligned, so
+/// the cached `(vx, vy)` of the scalar state carries two bits of
+/// information (axis and sign) padded to 16 bytes. The hot entry keeps
+/// a direction *code* instead and the fast path reconstitutes the
+/// vector as `DIR_STEPS[dir] · speed` — bitwise identical to the stored
+/// form (`±1.0 · speed` is exactly `±speed`, `0.0 · speed` is exactly
+/// the `0.0` the scalar path adds), so the shrink costs one table read
+/// and changes no trajectory. See `docs/ARCHITECTURE.md` ("Move pass &
+/// state layout") for the rejected further shrinks (f32 leg cache,
+/// step-countdown) and why they break bitwise lockstep.
 #[derive(Debug, Clone, Copy)]
 struct MrwpHot {
     /// Arc-length progress along the current path.
     s: f64,
     /// Fast-path guard: while `s + speed < leg_end` a step is
-    /// `position += (vx, vy)`. Negative when invalid (pause or leg
-    /// boundary ahead), routing the agent through the slow path.
+    /// `position += DIR_STEPS[dir] · speed`. Negative when invalid
+    /// (pause or leg boundary ahead), routing the agent through the
+    /// slow path.
     leg_end: f64,
-    /// Cached per-step displacement on the current leg.
-    vx: f64,
-    vy: f64,
+    /// Direction code of the current leg: index into [`DIR_STEPS`].
+    dir: u32,
+}
+
+/// Axis-aligned unit step directions of an L-path leg, indexed by
+/// [`MrwpHot::dir`]; entry 4 is the degenerate zero-length leg.
+const DIR_STEPS: [(f64, f64); 5] = [(1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (0.0, -1.0), (0.0, 0.0)];
+
+/// Encodes a leg-cache step vector (each component `±speed` or `0.0`)
+/// as a [`DIR_STEPS`] index.
+fn dir_code(vx: f64, vy: f64) -> u32 {
+    if vx > 0.0 {
+        0
+    } else if vx < 0.0 {
+        1
+    } else if vy > 0.0 {
+        2
+    } else if vy < 0.0 {
+        3
+    } else {
+        4
+    }
 }
 
 /// Cold per-agent state: the trip geometry and pause counter, touched
@@ -151,12 +185,13 @@ struct MrwpCold {
 /// The whole MRWP population in the batched hot/cold split-layout form
 /// of [`Mobility::step_batch`] (built by [`Mobility::batch_from_states`]).
 ///
-/// Two parallel arrays: a dense 32-byte hot entry per agent (progress
-/// plus the fused leg cache) streamed by every step, and a cold side
-/// array (trip geometry, pause counter) read only when an agent hits a
-/// leg boundary. The common full-leg step therefore touches 32 bytes of
-/// state instead of the ~100-byte [`MrwpState`], which is what makes the
-/// dense-regime move pass cache-bound rather than stride-bound.
+/// Two parallel arrays: a dense 24-byte hot entry per agent (progress
+/// plus the fused leg cache, the step vector encoded as a direction
+/// code) streamed by every step, and a cold side array (trip geometry,
+/// pause counter) read only when an agent hits a leg boundary. The
+/// common full-leg step therefore touches 24 bytes of state instead of
+/// the ~100-byte [`MrwpState`], which is what makes the dense-regime
+/// move pass cache-bound rather than stride-bound.
 ///
 /// # Examples
 ///
@@ -352,8 +387,7 @@ impl Mobility for Mrwp {
             hot.push(MrwpHot {
                 s: st.s,
                 leg_end: st.leg_end,
-                vx: st.vx,
-                vy: st.vy,
+                dir: dir_code(st.vx, st.vy),
             });
             cold.push(MrwpCold {
                 path: st.path,
@@ -366,13 +400,14 @@ impl Mobility for Mrwp {
     fn batch_state(&self, batch: &MrwpBatch, agent: usize) -> MrwpState {
         let h = batch.hot[agent];
         let c = batch.cold[agent];
+        let (ux, uy) = DIR_STEPS[h.dir as usize];
         MrwpState {
             path: c.path,
             s: h.s,
             pause_left: c.pause_left,
             leg_end: h.leg_end,
-            vx: h.vx,
-            vy: h.vy,
+            vx: ux * self.speed,
+            vy: uy * self.speed,
         }
     }
 
@@ -380,8 +415,7 @@ impl Mobility for Mrwp {
         batch.hot[agent] = MrwpHot {
             s: state.s,
             leg_end: state.leg_end,
-            vx: state.vx,
-            vy: state.vy,
+            dir: dir_code(state.vx, state.vy),
         };
         batch.cold[agent] = MrwpCold {
             path: state.path,
@@ -394,7 +428,7 @@ impl Mobility for Mrwp {
         batch: &mut MrwpBatch,
         positions: &mut [Point],
         rng: &mut R,
-        mut on_events: F,
+        on_events: F,
     ) -> f64 {
         assert_eq!(
             batch.hot.len(),
@@ -402,6 +436,69 @@ impl Mobility for Mrwp {
             "batch and position array must agree on the population size"
         );
         debug_assert_eq!(batch.hot.len(), batch.cold.len());
+        let MrwpBatch { hot, cold } = batch;
+        self.step_batch_slices(hot, cold, positions, 0, rng, on_events)
+    }
+
+    fn step_batch_chunked<R: Rng + Send, F: FnMut(usize, StepEvents)>(
+        &self,
+        batch: &mut MrwpBatch,
+        positions: &mut [Point],
+        chunks: &mut [ChunkCtx<R>],
+        pool: &WorkerPool,
+        on_events: F,
+    ) -> f64 {
+        assert_eq!(
+            batch.hot.len(),
+            positions.len(),
+            "batch and position array must agree on the population size"
+        );
+        debug_assert_eq!(batch.hot.len(), batch.cold.len());
+        assert_eq!(
+            chunks.len(),
+            move_chunk_count(positions.len()),
+            "one context per move chunk"
+        );
+        let MrwpBatch { hot, cold } = batch;
+        run_chunks3(
+            pool,
+            MOVE_CHUNK,
+            hot,
+            cold,
+            positions,
+            chunks,
+            |ci, hot_part, cold_part, pos_part, ctx| {
+                ctx.begin();
+                let base = ci * MOVE_CHUNK;
+                let ChunkCtx { rng, drift, events } = ctx;
+                *drift =
+                    self.step_batch_slices(hot_part, cold_part, pos_part, base, rng, |i, ev| {
+                        events.push((i as u32, ev));
+                    });
+            },
+        );
+        drain_chunks(chunks, on_events)
+    }
+}
+
+impl Mrwp {
+    /// The batched move kernel over a slice of the hot/cold/position
+    /// arrays: the whole-population body of [`Mobility::step_batch`]
+    /// (`base == 0`, full slices) and the per-chunk task of
+    /// [`Mobility::step_batch_chunked`] (`base == chunk · MOVE_CHUNK`)
+    /// share this one function, so the two entry points can never drift
+    /// apart. Steps agents in slice order from `rng`, records events
+    /// through `record` with **global** agent indices, and returns the
+    /// slice's measured drift.
+    fn step_batch_slices<R: Rng + ?Sized>(
+        &self,
+        hot: &mut [MrwpHot],
+        cold: &mut [MrwpCold],
+        positions: &mut [Point],
+        base: usize,
+        rng: &mut R,
+        mut record: impl FnMut(usize, StepEvents),
+    ) -> f64 {
         let speed = self.speed;
         // Measured drift, split by path: a fused leg step displaces by
         // exactly `speed` (one axis, |v| = speed), so the fast path only
@@ -410,13 +507,14 @@ impl Mobility for Mrwp {
         // shorter in L2 than the L1 budget.
         let mut any_leg_step = false;
         let mut slow_max2 = 0.0f64;
-        let MrwpBatch { hot, cold } = batch;
         for (i, (h, pos)) in hot.iter_mut().zip(positions.iter_mut()).enumerate() {
             let s_new = h.s + speed;
             if s_new < h.leg_end {
-                // the fused fast path of `step_from`, on 32-byte state
+                // the fused fast path of `step_from`, on 24-byte state;
+                // DIR_STEPS[dir] · speed is bitwise the scalar (vx, vy)
                 h.s = s_new;
-                *pos = Point::new(pos.x + h.vx, pos.y + h.vy);
+                let (ux, uy) = DIR_STEPS[h.dir as usize];
+                *pos = Point::new(pos.x + ux * speed, pos.y + uy * speed);
                 any_leg_step = true;
                 continue;
             }
@@ -427,8 +525,7 @@ impl Mobility for Mrwp {
             let ev = self.step_core(&mut c.path, &mut h.s, &mut c.pause_left, rng);
             let (leg_end, vx, vy) = self.leg_cache(&c.path, h.s, c.pause_left);
             h.leg_end = leg_end;
-            h.vx = vx;
-            h.vy = vy;
+            h.dir = dir_code(vx, vy);
             let before = *pos;
             let p = c.path.point_at(h.s);
             *pos = p;
@@ -439,7 +536,7 @@ impl Mobility for Mrwp {
                 slow_max2 = d2;
             }
             if ev.turns | ev.arrivals != 0 {
-                on_events(i, ev);
+                record(base + i, ev);
             }
         }
         let slow = slow_max2.sqrt();
@@ -449,9 +546,7 @@ impl Mobility for Mrwp {
             slow
         }
     }
-}
 
-impl Mrwp {
     /// The authoritative one-step logic over the `(path, s, pause_left)`
     /// parts of an agent's state, shared verbatim by the scalar
     /// [`Mobility::step`]/[`Mobility::step_from`] entry points and the

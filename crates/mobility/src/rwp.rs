@@ -1,9 +1,10 @@
 //! The classical Random Way-Point model (straight-line trips), used as a
 //! baseline against MRWP.
 
-use crate::model::step_batch_sequential;
+use crate::model::{step_batch_chunked_aos, step_batch_sequential, ChunkCtx};
 use crate::{Mobility, MobilityError, StepEvents};
 use fastflood_geom::{Point, Rect};
+use fastflood_parallel::WorkerPool;
 use rand::Rng;
 
 /// Classical Random Way-Point: uniform destinations, *straight-line*
@@ -194,6 +195,17 @@ impl Mobility for Rwp {
         on_events: F,
     ) -> f64 {
         step_batch_sequential(self, batch, positions, rng, on_events)
+    }
+
+    fn step_batch_chunked<R: Rng + Send, F: FnMut(usize, StepEvents)>(
+        &self,
+        batch: &mut Self::Batch,
+        positions: &mut [Point],
+        chunks: &mut [ChunkCtx<R>],
+        pool: &WorkerPool,
+        on_events: F,
+    ) -> f64 {
+        step_batch_chunked_aos(self, batch, positions, chunks, pool, on_events)
     }
 }
 

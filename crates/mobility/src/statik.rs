@@ -1,8 +1,10 @@
 //! The static (immobile) model: the paper's `v = 0` degenerate case.
 
 use crate::distributions::sample_spatial;
+use crate::model::ChunkCtx;
 use crate::{Mobility, MobilityError, StepEvents};
 use fastflood_geom::{Point, Rect};
+use fastflood_parallel::WorkerPool;
 use rand::Rng;
 
 /// How a [`Static`] model places its agents.
@@ -142,6 +144,28 @@ impl Mobility for Static {
             batch.len(),
             positions.len(),
             "batch and position array must agree on the population size"
+        );
+        0.0
+    }
+
+    /// Chunked form of the no-op: streams untouched, zero drift.
+    fn step_batch_chunked<R: Rng + Send, F: FnMut(usize, StepEvents)>(
+        &self,
+        batch: &mut Self::Batch,
+        positions: &mut [Point],
+        chunks: &mut [ChunkCtx<R>],
+        _pool: &WorkerPool,
+        _on_events: F,
+    ) -> f64 {
+        assert_eq!(
+            batch.len(),
+            positions.len(),
+            "batch and position array must agree on the population size"
+        );
+        assert_eq!(
+            chunks.len(),
+            crate::model::move_chunk_count(positions.len()),
+            "one context per move chunk"
         );
         0.0
     }

@@ -11,9 +11,10 @@
 //! to the continuous [`Mrwp`](crate::Mrwp).
 
 use crate::distributions::sample_trip_length_biased;
-use crate::model::step_batch_sequential;
+use crate::model::{step_batch_chunked_aos, step_batch_sequential, ChunkCtx};
 use crate::{Mobility, MobilityError, StepEvents};
 use fastflood_geom::{Axis, LPath, Point, Rect};
+use fastflood_parallel::WorkerPool;
 use rand::Rng;
 
 /// MRWP constrained to a street grid: way-points are the intersections of
@@ -238,6 +239,17 @@ impl Mobility for StreetMrwp {
         on_events: F,
     ) -> f64 {
         step_batch_sequential(self, batch, positions, rng, on_events)
+    }
+
+    fn step_batch_chunked<R: Rng + Send, F: FnMut(usize, StepEvents)>(
+        &self,
+        batch: &mut Self::Batch,
+        positions: &mut [Point],
+        chunks: &mut [ChunkCtx<R>],
+        pool: &WorkerPool,
+        on_events: F,
+    ) -> f64 {
+        step_batch_chunked_aos(self, batch, positions, chunks, pool, on_events)
     }
 }
 

@@ -1,7 +1,11 @@
 //! Property tests for the mobility models.
 
 use fastflood_geom::Point;
-use fastflood_mobility::{distributions, DiskWalk, Mobility, Mrwp, Placement, Rwp, Static};
+use fastflood_mobility::{
+    distributions, move_chunk_count, ChunkCtx, DiskWalk, Mobility, Mrwp, Placement, Rwp, Static,
+    MOVE_CHUNK,
+};
+use fastflood_parallel::WorkerPool;
 use proptest::prelude::*;
 use rand::SeedableRng;
 
@@ -278,6 +282,222 @@ proptest! {
             prop_assert_eq!(drift, 0.0);
         }
         prop_assert_eq!(positions, before);
+    }
+}
+
+/// Forwards every required `Mobility` method (including the fused
+/// `step_from`) to the wrapped model but deliberately does **not**
+/// override `step_batch_chunked` — so calling it resolves to the
+/// trait's sequential reference default. The chunked-lockstep tests
+/// compare real overrides against this oracle.
+#[derive(Clone, Debug)]
+struct RefModel<M>(M);
+
+impl<M: Mobility> Mobility for RefModel<M> {
+    type State = M::State;
+    type Batch = M::Batch;
+
+    fn region(&self) -> fastflood_geom::Rect {
+        self.0.region()
+    }
+    fn speed(&self) -> f64 {
+        self.0.speed()
+    }
+    fn init_stationary<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Self::State {
+        self.0.init_stationary(rng)
+    }
+    fn init_at<R: rand::Rng + ?Sized>(&self, pos: Point, rng: &mut R) -> Self::State {
+        self.0.init_at(pos, rng)
+    }
+    fn position(&self, state: &Self::State) -> Point {
+        self.0.position(state)
+    }
+    fn step<R: rand::Rng + ?Sized>(
+        &self,
+        state: &mut Self::State,
+        rng: &mut R,
+    ) -> fastflood_mobility::StepEvents {
+        self.0.step(state, rng)
+    }
+    fn step_from<R: rand::Rng + ?Sized>(
+        &self,
+        state: &mut Self::State,
+        current: Point,
+        rng: &mut R,
+    ) -> (Point, fastflood_mobility::StepEvents) {
+        self.0.step_from(state, current, rng)
+    }
+    fn batch_from_states(&self, states: Vec<Self::State>) -> Self::Batch {
+        self.0.batch_from_states(states)
+    }
+    fn batch_state(&self, batch: &Self::Batch, agent: usize) -> Self::State {
+        self.0.batch_state(batch, agent)
+    }
+    fn batch_set_state(&self, batch: &mut Self::Batch, agent: usize, state: Self::State) {
+        self.0.batch_set_state(batch, agent, state)
+    }
+    fn step_batch<R: rand::Rng + ?Sized, F: FnMut(usize, fastflood_mobility::StepEvents)>(
+        &self,
+        batch: &mut Self::Batch,
+        positions: &mut [Point],
+        rng: &mut R,
+        on_events: F,
+    ) -> f64 {
+        self.0.step_batch(batch, positions, rng, on_events)
+    }
+}
+
+type StepLog = Vec<(
+    Vec<(u64, u64)>,
+    Vec<(usize, fastflood_mobility::StepEvents)>,
+    u64,
+)>;
+
+/// Runs `steps` chunked moves on `pool` and logs per-step `(position
+/// bits, events, drift bits)` — the canonical trace the chunked
+/// lockstep tests compare bitwise.
+fn chunked_trace<M: Mobility>(
+    model: &M,
+    states: &[M::State],
+    n: usize,
+    steps: usize,
+    seed: u64,
+    pool: &WorkerPool,
+) -> StepLog {
+    let mut positions: Vec<Point> = states.iter().map(|s| model.position(s)).collect();
+    let mut batch = model.batch_from_states(states.to_vec());
+    let mut chunks: Vec<ChunkCtx<rand::rngs::StdRng>> = (0..move_chunk_count(n))
+        .map(|c| {
+            let len = MOVE_CHUNK.min(n.saturating_sub(c * MOVE_CHUNK));
+            ChunkCtx::new(rng(seed ^ ((c as u64 + 1) << 32)), len)
+        })
+        .collect();
+    let mut log = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let mut events = Vec::new();
+        let drift =
+            model.step_batch_chunked(&mut batch, &mut positions, &mut chunks, pool, |i, ev| {
+                events.push((i, ev));
+            });
+        let bits: Vec<(u64, u64)> = positions
+            .iter()
+            .map(|p| (p.x.to_bits(), p.y.to_bits()))
+            .collect();
+        log.push((bits, events, drift.to_bits()));
+    }
+    log
+}
+
+/// The chunked move pass must be a pure function of `(states, chunk
+/// streams)`: bitwise-identical trajectories, events, and drift across
+/// thread counts {1, 2, 8}, and trajectories/events identical to the
+/// trait's sequential reference default (drift may be a different —
+/// equally sound — bound, so it is only compared across thread counts).
+fn assert_chunked_lockstep<M>(model: &M, n: usize, steps: usize, seed: u64)
+where
+    M: Mobility + Clone + Sync,
+{
+    let mut init_rng = rng(seed);
+    let states: Vec<M::State> = (0..n)
+        .map(|_| model.init_stationary(&mut init_rng))
+        .collect();
+    let reference = {
+        let shim = RefModel(model.clone());
+        chunked_trace(&shim, &states, n, steps, seed, &WorkerPool::new(1))
+    };
+    let mut across_threads: Vec<StepLog> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let pool = WorkerPool::new(threads);
+        let trace = chunked_trace(model, &states, n, steps, seed, &pool);
+        for (t, (step, ref_step)) in trace.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                step.0, ref_step.0,
+                "step {t}, {threads} threads: positions diverged from the reference default"
+            );
+            assert_eq!(
+                step.1, ref_step.1,
+                "step {t}, {threads} threads: events diverged from the reference default"
+            );
+        }
+        across_threads.push(trace);
+    }
+    for trace in &across_threads[1..] {
+        assert_eq!(
+            trace, &across_threads[0],
+            "chunked trace must be bitwise identical across thread counts"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn mrwp_chunked_matches_reference_and_thread_counts(
+        seed in 0u64..500,
+        n in 1usize..40,
+        pause in 0u32..3,
+    ) {
+        let model = Mrwp::new(50.0, 1.2).unwrap().with_pause(pause);
+        assert_chunked_lockstep(&model, n, 25, seed);
+    }
+
+    #[test]
+    fn rwp_chunked_matches_reference_and_thread_counts(seed in 0u64..500, n in 1usize..40) {
+        let model = Rwp::new(80.0, 2.5).unwrap();
+        assert_chunked_lockstep(&model, n, 20, seed);
+    }
+
+    #[test]
+    fn street_mrwp_chunked_matches_reference_and_thread_counts(seed in 0u64..500, n in 1usize..25) {
+        let model = fastflood_mobility::StreetMrwp::new(80.0, 1.5, 8).unwrap();
+        assert_chunked_lockstep(&model, n, 20, seed);
+    }
+}
+
+/// Multi-chunk population (several `MOVE_CHUNK` chunks): the property
+/// above at a size where chunk boundaries, per-chunk streams, and real
+/// cross-thread distribution are all exercised.
+#[test]
+fn mrwp_chunked_lockstep_across_many_chunks() {
+    let n = 2 * MOVE_CHUNK + 613; // three chunks, ragged tail
+    let model = Mrwp::new(60.0, 0.8).unwrap();
+    assert_chunked_lockstep(&model, n, 12, 42);
+    let paused = Mrwp::new(60.0, 0.8).unwrap().with_pause(2);
+    assert_chunked_lockstep(&paused, n, 12, 43);
+}
+
+/// The chunked pass measures drift per chunk and reduces by max; the
+/// result must still soundly bound every agent's displacement and never
+/// exceed the model speed.
+#[test]
+fn mrwp_chunked_drift_is_sound() {
+    let n = MOVE_CHUNK + 71;
+    let model = Mrwp::new(40.0, 1.5).unwrap().with_pause(3);
+    let mut init_rng = rng(7);
+    let states: Vec<_> = (0..n)
+        .map(|_| model.init_stationary(&mut init_rng))
+        .collect();
+    let mut positions: Vec<Point> = states.iter().map(|s| model.position(s)).collect();
+    let mut batch = model.batch_from_states(states);
+    let mut chunks: Vec<ChunkCtx<rand::rngs::StdRng>> = (0..move_chunk_count(n))
+        .map(|c| ChunkCtx::new(rng(100 + c as u64), MOVE_CHUNK))
+        .collect();
+    let pool = WorkerPool::new(4);
+    for step in 0..200 {
+        let before = positions.clone();
+        let drift =
+            model.step_batch_chunked(&mut batch, &mut positions, &mut chunks, &pool, |_, _| {});
+        assert!(drift <= model.speed() + 1e-9, "step {step}: drift {drift}");
+        let max_disp = before
+            .iter()
+            .zip(&positions)
+            .map(|(a, b)| a.euclid(*b))
+            .fold(0.0f64, f64::max);
+        assert!(
+            drift + 1e-12 >= max_disp,
+            "step {step}: drift {drift} under-counts displacement {max_disp}"
+        );
     }
 }
 

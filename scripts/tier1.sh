@@ -9,6 +9,12 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
 cargo test -q --workspace
+# the engine-lockstep and measured-drift suites again with the pool
+# default pinned to 2 threads: the `Parallelism::Chunked { threads: 0 }`
+# cases then exercise real cross-thread dispatch (thread counts must
+# never change results — the determinism contract)
+FASTFLOOD_THREADS=2 cargo test -q -p fastflood-core \
+  --test parallel_engine --test measured_drift --test engine_oracle
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
