@@ -1,0 +1,105 @@
+//! Move-only A/B microbenchmark: the split advance-kernel/boundary-pass
+//! MRWP move pass (`Mobility::step_batch` on the SoA hot lanes) against
+//! the scalar AoS reference loop (`step_batch_sequential` over
+//! `Vec<MrwpState>`), with no flooding engine around it — so a kernel
+//! regression shows up directly, not only as a shifted share in
+//! `phase_breakdown`.
+//!
+//! Runs both passes over identically-initialized stationary populations
+//! in the bench regime (radius = 0.4 · scale, v = 0.2 · radius, the
+//! `engine_step_sustained` parameters) at sizes chosen around the
+//! `MOVE_CHUNK` geometry: below one chunk, exactly one chunk, and
+//! ragged multi-chunk. Prints one JSON object `scripts/bench_engine.sh`
+//! embeds as the `move_kernel` block of `BENCH_engine.json`. Schema in
+//! `docs/BENCHMARKING.md`.
+
+use fastflood_core::{SimParams, SimRng};
+use fastflood_geom::Point;
+use fastflood_mobility::{step_batch_sequential, Mobility, Mrwp, MrwpState};
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Sub-chunk, exactly one chunk (4096), ragged multi-chunk, and the
+/// headline bench size.
+const SIZES: [usize; 4] = [1_000, 4_096, 10_000, 100_000];
+
+fn regime_model(n: usize) -> Mrwp {
+    let scale = SimParams::standard(n, 1.0, 0.0)
+        .expect("valid")
+        .radius_scale();
+    let radius = 0.4 * scale;
+    let params = SimParams::standard(n, radius, 0.2 * radius).expect("valid");
+    Mrwp::new(params.side(), params.speed()).expect("valid")
+}
+
+fn stationary_population(model: &Mrwp, n: usize) -> (Vec<MrwpState>, Vec<Point>) {
+    let mut rng = SimRng::seed_from_u64(1);
+    let states: Vec<MrwpState> = (0..n).map(|_| model.init_stationary(&mut rng)).collect();
+    let positions: Vec<Point> = states.iter().map(|s| model.position(s)).collect();
+    (states, positions)
+}
+
+fn main() {
+    println!("{{");
+    println!(
+        "  \"protocol\": \"move-only A/B, sequential single-core: split kernel \
+         (step_batch, SoA hot lanes) vs scalar AoS reference loop \
+         (step_batch_sequential) over identical stationary populations, bench \
+         regime (radius = 0.4*scale, v = 0.2*radius); ns per step and per \
+         agent-step, speedup = scalar/split\",",
+    );
+    for (k, &n) in SIZES.iter().enumerate() {
+        let model = regime_model(n);
+        let warm = 100u32;
+        let steps = (16_000_000 / n as u64).clamp(1_000, 20_000) as u32;
+
+        // A: the split kernel on the model's SoA batch layout
+        let (states, mut positions) = stationary_population(&model, n);
+        let mut batch = model.batch_from_states(states);
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..warm {
+            black_box(model.step_batch(&mut batch, &mut positions, &mut rng, |_, _| {}));
+        }
+        let started = Instant::now();
+        for _ in 0..steps {
+            black_box(model.step_batch(&mut batch, &mut positions, &mut rng, |_, _| {}));
+        }
+        let split_ns = started.elapsed().as_nanos() as f64 / steps as f64;
+
+        // B: the scalar AoS reference loop over the same population
+        let (mut states, mut positions) = stationary_population(&model, n);
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..warm {
+            black_box(step_batch_sequential(
+                &model,
+                &mut states,
+                &mut positions,
+                &mut rng,
+                |_, _| {},
+            ));
+        }
+        let started = Instant::now();
+        for _ in 0..steps {
+            black_box(step_batch_sequential(
+                &model,
+                &mut states,
+                &mut positions,
+                &mut rng,
+                |_, _| {},
+            ));
+        }
+        let scalar_ns = started.elapsed().as_nanos() as f64 / steps as f64;
+
+        let sep = if k + 1 == SIZES.len() { "" } else { "," };
+        println!(
+            "  \"{n}\": {{\"steps_timed\": {steps}, \"split_ns_per_step\": {split_ns:.1}, \
+             \"scalar_ns_per_step\": {scalar_ns:.1}, \"split_ns_per_agent\": {:.3}, \
+             \"scalar_ns_per_agent\": {:.3}, \"speedup\": {:.3}}}{sep}",
+            split_ns / n as f64,
+            scalar_ns / n as f64,
+            scalar_ns / split_ns,
+        );
+    }
+    println!("}}");
+}

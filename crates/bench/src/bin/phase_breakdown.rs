@@ -49,7 +49,8 @@ fn main() {
     println!(
         "  \"protocol\": \"engine_step_sustained shape (adaptive engine{}, warm to ~50% informed, \
          fixed timed step loop through completion); ns per step, refresh is the subset of \
-         transmit spent synchronizing the incremental grids\",",
+         transmit spent synchronizing the incremental grids, boundary is the move-pass time \
+         in the scalar leg-boundary pass (CPU time summed over chunks in parallel mode)\",",
         if threads == 0 {
             String::from(", sequential")
         } else {
@@ -98,8 +99,10 @@ fn main() {
         let sep = if k + 1 == sizes.len() { "" } else { "," };
         println!(
             "  \"{n}\": {{\"steps_timed\": {steps}, \"ns_per_step\": {total_ns:.1}, \
-             \"move_ns\": {:.1}, \"transmit_ns\": {:.1}, \"refresh_ns\": {:.1}}}{sep}",
+             \"move_ns\": {:.1}, \"boundary_ns\": {:.1}, \"transmit_ns\": {:.1}, \
+             \"refresh_ns\": {:.1}}}{sep}",
             per(ph.move_ns),
+            per(ph.boundary_ns),
             per(ph.transmit_ns),
             per(ph.refresh_ns),
         );

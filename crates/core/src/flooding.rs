@@ -535,11 +535,20 @@ const CHUNK_STREAM_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 /// subset of it spent synchronizing the incremental join grids (full
 /// rebuilds, membership surgery, refresh/relocate passes), so
 /// `refresh_ns ≤ transmit_ns` and pure join/scan cost is their
-/// difference.
+/// difference. Analogously, `boundary_ns` is the time spent in the
+/// scalar leg-boundary pass of a split move kernel (models without a
+/// split report 0), so kernel streaming cost is `move_ns − boundary_ns`
+/// up to dispatch overhead. Caveat: in chunked-parallel mode
+/// `boundary_ns` is **CPU time summed over chunks**, so on a machine
+/// where chunks genuinely overlap it can exceed the wall-clock
+/// `move_ns`; compare the two only in sequential mode.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StepPhases {
     /// Move pass: the batched mobility step over all agents.
     pub move_ns: u64,
+    /// Scalar leg-boundary sub-pass inside the move pass (RNG draws,
+    /// trip resampling); 0 for models without a split move kernel.
+    pub boundary_ns: u64,
     /// Transmit pass, inclusive of `refresh_ns`.
     pub transmit_ns: u64,
     /// Incremental-grid synchronization inside the transmit pass.
@@ -982,9 +991,12 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
 
     /// Turns per-phase wall-clock accounting on or off (see
     /// [`StepPhases`]); off by default. Enabling does not reset
-    /// already-accumulated times.
+    /// already-accumulated times. Also enables the model's move-phase
+    /// split timing, so `boundary_ns` accrues for models with a split
+    /// move kernel.
     pub fn enable_phase_timing(&mut self, on: bool) {
         self.phase_timing = on;
+        self.model.enable_move_timing(&mut self.batch, on);
     }
 
     /// Cumulative per-phase times collected while
@@ -1053,6 +1065,9 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
         };
         let transmit_started = if let Some(t0) = move_started {
             self.phases.move_ns += t0.elapsed().as_nanos() as u64;
+            if let Some((_, b_ns)) = self.model.move_split_nanos(&self.batch) {
+                self.phases.boundary_ns += b_ns;
+            }
             Some(Instant::now())
         } else {
             None

@@ -262,10 +262,13 @@ fn batched_move_pass_with_pauses_does_not_allocate() {
 fn parallel_chunked_steps_do_not_allocate() {
     let _window = MEASURE.lock().unwrap();
     // the chunked-parallel engine: pool dispatches, per-chunk event
-    // scratch, sharded stale joins (per-shard output regions), and
-    // sharded refresh passes (relocation/fixup regions) must all run
-    // out of retained storage once the pool and scratch are warm —
-    // on the forced incremental engine and the adaptive policy alike
+    // scratch, block-RNG refill buffers (fixed inline arrays inside
+    // each chunk context — refills must never touch the heap), sharded
+    // stale joins (per-shard output regions), and sharded refresh
+    // passes (relocation/fixup regions) must all run out of retained
+    // storage once the pool and scratch are warm — on the forced
+    // incremental engine and the adaptive policy alike, with phase
+    // timing (and thus the kernel/boundary split counters) live
     for engine in [EngineMode::Incremental, EngineMode::Adaptive] {
         let model = Mrwp::new(100.0, 0.2).unwrap();
         let mut sim = FloodingSim::new(
@@ -277,6 +280,7 @@ fn parallel_chunked_steps_do_not_allocate() {
                 .parallelism(Parallelism::Chunked { threads: 2 }),
         )
         .unwrap();
+        sim.enable_phase_timing(true);
         sim.reserve_steps(4_096);
         for _ in 0..300 {
             sim.step();
@@ -301,6 +305,13 @@ fn parallel_chunked_steps_do_not_allocate() {
             after - before,
             0,
             "{engine:?} chunked-parallel steady state must not allocate"
+        );
+        // single chunk at n = 800, so summed chunk CPU time is
+        // comparable against the wall-clock move phase
+        let phases = sim.phase_times();
+        assert!(
+            phases.boundary_ns <= phases.move_ns,
+            "boundary pass is a subset of the move pass"
         );
     }
 }

@@ -2,7 +2,7 @@
 
 use fastflood_geom::{Point, Rect};
 use fastflood_parallel::{run_chunks2, WorkerPool};
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 /// What happened to one agent during one time step.
 ///
@@ -49,6 +49,70 @@ pub fn move_chunk_count(n: usize) -> usize {
     n.div_ceil(MOVE_CHUNK).max(1)
 }
 
+/// 64-bit words fetched per refill of a [`BlockRng`] buffer.
+pub const RNG_BLOCK: usize = 8;
+
+/// A word-buffering adapter over an inner generator: pulls
+/// [`RNG_BLOCK`] 64-bit words from the inner stream at a time and
+/// serves them **in draw order**, so the sequence of words a consumer
+/// sees is bitwise-identical to calling the inner generator directly —
+/// only the *timing* of the underlying state advances changes (eight
+/// back-to-back xoshiro steps amortize better than interleaving one
+/// step into every boundary-pass agent).
+///
+/// Every distribution the move pass draws (`gen::<f64>`, `gen_bool`,
+/// integer `gen_range`) bottoms out in `next_u64`, and `next_u32` here
+/// takes the high half of a buffered word exactly like
+/// [`SmallRng`](rand::rngs::SmallRng) does over its own state, so
+/// wrapping a stream in `BlockRng` never changes any sampled value.
+/// The buffer is a fixed inline array: no heap allocation, ever.
+///
+/// [`ChunkCtx`] wraps every per-chunk stream in one of these, which is
+/// how block-batched RNG reaches both the native MRWP chunked path and
+/// the AoS fallback without either knowing about it. Unconsumed words
+/// simply carry over to the next step of the same chunk; chunk streams
+/// feed nothing but the move pass, so carryover is unobservable.
+#[derive(Debug, Clone)]
+pub struct BlockRng<R> {
+    inner: R,
+    buf: [u64; RNG_BLOCK],
+    /// Next unserved slot; `RNG_BLOCK` means the buffer is exhausted.
+    pos: usize,
+}
+
+impl<R> BlockRng<R> {
+    /// Wraps `inner`, starting with an empty buffer (the first draw
+    /// triggers a refill, so a fresh wrapper replays the inner stream
+    /// from its current position).
+    pub fn new(inner: R) -> BlockRng<R> {
+        BlockRng {
+            inner,
+            buf: [0; RNG_BLOCK],
+            pos: RNG_BLOCK,
+        }
+    }
+}
+
+impl<R: RngCore> RngCore for BlockRng<R> {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        if self.pos == RNG_BLOCK {
+            for w in &mut self.buf {
+                *w = self.inner.next_u64();
+            }
+            self.pos = 0;
+        }
+        let w = self.buf[self.pos];
+        self.pos += 1;
+        w
+    }
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
 /// Per-chunk context of the parallel move pass: the chunk's private
 /// random stream plus the scratch its task writes (measured drift and
 /// deferred step events), merged by [`drain_chunks`] in canonical chunk
@@ -60,12 +124,19 @@ pub fn move_chunk_count(n: usize) -> usize {
 #[derive(Debug, Clone)]
 pub struct ChunkCtx<R> {
     /// The chunk's private random stream, advanced only by this chunk's
-    /// agents.
-    pub(crate) rng: R,
+    /// agents, buffered in [`RNG_BLOCK`]-word blocks (draw order — and
+    /// therefore every trajectory — is unchanged by the buffering; see
+    /// [`BlockRng`]).
+    pub(crate) rng: BlockRng<R>,
     /// Measured maximum displacement of this chunk's agents this step.
     pub(crate) drift: f64,
     /// Events recorded this step, in agent order within the chunk.
     pub(crate) events: Vec<(u32, StepEvents)>,
+    /// Nanoseconds this chunk spent in the advance kernel this step
+    /// (written only by models with a split move pass, under timing).
+    pub(crate) kernel_ns: u64,
+    /// Nanoseconds this chunk spent in the boundary pass this step.
+    pub(crate) boundary_ns: u64,
 }
 
 impl<R> ChunkCtx<R> {
@@ -74,17 +145,21 @@ impl<R> ChunkCtx<R> {
     /// steps never grow it.
     pub fn new(rng: R, chunk_len: usize) -> ChunkCtx<R> {
         ChunkCtx {
-            rng,
+            rng: BlockRng::new(rng),
             drift: 0.0,
             events: Vec::with_capacity(chunk_len),
+            kernel_ns: 0,
+            boundary_ns: 0,
         }
     }
 
-    /// Resets the per-step scratch (drift and events); the stream keeps
-    /// its position.
+    /// Resets the per-step scratch (drift, events, phase timings); the
+    /// stream keeps its position.
     pub fn begin(&mut self) {
         self.drift = 0.0;
         self.events.clear();
+        self.kernel_ns = 0;
+        self.boundary_ns = 0;
     }
 
     /// Records an event for `agent` (a global index).
@@ -255,6 +330,25 @@ pub trait Mobility {
         on_events: F,
     ) -> f64;
 
+    /// Turns per-step move-phase split timing on or off for `batch`.
+    ///
+    /// Models whose move pass has an internal phase structure (e.g. the
+    /// MRWP advance-kernel / boundary-pass split) record per-phase
+    /// nanoseconds into the batch while enabled, readable through
+    /// [`Mobility::move_split_nanos`]. The default is a no-op: models
+    /// with a monolithic move pass have nothing to split.
+    fn enable_move_timing(&self, batch: &mut Self::Batch, on: bool) {
+        let _ = (batch, on);
+    }
+
+    /// The last step's move-phase split as `(kernel_ns, boundary_ns)`,
+    /// or `None` when the model has no split or timing is disabled (the
+    /// default).
+    fn move_split_nanos(&self, batch: &Self::Batch) -> Option<(u64, u64)> {
+        let _ = batch;
+        None
+    }
+
     /// Advances every agent by one time unit in the fixed
     /// [`MOVE_CHUNK`] chunk geometry, each chunk drawing from **its own
     /// stream** (`chunks[c].rng`) and chunks executing concurrently on
@@ -418,7 +512,9 @@ where
         |ci, st_part, pos_part, ctx| {
             ctx.begin();
             let base = ci * MOVE_CHUNK;
-            let ChunkCtx { rng, drift, events } = ctx;
+            let ChunkCtx {
+                rng, drift, events, ..
+            } = ctx;
             let mut max_d2 = 0.0f64;
             for (k, (st, pos)) in st_part.iter_mut().zip(pos_part.iter_mut()).enumerate() {
                 let before = *pos;

@@ -4,8 +4,9 @@ use crate::distributions::{sample_spatial, sample_trip_length_biased};
 use crate::model::{drain_chunks, move_chunk_count, ChunkCtx, MOVE_CHUNK};
 use crate::{Mobility, MobilityError, StepEvents};
 use fastflood_geom::{Axis, LPath, Point, Rect};
-use fastflood_parallel::{run_chunks3, WorkerPool};
+use fastflood_parallel::{run_chunks6, WorkerPool};
 use rand::Rng;
+use std::time::Instant;
 
 /// The Manhattan Random Way-Point model.
 ///
@@ -123,37 +124,11 @@ impl MrwpState {
     }
 }
 
-/// Hot per-agent move state of the batched MRWP step: exactly the
-/// fields the fused leg step reads and writes, packed to 24 bytes so
-/// nearly three agents share a cache line (where the AoS [`MrwpState`]
-/// spreads them across a ~100-byte struct dominated by cold trip
-/// geometry).
-///
-/// The per-leg step vector is **not** stored: legs are axis-aligned, so
-/// the cached `(vx, vy)` of the scalar state carries two bits of
-/// information (axis and sign) padded to 16 bytes. The hot entry keeps
-/// a direction *code* instead and the fast path reconstitutes the
-/// vector as `DIR_STEPS[dir] · speed` — bitwise identical to the stored
-/// form (`±1.0 · speed` is exactly `±speed`, `0.0 · speed` is exactly
-/// the `0.0` the scalar path adds), so the shrink costs one table read
-/// and changes no trajectory. See `docs/ARCHITECTURE.md` ("Move pass &
-/// state layout") for the rejected further shrinks (f32 leg cache,
-/// step-countdown) and why they break bitwise lockstep.
-#[derive(Debug, Clone, Copy)]
-struct MrwpHot {
-    /// Arc-length progress along the current path.
-    s: f64,
-    /// Fast-path guard: while `s + speed < leg_end` a step is
-    /// `position += DIR_STEPS[dir] · speed`. Negative when invalid
-    /// (pause or leg boundary ahead), routing the agent through the
-    /// slow path.
-    leg_end: f64,
-    /// Direction code of the current leg: index into [`DIR_STEPS`].
-    dir: u32,
-}
-
-/// Axis-aligned unit step directions of an L-path leg, indexed by
-/// [`MrwpHot::dir`]; entry 4 is the degenerate zero-length leg.
+/// Axis-aligned unit step directions of an L-path leg, indexed by the
+/// hot `dir` lane of [`MrwpBatch`]; entry 4 is the degenerate
+/// zero-length leg. The default advance kernel and the scalar state
+/// views decode through this table; the `simd` kernel variant
+/// reconstitutes the same values branch-free from the code.
 const DIR_STEPS: [(f64, f64); 5] = [(1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (0.0, -1.0), (0.0, 0.0)];
 
 /// Encodes a leg-cache step vector (each component `±speed` or `0.0`)
@@ -185,13 +160,19 @@ struct MrwpCold {
 /// The whole MRWP population in the batched hot/cold split-layout form
 /// of [`Mobility::step_batch`] (built by [`Mobility::batch_from_states`]).
 ///
-/// Two parallel arrays: a dense 24-byte hot entry per agent (progress
-/// plus the fused leg cache, the step vector encoded as a direction
-/// code) streamed by every step, and a cold side array (trip geometry,
-/// pause counter) read only when an agent hits a leg boundary. The
-/// common full-leg step therefore touches 24 bytes of state instead of
-/// the ~100-byte [`MrwpState`], which is what makes the dense-regime
-/// move pass cache-bound rather than stride-bound.
+/// The hot/cold split of PR 4/5 (24 bytes of per-step-touched state per
+/// agent, cold trip geometry in a side array) is here taken to full
+/// structure-of-arrays form: three dense hot **lanes** (`s`, `leg_end`,
+/// `dir` — progress, fused leg-cache guard, direction code) plus a
+/// per-step boundary-index scratch lane, and the cold side array (trip
+/// geometry, pause counter) read only when an agent hits a leg
+/// boundary. The common full-leg step therefore streams flat `f64`/
+/// `u32` lanes instead of the ~100-byte [`MrwpState`], which is what
+/// makes the dense-regime move pass cache-bound rather than
+/// stride-bound — and, since PR 6, lets the advance kernel stream the
+/// hot lanes in one flat pass that compacts all leg-boundary work out
+/// into an index list for the scalar boundary pass (see
+/// `docs/ARCHITECTURE.md`, "Move pass & state layout").
 ///
 /// # Examples
 ///
@@ -212,19 +193,41 @@ struct MrwpCold {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MrwpBatch {
-    hot: Vec<MrwpHot>,
+    /// Hot lane: arc-length progress along the current path.
+    s: Vec<f64>,
+    /// Hot lane, fast-path guard: while `s + speed < leg_end` a step is
+    /// `position += DIR_STEPS[dir] · speed`. Negative when invalid
+    /// (pause or leg boundary ahead), routing the agent through the
+    /// boundary pass.
+    leg_end: Vec<f64>,
+    /// Hot lane: direction code of the current leg ([`DIR_STEPS`] index).
+    dir: Vec<u32>,
+    /// Per-step scratch written by the advance kernel: the (ascending,
+    /// slice-local) indices of the agents that hit their leg end (or
+    /// were already invalid) and must be finished by the scalar
+    /// boundary pass, compacted into the prefix `flagged[..count]`.
+    /// The pass therefore touches only flagged agents instead of
+    /// re-scanning the whole population. Never read across steps.
+    flagged: Vec<u32>,
     cold: Vec<MrwpCold>,
+    /// Whether steps record the kernel/boundary time split below.
+    timing: bool,
+    /// Nanoseconds the last step spent in the advance kernel (summed
+    /// over chunks in chunked mode; 0 unless `timing`).
+    kernel_ns: u64,
+    /// Nanoseconds the last step spent in the boundary pass.
+    boundary_ns: u64,
 }
 
 impl MrwpBatch {
     /// Number of agents in the batch.
     pub fn len(&self) -> usize {
-        self.hot.len()
+        self.s.len()
     }
 
     /// Whether the batch holds no agents.
     pub fn is_empty(&self) -> bool {
-        self.hot.is_empty()
+        self.s.is_empty()
     }
 }
 
@@ -381,42 +384,46 @@ impl Mobility for Mrwp {
     }
 
     fn batch_from_states(&self, states: Vec<MrwpState>) -> MrwpBatch {
-        let mut hot = Vec::with_capacity(states.len());
-        let mut cold = Vec::with_capacity(states.len());
+        let n = states.len();
+        let mut batch = MrwpBatch {
+            s: Vec::with_capacity(n),
+            leg_end: Vec::with_capacity(n),
+            dir: Vec::with_capacity(n),
+            flagged: vec![0; n],
+            cold: Vec::with_capacity(n),
+            timing: false,
+            kernel_ns: 0,
+            boundary_ns: 0,
+        };
         for st in states {
-            hot.push(MrwpHot {
-                s: st.s,
-                leg_end: st.leg_end,
-                dir: dir_code(st.vx, st.vy),
-            });
-            cold.push(MrwpCold {
+            batch.s.push(st.s);
+            batch.leg_end.push(st.leg_end);
+            batch.dir.push(dir_code(st.vx, st.vy));
+            batch.cold.push(MrwpCold {
                 path: st.path,
                 pause_left: st.pause_left,
             });
         }
-        MrwpBatch { hot, cold }
+        batch
     }
 
     fn batch_state(&self, batch: &MrwpBatch, agent: usize) -> MrwpState {
-        let h = batch.hot[agent];
         let c = batch.cold[agent];
-        let (ux, uy) = DIR_STEPS[h.dir as usize];
+        let (ux, uy) = DIR_STEPS[batch.dir[agent] as usize];
         MrwpState {
             path: c.path,
-            s: h.s,
+            s: batch.s[agent],
             pause_left: c.pause_left,
-            leg_end: h.leg_end,
+            leg_end: batch.leg_end[agent],
             vx: ux * self.speed,
             vy: uy * self.speed,
         }
     }
 
     fn batch_set_state(&self, batch: &mut MrwpBatch, agent: usize, state: MrwpState) {
-        batch.hot[agent] = MrwpHot {
-            s: state.s,
-            leg_end: state.leg_end,
-            dir: dir_code(state.vx, state.vy),
-        };
+        batch.s[agent] = state.s;
+        batch.leg_end[agent] = state.leg_end;
+        batch.dir[agent] = dir_code(state.vx, state.vy);
         batch.cold[agent] = MrwpCold {
             path: state.path,
             pause_left: state.pause_left,
@@ -431,13 +438,39 @@ impl Mobility for Mrwp {
         on_events: F,
     ) -> f64 {
         assert_eq!(
-            batch.hot.len(),
+            batch.s.len(),
             positions.len(),
             "batch and position array must agree on the population size"
         );
-        debug_assert_eq!(batch.hot.len(), batch.cold.len());
-        let MrwpBatch { hot, cold } = batch;
-        self.step_batch_slices(hot, cold, positions, 0, rng, on_events)
+        debug_assert_eq!(batch.s.len(), batch.cold.len());
+        let MrwpBatch {
+            s,
+            leg_end,
+            dir,
+            flagged,
+            cold,
+            timing,
+            kernel_ns,
+            boundary_ns,
+        } = batch;
+        let (drift, k_ns, b_ns) = self.step_batch_slices(
+            s, leg_end, dir, flagged, cold, positions, 0, *timing, rng, on_events,
+        );
+        *kernel_ns = k_ns;
+        *boundary_ns = b_ns;
+        drift
+    }
+
+    fn enable_move_timing(&self, batch: &mut MrwpBatch, on: bool) {
+        batch.timing = on;
+        if !on {
+            batch.kernel_ns = 0;
+            batch.boundary_ns = 0;
+        }
+    }
+
+    fn move_split_nanos(&self, batch: &MrwpBatch) -> Option<(u64, u64)> {
+        batch.timing.then_some((batch.kernel_ns, batch.boundary_ns))
     }
 
     fn step_batch_chunked<R: Rng + Send, F: FnMut(usize, StepEvents)>(
@@ -449,86 +482,252 @@ impl Mobility for Mrwp {
         on_events: F,
     ) -> f64 {
         assert_eq!(
-            batch.hot.len(),
+            batch.s.len(),
             positions.len(),
             "batch and position array must agree on the population size"
         );
-        debug_assert_eq!(batch.hot.len(), batch.cold.len());
+        debug_assert_eq!(batch.s.len(), batch.cold.len());
         assert_eq!(
             chunks.len(),
             move_chunk_count(positions.len()),
             "one context per move chunk"
         );
-        let MrwpBatch { hot, cold } = batch;
-        run_chunks3(
+        let MrwpBatch {
+            s,
+            leg_end,
+            dir,
+            flagged,
+            cold,
+            timing,
+            kernel_ns,
+            boundary_ns,
+        } = batch;
+        let timing = *timing;
+        run_chunks6(
             pool,
             MOVE_CHUNK,
-            hot,
+            s,
+            leg_end,
+            dir,
+            flagged,
             cold,
             positions,
             chunks,
-            |ci, hot_part, cold_part, pos_part, ctx| {
+            |ci, s_part, le_part, dir_part, fl_part, cold_part, pos_part, ctx| {
                 ctx.begin();
                 let base = ci * MOVE_CHUNK;
-                let ChunkCtx { rng, drift, events } = ctx;
-                *drift =
-                    self.step_batch_slices(hot_part, cold_part, pos_part, base, rng, |i, ev| {
+                let ChunkCtx {
+                    rng,
+                    drift,
+                    events,
+                    kernel_ns,
+                    boundary_ns,
+                } = ctx;
+                let (d, k_ns, b_ns) = self.step_batch_slices(
+                    s_part,
+                    le_part,
+                    dir_part,
+                    fl_part,
+                    cold_part,
+                    pos_part,
+                    base,
+                    timing,
+                    rng,
+                    |i, ev| {
                         events.push((i as u32, ev));
-                    });
+                    },
+                );
+                *drift = d;
+                *kernel_ns = k_ns;
+                *boundary_ns = b_ns;
             },
         );
+        *kernel_ns = chunks.iter().map(|c| c.kernel_ns).sum();
+        *boundary_ns = chunks.iter().map(|c| c.boundary_ns).sum();
         drain_chunks(chunks, on_events)
     }
 }
 
+/// The advance kernel over one slice of the hot lanes: integrates every
+/// agent whose whole step stays strictly inside its current leg,
+/// compacts the (ascending, slice-local) indices of the rest into the
+/// prefix of `flagged`, and returns how many it flagged. This is the
+/// entire move pass for in-leg agents — no RNG, no cold state, a flat
+/// streaming pass over the lanes — and the index compaction means the
+/// boundary pass that follows never re-scans the population.
+///
+/// Default build: one well-predicted branch per agent (in the MRWP
+/// speed regime ≥97% of agents take it the same way) with the
+/// [`DIR_STEPS`] table decode — on a baseline scalar target this beats
+/// every branch-free formulation we measured, because the predictor
+/// makes the common case free while selects/masks pay their full
+/// latency on every lane. The explicit-wide masked variant lives
+/// behind the `simd` feature for builds with real vector ISAs.
+#[cfg(not(feature = "simd"))]
+fn advance_kernel(
+    speed: f64,
+    s: &mut [f64],
+    leg_end: &[f64],
+    dir: &[u32],
+    flagged: &mut [u32],
+    positions: &mut [Point],
+) -> usize {
+    let n = s.len();
+    assert!(
+        leg_end.len() == n && dir.len() == n && flagged.len() == n && positions.len() == n,
+        "hot lanes must agree on length"
+    );
+    let mut boundary = 0usize;
+    for i in 0..n {
+        let s_new = s[i] + speed;
+        if s_new < leg_end[i] {
+            s[i] = s_new;
+            let (ux, uy) = DIR_STEPS[dir[i] as usize];
+            positions[i].x += ux * speed;
+            positions[i].y += uy * speed;
+        } else {
+            flagged[boundary] = i as u32;
+            boundary += 1;
+        }
+    }
+    boundary
+}
+
+/// Explicit-wide variant of the advance kernel (`simd` feature): fixed
+/// 4-lane blocks in branch-free masked-multiply form with a scalar
+/// tail, a shape the SLP vectorizer packs into vector registers on
+/// stable Rust (the portable `core::simd` API is still nightly-only).
+///
+/// Per lane, with `m ∈ {0.0, 1.0}` the in-leg mask: `s += speed·m` and
+/// `pos += (sx·speed·m, sy·speed·m)`, where `sx = (dir==0) − (dir==1)`
+/// and `sy = (dir==2) − (dir==3)` reconstitute exactly the
+/// [`DIR_STEPS`] components. Bitwise identity with the branchy kernel:
+/// on in-leg lanes (`m = 1.0`) the products are the same `±speed`/
+/// `0.0·speed` values the table decode yields; on flagged lanes
+/// (`m = 0.0`) the masked adds contribute `±0.0`, which is
+/// bit-preserving for every value these lanes can hold (`s` and both
+/// coordinates are built exclusively from non-negative arithmetic, so
+/// `-0.0` never occurs) — and the boundary pass then overwrites the
+/// flagged lanes entirely anyway. Flagged indices are compacted with a
+/// branch-free unconditional store (`flagged[count] = i; count += f`),
+/// so the block body stays free of unpredictable control flow. The
+/// lockstep suite re-runs under this feature in CI to enforce the
+/// identity.
+#[cfg(feature = "simd")]
+fn advance_kernel(
+    speed: f64,
+    s: &mut [f64],
+    leg_end: &[f64],
+    dir: &[u32],
+    flagged: &mut [u32],
+    positions: &mut [Point],
+) -> usize {
+    const W: usize = 4;
+    let n = s.len();
+    assert!(
+        leg_end.len() == n && dir.len() == n && flagged.len() == n && positions.len() == n,
+        "hot lanes must agree on length"
+    );
+    let blocks = n / W * W;
+    let mut boundary = 0usize;
+    let mut i = 0;
+    while i < blocks {
+        let mut m = [0.0f64; W];
+        for k in 0..W {
+            m[k] = ((s[i + k] + speed) < leg_end[i + k]) as u32 as f64;
+        }
+        for k in 0..W {
+            let sm = speed * m[k];
+            let d = dir[i + k];
+            let sx = (d == 0) as u32 as f64 - (d == 1) as u32 as f64;
+            let sy = (d == 2) as u32 as f64 - (d == 3) as u32 as f64;
+            s[i + k] += sm;
+            positions[i + k].x += sx * sm;
+            positions[i + k].y += sy * sm;
+        }
+        for (k, &mk) in m.iter().enumerate() {
+            flagged[boundary] = (i + k) as u32;
+            boundary += (mk == 0.0) as usize;
+        }
+        i += W;
+    }
+    while i < n {
+        let s_new = s[i] + speed;
+        if s_new < leg_end[i] {
+            s[i] = s_new;
+            let (ux, uy) = DIR_STEPS[dir[i] as usize];
+            positions[i].x += ux * speed;
+            positions[i].y += uy * speed;
+        } else {
+            flagged[boundary] = i as u32;
+            boundary += 1;
+        }
+        i += 1;
+    }
+    boundary
+}
+
 impl Mrwp {
-    /// The batched move kernel over a slice of the hot/cold/position
+    /// The batched move pass over a slice of the hot-lane/cold/position
     /// arrays: the whole-population body of [`Mobility::step_batch`]
     /// (`base == 0`, full slices) and the per-chunk task of
     /// [`Mobility::step_batch_chunked`] (`base == chunk · MOVE_CHUNK`)
     /// share this one function, so the two entry points can never drift
-    /// apart. Steps agents in slice order from `rng`, records events
-    /// through `record` with **global** agent indices, and returns the
-    /// slice's measured drift.
+    /// apart.
+    ///
+    /// Two sub-passes: the flat [`advance_kernel`] integrates every
+    /// in-leg agent and compacts the indices of the rest into
+    /// `flagged[..count]`, then the scalar **boundary pass** walks that
+    /// prefix and runs the full step logic (RNG draws, leg-cache
+    /// refill, arc-length-to-point conversion) for flagged agents only
+    /// — it never re-scans the population. Because flagged agents'
+    /// lanes are left meaningfully untouched by the kernel and the
+    /// compacted indices are in ascending order, the RNG draw sequence
+    /// — and hence every trajectory and event — is bitwise-identical to
+    /// the old interleaved per-agent loop and to a scalar `step_from`
+    /// loop.
+    /// Records events through `record` with **global** agent indices;
+    /// returns `(measured drift, kernel_ns, boundary_ns)` (the timings
+    /// are 0 unless `timing`).
+    #[allow(clippy::too_many_arguments)]
     fn step_batch_slices<R: Rng + ?Sized>(
         &self,
-        hot: &mut [MrwpHot],
+        s: &mut [f64],
+        leg_end: &mut [f64],
+        dir: &mut [u32],
+        flagged: &mut [u32],
         cold: &mut [MrwpCold],
         positions: &mut [Point],
         base: usize,
+        timing: bool,
         rng: &mut R,
         mut record: impl FnMut(usize, StepEvents),
-    ) -> f64 {
+    ) -> (f64, u64, u64) {
         let speed = self.speed;
-        // Measured drift, split by path: a fused leg step displaces by
-        // exactly `speed` (one axis, |v| = speed), so the fast path only
-        // needs a flag; slow-path displacements (corner/arrival
-        // carryover, pauses) are measured individually and can only be
-        // shorter in L2 than the L1 budget.
-        let mut any_leg_step = false;
+        let t0 = timing.then(Instant::now);
+        let count = advance_kernel(speed, s, leg_end, dir, flagged, positions);
+        let kernel_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        // Measured drift, split by sub-pass: a fused leg step displaces
+        // by exactly `speed` (one axis, |v| = speed), so the kernel only
+        // needs the "any in-leg agent" bit; boundary-pass displacements
+        // (corner/arrival carryover, pauses) are measured individually
+        // and can only be shorter in L2 than the L1 budget.
+        let any_leg_step = count < s.len();
         let mut slow_max2 = 0.0f64;
-        for (i, (h, pos)) in hot.iter_mut().zip(positions.iter_mut()).enumerate() {
-            let s_new = h.s + speed;
-            if s_new < h.leg_end {
-                // the fused fast path of `step_from`, on 24-byte state;
-                // DIR_STEPS[dir] · speed is bitwise the scalar (vx, vy)
-                h.s = s_new;
-                let (ux, uy) = DIR_STEPS[h.dir as usize];
-                *pos = Point::new(pos.x + ux * speed, pos.y + uy * speed);
-                any_leg_step = true;
-                continue;
-            }
-            // slow path: identical to the scalar `step_from` fallback —
-            // full step logic on the cold state, leg-cache refill,
+        let t1 = timing.then(Instant::now);
+        for &iu in flagged[..count].iter() {
+            let i = iu as usize;
+            // identical to the scalar `step_from` fallback — full
+            // step logic on the cold state, leg-cache refill,
             // arc-length-to-point conversion
             let c = &mut cold[i];
-            let ev = self.step_core(&mut c.path, &mut h.s, &mut c.pause_left, rng);
-            let (leg_end, vx, vy) = self.leg_cache(&c.path, h.s, c.pause_left);
-            h.leg_end = leg_end;
-            h.dir = dir_code(vx, vy);
-            let before = *pos;
-            let p = c.path.point_at(h.s);
-            *pos = p;
+            let ev = self.step_core(&mut c.path, &mut s[i], &mut c.pause_left, rng);
+            let (le, vx, vy) = self.leg_cache(&c.path, s[i], c.pause_left);
+            leg_end[i] = le;
+            dir[i] = dir_code(vx, vy);
+            let before = positions[i];
+            let p = c.path.point_at(s[i]);
+            positions[i] = p;
             let dx = p.x - before.x;
             let dy = p.y - before.y;
             let d2 = dx * dx + dy * dy;
@@ -539,12 +738,14 @@ impl Mrwp {
                 record(base + i, ev);
             }
         }
+        let boundary_ns = t1.map_or(0, |t| t.elapsed().as_nanos() as u64);
         let slow = slow_max2.sqrt();
-        if any_leg_step && speed > slow {
+        let drift = if any_leg_step && speed > slow {
             speed
         } else {
             slow
-        }
+        };
+        (drift, kernel_ns, boundary_ns)
     }
 
     /// The authoritative one-step logic over the `(path, s, pause_left)`

@@ -2,12 +2,12 @@
 
 use fastflood_geom::Point;
 use fastflood_mobility::{
-    distributions, move_chunk_count, ChunkCtx, DiskWalk, Mobility, Mrwp, Placement, Rwp, Static,
-    MOVE_CHUNK,
+    distributions, move_chunk_count, BlockRng, ChunkCtx, DiskWalk, Mobility, Mrwp, Placement, Rwp,
+    Static, MOVE_CHUNK,
 };
 use fastflood_parallel::WorkerPool;
 use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{Rng, RngCore, SeedableRng};
 
 fn rng(seed: u64) -> rand::rngs::StdRng {
     rand::rngs::StdRng::seed_from_u64(seed)
@@ -267,6 +267,39 @@ proptest! {
         assert_batch_lockstep(&model, n, 30, seed);
     }
 
+    /// Pause-heavy regime: large pauses and a fast speed push most
+    /// agents through the boundary pass (pause countdowns, trip
+    /// resampling) every few steps — the advance kernel's flag routing
+    /// and the boundary pass's RNG draw order both get maximal traffic.
+    #[test]
+    fn mrwp_pause_heavy_step_batch_matches_scalar_loop(
+        seed in 0u64..1000,
+        n in 1usize..40,
+        pause in 4u32..12,
+    ) {
+        let side = 60.0;
+        let model = Mrwp::new(side, 0.3 * side).unwrap().with_pause(pause);
+        assert_batch_lockstep(&model, n, 40, seed);
+    }
+
+    /// The word-buffered [`BlockRng`] must serve exactly the inner
+    /// stream's draws in order, across every distribution the move pass
+    /// uses and any interleaving — the invariant that makes wrapping
+    /// the chunk streams trajectory-preserving.
+    #[test]
+    fn block_rng_matches_direct_draws(seed in 0u64..10_000, picks in proptest::collection::vec(0u8..4, 1..200)) {
+        let mut direct = rng(seed);
+        let mut blocked = BlockRng::new(rng(seed));
+        for pick in picks {
+            match pick {
+                0 => prop_assert_eq!(direct.gen::<f64>().to_bits(), blocked.gen::<f64>().to_bits()),
+                1 => prop_assert_eq!(direct.gen_bool(0.37), blocked.gen_bool(0.37)),
+                2 => prop_assert_eq!(direct.gen_range(0..97u32), blocked.gen_range(0..97u32)),
+                _ => prop_assert_eq!(direct.next_u64(), blocked.next_u64()),
+            }
+        }
+    }
+
     #[test]
     fn static_step_batch_is_motionless_with_zero_drift(seed in 0u64..1000, n in 1usize..40) {
         let model = Static::new(50.0, Placement::Uniform).unwrap();
@@ -452,6 +485,24 @@ proptest! {
     fn street_mrwp_chunked_matches_reference_and_thread_counts(seed in 0u64..500, n in 1usize..25) {
         let model = fastflood_mobility::StreetMrwp::new(80.0, 1.5, 8).unwrap();
         assert_chunked_lockstep(&model, n, 20, seed);
+    }
+}
+
+/// The split advance-kernel/boundary-pass `step_batch` at sizes around
+/// the chunk geometry: below one chunk, exactly one chunk, and a
+/// ragged multi-chunk tail. The sequential pass is chunk-agnostic, but
+/// these sizes exercise the kernel's block/tail split (4-lane blocks
+/// under the `simd` feature) at every alignment that matters.
+#[test]
+fn mrwp_batch_lockstep_at_chunk_tail_sizes() {
+    for (i, n) in [MOVE_CHUNK - 1, MOVE_CHUNK, MOVE_CHUNK + 613]
+        .into_iter()
+        .enumerate()
+    {
+        let model = Mrwp::new(60.0, 0.8).unwrap();
+        assert_batch_lockstep(&model, n, 6, 1000 + i as u64);
+        let paused = Mrwp::new(60.0, 6.0).unwrap().with_pause(3);
+        assert_batch_lockstep(&paused, n, 6, 2000 + i as u64);
     }
 }
 

@@ -449,99 +449,82 @@ where
     });
 }
 
-/// Splits two equal-length slices into fixed chunks of `chunk_len` and
-/// calls `f(chunk_index, a_chunk, b_chunk, &mut ctx[chunk_index])` for
-/// each, distributed over the pool.
-///
-/// The chunk geometry is a pure function of the slice length (the last
-/// chunk may be short), **not** of the pool's thread count — callers
-/// rely on that for thread-count-independent determinism. `ctx` must
-/// hold exactly one element per chunk (`len.div_ceil(chunk_len).max(1)`).
-///
-/// # Panics
-///
-/// Panics when the slice lengths disagree, `chunk_len` is zero, or
-/// `ctx` has the wrong length.
-pub fn run_chunks2<A, B, Ctx, F>(
-    pool: &WorkerPool,
-    chunk_len: usize,
-    a: &mut [A],
-    b: &mut [B],
-    ctx: &mut [Ctx],
-    f: F,
-) where
-    A: Send,
-    B: Send,
-    Ctx: Send,
-    F: Fn(usize, &mut [A], &mut [B], &mut Ctx) + Sync,
-{
-    let n = a.len();
-    assert!(chunk_len > 0, "chunk length must be positive");
-    assert_eq!(b.len(), n, "chunked slices must agree on length");
-    let chunks = n.div_ceil(chunk_len).max(1);
-    assert_eq!(ctx.len(), chunks, "one context per chunk");
-    let pa = SendPtr(a.as_mut_ptr());
-    let pb = SendPtr(b.as_mut_ptr());
-    let pctx = SendPtr(ctx.as_mut_ptr());
-    pool.run(chunks, &move |i| {
-        let lo = i * chunk_len;
-        let hi = ((i + 1) * chunk_len).min(n);
-        // SAFETY: chunk ranges are disjoint, each chunk index executes
-        // exactly once, and the borrows outlive `run`.
-        unsafe {
-            f(
-                i,
-                std::slice::from_raw_parts_mut(pa.get().add(lo), hi - lo),
-                std::slice::from_raw_parts_mut(pb.get().add(lo), hi - lo),
-                &mut *pctx.get().add(i),
-            );
+/// Generates the `run_chunksN` family: N equal-length slices split into
+/// fixed chunks of `chunk_len`, each chunk handed (with its private
+/// context element) to exactly one pool task. One macro body so every
+/// arity shares the same geometry, assertions, and safety argument.
+macro_rules! define_run_chunks {
+    ($(#[$attr:meta])* $name:ident, $($ty:ident: $p:ident),+) => {
+        $(#[$attr])*
+        pub fn $name<$($ty,)+ Ctx, F>(
+            pool: &WorkerPool,
+            chunk_len: usize,
+            $($p: &mut [$ty],)+
+            ctx: &mut [Ctx],
+            f: F,
+        ) where
+            $($ty: Send,)+
+            Ctx: Send,
+            F: Fn(usize, $(&mut [$ty],)+ &mut Ctx) + Sync,
+        {
+            assert!(chunk_len > 0, "chunk length must be positive");
+            let mut len: Option<usize> = None;
+            $(match len {
+                None => len = Some($p.len()),
+                Some(n) => assert_eq!($p.len(), n, "chunked slices must agree on length"),
+            })+
+            let n = len.expect("at least one slice");
+            let chunks = n.div_ceil(chunk_len).max(1);
+            assert_eq!(ctx.len(), chunks, "one context per chunk");
+            $(let $p = SendPtr($p.as_mut_ptr());)+
+            let pctx = SendPtr(ctx.as_mut_ptr());
+            pool.run(chunks, &move |i| {
+                let lo = i * chunk_len;
+                let hi = ((i + 1) * chunk_len).min(n);
+                // SAFETY: chunk ranges are disjoint, each chunk index
+                // executes exactly once, and the borrows outlive `run`.
+                unsafe {
+                    f(
+                        i,
+                        $(std::slice::from_raw_parts_mut($p.get().add(lo), hi - lo),)+
+                        &mut *pctx.get().add(i),
+                    );
+                }
+            });
         }
-    });
+    };
 }
 
-/// Three-slice variant of [`run_chunks2`] (hot array, cold array,
-/// positions — the SoA move pass shape).
-pub fn run_chunks3<A, B, C, Ctx, F>(
-    pool: &WorkerPool,
-    chunk_len: usize,
-    a: &mut [A],
-    b: &mut [B],
-    c: &mut [C],
-    ctx: &mut [Ctx],
-    f: F,
-) where
-    A: Send,
-    B: Send,
-    C: Send,
-    Ctx: Send,
-    F: Fn(usize, &mut [A], &mut [B], &mut [C], &mut Ctx) + Sync,
-{
-    let n = a.len();
-    assert!(chunk_len > 0, "chunk length must be positive");
-    assert_eq!(b.len(), n, "chunked slices must agree on length");
-    assert_eq!(c.len(), n, "chunked slices must agree on length");
-    let chunks = n.div_ceil(chunk_len).max(1);
-    assert_eq!(ctx.len(), chunks, "one context per chunk");
-    let pa = SendPtr(a.as_mut_ptr());
-    let pb = SendPtr(b.as_mut_ptr());
-    let pc = SendPtr(c.as_mut_ptr());
-    let pctx = SendPtr(ctx.as_mut_ptr());
-    pool.run(chunks, &move |i| {
-        let lo = i * chunk_len;
-        let hi = ((i + 1) * chunk_len).min(n);
-        // SAFETY: chunk ranges are disjoint, each chunk index executes
-        // exactly once, and the borrows outlive `run`.
-        unsafe {
-            f(
-                i,
-                std::slice::from_raw_parts_mut(pa.get().add(lo), hi - lo),
-                std::slice::from_raw_parts_mut(pb.get().add(lo), hi - lo),
-                std::slice::from_raw_parts_mut(pc.get().add(lo), hi - lo),
-                &mut *pctx.get().add(i),
-            );
-        }
-    });
-}
+define_run_chunks!(
+    /// Splits two equal-length slices into fixed chunks of `chunk_len` and
+    /// calls `f(chunk_index, a_chunk, b_chunk, &mut ctx[chunk_index])` for
+    /// each, distributed over the pool.
+    ///
+    /// The chunk geometry is a pure function of the slice length (the last
+    /// chunk may be short), **not** of the pool's thread count — callers
+    /// rely on that for thread-count-independent determinism. `ctx` must
+    /// hold exactly one element per chunk (`len.div_ceil(chunk_len).max(1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths disagree, `chunk_len` is zero, or
+    /// `ctx` has the wrong length.
+    run_chunks2, A: a, B: b
+);
+
+define_run_chunks!(
+    /// Three-slice variant of [`run_chunks2`] (states, positions, and a
+    /// side array — the AoS move-pass shape).
+    run_chunks3, A: a, B: b, C: c
+);
+
+define_run_chunks!(
+    /// Six-slice variant of [`run_chunks2`]: the SoA move-pass shape —
+    /// three hot lanes, the boundary-flag scratch lane, the cold array,
+    /// and positions, all split with one chunk geometry.
+    #[allow(clippy::too_many_arguments)]
+    run_chunks6, A: a, B: b, C: c, D: d, E: e, F2: f2
+);
 
 #[cfg(test)]
 mod tests {

@@ -28,11 +28,16 @@ FASTFLOOD_BENCH_JSON="$tmp" FASTFLOOD_BENCH_LARGE=1 \
 # incremental refresh), from the phase-timing instrumentation —
 # sequential engine, then the chunked-parallel engine on 4 threads
 phases_par="$(mktemp)"
-trap 'rm -f "$tmp" "$phases" "$phases_par"' EXIT
+movek="$(mktemp)"
+trap 'rm -f "$tmp" "$phases" "$phases_par" "$movek"' EXIT
 FASTFLOOD_BENCH_LARGE=1 \
   cargo run --release -p fastflood-bench --bin phase_breakdown > "$phases"
 FASTFLOOD_BENCH_LARGE=1 \
   cargo run --release -p fastflood-bench --bin phase_breakdown -- --threads 4 > "$phases_par"
+
+# move-only A/B: the split advance-kernel/boundary-pass move pass vs the
+# scalar AoS reference loop, with no engine around it
+cargo run --release -p fastflood-bench --bin move_kernel > "$movek"
 
 machine="$(uname -srm); $(grep -m1 'model name' /proc/cpuinfo 2>/dev/null | cut -d: -f2- | sed 's/^ //' || true)"
 
@@ -42,7 +47,7 @@ machine="$(uname -srm); $(grep -m1 'model name' /proc/cpuinfo 2>/dev/null | cut 
   echo '  "units": "ns_per_iter; engine_step iterates a whole step batch (see throughput_per_iter for agent-steps), engine_step_sustained iterates one step",'
   echo "  \"recorded_at\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
   echo "  \"machine\": \"${machine}\","
-  echo '  "notes": "Two protocols measure different things. engine_step isolates the transmit ALGORITHM: fixed mid-flood step batches (completion asserted not to occur); adaptive (production policy), forced bucket_join (full re-bins every step, the PR 2 engine) and forced incremental (diff-maintained slack grids) vs seed_rebuild, all riding the same optimized mobility layer. engine_step_sustained reproduces the whole-run protocol of the PR-start baselines (warm to 50%, time-sized loop through completion): comparing its adaptive rows against baseline_pr4_adaptive_at_pr5_start measures the PR-5 hot-entry shrink (sequential adaptive row) and the chunked-parallel engine (adaptive_par_t1/t2/t4 rows, the threads sweep; deterministic per thread count but a different trajectory sample than the sequential rows — see docs/BENCHMARKING.md). CAVEAT: this recording machine exposes 1 CPU, so t2/t4 cannot run concurrently and the sweep here measures dispatch overhead and determinism coverage, not scaling; the PR-5 multi-thread acceptance figure requires a multi-core machine. phase_breakdown splits the sustained step into move/transmit/refresh so move-pass regressions are visible in the share, not just the total; phase_breakdown_parallel is the same shape on the 4-thread chunked engine. Older baselines measure the full history: baseline_pr3_adaptive_at_pr4_start the PR-4 batched-SoA-move-pass + measured-drift rework, baseline_pr2_adaptive_at_pr3_start the PR-3 incremental re-binning rework, baseline_pr1_adaptive_at_pr2_start the PR-2 join rework, baseline_seed_at_pr_start the whole engine rework since the seed.",'
+  echo '  "notes": "Two protocols measure different things. engine_step isolates the transmit ALGORITHM: fixed mid-flood step batches (completion asserted not to occur); adaptive (production policy), forced bucket_join (full re-bins every step, the PR 2 engine) and forced incremental (diff-maintained slack grids) vs seed_rebuild, all riding the same optimized mobility layer. engine_step_sustained reproduces the whole-run protocol of the PR-start baselines (warm to 50%, time-sized loop through completion): comparing its adaptive rows against baseline_pr4_adaptive_at_pr5_start measures the PR-5 hot-entry shrink (sequential adaptive row) and the chunked-parallel engine (adaptive_par_t1/t2/t4 rows, the threads sweep; deterministic per thread count but a different trajectory sample than the sequential rows — see docs/BENCHMARKING.md). CAVEAT: this recording machine exposes 1 CPU, so t2/t4 cannot run concurrently and the sweep here measures dispatch overhead and determinism coverage, not scaling; the PR-5 multi-thread acceptance figure requires a multi-core machine. phase_breakdown splits the sustained step into move/transmit/refresh (and, since PR 6, the boundary-pass share of move) so move-pass regressions are visible in the share, not just the total; phase_breakdown_parallel is the same shape on the 4-thread chunked engine. move_kernel is the move-only A/B of the PR-6 split advance-kernel/boundary-pass move pass against the scalar AoS reference loop; comparing the sustained adaptive rows against baseline_pr5_adaptive_at_pr6_start measures the PR-6 move-pass rework end to end. Older baselines measure the full history: baseline_pr3_adaptive_at_pr4_start the PR-4 batched-SoA-move-pass + measured-drift rework, baseline_pr2_adaptive_at_pr3_start the PR-3 incremental re-binning rework, baseline_pr1_adaptive_at_pr2_start the PR-2 join rework, baseline_seed_at_pr_start the whole engine rework since the seed.",'
   # The seed implementation (per-step GridIndex rebuild + full agent
   # scans + uncached L-path mobility + ChaCha12 StdRng), measured with
   # the sustained protocol at the start of the engine rework, before any
@@ -98,6 +103,25 @@ machine="$(uname -srm); $(grep -m1 'model name' /proc/cpuinfo 2>/dev/null | cut 
   echo '    "machine": "Linux 6.18.5-fc-v18 x86_64, 1 CPU (PR 5 machine; single-core container, so the threads sweep measures determinism overhead, not scaling; cross-machine comparison with \"results\" below is invalid unless \"machine\" matches)",'
   echo '    "ns_per_step": {"1000": 1848.5, "10000": 14037.3, "100000": 361227.2, "300000": 5038163.5}'
   echo '  },'
+  # The PR 5 adaptive engine (24-byte hot entries, interleaved per-agent
+  # move loop, deterministic chunked parallelism), measured with the
+  # sustained protocol from the PR 5 tree at the start of the PR 6
+  # split-kernel work — the reference the PR 6 move-pass figures are
+  # measured against, including the re-recorded threads sweep the PR 5
+  # notes deferred to a multi-core machine.
+  echo '  "baseline_pr5_adaptive_at_pr6_start": {'
+  echo '    "protocol": "engine_step_sustained (time-sized step loop from ~50% informed, radius 0.4*scale, v 0.2*radius); adaptive sequential plus the adaptive_par_t{1,2,4} chunked threads sweep",'
+  echo '    "machine": "Linux 6.18.5-fc-v20 x86_64, 1 CPU (PR 6 machine; ALSO single-core, so the re-recorded t2/t4 rows again measure oversubscribed dispatch overhead and determinism coverage, not scaling — the PR 5 multi-core caveat remains open for lack of hardware, now stated for both recordings; cross-machine comparison with \"results\" below is invalid unless \"machine\" matches)",'
+  echo '    "ns_per_step": {'
+  echo '      "adaptive": {"1000": 2670.0, "10000": 21162.4, "100000": 444456.9, "300000": 6037028.9},'
+  echo '      "adaptive_par_t1": {"1000": 3474.0, "10000": 20089.1, "100000": 526663.0, "300000": 8862312.9},'
+  echo '      "adaptive_par_t2": {"1000": 2555.1, "10000": 27641.3, "100000": 839645.8, "300000": 8807839.4},'
+  echo '      "adaptive_par_t4": {"1000": 2485.2, "10000": 34348.1, "100000": 521087.5, "300000": 11501503.1}'
+  echo '    }'
+  echo '  },'
+  echo '  "move_kernel":'
+  sed 's/^/  /' "$movek"
+  echo '  ,'
   echo '  "phase_breakdown":'
   sed 's/^/  /' "$phases"
   echo '  ,'

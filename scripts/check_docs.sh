@@ -50,8 +50,14 @@ doc_expect fastflood_core/struct.FloodingSim.html phase_times
 doc_expect fastflood_core/struct.StepPhases.html refresh_ns
 doc_expect fastflood_mobility/trait.Mobility.html step_batch
 doc_expect fastflood_mobility/trait.Mobility.html batch_from_states
+doc_expect fastflood_mobility/trait.Mobility.html move_split_nanos
+doc_expect fastflood_mobility/trait.Mobility.html enable_move_timing
 doc_expect fastflood_mobility/struct.MrwpBatch.html "hot/cold"
+doc_expect fastflood_mobility/struct.MrwpBatch.html "advance kernel"
+doc_expect fastflood_mobility/struct.BlockRng.html "draw order"
+doc_expect fastflood_mobility/constant.RNG_BLOCK.html refill
 doc_expect fastflood_mobility/fn.step_batch_sequential.html measures
+doc_expect fastflood_core/struct.StepPhases.html boundary_ns
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED"

@@ -15,6 +15,15 @@ cargo test -q --workspace
 # never change results — the determinism contract)
 FASTFLOOD_THREADS=2 cargo test -q -p fastflood-core \
   --test parallel_engine --test measured_drift --test engine_oracle
+# the mobility suites again with the explicit-wide `simd` kernel
+# variant: trajectories, events, and RNG draws must stay
+# bitwise-identical to the default branchy advance kernel
+cargo test -q -p fastflood-mobility --features simd
+# and a native-ISA smoke of the same identity — the masked kernel
+# compiled for the host CPU (AVX on typical x86-64) must still match;
+# a separate target dir so the flag change cannot thrash the main cache
+RUSTFLAGS="-C target-cpu=native" CARGO_TARGET_DIR=target/native \
+  cargo test -q -p fastflood-mobility --features simd --test properties
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
