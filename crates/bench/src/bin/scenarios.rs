@@ -1,0 +1,186 @@
+//! Runs the in-tree scenario library (or one named scenario) and emits
+//! per-scenario flooding/evacuation-time JSON to stdout.
+//!
+//! Usage:
+//! `cargo run --release -p fastflood-bench --bin scenarios -- \
+//!   [--quick] [--scenario NAME] [--engine MODE] [--seed N] [--trials N] [--threads N] [--n N]`
+//!
+//! `--quick` rescales every scenario to a tiny population (density
+//! preserved) and runs 2 trials — the tier-1 smoke configuration.
+
+use fastflood_bench::scenario::{library, run_scenario_trials, Outcome, Scenario, ScenarioRun};
+use fastflood_core::{EngineMode, Parallelism};
+
+struct Args {
+    quick: bool,
+    scenario: Option<String>,
+    engine: EngineMode,
+    seed: u64,
+    trials: Option<usize>,
+    threads: usize,
+    n: Option<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        scenario: None,
+        engine: EngineMode::Adaptive,
+        seed: 0,
+        trials: None,
+        threads: std::thread::available_parallelism().map_or(1, |t| t.get()),
+        n: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--scenario" => args.scenario = Some(value("--scenario")),
+            "--engine" => {
+                let v = value("--engine");
+                args.engine = match v.as_str() {
+                    "adaptive" => EngineMode::Adaptive,
+                    "rebuild" => EngineMode::Rebuild,
+                    "oracle" => EngineMode::Oracle,
+                    "bucket-join" => EngineMode::BucketJoin,
+                    "incremental" => EngineMode::Incremental,
+                    other => panic!("unknown engine {other:?}"),
+                };
+            }
+            "--seed" => args.seed = value("--seed").parse().expect("--seed takes a u64"),
+            "--trials" => {
+                args.trials = Some(value("--trials").parse().expect("--trials takes a count"))
+            }
+            "--threads" => {
+                args.threads = value("--threads").parse().expect("--threads takes a count")
+            }
+            "--n" => args.n = Some(value("--n").parse().expect("--n takes a count")),
+            other => panic!("unknown flag {other:?} (see the module docs)"),
+        }
+    }
+    args
+}
+
+/// Tiny but still-connected population for `--quick` smoke runs.
+const QUICK_N: usize = 220;
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn scenario_json(sc: &Scenario, engine: EngineMode, runs: &[ScenarioRun]) -> String {
+    let mut flooded = 0usize;
+    let mut timeout = 0usize;
+    let mut extinct = 0usize;
+    let mut times: Vec<f64> = Vec::new();
+    let mut giant = 0.0f64;
+    let mut rebuilds = 0u32;
+    let mut spikes = 0u32;
+    for run in runs {
+        match run.outcome {
+            Outcome::Flooded { time } => {
+                flooded += 1;
+                times.push(time as f64);
+            }
+            Outcome::Timeout => timeout += 1,
+            Outcome::Extinct => extinct += 1,
+        }
+        giant += run.initial_giant_fraction;
+        rebuilds += run.fallback.full_rebuilds;
+        spikes += run.fallback.spike_rebuilds;
+    }
+    giant /= runs.len().max(1) as f64;
+    let time_json = if times.is_empty() {
+        "null".to_string()
+    } else {
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        format!("{{\"mean\": {mean:.1}, \"min\": {min}, \"max\": {max}}}")
+    };
+    format!(
+        concat!(
+            "  {{\"scenario\": {}, \"model\": {}, \"metric\": {}, \"engine\": {:?}, ",
+            "\"n\": {}, \"radius\": {:.3}, \"trials\": {}, ",
+            "\"outcomes\": {{\"flooded\": {}, \"timeout\": {}, \"extinct\": {}}}, ",
+            "\"time\": {}, \"initial_giant_fraction\": {:.3}, ",
+            "\"full_rebuilds\": {}, \"spike_rebuilds\": {}}}"
+        ),
+        json_str(&sc.name),
+        json_str(sc.model.label()),
+        json_str(sc.metric.label()),
+        format!("{engine:?}").to_lowercase(),
+        sc.n,
+        sc.radius,
+        runs.len(),
+        flooded,
+        timeout,
+        extinct,
+        time_json,
+        giant,
+        rebuilds,
+        spikes,
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let mut scenarios: Vec<Scenario> = library();
+    if let Some(name) = &args.scenario {
+        scenarios.retain(|sc| &sc.name == name);
+        assert!(
+            !scenarios.is_empty(),
+            "no scenario named {name:?} in the library"
+        );
+    }
+
+    let started = std::time::Instant::now();
+    let mut rows = Vec::new();
+    for sc in &scenarios {
+        let sc = match (args.n, args.quick) {
+            (Some(n), _) => sc.scaled(n),
+            (None, true) => sc.scaled(QUICK_N),
+            (None, false) => sc.clone(),
+        };
+        let trials = args
+            .trials
+            .unwrap_or(if args.quick { 2 } else { sc.trials });
+        let runs = run_scenario_trials(
+            &sc,
+            args.engine,
+            Parallelism::Sequential,
+            args.threads,
+            trials,
+            args.seed ^ sc.seed,
+        )
+        .unwrap_or_else(|e| panic!("scenario {:?} failed: {e}", sc.name));
+        eprintln!(
+            "{:<26} n={:<5} trials={} -> {}",
+            sc.name,
+            sc.n,
+            trials,
+            runs.iter()
+                .map(|r| r.outcome.label())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        rows.push(scenario_json(&sc, args.engine, &runs));
+    }
+    println!("[\n{}\n]", rows.join(",\n"));
+    eprintln!("[scenarios finished in {:.1?}]", started.elapsed());
+}

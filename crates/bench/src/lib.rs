@@ -13,4 +13,5 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod scenario;
 pub mod table;

@@ -1,0 +1,111 @@
+//! The curated in-tree scenario library.
+//!
+//! Every workload ships as a config file under `crates/bench/scenarios/`
+//! (embedded at compile time), so the library doubles as living
+//! documentation of the config format and as the fixed input set of the
+//! cross-mode agreement harness and the tier-1 smoke pass.
+
+use super::{config::parse_scenario, Scenario};
+
+/// The embedded scenario sources, `(name, config text)`, in library
+/// order. The name always matches the `[scenario] name` key inside the
+/// text (enforced by a test).
+pub const SCENARIO_SOURCES: &[(&str, &str)] = &[
+    (
+        "uniform-baseline",
+        include_str!("../../scenarios/uniform-baseline.toml"),
+    ),
+    (
+        "dense-core-sparse-fringe",
+        include_str!("../../scenarios/dense-core-sparse-fringe.toml"),
+    ),
+    (
+        "street-evacuation",
+        include_str!("../../scenarios/street-evacuation.toml"),
+    ),
+    (
+        "crash-storm",
+        include_str!("../../scenarios/crash-storm.toml"),
+    ),
+    (
+        "partition-heal",
+        include_str!("../../scenarios/partition-heal.toml"),
+    ),
+    (
+        "churn-spike",
+        include_str!("../../scenarios/churn-spike.toml"),
+    ),
+    (
+        "hetero-speeds",
+        include_str!("../../scenarios/hetero-speeds.toml"),
+    ),
+];
+
+/// Parses every in-tree scenario, in library order.
+///
+/// # Panics
+///
+/// When an embedded config fails to parse — impossible for a shipped
+/// tree, since the library tests parse all of them.
+pub fn library() -> Vec<Scenario> {
+    SCENARIO_SOURCES
+        .iter()
+        .map(|(name, src)| {
+            parse_scenario(src)
+                .unwrap_or_else(|e| panic!("embedded scenario {name:?} failed to parse: {e}"))
+        })
+        .collect()
+}
+
+/// Looks up one in-tree scenario by name.
+pub fn scenario_by_name(name: &str) -> Option<Scenario> {
+    SCENARIO_SOURCES
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(n, src)| {
+            parse_scenario(src)
+                .unwrap_or_else(|e| panic!("embedded scenario {n:?} failed to parse: {e}"))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_embedded_scenario_parses_and_matches_its_key() {
+        let scenarios = library();
+        assert!(
+            scenarios.len() >= 6,
+            "library must hold at least 6 scenarios"
+        );
+        for (sc, (key, _)) in scenarios.iter().zip(SCENARIO_SOURCES) {
+            assert_eq!(&sc.name, key, "library key must match [scenario] name");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = SCENARIO_SOURCES.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SCENARIO_SOURCES.len());
+    }
+
+    #[test]
+    fn lookup_finds_known_and_rejects_unknown() {
+        assert!(scenario_by_name("uniform-baseline").is_some());
+        assert!(scenario_by_name("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn every_scenario_survives_rescaling() {
+        for sc in library() {
+            let small = sc.scaled(200);
+            small
+                .validate()
+                .unwrap_or_else(|e| panic!("{} scaled to 200 became invalid: {e}", sc.name));
+            assert_eq!(small.n, 200);
+        }
+    }
+}

@@ -1,0 +1,683 @@
+//! Compiling a [`Scenario`] into a [`FloodingSim`] and driving it:
+//! cluster layout, source/exit placement, fault injection, trace capture.
+//!
+//! Fault selection and cluster placement draw from **dedicated** RNG
+//! streams derived off the trial seed (`derive_seed` with fixed salts),
+//! never from the simulation stream mid-run. Every engine mode therefore
+//! sees byte-identical layouts and fault schedules within a parallelism
+//! class, and the engine's cross-mode RNG lockstep survives injection.
+
+use super::{
+    CountSpec, FaultKind, FracRect, InitSpec, ModelSpec, ProtocolSpec, Scenario, ScenarioError,
+    SourceSpec,
+};
+use fastflood_core::{
+    CoreError, EngineMode, FloodingReport, FloodingSim, InitMode, Parallelism, Protocol, SimConfig,
+    SimRng, SourcePlacement,
+};
+use fastflood_geom::Point;
+use fastflood_graph::DiskGraph;
+use fastflood_mobility::{DiskWalk, Mixture, Mobility, Mrwp, Placement, Rwp, Static, StreetMrwp};
+use fastflood_stats::seeds::derive_seed;
+use rand::{Rng, SeedableRng};
+
+/// Salt for the cluster-placement stream (`derive_seed(seed, PLACE_SALT)`).
+const PLACE_SALT: u64 = 0x706c_6163_656d_656e;
+/// Salt for the fault-selection stream (`derive_seed(seed, FAULT_SALT)`).
+const FAULT_SALT: u64 = 0x6661_756c_7473_2121;
+
+/// How one scenario trial ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every live agent was informed at `time` (and at least one agent
+    /// was live).
+    Flooded {
+        /// The flooding / evacuation time in steps.
+        time: u32,
+    },
+    /// The step budget ran out with live uninformed agents remaining.
+    Timeout,
+    /// The whole population was crashed at the end of the run — a
+    /// well-defined non-termination outcome, not a vacuous success.
+    Extinct,
+}
+
+impl Outcome {
+    /// The label used in JSON output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Flooded { .. } => "flooded",
+            Outcome::Timeout => "timeout",
+            Outcome::Extinct => "extinct",
+        }
+    }
+}
+
+/// Engine fallback counters after a run (all zero for non-Incremental /
+/// non-BucketJoin engines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FallbackStats {
+    /// Steps the adaptive engine served via the bucket-join path.
+    pub join_steps: u32,
+    /// Incremental-engine full index rebuilds (any cause).
+    pub full_rebuilds: u32,
+    /// Full rebuilds forced by a churn spike while the incremental index
+    /// was otherwise ready — the DEFER → REFRESH → FULL fallback being
+    /// *taken*, not just available.
+    pub spike_rebuilds: u32,
+    /// Steps served by the incremental diff path.
+    pub diff_steps: u32,
+    /// Diff steps that deferred the refresh entirely (membership surgery
+    /// only).
+    pub deferred_steps: u32,
+}
+
+/// What one fault application actually did, for the event trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Step at which the fault fired.
+    pub step: u32,
+    /// `"crash"`, `"partition"`, `"heal"`, or `"revive"`.
+    pub kind: &'static str,
+    /// The affected agent ids, ascending.
+    pub agents: Vec<u32>,
+}
+
+/// The bitwise event trace of a run — the unit of cross-mode agreement.
+///
+/// Two runs in the same determinism class (same parallelism flavor) must
+/// produce `==` traces under every engine mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// The resolved source agent.
+    pub source: u32,
+    /// Per-agent inform step; `u32::MAX` for never informed.
+    pub inform_time: Vec<u32>,
+    /// Informed count after each step (`spread[0]` is the t = 0 count).
+    pub spread: Vec<u32>,
+    /// Every fault application, in firing order.
+    pub faults: Vec<FaultRecord>,
+    /// Final agent positions as raw f64 bit patterns `(x, y)` — bitwise,
+    /// not approximate, agreement.
+    pub position_bits: Vec<(u64, u64)>,
+}
+
+/// Everything [`run_scenario`] observes about one trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRun {
+    /// How the trial ended.
+    pub outcome: Outcome,
+    /// The engine's own report.
+    pub report: FloodingReport,
+    /// Engine fallback counters.
+    pub fallback: FallbackStats,
+    /// The bitwise event trace.
+    pub trace: Trace,
+    /// Giant-component fraction of the communication graph on the
+    /// initial (post-layout) snapshot — how connected the workload
+    /// starts out.
+    pub initial_giant_fraction: f64,
+}
+
+fn invalid(msg: impl Into<String>) -> ScenarioError {
+    ScenarioError::Invalid(msg.into())
+}
+
+fn core_err(e: CoreError) -> ScenarioError {
+    invalid(e.to_string())
+}
+
+/// Runs one trial of a scenario under the given engine mode and
+/// parallelism flavor.
+///
+/// # Errors
+///
+/// [`ScenarioError::Invalid`] when the scenario cannot be compiled into
+/// a simulation (bad model parameters, ill-formed layout).
+///
+/// # Examples
+///
+/// ```
+/// use fastflood_bench::scenario::{run_scenario, scenario_by_name};
+/// use fastflood_core::{EngineMode, Parallelism};
+///
+/// let sc = scenario_by_name("uniform-baseline").unwrap().scaled(120);
+/// let run = run_scenario(&sc, EngineMode::Rebuild, Parallelism::Sequential, 3)?;
+/// assert_eq!(run.trace.inform_time.len(), 120);
+/// # Ok::<(), fastflood_bench::scenario::ScenarioError>(())
+/// ```
+pub fn run_scenario(
+    sc: &Scenario,
+    engine: EngineMode,
+    parallelism: Parallelism,
+    seed: u64,
+) -> Result<ScenarioRun, ScenarioError> {
+    sc.validate()?;
+    let model_err = |e: fastflood_mobility::MobilityError| invalid(e.to_string());
+    match &sc.model {
+        ModelSpec::Mrwp { side, speed, pause } => {
+            let model = Mrwp::new(*side, *speed)
+                .map_err(model_err)?
+                .with_pause(*pause);
+            drive(sc, model, engine, parallelism, seed)
+        }
+        ModelSpec::Street {
+            side,
+            speed,
+            blocks,
+            pause,
+        } => {
+            let model = StreetMrwp::new(*side, *speed, *blocks)
+                .map_err(model_err)?
+                .with_pause(*pause);
+            drive(sc, model, engine, parallelism, seed)
+        }
+        ModelSpec::Rwp { side, speed } => drive(
+            sc,
+            Rwp::new(*side, *speed).map_err(model_err)?,
+            engine,
+            parallelism,
+            seed,
+        ),
+        ModelSpec::Disk {
+            side,
+            speed,
+            walk_radius,
+        } => {
+            let model = DiskWalk::new(*side, *speed, *walk_radius).map_err(model_err)?;
+            drive(sc, model, engine, parallelism, seed)
+        }
+        ModelSpec::Static { side } => {
+            let model = Static::new(*side, Placement::Uniform).map_err(model_err)?;
+            drive(sc, model, engine, parallelism, seed)
+        }
+        ModelSpec::MrwpMix {
+            side,
+            speeds,
+            weights,
+        } => {
+            let models = speeds
+                .iter()
+                .map(|&v| Mrwp::new(*side, v))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(model_err)?;
+            let model = Mixture::new(models, weights.clone()).map_err(model_err)?;
+            drive(sc, model, engine, parallelism, seed)
+        }
+    }
+}
+
+/// Runs `trials` independent trials (seeds derived from `master_seed`)
+/// across `threads` workers, preserving trial order.
+///
+/// # Errors
+///
+/// The first [`ScenarioError`] any trial produced.
+pub fn run_scenario_trials(
+    sc: &Scenario,
+    engine: EngineMode,
+    parallelism: Parallelism,
+    threads: usize,
+    trials: usize,
+    master_seed: u64,
+) -> Result<Vec<ScenarioRun>, ScenarioError> {
+    fastflood_core::run_trials(trials, threads, master_seed, |_, seed| {
+        run_scenario(sc, engine, parallelism, seed)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// One expanded fault-schedule event. Partitions expand into a
+/// silence/heal pair sharing a slot; churn expands into per-step
+/// crash + revive pairs.
+enum Event {
+    Crash {
+        count: CountSpec,
+        region: Option<FracRect>,
+    },
+    Silence {
+        region: FracRect,
+        slot: usize,
+    },
+    Heal {
+        slot: usize,
+    },
+    Revive {
+        count: usize,
+    },
+}
+
+fn expand_faults(sc: &Scenario) -> (Vec<(u32, Event)>, usize) {
+    let mut events = Vec::new();
+    let mut slots = 0usize;
+    for fault in &sc.faults {
+        match &fault.kind {
+            FaultKind::Crash { count, region } => {
+                events.push((
+                    fault.at,
+                    Event::Crash {
+                        count: *count,
+                        region: *region,
+                    },
+                ));
+            }
+            FaultKind::Partition { duration, region } => {
+                let slot = slots;
+                slots += 1;
+                events.push((
+                    fault.at,
+                    Event::Silence {
+                        region: *region,
+                        slot,
+                    },
+                ));
+                events.push((fault.at.saturating_add(*duration), Event::Heal { slot }));
+            }
+            FaultKind::Churn { duration, rate } => {
+                for t in fault.at..fault.at.saturating_add(*duration) {
+                    events.push((
+                        t,
+                        Event::Crash {
+                            count: CountSpec::Abs(*rate),
+                            region: None,
+                        },
+                    ));
+                    events.push((t, Event::Revive { count: *rate }));
+                }
+            }
+            FaultKind::Revive { count } => {
+                events.push((fault.at, Event::Revive { count: *count }));
+            }
+        }
+    }
+    // stable: same-step events keep declaration order
+    events.sort_by_key(|&(at, _)| at);
+    (events, slots)
+}
+
+/// Draws `count` distinct items from `eligible` with a partial
+/// Fisher–Yates shuffle, returning them ascending.
+fn sample(eligible: &mut [u32], count: usize, rng: &mut SimRng) -> Vec<u32> {
+    let count = count.min(eligible.len());
+    for i in 0..count {
+        let j = rng.gen_range(i..eligible.len());
+        eligible.swap(i, j);
+    }
+    let mut picked: Vec<u32> = eligible[..count].to_vec();
+    picked.sort_unstable();
+    picked
+}
+
+fn nearest_agent(positions: &[Point], p: Point) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (i, q) in positions.iter().enumerate() {
+        let d = q.manhattan(p);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+fn drive<M: Mobility>(
+    sc: &Scenario,
+    model: M,
+    engine: EngineMode,
+    parallelism: Parallelism,
+    seed: u64,
+) -> Result<ScenarioRun, ScenarioError> {
+    let init = match sc.init {
+        InitSpec::Stationary => InitMode::Stationary,
+        InitSpec::Uniform => InitMode::ColdUniform,
+    };
+    let protocol = match sc.protocol {
+        ProtocolSpec::Flooding => Protocol::Flooding,
+        ProtocolSpec::Parsimonious { p } => Protocol::Parsimonious { p },
+        ProtocolSpec::Gossip { k } => Protocol::Gossip { k },
+    };
+    let config = SimConfig::new(sc.n, sc.radius)
+        .seed(seed)
+        .source(SourcePlacement::Agent(0))
+        .init(init)
+        .protocol(protocol)
+        .engine(engine)
+        .parallelism(parallelism);
+    let mut sim = FloodingSim::new(model, config).map_err(core_err)?;
+    let side = sc.model.side();
+
+    // Cluster layout: the lowest agent indices are re-placed uniformly
+    // inside their cluster's rectangle, from the dedicated placement
+    // stream (the in-rect point) + the simulation stream (the fresh
+    // trajectory init_at draws — identical across engine modes).
+    let mut place_rng = SimRng::seed_from_u64(derive_seed(seed, PLACE_SALT));
+    let mut next = 0usize;
+    for cluster in &sc.clusters {
+        let count = ((cluster.frac * sc.n as f64).ceil() as usize).min(sc.n - next);
+        for _ in 0..count {
+            let x = (cluster.rect.x0
+                + place_rng.gen::<f64>() * (cluster.rect.x1 - cluster.rect.x0))
+                * side;
+            let y = (cluster.rect.y0
+                + place_rng.gen::<f64>() * (cluster.rect.y1 - cluster.rect.y0))
+                * side;
+            sim.place_agent_at(next, Point::new(x, y))
+                .map_err(core_err)?;
+            next += 1;
+        }
+    }
+
+    let placement = match sc.source {
+        SourceSpec::Random => SourcePlacement::Random,
+        SourceSpec::Center => SourcePlacement::Center,
+        SourceSpec::SwCorner => SourcePlacement::SwCorner,
+        SourceSpec::Agent(i) => SourcePlacement::Agent(i),
+        SourceSpec::Nearest(fx, fy) => SourcePlacement::Nearest(Point::new(fx * side, fy * side)),
+    };
+    sim.reset_source(placement).map_err(core_err)?;
+
+    // Exit nodes: the agent nearest each exit is informed at t = 0 (an
+    // evacuation order propagating inward from the exits).
+    for &(fx, fy) in &sc.exits {
+        let exit = Point::new(fx * side, fy * side);
+        let agent = nearest_agent(sim.positions(), exit);
+        sim.inform_agent(agent);
+    }
+
+    let initial_giant_fraction = DiskGraph::build(sim.model().region(), sc.radius, sim.positions())
+        .map_err(|e| invalid(e.to_string()))?
+        .components()
+        .giant_fraction();
+
+    let (events, slots) = expand_faults(sc);
+    let mut partition_slots: Vec<Vec<u32>> = vec![Vec::new(); slots];
+    let mut fault_rng = SimRng::seed_from_u64(derive_seed(seed, FAULT_SALT));
+    let mut records: Vec<FaultRecord> = Vec::new();
+    let mut next_event = 0usize;
+
+    loop {
+        let t = sim.time();
+        while next_event < events.len() && events[next_event].0 == t {
+            let record = apply_event(
+                &mut sim,
+                &events[next_event].1,
+                side,
+                &mut partition_slots,
+                &mut fault_rng,
+            );
+            records.push(FaultRecord {
+                step: t,
+                kind: record.0,
+                agents: record.1,
+            });
+            next_event += 1;
+        }
+        if t >= sc.steps {
+            break;
+        }
+        // Keep stepping past (possibly vacuous) completion while fault
+        // events are still pending: a revive can re-open the worklist.
+        if sim.all_informed() && next_event >= events.len() {
+            break;
+        }
+        sim.step();
+    }
+
+    let report = sim.report();
+    let outcome = if report.live == 0 {
+        Outcome::Extinct
+    } else if report.completed {
+        Outcome::Flooded {
+            time: report
+                .flooding_time
+                .expect("completed runs have a flooding time"),
+        }
+    } else {
+        Outcome::Timeout
+    };
+    let fallback = FallbackStats {
+        join_steps: sim.bucket_join_steps(),
+        full_rebuilds: sim.incremental_full_rebuilds(),
+        spike_rebuilds: sim.incremental_spike_rebuilds(),
+        diff_steps: sim.incremental_diff_steps(),
+        deferred_steps: sim.incremental_deferred_steps(),
+    };
+    let trace = Trace {
+        source: sim.source() as u32,
+        inform_time: (0..sc.n)
+            .map(|i| sim.inform_time(i).unwrap_or(u32::MAX))
+            .collect(),
+        spread: report.spread.clone(),
+        faults: records,
+        position_bits: sim
+            .positions()
+            .iter()
+            .map(|p| (p.x.to_bits(), p.y.to_bits()))
+            .collect(),
+    };
+    Ok(ScenarioRun {
+        outcome,
+        report,
+        fallback,
+        trace,
+        initial_giant_fraction,
+    })
+}
+
+fn apply_event<M: Mobility, R: Rng + SeedableRng + Send>(
+    sim: &mut FloodingSim<M, R>,
+    event: &Event,
+    side: f64,
+    partition_slots: &mut [Vec<u32>],
+    fault_rng: &mut SimRng,
+) -> (&'static str, Vec<u32>) {
+    match event {
+        Event::Crash { count, region } => {
+            let mut eligible: Vec<u32> = (0..sim.n() as u32)
+                .filter(|&i| !sim.is_crashed(i as usize))
+                .filter(|&i| {
+                    region.is_none_or(|r| {
+                        let p = sim.positions()[i as usize];
+                        r.contains(side, p.x, p.y)
+                    })
+                })
+                .collect();
+            let wanted = match count {
+                CountSpec::Frac(q) => (q * eligible.len() as f64).round() as usize,
+                CountSpec::Abs(c) => *c,
+            };
+            let picked = sample(&mut eligible, wanted, fault_rng);
+            for &agent in &picked {
+                sim.crash_agent(agent as usize);
+            }
+            ("crash", picked)
+        }
+        Event::Silence { region, slot } => {
+            let picked: Vec<u32> = (0..sim.n() as u32)
+                .filter(|&i| !sim.is_crashed(i as usize))
+                .filter(|&i| {
+                    let p = sim.positions()[i as usize];
+                    region.contains(side, p.x, p.y)
+                })
+                .collect();
+            for &agent in &picked {
+                sim.crash_agent(agent as usize);
+            }
+            partition_slots[*slot] = picked.clone();
+            ("partition", picked)
+        }
+        Event::Heal { slot } => {
+            let healed: Vec<u32> = std::mem::take(&mut partition_slots[*slot])
+                .into_iter()
+                .filter(|&i| sim.is_crashed(i as usize))
+                .collect();
+            for &agent in &healed {
+                sim.revive_agent(agent as usize);
+            }
+            ("heal", healed)
+        }
+        Event::Revive { count } => {
+            let mut eligible: Vec<u32> = (0..sim.n() as u32)
+                .filter(|&i| sim.is_crashed(i as usize))
+                .collect();
+            let wanted = if *count == 0 { eligible.len() } else { *count };
+            let picked = sample(&mut eligible, wanted, fault_rng);
+            for &agent in &picked {
+                sim.revive_agent(agent as usize);
+            }
+            ("revive", picked)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Cluster, Fault, MetricSpec};
+    use super::*;
+
+    fn base(n: usize) -> Scenario {
+        Scenario {
+            name: "unit".to_string(),
+            seed: 1,
+            steps: 400,
+            trials: 2,
+            metric: MetricSpec::Flooding,
+            model: ModelSpec::Mrwp {
+                side: 12.0,
+                speed: 0.5,
+                pause: 0,
+            },
+            n,
+            radius: 2.5,
+            init: InitSpec::Stationary,
+            protocol: ProtocolSpec::Flooding,
+            clusters: Vec::new(),
+            source: SourceSpec::SwCorner,
+            exits: Vec::new(),
+            faults: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn dense_uniform_scenario_floods() {
+        let run =
+            run_scenario(&base(80), EngineMode::Adaptive, Parallelism::Sequential, 5).unwrap();
+        assert!(matches!(run.outcome, Outcome::Flooded { time } if time > 0));
+        assert_eq!(run.trace.inform_time.len(), 80);
+        assert!(run.trace.inform_time.iter().all(|&t| t != u32::MAX));
+        assert!(run.initial_giant_fraction > 0.5);
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let sc = base(60);
+        let a = run_scenario(&sc, EngineMode::Rebuild, Parallelism::Sequential, 9).unwrap();
+        let b = run_scenario(&sc, EngineMode::Rebuild, Parallelism::Sequential, 9).unwrap();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn crash_all_at_zero_is_extinct() {
+        let mut sc = base(40);
+        sc.faults = vec![Fault {
+            at: 0,
+            kind: FaultKind::Crash {
+                count: CountSpec::Frac(1.0),
+                region: None,
+            },
+        }];
+        let run = run_scenario(&sc, EngineMode::Adaptive, Parallelism::Sequential, 2).unwrap();
+        assert_eq!(run.outcome, Outcome::Extinct);
+        assert_eq!(run.report.live, 0);
+        assert!(!run.report.completed);
+        assert_eq!(run.report.steps_run, 0, "dead population stops immediately");
+        assert_eq!(run.trace.faults.len(), 1);
+        assert_eq!(run.trace.faults[0].agents.len(), 40);
+    }
+
+    #[test]
+    fn partition_heals_exactly_the_silenced_agents() {
+        let mut sc = base(70);
+        sc.steps = 120;
+        sc.faults = vec![Fault {
+            at: 5,
+            kind: FaultKind::Partition {
+                duration: 20,
+                region: FracRect {
+                    x0: 0.0,
+                    y0: 0.0,
+                    x1: 0.5,
+                    y1: 1.0,
+                },
+            },
+        }];
+        let run = run_scenario(&sc, EngineMode::Rebuild, Parallelism::Sequential, 4).unwrap();
+        let silence = run
+            .trace
+            .faults
+            .iter()
+            .find(|f| f.kind == "partition")
+            .expect("partition fired");
+        let heal = run
+            .trace
+            .faults
+            .iter()
+            .find(|f| f.kind == "heal")
+            .expect("heal fired");
+        assert_eq!(silence.step, 5);
+        assert_eq!(heal.step, 25);
+        assert!(!silence.agents.is_empty(), "west half holds someone");
+        assert_eq!(silence.agents, heal.agents);
+    }
+
+    #[test]
+    fn clusters_place_the_prefix_inside_their_rect() {
+        let mut sc = base(50);
+        sc.clusters = vec![Cluster {
+            frac: 0.4,
+            rect: FracRect {
+                x0: 0.4,
+                y0: 0.4,
+                x1: 0.6,
+                y1: 0.6,
+            },
+        }];
+        // Static model: placements stay where we put them.
+        sc.model = ModelSpec::Static { side: 12.0 };
+        sc.steps = 1;
+        let run = run_scenario(&sc, EngineMode::Rebuild, Parallelism::Sequential, 3).unwrap();
+        for &(xb, yb) in &run.trace.position_bits[..20] {
+            let (x, y) = (f64::from_bits(xb), f64::from_bits(yb));
+            assert!(
+                (4.8..=7.2).contains(&x) && (4.8..=7.2).contains(&y),
+                "({x}, {y})"
+            );
+        }
+    }
+
+    #[test]
+    fn exits_are_extra_sources_at_time_zero() {
+        let mut sc = base(60);
+        sc.exits = vec![(0.0, 0.0), (1.0, 1.0), (0.0, 1.0), (1.0, 0.0)];
+        let run = run_scenario(&sc, EngineMode::Adaptive, Parallelism::Sequential, 8).unwrap();
+        let seeded = run.trace.inform_time.iter().filter(|&&t| t == 0).count();
+        assert!(seeded >= 3, "source + distinct exit agents, got {seeded}");
+        assert!(u32::try_from(seeded).unwrap() == run.trace.spread[0]);
+    }
+
+    #[test]
+    fn trials_are_ordered_and_seed_derived() {
+        let sc = base(40);
+        let runs =
+            run_scenario_trials(&sc, EngineMode::Adaptive, Parallelism::Sequential, 2, 3, 11)
+                .unwrap();
+        assert_eq!(runs.len(), 3);
+        let again =
+            run_scenario_trials(&sc, EngineMode::Adaptive, Parallelism::Sequential, 1, 3, 11)
+                .unwrap();
+        assert_eq!(runs, again, "trial seeds derive from master, not threads");
+    }
+}

@@ -1,0 +1,214 @@
+//! Fault-schedule stress tests: adversarial scenarios must drive the
+//! Incremental engine through its whole DEFER → REFRESH → FULL fallback
+//! ladder (and actually *take* each rung, per the exposed counters), and
+//! pathological schedules must produce well-defined outcomes instead of
+//! vacuous successes.
+
+use fastflood_bench::scenario::{
+    parse_scenario, run_scenario, run_scenario_trials, scenario_by_name, Outcome,
+};
+use fastflood_core::{EngineMode, Parallelism};
+use proptest::prelude::*;
+
+/// Dense regime with a wide partition window: the east side saturates
+/// while the west 60% is silent, then the healed crowd is mass-informed
+/// by the standing flood front. That walks every rung of the ladder:
+/// quiet steps DEFER, drift forces REFRESH, the heal forces a cold FULL
+/// resync, and the re-ignition wave informs more than `live/8` agents
+/// per step with the chain intact — the churn-spike FULL fallback.
+const DENSE_PARTITION: &str = r#"
+[scenario]
+name = "dense-partition-ladder"
+steps = 200
+
+[mobility]
+model = "mrwp"
+side = 16.0
+speed = 1.0
+
+[population]
+n = 500
+radius = 2.0
+
+[source]
+place = "nearest"
+at = [0.9, 0.5]
+
+[[fault]]
+kind = "partition"
+at = 4
+duration = 30
+region = [0.0, 0.0, 0.75, 1.0]
+
+[[fault]]
+kind = "partition"
+at = 60
+duration = 30
+region = [0.25, 0.0, 1.0, 1.0]
+"#;
+
+fn run_ladder(seed: u64) -> fastflood_bench::scenario::ScenarioRun {
+    let sc = parse_scenario(DENSE_PARTITION).unwrap();
+    let run = run_scenario(&sc, EngineMode::Incremental, Parallelism::Sequential, seed).unwrap();
+    let fb = run.fallback;
+    // the rungs every seed reaches: quiet post-rebuild steps DEFER, the
+    // heal forces a cold FULL resync, and the healed crowd re-ignites
+    // en masse — more than live/8 newly informed with the chain intact,
+    // the churn-spike FULL fallback being *taken*
+    assert!(
+        fb.deferred_steps > 0,
+        "seed {seed}: no DEFER taken ({fb:?})"
+    );
+    assert!(
+        fb.full_rebuilds >= 2,
+        "seed {seed}: expected cold start + fault resync FULL rebuilds ({fb:?})"
+    );
+    assert!(
+        fb.spike_rebuilds >= 1,
+        "seed {seed}: re-ignition after heal never tripped the churn-spike \
+         fallback ({fb:?})"
+    );
+    assert!(
+        matches!(run.outcome, Outcome::Flooded { .. }),
+        "seed {seed}: dense run must still complete, got {:?}",
+        run.outcome
+    );
+    run
+}
+
+#[test]
+fn partition_heal_walks_the_whole_fallback_ladder() {
+    // calibrated seeds that walk every rung, including the middle one:
+    // at least one diff step refreshes the binning instead of deferring
+    for seed in [1, 2, 3] {
+        let run = run_ladder(seed);
+        let fb = run.fallback;
+        assert!(
+            fb.diff_steps > fb.deferred_steps,
+            "seed {seed}: every diff step deferred — REFRESH never taken ({fb:?})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The ladder's DEFER / FULL / spike rungs are not a lucky seed:
+    /// any trial seed takes them.
+    #[test]
+    fn fallback_ladder_is_seed_independent(seed in 0u64..10_000) {
+        run_ladder(seed);
+    }
+
+    /// A churn burst forces the incremental chain down per-step: every
+    /// burst step breaks `ready`, so full rebuilds scale with the burst
+    /// length instead of staying at the cold-start handful.
+    #[test]
+    fn churn_bursts_force_repeated_full_rebuilds(seed in 0u64..10_000) {
+        let sc = scenario_by_name("churn-spike").unwrap().scaled(500);
+        let quiet = {
+            let mut q = sc.clone();
+            q.faults.clear();
+            q
+        };
+        let faulted = run_scenario(&sc, EngineMode::Incremental, Parallelism::Sequential, seed)
+            .unwrap();
+        let baseline = run_scenario(&quiet, EngineMode::Incremental, Parallelism::Sequential, seed)
+            .unwrap();
+        prop_assert!(
+            faulted.fallback.full_rebuilds >= baseline.fallback.full_rebuilds + 3
+                && faulted.fallback.full_rebuilds >= 8,
+            "churn burst across the flood only moved rebuilds {} -> {}",
+            baseline.fallback.full_rebuilds,
+            faulted.fallback.full_rebuilds
+        );
+    }
+}
+
+#[test]
+fn crash_storm_resyncs_but_still_floods() {
+    let sc = scenario_by_name("crash-storm").unwrap().scaled(240);
+    let run = run_scenario(&sc, EngineMode::Incremental, Parallelism::Sequential, 5).unwrap();
+    assert!(run.fallback.full_rebuilds >= 2, "{:?}", run.fallback);
+    assert!(matches!(run.outcome, Outcome::Flooded { .. }));
+    let crashed = run
+        .trace
+        .faults
+        .iter()
+        .map(|f| f.agents.len())
+        .sum::<usize>();
+    assert_eq!(crashed, 72, "30% of 240 crash");
+    assert_eq!(run.report.live, 240 - 72);
+}
+
+/// Satellite regression: a schedule that crashes everyone at step 0 is
+/// a well-defined non-termination outcome on every trial — extinct, not
+/// completed, no flooding time — and the driver stops immediately.
+#[test]
+fn all_crashed_at_step_zero_reports_extinction() {
+    let sc = parse_scenario(
+        r#"
+        [scenario]
+        name = "dead-on-arrival"
+        steps = 200
+
+        [mobility]
+        model = "mrwp"
+        side = 12.0
+        speed = 0.3
+
+        [population]
+        n = 60
+        radius = 2.0
+
+        [[fault]]
+        kind = "crash"
+        at = 0
+        frac = 1.0
+        "#,
+    )
+    .unwrap();
+    for engine in [
+        EngineMode::Adaptive,
+        EngineMode::Rebuild,
+        EngineMode::Incremental,
+    ] {
+        let runs = run_scenario_trials(&sc, engine, Parallelism::Sequential, 2, 3, 99).unwrap();
+        assert_eq!(runs.len(), 3);
+        for run in &runs {
+            assert_eq!(run.outcome, Outcome::Extinct, "{engine:?}");
+            assert!(!run.report.completed);
+            assert_eq!(run.report.flooding_time, None);
+            assert_eq!(run.report.live, 0);
+            assert_eq!(run.report.steps_run, 0, "dead population must not spin");
+        }
+    }
+}
+
+/// Healed agents that were never informed re-open the worklist: the
+/// partition scenario's spread curve is not monotone in the informed
+/// *fraction of live agents* — completion waits for the returnees.
+#[test]
+fn heal_reopens_the_worklist() {
+    let sc = parse_scenario(DENSE_PARTITION).unwrap();
+    let run = run_scenario(&sc, EngineMode::Rebuild, Parallelism::Sequential, 3).unwrap();
+    let heal = run
+        .trace
+        .faults
+        .iter()
+        .find(|f| f.kind == "heal")
+        .expect("heal fired");
+    assert_eq!(heal.step, 34);
+    let time = match run.outcome {
+        Outcome::Flooded { time } => time,
+        other => panic!("expected completion, got {other:?}"),
+    };
+    assert!(
+        time > 34,
+        "completion at {time} must wait for the step-34 returnees"
+    );
+    assert!(
+        !heal.agents.is_empty(),
+        "west 60% of a dense population holds someone"
+    );
+}

@@ -360,7 +360,13 @@ impl SimConfig {
 pub struct FloodingReport {
     /// Total number of agents in the simulation.
     pub n: u32,
-    /// Whether every agent was informed within the step budget.
+    /// Live (non-crashed) agents at report time. When this is 0 the
+    /// population is extinct and `completed` is `false` regardless of
+    /// the worklist state — an all-crashed run is a well-defined
+    /// non-termination outcome, not a vacuous success.
+    pub live: u32,
+    /// Whether every live agent was informed within the step budget
+    /// **and** at least one agent is still live.
     pub completed: bool,
     /// Steps at which the last agent was informed (when completed).
     pub flooding_time: Option<u32>,
@@ -803,8 +809,11 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
     ///
     /// Crashed agents (see [`FloodingSim::crash_agent`]) cannot receive,
     /// so completion is defined over the survivors — the standard
-    /// fail-stop broadcast criterion. `O(1)`: the live-uninformed
-    /// worklist is maintained incrementally.
+    /// fail-stop broadcast criterion. Vacuously `true` when *no* live
+    /// agent remains; [`FloodingReport::completed`] additionally
+    /// requires a nonempty live population, so extinction is never
+    /// reported as success. `O(1)`: the live-uninformed worklist is
+    /// maintained incrementally.
     #[inline]
     pub fn all_informed(&self) -> bool {
         self.uninformed.is_empty()
@@ -842,6 +851,185 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
                 .expect("uninformed agent is on the worklist");
             self.uninformed.remove(pos);
         }
+    }
+
+    /// Revives a crashed agent: its radio comes back up with whatever
+    /// knowledge it had when it crashed (an informed agent rejoins the
+    /// transmit roster; an uninformed one rejoins the worklist). The
+    /// heal half of a scenario partition window, and the recovery half
+    /// of churn bursts. No-op when `agent` is not crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fastflood_core::{FloodingSim, SimConfig, SourcePlacement};
+    /// use fastflood_mobility::Mrwp;
+    ///
+    /// let model = Mrwp::new(20.0, 0.5)?;
+    /// let config = SimConfig::new(50, 3.0).seed(1).source(SourcePlacement::Agent(0));
+    /// let mut sim = FloodingSim::new(model, config)?;
+    /// sim.crash_agent(7);
+    /// sim.revive_agent(7);
+    /// assert!(!sim.is_crashed(7));
+    /// let report = sim.run(5_000);
+    /// assert!(report.completed && report.live == 50);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn revive_agent(&mut self, agent: usize) {
+        if !self.crashed[agent] {
+            return;
+        }
+        self.crashed[agent] = false;
+        // the live population (grid geometry) and roster membership both
+        // change: resync the incremental grids from scratch
+        self.inc.ready = false;
+        if self.informed[agent] {
+            self.rank[agent] = self.transmitters.len() as u32;
+            self.transmitters.push(agent as u32);
+        } else {
+            let pos = self
+                .uninformed
+                .binary_search(&(agent as u32))
+                .expect_err("crashed uninformed agent left the worklist");
+            self.uninformed.insert(pos, agent as u32);
+        }
+    }
+
+    /// Marks a live uninformed agent informed at the **current** time,
+    /// as an extra broadcast source: it transmits from the next step.
+    /// Scenario exit nodes (evacuation workloads seed the order at every
+    /// exit) are built from this. No-op when `agent` is already
+    /// informed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range or crashed.
+    pub fn inform_agent(&mut self, agent: usize) {
+        if self.informed[agent] {
+            return;
+        }
+        assert!(
+            !self.crashed[agent],
+            "crashed agents cannot be informed (agent {agent})"
+        );
+        let pos = self
+            .uninformed
+            .binary_search(&(agent as u32))
+            .expect("live uninformed agent is on the worklist");
+        self.uninformed.remove(pos);
+        self.informed[agent] = true;
+        self.inform_time[agent] = self.time;
+        self.rank[agent] = self.transmitters.len() as u32;
+        self.transmitters.push(agent as u32);
+        self.informed_count += 1;
+        // keep the spread curve consistent: the current sample reflects
+        // the out-of-band inform
+        *self.spread.last_mut().expect("spread is never empty") = self.informed_count as u32;
+        // roster surgery outside the join's membership diff: resync
+        self.inc.ready = false;
+        self.update_zone_completion();
+    }
+
+    /// Moves an agent to an explicit position before the run starts
+    /// (time 0 only) — the primitive behind zoned/clustered scenario
+    /// placement. The agent's trajectory state is re-initialized at
+    /// `pos` via [`Mobility::init_at`], drawing its fresh trip from the
+    /// simulation stream.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadParameter`] when called after the first step,
+    /// when `agent` is out of range, or when `pos` lies outside the
+    /// model's region.
+    pub fn place_agent_at(&mut self, agent: usize, pos: Point) -> Result<(), CoreError> {
+        if self.time != 0 {
+            return Err(CoreError::BadParameter(
+                "agents can only be re-placed at time 0",
+            ));
+        }
+        if agent >= self.n() {
+            return Err(CoreError::BadParameter("agent index out of range"));
+        }
+        if !self.model.region().contains(pos) {
+            return Err(CoreError::BadParameter(
+                "position lies outside the model's region",
+            ));
+        }
+        let st = self.model.init_at(pos, &mut self.rng);
+        self.positions[agent] = self.model.position(&st);
+        self.model.batch_set_state(&mut self.batch, agent, st);
+        self.inc.ready = false;
+        self.update_zone_completion();
+        Ok(())
+    }
+
+    /// Re-selects the source on a pristine simulation (time 0, nothing
+    /// crashed, nobody informed but the current source) — so scenario
+    /// builders can apply [`FloodingSim::place_agent_at`] layouts first
+    /// and then resolve a position-dependent placement such as
+    /// [`SourcePlacement::Center`] against the *final* positions.
+    /// [`SourcePlacement::Random`] draws from the simulation stream.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadParameter`] when called after the first step,
+    /// after a crash, after extra agents were informed, or with an
+    /// out-of-range [`SourcePlacement::Agent`].
+    pub fn reset_source(&mut self, placement: SourcePlacement) -> Result<(), CoreError> {
+        if self.time != 0 {
+            return Err(CoreError::BadParameter(
+                "the source can only be reset at time 0",
+            ));
+        }
+        if self.informed_count != 1 || self.crashed_count() != 0 {
+            return Err(CoreError::BadParameter(
+                "the source can only be reset on a pristine simulation",
+            ));
+        }
+        let region = self.model.region();
+        let new = match placement {
+            SourcePlacement::Random => self.rng.gen_range(0..self.n()),
+            SourcePlacement::Agent(i) => {
+                if i >= self.n() {
+                    return Err(CoreError::BadParameter("source agent index out of range"));
+                }
+                i
+            }
+            SourcePlacement::Center => nearest_to(&self.positions, region.center()),
+            SourcePlacement::SwCorner => nearest_to(&self.positions, region.min()),
+            SourcePlacement::Nearest(p) => nearest_to(&self.positions, p),
+        };
+        if new != self.source {
+            let old = self.source;
+            // demote the old source back onto the worklist…
+            self.informed[old] = false;
+            self.inform_time[old] = u32::MAX;
+            self.rank[old] = u32::MAX;
+            self.transmitters.clear();
+            let pos = self
+                .uninformed
+                .binary_search(&(old as u32))
+                .expect_err("the old source cannot be on the worklist");
+            self.uninformed.insert(pos, old as u32);
+            // …and promote the new one
+            let pos = self
+                .uninformed
+                .binary_search(&(new as u32))
+                .expect("the new source is uninformed and live");
+            self.uninformed.remove(pos);
+            self.informed[new] = true;
+            self.inform_time[new] = 0;
+            self.rank[new] = 0;
+            self.transmitters.push(new as u32);
+            self.source = new;
+            self.inc.ready = false;
+            self.update_zone_completion();
+        }
+        Ok(())
     }
 
     /// Whether `agent` has crashed.
@@ -949,6 +1137,19 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
     #[inline]
     pub fn incremental_deferred_steps(&self) -> u32 {
         self.inc.deferred_steps
+    }
+
+    /// Diagnostic: the subset of
+    /// [`FloodingSim::incremental_full_rebuilds`] forced by a
+    /// **membership-churn spike** — one step informing more than
+    /// `live/8` agents while the maintenance chain was otherwise intact
+    /// (dense-flood ignition, mass-revival bursts). Cold starts and
+    /// crash resyncs do not count: this isolates the DEFER → REFRESH →
+    /// FULL state machine's spike transition so adversarial scenario
+    /// tests can assert the fallback path is actually taken.
+    #[inline]
+    pub fn incremental_spike_rebuilds(&self) -> u32 {
+        self.inc.spike_rebuilds
     }
 
     /// Diagnostic: the incremental join's current accumulated staleness
@@ -1126,12 +1327,17 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
 
     /// The report for the steps executed so far.
     pub fn report(&self) -> FloodingReport {
+        let live = (self.n() - self.crashed_count()) as u32;
+        // an empty worklist with zero survivors is extinction, not
+        // completion: nobody is left to have been informed
+        let completed = self.all_informed() && live > 0;
         FloodingReport {
             n: self.n() as u32,
-            completed: self.all_informed(),
+            live,
+            completed,
             // crashed agents never receive (inform_time stays u32::MAX);
             // completion over survivors measures the last *live* receipt
-            flooding_time: self.all_informed().then(|| {
+            flooding_time: completed.then(|| {
                 self.inform_time
                     .iter()
                     .copied()
@@ -1517,6 +1723,11 @@ struct IncrementalSync {
     /// `O(churn)` membership surgery, stale-tolerant join, no per-agent
     /// pass at all.
     deferred_steps: u32,
+    /// The subset of `full_rebuilds` taken while the chain was *intact*
+    /// because one step's membership churn crossed the spike threshold
+    /// (`churn·CHURN_SPIKE_DIVISOR > live`) — the fallback the
+    /// adversarial churn-burst scenarios exist to exercise.
+    spike_rebuilds: u32,
 }
 
 /// Membership-churn spike threshold of the incremental join: when one
@@ -1613,6 +1824,11 @@ fn join_covered_incremental(
     // `ready`, so the saturating difference is never misread)
     let churn = transmitters.len().saturating_sub(inc.synced_tx);
     if !inc.ready || churn * CHURN_SPIKE_DIVISOR > live {
+        if inc.ready {
+            // the chain was intact: this rebuild is the churn-spike
+            // fallback, not a cold start or crash resync
+            inc.spike_rebuilds += 1;
+        }
         grid.rebuild_incremental(region, bucket, positions, uninformed, live, &[])
             .expect("positions finite, radius validated");
         if tx_is_roster {
@@ -1959,6 +2175,7 @@ mod tests {
         // coverage of whatever they happened to reach
         let report = FloodingReport {
             n: 100,
+            live: 100,
             completed: false,
             flooding_time: None,
             steps_run: 4,
@@ -2055,6 +2272,96 @@ mod tests {
         assert!(sim.all_informed(), "only the source is live and informed");
         let report = sim.run(5);
         assert!(report.completed);
+        assert_eq!(report.live, 1);
+    }
+
+    #[test]
+    fn crashing_everyone_reports_extinction_not_completion() {
+        // regression: with zero survivors the worklist is empty, which
+        // used to read as `completed = true` with a flooding time — an
+        // all-crashed-at-step-0 scenario must be a well-defined
+        // non-termination outcome instead
+        let mut sim = mrwp_sim(10, 20.0, 3.0, 1.0, 35);
+        for i in 0..10 {
+            sim.crash_agent(i);
+        }
+        assert!(sim.all_informed(), "vacuously: no live uninformed agents");
+        let report = sim.run(5);
+        assert_eq!(report.steps_run, 0, "run terminates immediately");
+        assert_eq!(report.live, 0);
+        assert!(!report.completed, "a dead population never completes");
+        assert_eq!(report.flooding_time, None);
+    }
+
+    #[test]
+    fn revive_restores_roster_and_worklist_membership() {
+        let mut sim = mrwp_sim(30, 10.0, 4.0, 0.5, 36);
+        let src = sim.source();
+        sim.run(2); // let a few agents get informed
+        let informed_victim = (0..30)
+            .find(|&i| i != src && sim.informed()[i])
+            .expect("dense sim informs someone in 2 steps");
+        let uninformed_victim = (0..30)
+            .find(|&i| !sim.informed()[i])
+            .expect("sparse enough to leave someone uninformed");
+        sim.crash_agent(informed_victim);
+        sim.crash_agent(uninformed_victim);
+        sim.revive_agent(informed_victim);
+        sim.revive_agent(uninformed_victim);
+        sim.revive_agent(uninformed_victim); // idempotent
+        assert_eq!(sim.crashed_count(), 0);
+        let report = sim.run(5_000);
+        assert!(report.completed);
+        assert_eq!(report.live, 30);
+        // the revived uninformed agent was eventually informed normally
+        assert!(sim.inform_time(uninformed_victim).is_some());
+    }
+
+    #[test]
+    fn inform_agent_adds_an_extra_source() {
+        let mut sim = mrwp_sim(40, 30.0, 2.0, 0.5, 37);
+        let extra = (0..40)
+            .find(|&i| !sim.informed()[i])
+            .expect("n > 1 leaves uninformed agents");
+        sim.run(3);
+        let t = sim.time();
+        let before = sim.informed_count();
+        sim.inform_agent(extra);
+        if sim.informed_count() > before {
+            assert_eq!(sim.inform_time(extra), Some(t));
+        }
+        sim.inform_agent(extra); // idempotent
+        let report = sim.run(10_000);
+        assert!(report.completed);
+        // spread stays consistent with the inform count
+        assert_eq!(*report.spread.last().unwrap(), 40);
+    }
+
+    #[test]
+    fn place_agent_at_and_reset_source_rebuild_the_layout() {
+        let mut sim = mrwp_sim(20, 50.0, 5.0, 1.0, 38);
+        // park everyone in the SW corner except agent 0
+        for i in 1..20 {
+            sim.place_agent_at(i, Point::new(1.0, 1.0)).unwrap();
+        }
+        sim.place_agent_at(0, Point::new(49.0, 49.0)).unwrap();
+        assert!(sim
+            .place_agent_at(0, Point::new(-3.0, 0.0))
+            .is_err_and(|e| e.to_string().contains("region")));
+        assert!(sim.place_agent_at(99, Point::new(1.0, 1.0)).is_err());
+        // a position-dependent placement resolves against the new layout
+        sim.reset_source(SourcePlacement::Nearest(Point::new(50.0, 50.0)))
+            .unwrap();
+        assert_eq!(sim.source(), 0);
+        assert_eq!(sim.inform_time(0), Some(0));
+        assert_eq!(sim.informed_count(), 1);
+        // resetting to the same source is a no-op
+        sim.reset_source(SourcePlacement::Agent(0)).unwrap();
+        assert_eq!(sim.source(), 0);
+        sim.step();
+        // both primitives are construction-time only
+        assert!(sim.place_agent_at(0, Point::new(1.0, 1.0)).is_err());
+        assert!(sim.reset_source(SourcePlacement::Agent(1)).is_err());
     }
 
     #[test]

@@ -50,6 +50,7 @@
 
 mod disk_walk;
 pub mod distributions;
+mod mixture;
 mod model;
 mod mrwp;
 mod rwp;
@@ -58,6 +59,7 @@ mod street_grid;
 mod turns;
 
 pub use disk_walk::{DiskWalk, DiskWalkState};
+pub use mixture::{Mixture, MixtureState};
 pub use model::{
     drain_chunks, move_chunk_count, step_batch_chunked_aos, step_batch_sequential, BlockRng,
     ChunkCtx, Mobility, StepEvents, MOVE_CHUNK, RNG_BLOCK,

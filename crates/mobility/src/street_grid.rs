@@ -43,6 +43,9 @@ pub struct StreetMrwp {
     side: f64,
     speed: f64,
     blocks: usize,
+    /// Whole time steps spent paused at each intersection way-point
+    /// (0 = free-flowing traffic).
+    pause: u32,
 }
 
 /// Trajectory state of a street-grid agent (an L-path between
@@ -52,12 +55,19 @@ pub struct StreetMrwp {
 pub struct StreetMrwpState {
     path: LPath,
     s: f64,
+    /// Remaining pause steps at the current way-point (0 = traveling).
+    pause_left: u32,
 }
 
 impl StreetMrwpState {
     /// The destination intersection of the current trip.
     pub fn dest(&self) -> Point {
         self.path.dest()
+    }
+
+    /// Whether the agent is currently paused at an intersection.
+    pub fn is_paused(&self) -> bool {
+        self.pause_left > 0
     }
 }
 
@@ -84,7 +94,25 @@ impl StreetMrwp {
             side,
             speed,
             blocks,
+            pause: 0,
         })
+    }
+
+    /// Returns a copy that pauses `steps` whole time steps at every
+    /// way-point intersection before choosing the next trip (the urban
+    /// red-light/stop-sign analogue of [`crate::Mrwp::with_pause`];
+    /// `steps = 0` restores the free-flowing default). During a pause the
+    /// agent does not move or turn; leftover budget in the arrival step
+    /// is forfeited.
+    pub fn with_pause(mut self, steps: u32) -> StreetMrwp {
+        self.pause = steps;
+        self
+    }
+
+    /// Pause duration at each way-point intersection, in whole steps.
+    #[inline]
+    pub fn pause(&self) -> u32 {
+        self.pause
     }
 
     /// Side length `L` of the region.
@@ -151,21 +179,64 @@ impl Mobility for StreetMrwp {
     }
 
     fn init_stationary<R: Rng + ?Sized>(&self, rng: &mut R) -> StreetMrwpState {
-        // Length-biased intersection pairs: draw a continuous length-biased
-        // pair (the limit distribution) and snap both endpoints; reject
-        // degenerate snaps. Exact in the blocks → ∞ limit and an excellent
-        // approximation at city scale (validated statistically in tests).
+        if self.pause == 0 || self.speed == 0.0 {
+            // Length-biased intersection pairs: draw a continuous
+            // length-biased pair (the limit distribution) and snap both
+            // endpoints; reject degenerate snaps. Exact in the blocks → ∞
+            // limit and an excellent approximation at city scale
+            // (validated statistically in tests).
+            loop {
+                let (w, d) = sample_trip_length_biased(self.side, rng);
+                let w = self.snap_to_intersection(w);
+                let d = self.snap_to_intersection(d);
+                if w == d {
+                    continue;
+                }
+                let axis = if rng.gen_bool(0.5) { Axis::Y } else { Axis::X };
+                let path = LPath::new(w, d, axis);
+                let s = rng.gen::<f64>() * path.len();
+                return StreetMrwpState {
+                    path,
+                    s,
+                    pause_left: 0,
+                };
+            }
+        }
+        // With pauses, a renewal cycle lasts len/v + pause steps; sample
+        // snapped intersection pairs duration-biased, then place the agent
+        // uniformly in time within the cycle (traveling or paused at the
+        // destination) — the street-grid analogue of Mrwp's pause sampler.
+        let l = self.side;
+        let max_duration = 2.0 * l / self.speed + self.pause as f64;
         loop {
-            let (w, d) = sample_trip_length_biased(self.side, rng);
-            let w = self.snap_to_intersection(w);
-            let d = self.snap_to_intersection(d);
+            let w =
+                self.snap_to_intersection(Point::new(l * rng.gen::<f64>(), l * rng.gen::<f64>()));
+            let d =
+                self.snap_to_intersection(Point::new(l * rng.gen::<f64>(), l * rng.gen::<f64>()));
             if w == d {
                 continue;
+            }
+            let len = w.manhattan(d);
+            let duration = len / self.speed + self.pause as f64;
+            if rng.gen::<f64>() * max_duration >= duration {
+                continue;
+            }
+            if rng.gen::<f64>() * duration < self.pause as f64 {
+                // paused at the destination, uniformly into the pause
+                return StreetMrwpState {
+                    path: LPath::new(d, d, Axis::X),
+                    s: 0.0,
+                    pause_left: rng.gen_range(1..=self.pause),
+                };
             }
             let axis = if rng.gen_bool(0.5) { Axis::Y } else { Axis::X };
             let path = LPath::new(w, d, axis);
             let s = rng.gen::<f64>() * path.len();
-            return StreetMrwpState { path, s };
+            return StreetMrwpState {
+                path,
+                s,
+                pause_left: 0,
+            };
         }
     }
 
@@ -178,6 +249,7 @@ impl Mobility for StreetMrwp {
         StreetMrwpState {
             path: self.fresh_trip(from, rng),
             s: 0.0,
+            pause_left: 0,
         }
     }
 
@@ -186,6 +258,17 @@ impl Mobility for StreetMrwp {
     }
 
     fn step<R: Rng + ?Sized>(&self, state: &mut StreetMrwpState, rng: &mut R) -> StepEvents {
+        if state.pause_left > 0 {
+            state.pause_left -= 1;
+            if state.pause_left == 0 {
+                // the pause ends at this step's boundary; travel resumes
+                // next step on a fresh trip
+                let from = state.path.dest();
+                state.path = self.fresh_trip(from, rng);
+                state.s = 0.0;
+            }
+            return StepEvents::default();
+        }
         let mut budget = self.speed;
         let mut events = StepEvents::default();
         let mut guard = 0;
@@ -209,6 +292,14 @@ impl Mobility for StreetMrwp {
             budget -= remaining;
             events.arrivals += 1;
             let from = state.path.dest();
+            if self.pause > 0 {
+                // hold position at the intersection for `pause` whole
+                // steps; leftover budget in the arrival step is forfeited
+                state.path = LPath::new(from, from, Axis::X);
+                state.s = 0.0;
+                state.pause_left = self.pause;
+                break;
+            }
             state.path = self.fresh_trip(from, rng);
             state.s = 0.0;
             guard += 1;
@@ -374,6 +465,67 @@ mod tests {
         let m = StreetMrwp::new(L, 1.0, 10).unwrap();
         let mut r = rng(6);
         m.init_at(Point::new(-1.0, 0.0), &mut r);
+    }
+
+    #[test]
+    fn pauses_hold_position_at_intersections() {
+        let m = StreetMrwp::new(L, 8.0, 5).unwrap().with_pause(3);
+        assert_eq!(m.pause(), 3);
+        let mut r = rng(8);
+        let mut st = m.init_at(Point::new(40.0, 40.0), &mut r);
+        let mut pause_runs = 0usize;
+        let mut held_steps = 0usize;
+        for _ in 0..400 {
+            let before = m.position(&st);
+            let was_paused = st.is_paused();
+            let ev = m.step(&mut st, &mut r);
+            let after = m.position(&st);
+            assert!(m.on_street(after, 1e-9));
+            if was_paused {
+                assert_eq!(before, after, "paused agent moved");
+                assert_eq!(ev, StepEvents::default());
+                held_steps += 1;
+            }
+            if st.is_paused() && !was_paused {
+                // just arrived: the agent is parked exactly on an
+                // intersection with the full pause ahead of it
+                assert_eq!(m.snap_to_intersection(after), after);
+                assert!(ev.arrivals >= 1);
+                pause_runs += 1;
+            }
+        }
+        assert!(pause_runs >= 5, "only {pause_runs} pauses in 400 steps");
+        // every completed pause holds for the full 3 steps (the last run
+        // may be cut off by the end of the loop)
+        assert!(held_steps >= 3 * (pause_runs - 1) && held_steps <= 3 * pause_runs);
+    }
+
+    #[test]
+    fn paused_stationary_init_resumes_travel() {
+        let m = StreetMrwp::new(L, 2.0, 10).unwrap().with_pause(50);
+        let mut r = rng(9);
+        // with a 50-step pause most cycle time is spent paused
+        let mut paused = 0usize;
+        for _ in 0..500 {
+            let st = m.init_stationary(&mut r);
+            if st.is_paused() {
+                assert_eq!(m.snap_to_intersection(m.position(&st)), m.position(&st));
+                paused += 1;
+            }
+        }
+        assert!(paused > 250, "only {paused}/500 init draws paused");
+        // a paused agent eventually travels again
+        let mut st = loop {
+            let st = m.init_stationary(&mut r);
+            if st.is_paused() {
+                break st;
+            }
+        };
+        let start = m.position(&st);
+        for _ in 0..60 {
+            m.step(&mut st, &mut r);
+        }
+        assert_ne!(m.position(&st), start, "agent never resumed travel");
     }
 
     #[test]

@@ -282,6 +282,43 @@ proptest! {
         assert_batch_lockstep(&model, n, 40, seed);
     }
 
+    /// Street-grid analogue of the pause-heavy MRWP property: large
+    /// red-light pauses plus a fast speed maximize arrival/pause traffic
+    /// through the AoS batch path.
+    #[test]
+    fn street_mrwp_pause_heavy_step_batch_matches_scalar_loop(
+        seed in 0u64..1000,
+        n in 1usize..30,
+        pause in 4u32..12,
+    ) {
+        let side = 80.0;
+        let model = fastflood_mobility::StreetMrwp::new(side, 0.3 * side, 8)
+            .unwrap()
+            .with_pause(pause);
+        assert_batch_lockstep(&model, n, 40, seed);
+    }
+
+    /// Speed-class mixtures route every agent through its component
+    /// model; the AoS batch path must stay bitwise-faithful to the
+    /// scalar loop across classes (including paused ones).
+    #[test]
+    fn mixture_step_batch_matches_scalar_loop(
+        seed in 0u64..1000,
+        n in 1usize..30,
+        pause in 0u32..6,
+    ) {
+        let side = 60.0;
+        let mix = fastflood_mobility::Mixture::new(
+            vec![
+                Mrwp::new(side, 0.02 * side).unwrap(),
+                Mrwp::new(side, 0.25 * side).unwrap().with_pause(pause),
+            ],
+            vec![0.6, 0.4],
+        )
+        .unwrap();
+        assert_batch_lockstep(&mix, n, 30, seed);
+    }
+
     /// The word-buffered [`BlockRng`] must serve exactly the inner
     /// stream's draws in order, across every distribution the move pass
     /// uses and any interleaving — the invariant that makes wrapping
@@ -485,6 +522,37 @@ proptest! {
     fn street_mrwp_chunked_matches_reference_and_thread_counts(seed in 0u64..500, n in 1usize..25) {
         let model = fastflood_mobility::StreetMrwp::new(80.0, 1.5, 8).unwrap();
         assert_chunked_lockstep(&model, n, 20, seed);
+    }
+
+    /// Pause-heavy chunked lockstep for the street grid, mirroring the
+    /// MRWP one: the AoS fallback path (`step_batch_chunked_aos`) must
+    /// stay a pure function of `(states, chunk streams)` while pauses
+    /// dominate the step mix.
+    #[test]
+    fn street_mrwp_pause_heavy_chunked_matches_reference_and_thread_counts(
+        seed in 0u64..500,
+        n in 1usize..25,
+        pause in 4u32..12,
+    ) {
+        let side = 80.0;
+        let model = fastflood_mobility::StreetMrwp::new(side, 0.3 * side, 8)
+            .unwrap()
+            .with_pause(pause);
+        assert_chunked_lockstep(&model, n, 20, seed);
+    }
+
+    #[test]
+    fn mixture_chunked_matches_reference_and_thread_counts(seed in 0u64..500, n in 1usize..25) {
+        let side = 50.0;
+        let mix = fastflood_mobility::Mixture::new(
+            vec![
+                Mrwp::new(side, 0.4).unwrap(),
+                Mrwp::new(side, 2.4).unwrap().with_pause(2),
+            ],
+            vec![0.5, 0.5],
+        )
+        .unwrap();
+        assert_chunked_lockstep(&mix, n, 20, seed);
     }
 }
 

@@ -1,0 +1,64 @@
+//! A tour of the declarative scenario library: run every in-tree
+//! workload — baseline, zoned density, street-grid evacuation, crash
+//! storm, partition-then-heal, churn spike, heterogeneous speeds — at a
+//! small density-preserving scale and print what happened.
+//!
+//! Scenarios are data, not code: each one lives in a config file under
+//! `crates/bench/scenarios/` (see `docs/SCENARIOS.md` for the format)
+//! and compiles into a `FloodingSim` setup with a step-keyed fault
+//! schedule on top.
+//!
+//! Run with: `cargo run --release --example scenario_tour`
+
+use fastflood::core::{EngineMode, Parallelism};
+use fastflood_bench::scenario::{library, run_scenario_trials, Outcome};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trials = 3;
+    println!(
+        "{:<26} {:>6} {:>10} {:>9} {:>22} {:>7}",
+        "scenario", "n", "metric", "outcomes", "time (mean min..max)", "giant"
+    );
+    for sc in library() {
+        let sc = sc.scaled(300);
+        let runs = run_scenario_trials(
+            &sc,
+            EngineMode::Adaptive,
+            Parallelism::Sequential,
+            trials,
+            trials,
+            2010,
+        )?;
+        let times: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| match r.outcome {
+                Outcome::Flooded { time } => Some(f64::from(time)),
+                _ => None,
+            })
+            .collect();
+        let outcomes = runs
+            .iter()
+            .map(|r| r.outcome.label().chars().next().unwrap())
+            .collect::<String>();
+        let time_col = if times.is_empty() {
+            "-".to_string()
+        } else {
+            let mean = times.iter().sum::<f64>() / times.len() as f64;
+            let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            format!("{mean:>8.1} {min:>5.0}..{max:<5.0}")
+        };
+        let giant = runs.iter().map(|r| r.initial_giant_fraction).sum::<f64>() / runs.len() as f64;
+        println!(
+            "{:<26} {:>6} {:>10} {:>9} {:>22} {:>6.2}",
+            sc.name,
+            sc.n,
+            sc.metric.label(),
+            outcomes,
+            time_col,
+            giant
+        );
+    }
+    println!("\noutcomes: f = flooded, t = timeout, e = extinct (one letter per trial)");
+    Ok(())
+}

@@ -59,6 +59,22 @@ doc_expect fastflood_mobility/constant.RNG_BLOCK.html refill
 doc_expect fastflood_mobility/fn.step_batch_sequential.html measures
 doc_expect fastflood_core/struct.StepPhases.html boundary_ns
 
+# ---- scenario subsystem + fault-injection API ----
+doc_expect fastflood_core/struct.FloodingSim.html revive_agent
+doc_expect fastflood_core/struct.FloodingSim.html inform_agent
+doc_expect fastflood_core/struct.FloodingSim.html place_agent_at
+doc_expect fastflood_core/struct.FloodingSim.html reset_source
+doc_expect fastflood_core/struct.FloodingSim.html incremental_spike_rebuilds
+doc_expect fastflood_core/struct.FloodingReport.html "non-termination"
+doc_expect fastflood_mobility/struct.Mixture.html "speed classes"
+doc_expect fastflood_mobility/struct.StreetMrwp.html with_pause
+doc_expect fastflood_bench/scenario/index.html "Determinism contract"
+doc_expect fastflood_bench/scenario/struct.Scenario.html fault
+doc_expect fastflood_bench/scenario/enum.FaultKind.html Churn
+doc_expect fastflood_bench/scenario/fn.run_scenario.html index.html
+doc_expect fastflood_bench/scenario/struct.Trace.html bitwise
+doc_expect fastflood_bench/scenario/fn.parse_scenario.html "unknown"
+
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED"
   exit 1

@@ -24,6 +24,14 @@ cargo test -q -p fastflood-mobility --features simd
 # a separate target dir so the flag change cannot thrash the main cache
 RUSTFLAGS="-C target-cpu=native" CARGO_TARGET_DIR=target/native \
   cargo test -q -p fastflood-mobility --features simd --test properties
+# scenario smoke: every in-tree scenario (crash storms, partition
+# windows, churn bursts, street evacuation, …) must run end-to-end at
+# the tiny density-preserving --quick scale
+cargo run --release -p fastflood-bench --bin scenarios -- --quick > /dev/null
+# the cross-mode agreement harness again under real 2-thread dispatch:
+# every scenario, every engine mode, bitwise trace agreement within
+# each determinism class regardless of thread count
+FASTFLOOD_THREADS=2 cargo test -q -p fastflood-bench --test scenario_agreement
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

@@ -162,3 +162,38 @@ fn flooding_time_depends_on_speed() {
         "sparse-regime flooding must be speed-limited: slow {slow_total}, fast {fast_total}"
     );
 }
+
+/// Theorem 3 through the scenario subsystem: on the dense-regime
+/// library workload (≈ 12.6 agents per communication disk, preserved by
+/// the rescale) flooding time stays within the O(D + polylog n) shape —
+/// a small multiple of the hop diameter 2L/R plus log²n — across seeds.
+#[test]
+fn scenario_dense_regime_flooding_time_shape() {
+    use fastflood::core::{EngineMode, Parallelism};
+    use fastflood_bench::scenario::{run_scenario, scenario_by_name, Outcome};
+
+    let sc = scenario_by_name("uniform-baseline")
+        .expect("library scenario")
+        .scaled(240);
+    let hop_diameter = 2.0 * sc.model.side() / sc.radius;
+    let polylog = (sc.n as f64).log2().powi(2);
+    let bound = 3.0 * (hop_diameter + polylog);
+    for seed in [11, 23, 47] {
+        let run = run_scenario(&sc, EngineMode::Adaptive, Parallelism::Sequential, seed)
+            .expect("scenario compiles");
+        assert!(
+            run.initial_giant_fraction > 0.9,
+            "seed {seed}: rescale left the dense regime (giant fraction {})",
+            run.initial_giant_fraction
+        );
+        let time = match run.outcome {
+            Outcome::Flooded { time } => f64::from(time),
+            other => panic!("seed {seed}: dense regime must flood, got {other:?}"),
+        };
+        assert!(
+            time <= bound,
+            "seed {seed}: flooding time {time} broke the O(D + polylog n) shape \
+             (D = {hop_diameter:.1}, bound = {bound:.1})"
+        );
+    }
+}
