@@ -3,10 +3,17 @@
 //!
 //! Usage:
 //! `cargo run --release -p fastflood-bench --bin scenarios -- \
-//!   [--quick] [--scenario NAME] [--engine MODE] [--seed N] [--trials N] [--threads N] [--n N]`
+//!   [--quick] [--scenario NAME] [--engine MODE] [--parallelism P] \
+//!   [--seed N] [--trials N] [--threads N] [--n N]`
 //!
 //! `--quick` rescales every scenario to a tiny population (density
 //! preserved) and runs 2 trials — the tier-1 smoke configuration.
+//!
+//! `--parallelism` selects the intra-step engine per trial: `seq`
+//! (default), `chunked`, or `sharded:K` (a K×K shard grid); `chunked`
+//! and `sharded:K` resolve their worker count from `FASTFLOOD_THREADS`
+//! / available parallelism. `--threads` stays trial-level (how many
+//! trials run concurrently).
 
 use fastflood_bench::scenario::{library, run_scenario_trials, Outcome, Scenario, ScenarioRun};
 use fastflood_core::{EngineMode, Parallelism};
@@ -15,6 +22,7 @@ struct Args {
     quick: bool,
     scenario: Option<String>,
     engine: EngineMode,
+    parallelism: Parallelism,
     seed: u64,
     trials: Option<usize>,
     threads: usize,
@@ -26,6 +34,7 @@ fn parse_args() -> Args {
         quick: false,
         scenario: None,
         engine: EngineMode::Adaptive,
+        parallelism: Parallelism::Sequential,
         seed: 0,
         trials: None,
         threads: std::thread::available_parallelism().map_or(1, |t| t.get()),
@@ -49,6 +58,20 @@ fn parse_args() -> Args {
                     "bucket-join" => EngineMode::BucketJoin,
                     "incremental" => EngineMode::Incremental,
                     other => panic!("unknown engine {other:?}"),
+                };
+            }
+            "--parallelism" => {
+                let v = value("--parallelism");
+                args.parallelism = match v.as_str() {
+                    "seq" | "sequential" => Parallelism::Sequential,
+                    "chunked" => Parallelism::Chunked { threads: 0 },
+                    sharded => match sharded.strip_prefix("sharded:") {
+                        Some(k) => Parallelism::Sharded {
+                            grid: k.parse().expect("--parallelism sharded:K takes a grid"),
+                            threads: 0,
+                        },
+                        None => panic!("unknown parallelism {v:?} (seq|chunked|sharded:K)"),
+                    },
                 };
             }
             "--seed" => args.seed = value("--seed").parse().expect("--seed takes a u64"),
@@ -163,7 +186,7 @@ fn main() {
         let runs = run_scenario_trials(
             &sc,
             args.engine,
-            Parallelism::Sequential,
+            args.parallelism,
             args.threads,
             trials,
             args.seed ^ sc.seed,

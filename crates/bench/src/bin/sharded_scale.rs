@@ -1,0 +1,151 @@
+//! Sharded-world scaling sweep: sustained per-step cost of
+//! `Parallelism::Sharded` across shard grids K ∈ {1, 2, 4} against the
+//! chunked engine at n = 100k, printed as one JSON object that
+//! `scripts/bench_engine.sh` embeds as the `sharded_scale` block of
+//! `BENCH_engine.json` (schema in `docs/BENCHMARKING.md`).
+//!
+//! The sweep reuses the `engine_step_sustained` shape: warm each flood
+//! to ~50% informed, then a fixed timed step loop. Because the sharded
+//! trace is bitwise identical to chunked per `(seed, n)`, every row
+//! measures the *same* flood — differences are pure engine overhead
+//! (roster surgery, migration drains, halo reads) against the chunked
+//! single-join baseline.
+//!
+//! `FASTFLOOD_BENCH_LARGE=1` adds the 1M-agent row: the
+//! uniform-baseline scenario density (side = 44.7·√(n/2000), speed 0.4,
+//! R = 2.0) on a 4×4 shard grid, run from a cold start for a fixed
+//! window — the first in-tree run past 300k agents — with per-step time
+//! and peak RSS (`VmHWM`) recorded.
+
+use fastflood_core::{FloodingSim, Parallelism, SimConfig, SimParams, SourcePlacement};
+use fastflood_mobility::Mrwp;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Peak resident set size in kB from `/proc/self/status` (`VmHWM`),
+/// or `None` off Linux-style procfs.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn sweep_sim(n: usize, parallelism: Parallelism) -> FloodingSim<Mrwp> {
+    let scale = SimParams::standard(n, 1.0, 0.0)
+        .expect("valid")
+        .radius_scale();
+    let radius = 0.4 * scale;
+    let params = SimParams::standard(n, radius, 0.2 * radius).expect("valid");
+    let model = Mrwp::new(params.side(), params.speed()).expect("valid");
+    FloodingSim::new(
+        model,
+        SimConfig::new(params.n(), params.radius())
+            .seed(1)
+            .source(SourcePlacement::Center)
+            .parallelism(parallelism),
+    )
+    .expect("valid config")
+}
+
+/// Warm to ~50% informed, then time `steps` sustained steps.
+fn sustained_row(mut sim: FloodingSim<Mrwp>, steps: u32) -> String {
+    sim.reserve_steps(1 << 22);
+    let mut guard = 0u32;
+    while 2 * sim.informed_count() < sim.n() && guard < 20_000 {
+        sim.step();
+        guard += 1;
+    }
+    assert!(
+        2 * sim.informed_count() >= sim.n(),
+        "warm-up exhausted its step guard before 50% informed"
+    );
+    let started = Instant::now();
+    for _ in 0..steps {
+        black_box(sim.step());
+    }
+    let ns = started.elapsed().as_nanos() as f64 / steps as f64;
+    let (migrations, halo) = sim
+        .sharded_world()
+        .map_or((0, 0), |w| (w.migrations(), w.halo_candidates()));
+    format!(
+        "{{\"steps_timed\": {steps}, \"ns_per_step\": {ns:.1}, \
+         \"migrations\": {migrations}, \"halo_candidates\": {halo}}}"
+    )
+}
+
+fn main() {
+    let large =
+        std::env::var_os("FASTFLOOD_BENCH_LARGE").is_some_and(|v| v != "0" && !v.is_empty());
+    let n = 100_000usize;
+    let steps = 2_000u32;
+    println!("{{");
+    println!(
+        "  \"protocol\": \"engine_step_sustained shape (warm to ~50% informed, fixed timed \
+         step loop) at n = 100k; every row replays the bitwise-identical flood, so deltas \
+         are pure engine overhead vs the chunked baseline. large_1m: uniform-baseline \
+         density at n = 1M on a 4x4 shard grid, cold start, fixed window, peak RSS from \
+         VmHWM\","
+    );
+    println!(
+        "  \"chunked\": {},",
+        sustained_row(sweep_sim(n, Parallelism::Chunked { threads: 0 }), steps)
+    );
+    for k in [1usize, 2, 4] {
+        println!(
+            "  \"sharded_k{k}\": {},",
+            sustained_row(
+                sweep_sim(
+                    n,
+                    Parallelism::Sharded {
+                        grid: k,
+                        threads: 0
+                    }
+                ),
+                steps
+            )
+        );
+    }
+    if large {
+        // the uniform-baseline scenario's density at n = 1M: the
+        // acceptance run past 300k agents. Cold start (no 50% warm-up:
+        // the point is that a million-agent step budget completes at
+        // all), fixed measured window after a short warm window
+        let n = 1_000_000usize;
+        let side = 44.7 * (n as f64 / 2000.0).sqrt();
+        let model = Mrwp::new(side, 0.4).expect("valid");
+        let mut sim = FloodingSim::new(
+            model,
+            SimConfig::new(n, 2.0)
+                .seed(1)
+                .source(SourcePlacement::Center)
+                .parallelism(Parallelism::Sharded {
+                    grid: 4,
+                    threads: 0,
+                }),
+        )
+        .expect("valid config");
+        sim.reserve_steps(1 << 10);
+        for _ in 0..20 {
+            sim.step(); // warm scratch + pool
+        }
+        let steps = 100u32;
+        let started = Instant::now();
+        for _ in 0..steps {
+            black_box(sim.step());
+        }
+        let ns = started.elapsed().as_nanos() as f64 / steps as f64;
+        let world = sim.sharded_world().expect("sharded engine");
+        let rss = peak_rss_kb().map_or("null".to_string(), |kb| kb.to_string());
+        println!(
+            "  \"large_1m\": {{\"n\": {n}, \"grid\": 4, \"steps_timed\": {steps}, \
+             \"ns_per_step\": {ns:.1}, \"informed\": {}, \"migrations\": {}, \
+             \"halo_candidates\": {}, \"peak_rss_kb\": {rss}}}",
+            sim.informed_count(),
+            world.migrations(),
+            world.halo_candidates(),
+        );
+    } else {
+        println!("  \"large_1m\": null");
+    }
+    println!("}}");
+}

@@ -375,7 +375,19 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ScenarioError> {
                 if let Some((s, line)) = t.take_str("metric")? {
                     metric = match s.as_str() {
                         "flooding" => MetricSpec::Flooding,
-                        "evacuation" => MetricSpec::Evacuation,
+                        "evacuation-notice" => MetricSpec::EvacuationNotice,
+                        // the legacy spelling suggested exit-arrival
+                        // semantics the metric never had; refuse it
+                        // loudly instead of silently re-interpreting
+                        "evacuation" => {
+                            return Err(perr(
+                                line,
+                                "metric \"evacuation\" was renamed to \
+                                 \"evacuation-notice\" (it reports when the last \
+                                 live agent learns of the order, not exit arrival)"
+                                    .to_string(),
+                            ));
+                        }
                         other => {
                             return Err(perr(line, format!("unknown metric {other:?}")));
                         }
@@ -580,7 +592,7 @@ mod tests {
             seed = 7
             steps = 2000
             trials = 3
-            metric = "evacuation"
+            metric = "evacuation-notice"
             [mobility]
             model = "street"
             side = 40.0
@@ -614,7 +626,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        assert_eq!(sc.metric, MetricSpec::Evacuation);
+        assert_eq!(sc.metric, MetricSpec::EvacuationNotice);
         assert!(matches!(
             sc.model,
             ModelSpec::Street {

@@ -254,9 +254,15 @@ pub enum ProtocolSpec {
 pub enum MetricSpec {
     /// Broadcast completion (flooding time).
     Flooding,
-    /// Evacuation-order completion (evacuation time): the message is an
-    /// evacuation order seeded at the exits.
-    Evacuation,
+    /// Evacuation-**notice** completion (config spelling
+    /// `metric = "evacuation-notice"`): the message is an evacuation
+    /// order seeded at the exits, and the reported time is when the
+    /// last live agent *learned of* the order — not when anyone reached
+    /// an exit. (The previous name, `Evacuation`, read as an
+    /// arrival-time metric it never was; configs spelling the legacy
+    /// `metric = "evacuation"` are rejected with a pointer to the
+    /// rename.)
+    EvacuationNotice,
 }
 
 impl MetricSpec {
@@ -264,7 +270,7 @@ impl MetricSpec {
     pub fn label(&self) -> &'static str {
         match self {
             MetricSpec::Flooding => "flooding",
-            MetricSpec::Evacuation => "evacuation",
+            MetricSpec::EvacuationNotice => "evacuation-notice",
         }
     }
 }

@@ -32,7 +32,7 @@ pub enum Outcome {
     /// Every live agent was informed at `time` (and at least one agent
     /// was live).
     Flooded {
-        /// The flooding / evacuation time in steps.
+        /// The flooding / evacuation-notice time in steps.
         time: u32,
     },
     /// The step budget ran out with live uninformed agents remaining.

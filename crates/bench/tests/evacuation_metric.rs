@@ -1,0 +1,69 @@
+//! Regression pins for the evacuation metric rename: the street
+//! scenario's metric measures when the last live agent **learns of**
+//! the evacuation order ("evacuation-notice"), not when anyone reaches
+//! an exit — and the legacy `metric = "evacuation"` spelling, which
+//! read as an arrival-time metric, is rejected with a pointer to the
+//! rename instead of being silently re-interpreted.
+
+use fastflood_bench::scenario::{
+    parse_scenario, run_scenario, scenario_by_name, MetricSpec, Outcome,
+};
+use fastflood_core::{EngineMode, Parallelism};
+
+/// The pinned semantics: the reported completion time is the inform
+/// step of the last live agent — notification completion — so it must
+/// equal the maximum recorded inform time, and the scenario must label
+/// itself "evacuation-notice".
+#[test]
+fn street_evacuation_reports_notice_completion_not_exit_arrival() {
+    let sc = scenario_by_name("street-evacuation")
+        .expect("library scenario")
+        .scaled(240);
+    assert_eq!(sc.metric, MetricSpec::EvacuationNotice);
+    assert_eq!(sc.metric.label(), "evacuation-notice");
+    let run = run_scenario(&sc, EngineMode::Adaptive, Parallelism::Sequential, 11)
+        .unwrap_or_else(|e| panic!("street-evacuation failed: {e}"));
+    let time = match run.outcome {
+        Outcome::Flooded { time } => time,
+        other => panic!("expected notice completion, got {other:?}"),
+    };
+    let last_notice = run
+        .trace
+        .inform_time
+        .iter()
+        .copied()
+        .filter(|&t| t != u32::MAX)
+        .max()
+        .expect("someone was informed");
+    assert_eq!(
+        time, last_notice,
+        "the metric must report the last live agent's notification step"
+    );
+}
+
+/// The legacy spelling is an error naming the rename, not an alias.
+#[test]
+fn legacy_evacuation_spelling_is_rejected() {
+    let err = parse_scenario(
+        r#"
+        [scenario]
+        name = "legacy"
+        metric = "evacuation"
+
+        [mobility]
+        model = "mrwp"
+        side = 10.0
+        speed = 0.3
+
+        [population]
+        n = 50
+        radius = 2.0
+        "#,
+    )
+    .expect_err("legacy metric spelling must be rejected");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("evacuation-notice"),
+        "the error must point at the rename, got: {msg}"
+    );
+}

@@ -1,0 +1,144 @@
+//! Shard-invariance harness: every in-tree scenario replayed under
+//! `Parallelism::Sharded` must produce the **bitwise identical** trace,
+//! report, and outcome as the `Chunked` engine — for every shard grid
+//! K ∈ {1, 2, 4} and every thread count — because the sharded world's
+//! transmit pipeline is RNG-free and the move pass shares the chunked
+//! per-chunk streams. `Sharded` and `Chunked` are one determinism
+//! class; the shard grid, like the thread count, may only change
+//! wall-clock.
+//!
+//! The comparison covers the fault-schedule scenarios (crash-storm,
+//! partition-heal, churn-spike): fault surgery marks the shard rosters
+//! dirty, and the re-file must not perturb the trace. Engine fallback
+//! counters are *not* compared — the sharded transmit bypasses the
+//! engine-mode joins entirely, so its `FallbackStats` legitimately
+//! stay zero.
+//!
+//! `scripts/tier1.sh` re-runs this suite with `FASTFLOOD_THREADS=2`.
+
+use fastflood_bench::scenario::{library, run_scenario, Scenario, ScenarioRun};
+use fastflood_core::{EngineMode, Parallelism};
+use proptest::prelude::*;
+
+/// Library rescaled to a test-sized population (density preserved).
+fn scaled_library() -> Vec<Scenario> {
+    library().into_iter().map(|sc| sc.scaled(240)).collect()
+}
+
+fn run(sc: &Scenario, par: Parallelism, seed: u64) -> ScenarioRun {
+    run_scenario(sc, EngineMode::Adaptive, par, seed)
+        .unwrap_or_else(|e| panic!("{} under {par:?} failed: {e}", sc.name))
+}
+
+/// Asserts a sharded run equals the chunked reference bitwise on
+/// trace, report, and outcome (fallback counters excluded by design).
+fn assert_matches_chunked(sc: &Scenario, reference: &ScenarioRun, par: Parallelism, seed: u64) {
+    let sharded = run(sc, par, seed);
+    assert_eq!(
+        reference.trace, sharded.trace,
+        "{}: {par:?} trace diverged from Chunked (seed {seed})",
+        sc.name
+    );
+    assert_eq!(
+        reference.report, sharded.report,
+        "{}: {par:?} report diverged from Chunked (seed {seed})",
+        sc.name
+    );
+    assert_eq!(reference.outcome, sharded.outcome);
+}
+
+/// The headline invariance: all 7 scenarios — fault schedules included
+/// — under `Sharded {{ grid: 2 }}` equal the chunked reference.
+#[test]
+fn every_scenario_matches_chunked_under_sharded_grid_2() {
+    for sc in scaled_library() {
+        let reference = run(&sc, Parallelism::Chunked { threads: 2 }, 11);
+        assert!(
+            reference.report.steps_run > 0,
+            "{}: scenario never stepped",
+            sc.name
+        );
+        assert_matches_chunked(
+            &sc,
+            &reference,
+            Parallelism::Sharded {
+                grid: 2,
+                threads: 2,
+            },
+            11,
+        );
+    }
+}
+
+/// The acceptance matrix on the fault scenarios and one plain one:
+/// K ∈ {1, 2, 4} × threads {1, 2, 8}, all equal to the chunked
+/// reference (and hence to each other).
+#[test]
+fn sharded_traces_are_grid_and_thread_invariant() {
+    for sc in scaled_library() {
+        let reference = run(&sc, Parallelism::Chunked { threads: 1 }, 17);
+        for grid in [1usize, 2, 4] {
+            for threads in [1usize, 2, 8] {
+                assert_matches_chunked(&sc, &reference, Parallelism::Sharded { grid, threads }, 17);
+            }
+        }
+    }
+}
+
+/// All five engine modes agree under `Sharded` too: the mode is
+/// bypassed by the sharded flooding transmit, so this guards against a
+/// mode-dependent path sneaking into the sharded pipeline (gossip
+/// scenarios would exercise mode-shared sampling).
+#[test]
+fn engine_modes_agree_under_sharded() {
+    const MODES: [EngineMode; 5] = [
+        EngineMode::Adaptive,
+        EngineMode::Rebuild,
+        EngineMode::Oracle,
+        EngineMode::BucketJoin,
+        EngineMode::Incremental,
+    ];
+    let par = Parallelism::Sharded {
+        grid: 2,
+        threads: 2,
+    };
+    for sc in scaled_library() {
+        let reference = run_scenario(&sc, MODES[0], par, 11)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", sc.name));
+        for &mode in &MODES[1..] {
+            let other = run_scenario(&sc, mode, par, 11)
+                .unwrap_or_else(|e| panic!("{} under {mode:?} failed: {e}", sc.name));
+            assert_eq!(
+                reference.trace, other.trace,
+                "{}: {mode:?} trace diverged under {par:?}",
+                sc.name
+            );
+            assert_eq!(reference.report, other.report);
+            assert_eq!(reference.outcome, other.outcome);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Shard invariance holds for arbitrary trial seeds on every
+    /// scenario, not just the fixed smoke seeds.
+    #[test]
+    fn sharded_equivalence_is_seed_independent(seed in 0u64..100_000, idx in 0usize..7) {
+        let sc = scaled_library().swap_remove(idx);
+        let reference = run(&sc, Parallelism::Chunked { threads: 2 }, seed);
+        assert_matches_chunked(
+            &sc,
+            &reference,
+            Parallelism::Sharded { grid: 2, threads: 2 },
+            seed,
+        );
+        assert_matches_chunked(
+            &sc,
+            &reference,
+            Parallelism::Sharded { grid: 4, threads: 1 },
+            seed,
+        );
+    }
+}

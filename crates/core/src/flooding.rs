@@ -98,6 +98,7 @@
 //! See `BENCH_engine.json` for measured step throughput and
 //! `docs/BENCHMARKING.md` for the protocol behind it.
 
+use crate::sharded::ShardedWorld;
 use crate::{CoreError, Zone, ZoneMap};
 use fastflood_geom::Point;
 use fastflood_mobility::{move_chunk_count, ChunkCtx, Mobility, TurnRecorder, MOVE_CHUNK};
@@ -255,6 +256,29 @@ pub enum Parallelism {
         /// [`default_threads`] (the `FASTFLOOD_THREADS` environment
         /// variable, else available parallelism). The resolved count
         /// never changes results, only speed.
+        threads: usize,
+    },
+    /// Domain-partitioned transmit engine: the region splits into a
+    /// `grid × grid` decomposition of shards, each owning its agents'
+    /// transmit-phase state behind process-shaped boundaries (own
+    /// buffers + immutable halo snapshots; migrations and inform merges
+    /// happen in canonical shard order). The move pass stays the same
+    /// block-batched chunked kernel as [`Parallelism::Chunked`] and the
+    /// transmit phases draw no randomness, so the trace is
+    /// **bitwise-identical to `Chunked`** for the same `(seed, n)` —
+    /// for every `grid` and every thread count; `grid: 1` is the
+    /// degenerate single-shard world. See [`ShardedWorld`] and
+    /// `docs/ARCHITECTURE.md` ("Sharded world contract").
+    ///
+    /// [`ShardedWorld`]: crate::ShardedWorld
+    Sharded {
+        /// Shards per axis (`K`); the world holds `K²` shards.
+        /// Rejected when `0`, or when `K ≥ 2` and a shard cell's side
+        /// would be smaller than the transmit radius (the halo band
+        /// must fit inside one neighboring shard).
+        grid: usize,
+        /// Worker threads, resolved exactly as in
+        /// [`Parallelism::Chunked`].
         threads: usize,
     },
 }
@@ -501,6 +525,11 @@ pub struct FloodingSim<M: Mobility, R: Rng + SeedableRng + Send = SimRng> {
     /// (counter-derived RNG stream + move scratch) per [`MOVE_CHUNK`]
     /// chunk of the population.
     par: Option<ParState<R>>,
+    /// The domain decomposition of [`Parallelism::Sharded`] (`None`
+    /// otherwise): per-shard rosters, halo snapshots, and migration
+    /// bookkeeping; the flooding/parsimonious transmit routes through
+    /// it instead of the engine-mode join.
+    sharded: Option<ShardedWorld>,
 }
 
 /// Retained state of [`Parallelism::Chunked`]: the worker pool and the
@@ -596,6 +625,7 @@ impl<M: Mobility + Clone, R: Rng + SeedableRng + Send + Clone> Clone for Floodin
             phase_timing: self.phase_timing,
             phases: self.phases,
             par: self.par.clone(),
+            sharded: self.sharded.clone(),
         }
     }
 }
@@ -688,9 +718,16 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
         let mut rank = vec![u32::MAX; config.n];
         rank[source] = 0;
 
+        let sharded = match config.parallelism {
+            Parallelism::Sharded { grid, .. } => {
+                Some(ShardedWorld::new(grid, region, config.radius, config.n)?)
+            }
+            _ => None,
+        };
+
         let par = match config.parallelism {
             Parallelism::Sequential => None,
-            Parallelism::Chunked { threads } => {
+            Parallelism::Chunked { threads } | Parallelism::Sharded { threads, .. } => {
                 let threads = if threads == 0 {
                     default_threads()
                 } else {
@@ -772,6 +809,7 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
             phase_timing: false,
             phases: StepPhases::default(),
             par,
+            sharded,
         })
     }
 
@@ -835,6 +873,9 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
         // diff (and shrinks the live population their geometry is sized
         // by): resync with full rebuilds on the next join step
         self.inc.ready = false;
+        if let Some(sh) = self.sharded.as_mut() {
+            sh.mark_dirty();
+        }
         if self.informed[agent] {
             // retire from the transmit roster
             let rk = self.rank[agent] as usize;
@@ -887,6 +928,9 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
         // the live population (grid geometry) and roster membership both
         // change: resync the incremental grids from scratch
         self.inc.ready = false;
+        if let Some(sh) = self.sharded.as_mut() {
+            sh.mark_dirty();
+        }
         if self.informed[agent] {
             self.rank[agent] = self.transmitters.len() as u32;
             self.transmitters.push(agent as u32);
@@ -931,6 +975,9 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
         *self.spread.last_mut().expect("spread is never empty") = self.informed_count as u32;
         // roster surgery outside the join's membership diff: resync
         self.inc.ready = false;
+        if let Some(sh) = self.sharded.as_mut() {
+            sh.mark_dirty();
+        }
         self.update_zone_completion();
     }
 
@@ -963,6 +1010,9 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
         self.positions[agent] = self.model.position(&st);
         self.model.batch_set_state(&mut self.batch, agent, st);
         self.inc.ready = false;
+        if let Some(sh) = self.sharded.as_mut() {
+            sh.mark_dirty();
+        }
         self.update_zone_completion();
         Ok(())
     }
@@ -1027,6 +1077,9 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
             self.transmitters.push(new as u32);
             self.source = new;
             self.inc.ready = false;
+            if let Some(sh) = self.sharded.as_mut() {
+                sh.mark_dirty();
+            }
             self.update_zone_completion();
         }
         Ok(())
@@ -1188,6 +1241,15 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
     #[inline]
     pub fn parallel_threads(&self) -> usize {
         self.par.as_ref().map_or(0, |p| p.pool.threads())
+    }
+
+    /// The domain decomposition of [`Parallelism::Sharded`], or `None`
+    /// under any other parallelism — read-only access to the shard
+    /// grid's diagnostics (migration and halo counters, ownership
+    /// queries). See [`ShardedWorld`].
+    #[inline]
+    pub fn sharded_world(&self) -> Option<&ShardedWorld> {
+        self.sharded.as_ref()
     }
 
     /// Turns per-phase wall-clock accounting on or off (see
@@ -1370,6 +1432,36 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
             self.inc.stale += max_move;
             return;
         }
+        if self.sharded.is_some() {
+            // Sharded transmit: coins are drawn here, in global roster
+            // order from the main stream — the identical draws as every
+            // other engine mode — and the coin-passing subset is handed
+            // to the world as stamp marks (the shard-local effective
+            // rosters filter by `stamp[t] == time`). The decomposition
+            // pipeline itself is RNG-free, which is what keeps the
+            // trace bitwise-invariant in the shard grid.
+            let parsimonious = forward_probability.is_some();
+            let mut any_tx = !self.transmitters.is_empty();
+            if let Some(p) = forward_probability {
+                any_tx = false;
+                let time = self.time;
+                for i in 0..self.transmitters.len() {
+                    let t = self.transmitters[i] as usize;
+                    if self.rng.gen::<f64>() < p {
+                        self.stamp[t] = time;
+                        any_tx = true;
+                    }
+                }
+            }
+            if any_tx {
+                // an all-tails step skips the pipeline entirely (like
+                // every mode); the roster surgery it also skips is
+                // idempotent against the global flags, so the next
+                // transmit absorbs the extra step's moves
+                self.transmit_sharded(parsimonious);
+            }
+            return;
+        }
         // The transmit roster: all live informed agents, or the
         // coin-passing subset for parsimonious. Coins are drawn in
         // roster order in every engine mode, so the random stream is
@@ -1522,6 +1614,29 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
         }
     }
 
+    /// Hands the post-move global snapshot to the [`ShardedWorld`]
+    /// pipeline (surgery → exchange → publish → halo join) and collects
+    /// the per-shard newly-informed lists into `self.newly` (the caller
+    /// sorts the union, as for every mode). RNG-free: parsimonious
+    /// coins were already drawn by [`FloodingSim::transmit_flooding`]
+    /// and arrive as `stamp[t] == time` marks.
+    fn transmit_sharded(&mut self, parsimonious: bool) {
+        let sh = self
+            .sharded
+            .as_mut()
+            .expect("transmit_sharded called with the sharded world active");
+        sh.transmit(
+            &self.positions,
+            &self.informed,
+            &self.crashed,
+            &self.stamp,
+            self.time,
+            parsimonious,
+            &mut self.newly,
+            self.par.as_ref().map(|p| &*p.pool),
+        );
+    }
+
     /// Push gossip: each live informed agent pushes to at most `k`
     /// uniformly chosen live uninformed neighbors.
     ///
@@ -1652,7 +1767,7 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
 /// bottoms near 4× (1× ≈ 2.9 ms, 2× ≈ 2.0 ms, 4× ≈ 1.8 ms, 6× ≈
 /// 1.8 ms) — the AABB/cell-rect prunes keep wide neighborhoods cheap,
 /// so the curve is flat past the knee and the exact value is shallow.
-const JOIN_BUCKET_FACTOR: f64 = 4.0;
+pub(crate) const JOIN_BUCKET_FACTOR: f64 = 4.0;
 
 /// The bucket-join transmit kernel shared by [`EngineMode::BucketJoin`]
 /// and the adaptive dense regime: bins the uninformed worklist and the

@@ -40,6 +40,7 @@
 mod density;
 mod flooding;
 mod params;
+mod sharded;
 mod trials;
 mod zones;
 
@@ -49,6 +50,7 @@ pub use flooding::{
     SourcePlacement, StepPhases,
 };
 pub use params::SimParams;
+pub use sharded::ShardedWorld;
 pub use trials::run_trials;
 pub use zones::{Zone, ZoneMap};
 

@@ -1,0 +1,626 @@
+//! Domain-partitioned transmit engine: the K×K sharded world behind
+//! [`Parallelism::Sharded`](crate::Parallelism::Sharded).
+//!
+//! The region is split into a K×K grid of shards. Each shard owns the
+//! **transmit-phase state** of the agents currently inside its cell —
+//! its slices of the uninformed worklist and the transmit roster, a
+//! private uninformed-side [`GridIndexBuffer`], and a published
+//! transmitter-side grid that neighbors read as an immutable halo
+//! snapshot — and every step runs three process-shaped parallel phases
+//! joined by sequential canonical-order exchanges:
+//!
+//! 1. **surgery & emigration** (parallel, per shard): the shard walks
+//!    its two rosters against the global informed flags and the
+//!    post-move positions, compacts stayers in place, promotes newly
+//!    informed members, and parks every agent whose position now bins
+//!    to another shard in a per-destination outbox;
+//! 2. **exchange** (sequential, canonical `(source shard, destination)`
+//!    order): outboxes drain into the destination rosters and the
+//!    ownership map updates — the only moment agent state crosses a
+//!    shard boundary;
+//! 3. **publish & join** (parallel, per shard): each shard rebuilds its
+//!    transmitter grid over its own cell (the published halo snapshot),
+//!    then rebuilds its uninformed grid with the same geometry, joins
+//!    the two exactly, reads the ≤ 8 neighboring snapshots over the
+//!    halo band of width `R` inflated around its cell, and sorts its
+//!    newly-informed list; the per-shard lists concatenate in shard
+//!    order and the engine sorts the union globally, exactly as every
+//!    other engine mode.
+//!
+//! No shard ever touches another shard's buffers outside the sequential
+//! exchange, and halo reads see only freshly published immutable grids
+//! — the boundaries are process-shaped, so a multi-process or
+//! multi-machine backend is a transport change, not an engine change.
+//!
+//! **What shards deliberately do *not* own: the move pass.** Agents
+//! advance through the same globally chunked
+//! [`Mobility::step_batch_chunked`](fastflood_mobility::Mobility::step_batch_chunked)
+//! call as [`Parallelism::Chunked`](crate::Parallelism::Chunked) — the
+//! per-chunk RNG streams are a pure function of `(seed, n)`, never of
+//! the shard grid — and the transmit phases above draw no randomness at
+//! all (parsimonious coins come from the main stream in global roster
+//! order before shard dispatch). That is what makes the headline
+//! invariant hold *bitwise*: a `Sharded { grid: K }` run produces the
+//! identical trajectory and inform trace as the `Chunked` run with the
+//! same `(seed, n)`, for every `K` and every thread count. The
+//! invariance is enforced end to end by the shard-invariance suites
+//! (`crates/bench/tests/scenario_sharded.rs`,
+//! `crates/core/tests/sharded_world.rs`).
+
+use fastflood_geom::{Point, Rect};
+use fastflood_parallel::{run_ctx, WorkerPool};
+use fastflood_spatial::GridIndexBuffer;
+
+use crate::flooding::JOIN_BUCKET_FACTOR;
+use crate::CoreError;
+
+/// Agent id marking "not owned by any shard" (crashed or never filed).
+const NO_SHARD: u32 = u32::MAX;
+
+/// The K×K domain decomposition owning the transmit-phase state of a
+/// [`FloodingSim`](crate::FloodingSim) running
+/// [`Parallelism::Sharded`](crate::Parallelism::Sharded).
+///
+/// Constructed by the simulator; exposed read-only through
+/// [`FloodingSim::sharded_world`](crate::FloodingSim::sharded_world)
+/// for diagnostics: the grid size, migration and halo traffic counters,
+/// and the ownership queries tests audit shard membership with.
+///
+/// # Examples
+///
+/// ```
+/// use fastflood_core::{FloodingSim, Parallelism, SimConfig};
+/// use fastflood_mobility::Mrwp;
+///
+/// let model = Mrwp::new(20.0, 0.5)?;
+/// let config = SimConfig::new(200, 2.0)
+///     .seed(1)
+///     .parallelism(Parallelism::Sharded { grid: 2, threads: 1 });
+/// let mut sim = FloodingSim::new(model, config)?;
+/// sim.run(50);
+/// let world = sim.sharded_world().expect("sharded engine is active");
+/// assert_eq!(world.grid(), 2);
+/// // every live agent is owned by the shard its position bins to
+/// for (a, &p) in sim.positions().iter().enumerate() {
+///     if !sim.is_crashed(a) {
+///         assert_eq!(world.owner_of(a), Some(world.shard_of(p)));
+///     }
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedWorld {
+    /// Shards per axis (K).
+    k: usize,
+    /// The model region the decomposition covers.
+    region: Rect,
+    /// Transmit radius — the halo band width.
+    radius: f64,
+    /// Reciprocal shard cell sides (the router's binning constants).
+    inv_w: f64,
+    inv_h: f64,
+    /// Mutable per-shard state (rosters, uninformed grid, outboxes).
+    cores: Vec<ShardCore>,
+    /// Published per-shard state (transmitter grid + effective roster)
+    /// — split from `cores` so the join phase can hold all snapshots
+    /// immutably while each shard mutates only its own core.
+    pubs: Vec<ShardPub>,
+    /// `home[a]` = shard currently owning agent `a` (`NO_SHARD` when
+    /// crashed or before the first rebuild).
+    home: Vec<u32>,
+    /// Out-of-band mutation happened (crash/revive/inform/placement/
+    /// source reset): the next transmit re-files every roster from the
+    /// global state instead of trusting the per-shard diffs.
+    dirty: bool,
+    /// Cumulative agents drained through the exchange phase.
+    migrations: u64,
+    /// Cumulative transmitters read from neighboring halo snapshots.
+    halo_candidates: u64,
+    /// Full roster re-files taken on dirty steps (incl. the first).
+    full_rebuilds: u64,
+}
+
+/// One shard's mutable state: touched only by its own phase closure
+/// (disjoint `&mut` via `run_ctx`) and by the sequential exchange.
+#[derive(Debug, Clone)]
+struct ShardCore {
+    /// The shard's cell of the region.
+    rect: Rect,
+    /// Live uninformed members (unsorted; the join output is sorted).
+    un: Vec<u32>,
+    /// Live informed members (unsorted transmit roster slice).
+    tx: Vec<u32>,
+    /// Uninformed-side join grid over `rect`, shared geometry with the
+    /// shard's published transmitter grid.
+    un_grid: GridIndexBuffer,
+    /// This step's newly informed members (sorted + deduped per shard,
+    /// concatenated in shard order by the sequential merge).
+    newly: Vec<u32>,
+    /// Per-destination emigration outboxes (uninformed / transmitter),
+    /// indexed by destination shard; drained sequentially.
+    out_un: Vec<Vec<u32>>,
+    out_tx: Vec<Vec<u32>>,
+    /// Transmitters this shard read from neighboring halo snapshots
+    /// this step (accumulated here so the parallel phase writes only
+    /// shard-owned state; summed sequentially).
+    halo_candidates: u64,
+}
+
+/// One shard's published (halo) state: written only by its own closure
+/// in the publish phase, read immutably by every neighbor in the join
+/// phase.
+#[derive(Debug, Clone)]
+struct ShardPub {
+    /// Transmitter-side join grid over the shard's cell — the halo
+    /// snapshot neighbors query.
+    tx_grid: GridIndexBuffer,
+    /// The roster actually transmitting this step (the coin-passing
+    /// subset under parsimonious flooding; the whole roster otherwise).
+    tx_eff: Vec<u32>,
+}
+
+/// Runs `f(i, &mut ctx[i])` for every element — on the pool when one is
+/// available, inline otherwise (the sequential fallback is only for
+/// direct unit tests; the engine always has a pool under `Sharded`).
+fn dispatch<Ctx, F>(pool: Option<&WorkerPool>, ctx: &mut [Ctx], f: F)
+where
+    Ctx: Send,
+    F: Fn(usize, &mut Ctx) + Sync,
+{
+    match pool {
+        Some(pl) => run_ctx(pl, ctx, f),
+        None => {
+            for (i, c) in ctx.iter_mut().enumerate() {
+                f(i, c);
+            }
+        }
+    }
+}
+
+/// Disjoint `&mut` to two distinct elements of a slice **without
+/// moving either** — the exchange phase drains outboxes with this so
+/// source and destination vectors both keep their capacities (a
+/// `mem::take` would reset the source to zero capacity and break the
+/// zero-steady-state-allocation contract).
+fn two_mut<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    debug_assert!(i != j, "two_mut needs distinct indices");
+    if i < j {
+        let (a, b) = v.split_at_mut(j);
+        (&mut a[i], &mut b[0])
+    } else {
+        let (a, b) = v.split_at_mut(i);
+        (&mut b[0], &mut a[j])
+    }
+}
+
+/// The shard router: position → owning shard, by the same
+/// floor-and-clamp binning formula the spatial layer uses, so the
+/// mapping is monotonic per axis and total (clamping files
+/// outside-region positions into the border shards). An agent exactly
+/// on an interior boundary belongs to the higher-index shard.
+#[derive(Clone, Copy)]
+struct Router {
+    min: Point,
+    inv_w: f64,
+    inv_h: f64,
+    k: usize,
+}
+
+impl Router {
+    #[inline]
+    fn shard_of(&self, p: Point) -> usize {
+        // float→usize casts saturate (negatives to 0), matching the
+        // spatial layer's `bin`
+        let cx = (((p.x - self.min.x) * self.inv_w) as usize).min(self.k - 1);
+        let cy = (((p.y - self.min.y) * self.inv_h) as usize).min(self.k - 1);
+        cy * self.k + cx
+    }
+}
+
+impl ShardedWorld {
+    /// Builds the decomposition for a `k × k` grid over `region` with
+    /// transmit radius `radius` and `n` agents. Starts dirty: the first
+    /// transmit re-files every roster from the global state.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadParameter`] when `k == 0`, or when `k ≥ 2` and a
+    /// shard cell's side would be smaller than `radius` — the halo
+    /// contract (a transmitter within `R` of a shard lies in that shard
+    /// or one of its 8 neighbors) requires cell sides of at least the
+    /// halo width, and the engine **rejects** rather than widening the
+    /// halo (the documented choice of the sharded-world contract).
+    pub(crate) fn new(
+        k: usize,
+        region: Rect,
+        radius: f64,
+        n: usize,
+    ) -> Result<ShardedWorld, CoreError> {
+        if k == 0 {
+            return Err(CoreError::BadParameter("shard grid must be at least 1"));
+        }
+        let cell_w = region.width() / k as f64;
+        let cell_h = region.height() / k as f64;
+        if k >= 2 && (cell_w < radius || cell_h < radius) {
+            return Err(CoreError::BadParameter(
+                "shard cell side is smaller than the transmit radius: \
+                 the halo band of one shard must cover it, so use a \
+                 coarser shard grid (or a smaller radius)",
+            ));
+        }
+        let shards = k * k;
+        // per-shard roster capacity: a uniform share with 2× occupancy
+        // headroom (K = 1 needs no headroom: one shard holds everyone)
+        let cap = if shards == 1 {
+            n
+        } else {
+            (2 * n / shards).max(1024).min(n)
+        };
+        let min = region.min();
+        let mut cores = Vec::with_capacity(shards);
+        let mut pubs = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let (cx, cy) = (s % k, s / k);
+            let rect = Rect::new(
+                Point::new(min.x + cx as f64 * cell_w, min.y + cy as f64 * cell_h),
+                Point::new(
+                    min.x + (cx + 1) as f64 * cell_w,
+                    min.y + (cy + 1) as f64 * cell_h,
+                ),
+            )
+            .expect("shard cell of a valid region is a valid rect");
+            let mut un_grid = GridIndexBuffer::new();
+            un_grid.reserve(cap);
+            let mut tx_grid = GridIndexBuffer::new();
+            tx_grid.reserve(cap);
+            cores.push(ShardCore {
+                rect,
+                un: Vec::with_capacity(cap),
+                tx: Vec::with_capacity(cap),
+                un_grid,
+                newly: Vec::with_capacity(cap),
+                out_un: (0..shards).map(|_| Vec::with_capacity(64)).collect(),
+                out_tx: (0..shards).map(|_| Vec::with_capacity(64)).collect(),
+                halo_candidates: 0,
+            });
+            pubs.push(ShardPub {
+                tx_grid,
+                tx_eff: Vec::with_capacity(cap),
+            });
+        }
+        Ok(ShardedWorld {
+            k,
+            region,
+            radius,
+            inv_w: 1.0 / cell_w,
+            inv_h: 1.0 / cell_h,
+            cores,
+            pubs,
+            home: vec![NO_SHARD; n],
+            dirty: true,
+            migrations: 0,
+            halo_candidates: 0,
+            full_rebuilds: 0,
+        })
+    }
+
+    /// Shards per axis (the `grid` of
+    /// [`Parallelism::Sharded`](crate::Parallelism::Sharded)).
+    #[inline]
+    pub fn grid(&self) -> usize {
+        self.k
+    }
+
+    /// The shard index (row-major, `cy·K + cx`) owning position `p` —
+    /// the router every roster filing and migration decision goes
+    /// through. Positions exactly on an interior boundary belong to the
+    /// higher-index shard; positions outside the region clamp into the
+    /// border shards.
+    #[inline]
+    pub fn shard_of(&self, p: Point) -> usize {
+        let r = Router {
+            min: self.region.min(),
+            inv_w: self.inv_w,
+            inv_h: self.inv_h,
+            k: self.k,
+        };
+        r.shard_of(p)
+    }
+
+    /// The shard currently owning `agent`, or `None` when the agent is
+    /// crashed (crashed agents are filed with no owner) or the world
+    /// has not rebuilt since an out-of-band mutation.
+    #[inline]
+    pub fn owner_of(&self, agent: usize) -> Option<usize> {
+        let h = self.home[agent];
+        (h != NO_SHARD).then_some(h as usize)
+    }
+
+    /// Whether the next transmit will re-file every roster from the
+    /// global state (set by construction and by every out-of-band
+    /// mutation: crash, revive, inform, placement, source reset).
+    #[inline]
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Cumulative agents that crossed a shard boundary through the
+    /// exchange phase (migrated with full state) since construction.
+    #[inline]
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Cumulative transmitters read from neighboring halo snapshots
+    /// (the cross-shard candidate traffic of the transmit join).
+    #[inline]
+    pub fn halo_candidates(&self) -> u64 {
+        self.halo_candidates + self.cores.iter().map(|c| c.halo_candidates).sum::<u64>()
+    }
+
+    /// Full roster re-files taken on dirty steps — one at cold start
+    /// plus one per out-of-band mutation window since (fault
+    /// injections, scenario setup).
+    #[inline]
+    pub fn full_rebuilds(&self) -> u64 {
+        self.full_rebuilds
+    }
+
+    /// Marks the per-shard rosters stale. Called by every simulator
+    /// mutation that bypasses the transmit pipeline.
+    #[inline]
+    pub(crate) fn mark_dirty(&mut self) {
+        self.dirty = true;
+    }
+
+    /// Sequentially re-files every roster from the global state, in
+    /// ascending agent order (the canonical full-rebuild order).
+    fn rebuild_rosters(&mut self, positions: &[Point], informed: &[bool], crashed: &[bool]) {
+        let router = Router {
+            min: self.region.min(),
+            inv_w: self.inv_w,
+            inv_h: self.inv_h,
+            k: self.k,
+        };
+        for core in &mut self.cores {
+            core.un.clear();
+            core.tx.clear();
+        }
+        for a in 0..positions.len() {
+            if crashed[a] {
+                self.home[a] = NO_SHARD;
+                continue;
+            }
+            let s = router.shard_of(positions[a]);
+            self.home[a] = s as u32;
+            if informed[a] {
+                self.cores[s].tx.push(a as u32);
+            } else {
+                self.cores[s].un.push(a as u32);
+            }
+        }
+        self.dirty = false;
+        self.full_rebuilds += 1;
+    }
+
+    /// One sharded transmit: roster surgery + emigration (parallel),
+    /// the canonical exchange (sequential), halo publish + exact join
+    /// (parallel), and the shard-order merge into `newly` (sequential;
+    /// the engine sorts the union afterwards, as in every mode).
+    ///
+    /// Under parsimonious flooding (`parsimonious == true`) the
+    /// transmitting subset is the roster members whose global coin mark
+    /// reads `stamp[a] == time` — the coins were drawn from the main
+    /// stream in global roster order *before* this call, so the random
+    /// stream is identical to every other engine mode.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn transmit(
+        &mut self,
+        positions: &[Point],
+        informed: &[bool],
+        crashed: &[bool],
+        stamp: &[u32],
+        time: u32,
+        parsimonious: bool,
+        newly: &mut Vec<u32>,
+        pool: Option<&WorkerPool>,
+    ) {
+        let radius = self.radius;
+        let router = Router {
+            min: self.region.min(),
+            inv_w: self.inv_w,
+            inv_h: self.inv_h,
+            k: self.k,
+        };
+        if self.dirty {
+            // out-of-band mutations invalidated the diff bookkeeping:
+            // one sequential O(n) pass re-files everyone
+            self.rebuild_rosters(positions, informed, crashed);
+        } else {
+            // phase 1 — surgery & emigration, each shard touching only
+            // its own buffers (transmitters first: the uninformed walk
+            // below appends promotions to `tx`, which must not be
+            // re-scanned this step)
+            dispatch(pool, &mut self.cores, |s, core| {
+                let mut w = 0;
+                for r in 0..core.tx.len() {
+                    let a = core.tx[r];
+                    let dest = router.shard_of(positions[a as usize]);
+                    if dest == s {
+                        core.tx[w] = a;
+                        w += 1;
+                    } else {
+                        core.out_tx[dest].push(a);
+                    }
+                }
+                core.tx.truncate(w);
+                let mut w = 0;
+                for r in 0..core.un.len() {
+                    let a = core.un[r];
+                    let ai = a as usize;
+                    let dest = router.shard_of(positions[ai]);
+                    if informed[ai] {
+                        // informed last step (globally applied in
+                        // canonical order): promote onto a roster
+                        if dest == s {
+                            core.tx.push(a);
+                        } else {
+                            core.out_tx[dest].push(a);
+                        }
+                    } else if dest == s {
+                        core.un[w] = a;
+                        w += 1;
+                    } else {
+                        core.out_un[dest].push(a);
+                    }
+                }
+                core.un.truncate(w);
+            });
+            // phase 2 — the exchange: drain outboxes in canonical
+            // (source, destination) order; the only cross-shard writes
+            let shards = self.cores.len();
+            for src in 0..shards {
+                for dest in 0..shards {
+                    if dest == src {
+                        continue;
+                    }
+                    let (s_core, d_core) = two_mut(&mut self.cores, src, dest);
+                    for idx in 0..s_core.out_un[dest].len() {
+                        let a = s_core.out_un[dest][idx];
+                        d_core.un.push(a);
+                        self.home[a as usize] = dest as u32;
+                        self.migrations += 1;
+                    }
+                    s_core.out_un[dest].clear();
+                    for idx in 0..s_core.out_tx[dest].len() {
+                        let a = s_core.out_tx[dest][idx];
+                        d_core.tx.push(a);
+                        self.home[a as usize] = dest as u32;
+                        self.migrations += 1;
+                    }
+                    s_core.out_tx[dest].clear();
+                }
+            }
+        }
+        // phase 3a — publish: each shard filters its effective roster
+        // and rebuilds its transmitter grid (the halo snapshot) over
+        // its own cell; reads cores immutably, writes only its pub
+        {
+            let cores = &self.cores;
+            let bucket = JOIN_BUCKET_FACTOR * radius;
+            dispatch(pool, &mut self.pubs, |s, pb| {
+                let core = &cores[s];
+                pb.tx_eff.clear();
+                if parsimonious {
+                    for &t in &core.tx {
+                        if stamp[t as usize] == time {
+                            pb.tx_eff.push(t);
+                        }
+                    }
+                } else {
+                    pb.tx_eff.extend_from_slice(&core.tx);
+                }
+                let geometry = core.un.len() + pb.tx_eff.len();
+                pb.tx_grid
+                    .rebuild_subset_shared(core.rect, bucket, positions, &pb.tx_eff, geometry)
+                    .expect("positions finite, radius validated");
+            });
+        }
+        // phase 3b — join: each shard rebuilds its uninformed grid with
+        // the same geometry, joins its own snapshot exactly, then reads
+        // the neighboring snapshots over the halo band; every distance
+        // decision is an exact euclid ≤ R check, so the informed set is
+        // identical to the global join whatever K
+        {
+            let pubs = &self.pubs;
+            let k = self.k;
+            let bucket = JOIN_BUCKET_FACTOR * radius;
+            // halo band padding: candidate filtering only (the distance
+            // check decides), so a generous epsilon absorbs the ulp of
+            // cell-boundary binning without ever adding a false inform
+            let pad = radius + (self.region.width() + self.region.height()) * f64::EPSILON * 8.0;
+            dispatch(pool, &mut self.cores, |s, core| {
+                core.newly.clear();
+                let pb = &pubs[s];
+                let geometry = core.un.len() + pb.tx_eff.len();
+                if core.un.is_empty() {
+                    return;
+                }
+                core.un_grid
+                    .rebuild_subset_shared(core.rect, bucket, positions, &core.un, geometry)
+                    .expect("positions finite, radius validated");
+                let un_grid = &core.un_grid;
+                let newly = &mut core.newly;
+                if !pb.tx_eff.is_empty() {
+                    un_grid.join_covered_by(&pb.tx_grid, radius, |u| newly.push(u as u32));
+                }
+                // halo: the ≤ 8 neighboring snapshots, band = own cell
+                // inflated by the transmit radius
+                let (cx, cy) = (s % k, s / k);
+                let (x0, x1) = (core.rect.min().x - pad, core.rect.max().x + pad);
+                let (y0, y1) = (core.rect.min().y - pad, core.rect.max().y + pad);
+                let halo = &mut core.halo_candidates;
+                for ny in cy.saturating_sub(1)..=(cy + 1).min(k - 1) {
+                    for nx in cx.saturating_sub(1)..=(cx + 1).min(k - 1) {
+                        let nb = ny * k + nx;
+                        if nb == s {
+                            continue;
+                        }
+                        pubs[nb].tx_grid.for_each_in_rect(x0, x1, y0, y1, |_, tp| {
+                            *halo += 1;
+                            un_grid.for_each_within(tp, radius, |u| newly.push(u as u32));
+                        });
+                    }
+                }
+                // own join reports each member once, halo transmitters
+                // can overlap: canonicalize per shard
+                newly.sort_unstable();
+                newly.dedup();
+            });
+        }
+        // merge in shard order (each agent lives in exactly one shard,
+        // so the concatenation is duplicate-free; the engine sorts it)
+        for core in &self.cores {
+            newly.extend_from_slice(&core.newly);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_mut_returns_disjoint_elements() {
+        let mut v = vec![1, 2, 3, 4];
+        let (a, b) = two_mut(&mut v, 3, 1);
+        *a += 10;
+        *b += 20;
+        assert_eq!(v, vec![1, 22, 3, 14]);
+    }
+
+    #[test]
+    fn router_boundary_belongs_to_higher_shard() {
+        let region = Rect::square(8.0).unwrap();
+        let w = ShardedWorld::new(2, region, 2.0, 4).unwrap();
+        // exactly on the interior boundary: the higher-index shard
+        assert_eq!(w.shard_of(Point::new(4.0, 1.0)), 1);
+        assert_eq!(w.shard_of(Point::new(1.0, 4.0)), 2);
+        assert_eq!(w.shard_of(Point::new(4.0, 4.0)), 3);
+        // corners clamp inward
+        assert_eq!(w.shard_of(Point::new(0.0, 0.0)), 0);
+        assert_eq!(w.shard_of(Point::new(8.0, 8.0)), 3);
+    }
+
+    #[test]
+    fn rejects_zero_grid_and_undersized_cells() {
+        let region = Rect::square(8.0).unwrap();
+        assert!(ShardedWorld::new(0, region, 1.0, 4).is_err());
+        // 8/4 = 2 < 2.5: a halo band would outgrow the cell
+        assert!(ShardedWorld::new(4, region, 2.5, 4).is_err());
+        // equality is allowed (cell side == radius)
+        assert!(ShardedWorld::new(4, region, 2.0, 4).is_ok());
+        // K = 1 never needs a halo: any radius goes
+        assert!(ShardedWorld::new(1, region, 100.0, 4).is_ok());
+    }
+}

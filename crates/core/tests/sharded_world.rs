@@ -1,0 +1,442 @@
+//! The sharded-world contract (`Parallelism::Sharded`), end to end:
+//!
+//! * **shard-grid & thread-count invariance** — for a fixed
+//!   `(seed, n)` the whole trajectory (position bits, inform times,
+//!   spread curve) is bitwise identical across K ∈ {1, 2, 4} shard
+//!   grids × {1, 2, 8} worker threads, *and* identical to
+//!   `Parallelism::Chunked` — the acceptance invariant of the sharded
+//!   engine (the decomposition is RNG-free; the move pass is the same
+//!   chunked kernel);
+//! * **halo correctness** — the sharded join (own snapshot + ≤ 8
+//!   neighboring halo bands) informs exactly the brute-force oracle's
+//!   sets every step, including runs seeded with agents straddling
+//!   shard boundaries;
+//! * **migration correctness** — agent state survives shard crossings
+//!   bitwise (mid-leg MRWP agents included), ownership always matches
+//!   the router after every step, and crash/revive faults landing
+//!   between steps force clean full re-files instead of divergence;
+//! * **boundary edge cases** — agents exactly on a shard boundary
+//!   belong to the higher-index shard, a radius larger than a shard
+//!   cell's side is **rejected** at construction (the documented
+//!   choice), and populations smaller than the shard count run fine.
+//!
+//! `scripts/tier1.sh` re-runs this suite with `FASTFLOOD_THREADS=2`.
+
+use fastflood_core::{EngineMode, FloodingSim, Parallelism, Protocol, SimConfig, SourcePlacement};
+use fastflood_geom::Point;
+use fastflood_mobility::Mrwp;
+use proptest::prelude::*;
+
+fn sim(
+    n: usize,
+    side: f64,
+    radius: f64,
+    speed: f64,
+    seed: u64,
+    protocol: Protocol,
+    parallelism: Parallelism,
+) -> FloodingSim<Mrwp> {
+    let model = Mrwp::new(side, speed).unwrap();
+    FloodingSim::new(
+        model,
+        SimConfig::new(n, radius)
+            .seed(seed)
+            .source(SourcePlacement::Agent(0))
+            .protocol(protocol)
+            .parallelism(parallelism),
+    )
+    .unwrap()
+}
+
+/// Bitwise trajectory fingerprint: position bits, inform times, spread.
+#[allow(clippy::type_complexity)]
+fn fingerprint(sim: &FloodingSim<Mrwp>) -> (Vec<(u64, u64)>, Vec<Option<u32>>, Vec<u32>) {
+    (
+        sim.positions()
+            .iter()
+            .map(|p| (p.x.to_bits(), p.y.to_bits()))
+            .collect(),
+        (0..sim.n()).map(|a| sim.inform_time(a)).collect(),
+        sim.report().spread,
+    )
+}
+
+/// The headline acceptance invariant: `Sharded { grid: K }` is bitwise
+/// identical to `Chunked` for every K ∈ {1, 2, 4} and every thread
+/// count in {1, 2, 8}, for both flooding and parsimonious flooding.
+#[test]
+fn sharded_trajectories_bitwise_match_chunked_across_grids_and_threads() {
+    for protocol in [Protocol::Flooding, Protocol::Parsimonious { p: 0.55 }] {
+        let reference = {
+            let mut s = sim(
+                900,
+                30.0,
+                2.0,
+                0.5,
+                2010,
+                protocol,
+                Parallelism::Chunked { threads: 1 },
+            );
+            let report = s.run(5_000);
+            assert!(report.completed, "{protocol:?}: flood must complete");
+            fingerprint(&s)
+        };
+        for grid in [1usize, 2, 4] {
+            for threads in [1usize, 2, 8] {
+                let mut s = sim(
+                    900,
+                    30.0,
+                    2.0,
+                    0.5,
+                    2010,
+                    protocol,
+                    Parallelism::Sharded { grid, threads },
+                );
+                s.run(5_000);
+                assert_eq!(
+                    fingerprint(&s),
+                    reference,
+                    "{protocol:?}: Sharded {{ grid: {grid}, threads: {threads} }} \
+                     diverged from Chunked"
+                );
+                let world = s.sharded_world().expect("sharded world active");
+                assert_eq!(world.grid(), grid);
+                if grid > 1 {
+                    assert!(
+                        world.migrations() > 0,
+                        "K = {grid}: a mobile flood must cross shard boundaries"
+                    );
+                    assert!(
+                        world.halo_candidates() > 0,
+                        "K = {grid}: informs must flow through halo bands"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Agents placed *exactly* on shard boundary lines (the K = 2 midlines,
+/// including the center point on both): the router files them into the
+/// higher-index shard, and the trajectory still matches the chunked
+/// twin bitwise.
+#[test]
+fn agents_exactly_on_shard_boundaries_match_chunked() {
+    let side = 16.0;
+    let build = |par: Parallelism| {
+        let mut s = sim(120, side, 2.0, 0.4, 7, Protocol::Flooding, par);
+        // a column and a row of agents pinned to the K = 2 boundary
+        // lines; applied identically to both twins (placement re-inits
+        // draw from the main stream, which both twins share)
+        for (i, a) in (1..=10usize).enumerate() {
+            s.place_agent_at(a, Point::new(side / 2.0, 1.0 + i as f64))
+                .unwrap();
+        }
+        for (i, a) in (11..=20usize).enumerate() {
+            s.place_agent_at(a, Point::new(1.0 + i as f64, side / 2.0))
+                .unwrap();
+        }
+        s.place_agent_at(21, Point::new(side / 2.0, side / 2.0))
+            .unwrap();
+        s
+    };
+    let mut sharded = build(Parallelism::Sharded {
+        grid: 2,
+        threads: 2,
+    });
+    {
+        let world = sharded.sharded_world().unwrap();
+        // exact-boundary positions belong to the higher-index shard
+        assert_eq!(world.shard_of(Point::new(side / 2.0, 1.0)), 1);
+        assert_eq!(world.shard_of(Point::new(1.0, side / 2.0)), 2);
+        assert_eq!(world.shard_of(Point::new(side / 2.0, side / 2.0)), 3);
+    }
+    let mut chunked = build(Parallelism::Chunked { threads: 2 });
+    let a = sharded.run(5_000);
+    let b = chunked.run(5_000);
+    assert_eq!(a, b, "boundary-pinned layout diverged");
+    assert_eq!(fingerprint(&sharded), fingerprint(&chunked));
+}
+
+/// Construction rejects a shard grid whose cells could not contain
+/// their own halo band: the transmit radius must fit inside one
+/// neighboring cell (reject, not widen — the documented choice).
+#[test]
+fn oversized_radius_and_zero_grid_are_rejected() {
+    let build = |radius: f64, grid: usize| {
+        FloodingSim::new(
+            Mrwp::new(8.0, 0.3).unwrap(),
+            SimConfig::new(16, radius).parallelism(Parallelism::Sharded { grid, threads: 1 }),
+        )
+    };
+    // 8 / 4 = 2 < 2.5: the halo band outgrows a cell
+    let err = build(2.5, 4).expect_err("must reject");
+    assert!(
+        err.to_string().contains("shard cell side"),
+        "rejection must name the cell-side constraint, got: {err}"
+    );
+    assert!(build(0.5, 0).is_err(), "grid 0 must be rejected");
+    // equality is the documented edge: cell side == radius is allowed
+    assert!(build(2.0, 4).is_ok());
+    // K = 1 has no halo, so any radius the sim accepts is fine
+    assert!(build(100.0, 1).is_ok());
+}
+
+/// Fewer agents than shards: most shards stay empty, and the
+/// trajectory still matches the chunked twin.
+#[test]
+fn population_smaller_than_shard_count_matches_chunked() {
+    // n = 5 over a 4×4 = 16-shard world
+    let mut sharded = sim(
+        5,
+        12.0,
+        3.0,
+        0.5,
+        3,
+        Protocol::Flooding,
+        Parallelism::Sharded {
+            grid: 4,
+            threads: 2,
+        },
+    );
+    let mut chunked = sim(
+        5,
+        12.0,
+        3.0,
+        0.5,
+        3,
+        Protocol::Flooding,
+        Parallelism::Chunked { threads: 2 },
+    );
+    let a = sharded.run(10_000);
+    let b = chunked.run(10_000);
+    assert!(a.completed, "tiny flood must complete");
+    assert_eq!(a, b);
+    assert_eq!(fingerprint(&sharded), fingerprint(&chunked));
+}
+
+/// Ownership audit after every step of a crossing-heavy run: every
+/// live agent is owned by the shard its (post-move) position bins to,
+/// crashed agents are owned by nobody, and migrations accumulate.
+/// Fast mid-leg MRWP agents make boundary crossings the common case.
+#[test]
+fn ownership_matches_router_after_every_step() {
+    let mut s = sim(
+        400,
+        10.0,
+        1.2,
+        0.9, // fast: most agents are mid-leg while crossing cells
+        13,
+        Protocol::Flooding,
+        Parallelism::Sharded {
+            grid: 4,
+            threads: 2,
+        },
+    );
+    for step in 1..=60u32 {
+        s.step();
+        if s.all_informed() {
+            break;
+        }
+        let world = s.sharded_world().unwrap();
+        for (a, &p) in s.positions().iter().enumerate() {
+            if s.is_crashed(a) {
+                assert_eq!(world.owner_of(a), None, "step {step}: crashed agent owned");
+            } else {
+                assert_eq!(
+                    world.owner_of(a),
+                    Some(world.shard_of(p)),
+                    "step {step}: agent {a} owned by the wrong shard"
+                );
+            }
+        }
+    }
+    let world = s.sharded_world().unwrap();
+    assert!(world.migrations() > 0, "fast agents must have migrated");
+}
+
+/// Crash/revive fault bursts landing between steps (the exchange
+/// window of the next transmit): the world re-files from the global
+/// state — visible as full-rebuild counts — and the trajectory stays
+/// bitwise identical to a chunked twin given the same fault schedule.
+#[test]
+fn crash_revive_faults_force_refiles_and_match_chunked() {
+    let n = 500;
+    let run = |par: Parallelism| {
+        let mut s = sim(n, 25.0, 1.6, 0.4, 99, Protocol::Flooding, par);
+        for t in 1..=400u32 {
+            if t % 15 == 0 {
+                for a in (t as usize % 4 + 1..n).step_by(53) {
+                    s.crash_agent(a);
+                }
+            }
+            if t % 45 == 0 {
+                for a in (1..n).step_by(53) {
+                    if s.is_crashed(a) {
+                        s.revive_agent(a);
+                    }
+                }
+            }
+            s.step();
+            if s.all_informed() {
+                break;
+            }
+        }
+        s
+    };
+    let sharded = run(Parallelism::Sharded {
+        grid: 2,
+        threads: 2,
+    });
+    let chunked = run(Parallelism::Chunked { threads: 2 });
+    assert_eq!(
+        fingerprint(&sharded),
+        fingerprint(&chunked),
+        "fault schedule diverged the sharded world from chunked"
+    );
+    let world = sharded.sharded_world().unwrap();
+    assert!(
+        world.full_rebuilds() >= 2,
+        "each fault burst must force a roster re-file (got {})",
+        world.full_rebuilds()
+    );
+}
+
+/// Lockstep halo-correctness driver: a sharded run against the
+/// brute-force oracle on the same chunk streams, informed sets
+/// compared after every step.
+#[allow(clippy::too_many_arguments)]
+fn lockstep_vs_oracle(
+    n: usize,
+    side: f64,
+    radius: f64,
+    seed: u64,
+    grid: usize,
+    protocol: Protocol,
+    boundary_pins: usize,
+    steps: u32,
+) {
+    let model = Mrwp::new(side, radius.min(0.8)).unwrap();
+    let build = |parallelism: Parallelism, engine: EngineMode| {
+        let mut s = FloodingSim::new(
+            model.clone(),
+            SimConfig::new(n, radius)
+                .seed(seed)
+                .source(SourcePlacement::Agent(0))
+                .protocol(protocol)
+                .engine(engine)
+                .parallelism(parallelism),
+        )
+        .unwrap();
+        // pin some agents exactly onto the shard boundary lines so the
+        // halo join's edge cases are exercised every case
+        let cell = side / grid as f64;
+        for i in 0..boundary_pins.min(n - 1) {
+            let a = 1 + i;
+            let line = cell * (1 + i % (grid - 1).max(1)) as f64;
+            let along = side * (i as f64 + 0.5) / boundary_pins as f64;
+            let pos = if i % 2 == 0 {
+                Point::new(line, along)
+            } else {
+                Point::new(along, line)
+            };
+            s.place_agent_at(a, pos).unwrap();
+        }
+        s
+    };
+    let mut sharded = build(
+        Parallelism::Sharded { grid, threads: 2 },
+        EngineMode::Adaptive,
+    );
+    let mut oracle = build(Parallelism::Chunked { threads: 1 }, EngineMode::Oracle);
+    for t in 1..=steps {
+        sharded.step();
+        oracle.step();
+        prop_assert_eq!(
+            sharded.informed(),
+            oracle.informed(),
+            "step {}: sharded join diverged from the oracle (n={}, seed={}, K={}, {:?})",
+            t,
+            n,
+            seed,
+            grid,
+            protocol
+        );
+        if sharded.all_informed() {
+            break;
+        }
+    }
+    prop_assert_eq!(sharded.report(), oracle.report());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Sharded join == brute-force transmit set, with agents straddling
+    /// shard boundaries: the halo band must surface every cross-shard
+    /// transmitter, never a spurious one.
+    #[test]
+    fn halo_join_matches_oracle_with_boundary_straddlers(
+        seed in 0u64..1000,
+        n in 60usize..180,
+        grid in 2usize..5,
+        pins in 4usize..20,
+    ) {
+        lockstep_vs_oracle(n, 12.0, 2.5, seed, grid, Protocol::Flooding, pins, 300);
+    }
+
+    /// Same through the parsimonious coin filter: the effective roster
+    /// each shard publishes is exactly the globally drawn coin subset.
+    #[test]
+    fn halo_join_matches_oracle_parsimonious(
+        seed in 0u64..1000,
+        n in 60usize..160,
+        p in 0.1f64..0.9,
+    ) {
+        lockstep_vs_oracle(n, 12.0, 2.5, seed, 2, Protocol::Parsimonious { p }, 8, 300);
+    }
+
+    /// Migration property: under random crash faults, state survives
+    /// crossings bitwise (the full trajectory equals the chunked
+    /// twin's) and ownership matches the router at the end.
+    #[test]
+    fn migrations_preserve_state_bitwise_under_faults(
+        seed in 0u64..1000,
+        n in 60usize..160,
+        grid in 2usize..5,
+        crash_stride in 5usize..40,
+    ) {
+        let run = |par: Parallelism| {
+            let mut s = sim(n, 10.0, 1.5, 0.8, seed, Protocol::Flooding, par);
+            for t in 1..=120u32 {
+                if t == 20 {
+                    for a in (1..n).step_by(crash_stride) {
+                        s.crash_agent(a);
+                    }
+                }
+                if t == 60 {
+                    for a in (1..n).step_by(crash_stride * 2) {
+                        if s.is_crashed(a) {
+                            s.revive_agent(a);
+                        }
+                    }
+                }
+                s.step();
+            }
+            s
+        };
+        let sharded = run(Parallelism::Sharded { grid, threads: 2 });
+        let chunked = run(Parallelism::Chunked { threads: 2 });
+        prop_assert_eq!(fingerprint(&sharded), fingerprint(&chunked));
+        let world = sharded.sharded_world().unwrap();
+        if !sharded.all_informed() {
+            for (a, &p) in sharded.positions().iter().enumerate() {
+                if sharded.is_crashed(a) {
+                    prop_assert_eq!(world.owner_of(a), None);
+                } else {
+                    prop_assert_eq!(world.owner_of(a), Some(world.shard_of(p)));
+                }
+            }
+        }
+    }
+}

@@ -26,12 +26,21 @@ RUSTFLAGS="-C target-cpu=native" CARGO_TARGET_DIR=target/native \
   cargo test -q -p fastflood-mobility --features simd --test properties
 # scenario smoke: every in-tree scenario (crash storms, partition
 # windows, churn bursts, street evacuation, …) must run end-to-end at
-# the tiny density-preserving --quick scale
+# the tiny density-preserving --quick scale — once on the default
+# sequential engine, once on a 2x2 sharded world so the shard exchange
+# and halo machinery is exercised end-to-end every tier-1 run
 cargo run --release -p fastflood-bench --bin scenarios -- --quick > /dev/null
+cargo run --release -p fastflood-bench --bin scenarios -- --quick \
+  --parallelism sharded:2 > /dev/null
 # the cross-mode agreement harness again under real 2-thread dispatch:
 # every scenario, every engine mode, bitwise trace agreement within
 # each determinism class regardless of thread count
 FASTFLOOD_THREADS=2 cargo test -q -p fastflood-bench --test scenario_agreement
+# the shard-invariance suites again under real 2-thread dispatch: the
+# sharded world must stay bitwise identical to the chunked engine for
+# every shard grid when its phases actually run on worker threads
+FASTFLOOD_THREADS=2 cargo test -q -p fastflood-core --test sharded_world
+FASTFLOOD_THREADS=2 cargo test -q -p fastflood-bench --test scenario_sharded
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
