@@ -1,0 +1,92 @@
+//! Checkpoint cost probe: snapshot/encode/write and read/restore latency
+//! plus on-disk size for a warm 100k-agent MRWP sim, as one JSON object
+//! — the `checkpoint` block `scripts/bench_engine.sh` records in
+//! `BENCH_engine.json`.
+//!
+//! Usage: `cargo run --release -p fastflood-bench --bin checkpoint_probe
+//! -- [--n N] [--steps S] [--reps R]`
+
+use fastflood_core::{EngineMode, FloodingSim, SimParams, SourcePlacement};
+use fastflood_mobility::Mrwp;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let mut n = 100_000usize;
+    let mut steps = 20u32;
+    let mut reps = 5u32;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("{flag} takes a number"))
+        };
+        match flag.as_str() {
+            "--n" => n = value("--n") as usize,
+            "--steps" => steps = value("--steps") as u32,
+            "--reps" => reps = value("--reps") as u32,
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+
+    let scale = SimParams::standard(n, 1.0, 0.0)
+        .expect("valid")
+        .radius_scale();
+    let radius = 0.4 * scale;
+    let params = SimParams::standard(n, radius, 0.2 * radius).expect("valid");
+    let model = Mrwp::new(params.side(), params.speed()).expect("valid");
+    let mut sim = FloodingSim::new(
+        model,
+        fastflood_core::SimConfig::new(n, params.radius())
+            .seed(7)
+            .source(SourcePlacement::Center)
+            .engine(EngineMode::Adaptive),
+    )
+    .expect("valid");
+    for _ in 0..steps {
+        sim.step();
+    }
+
+    let dir = std::env::temp_dir().join(format!("fastflood-ckpt-probe-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("probe dir");
+    let path = dir.join("probe.ckpt");
+
+    let (mut snap_ns, mut write_ns, mut read_ns, mut restore_ns) = (0f64, 0f64, 0f64, 0f64);
+    let mut size = 0usize;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let snap = black_box(sim.snapshot());
+        snap_ns += t0.elapsed().as_nanos() as f64;
+        size = snap.encode().len();
+
+        let t0 = Instant::now();
+        snap.write_atomic(&path).expect("write");
+        write_ns += t0.elapsed().as_nanos() as f64;
+
+        let t0 = Instant::now();
+        let back = fastflood_core::Snapshot::read_file(&path).expect("read");
+        read_ns += t0.elapsed().as_nanos() as f64;
+
+        let t0 = Instant::now();
+        sim.restore(&back).expect("restore");
+        restore_ns += t0.elapsed().as_nanos() as f64;
+    }
+    let per = |total: f64| total / reps as f64 / 1e6;
+    println!(
+        concat!(
+            "{{\"n\": {}, \"warm_steps\": {}, \"reps\": {}, \"snapshot_bytes\": {}, ",
+            "\"snapshot_ms\": {:.3}, \"write_ms\": {:.3}, ",
+            "\"read_ms\": {:.3}, \"restore_ms\": {:.3}}}"
+        ),
+        n,
+        steps,
+        reps,
+        size,
+        per(snap_ns),
+        per(write_ns),
+        per(read_ns),
+        per(restore_ns),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -4,7 +4,8 @@
 //! Usage:
 //! `cargo run --release -p fastflood-bench --bin scenarios -- \
 //!   [--quick] [--scenario NAME] [--engine MODE] [--parallelism P] \
-//!   [--seed N] [--trials N] [--threads N] [--n N]`
+//!   [--seed N] [--trials N] [--threads N] [--n N] \
+//!   [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]`
 //!
 //! `--quick` rescales every scenario to a tiny population (density
 //! preserved) and runs 2 trials — the tier-1 smoke configuration.
@@ -14,9 +15,37 @@
 //! and `sharded:K` resolve their worker count from `FASTFLOOD_THREADS`
 //! / available parallelism. `--threads` stays trial-level (how many
 //! trials run concurrently).
+//!
+//! # Checkpointing
+//!
+//! `--checkpoint-every N` writes an atomic whole-run snapshot every `N`
+//! steps under `--checkpoint-dir DIR` (per scenario and trial:
+//! `DIR/<scenario>/trial<k>/run-step<t>.ckpt`). `--resume DIR` scans
+//! that layout before each trial and continues from the newest
+//! checkpoint that decodes and restores, falling file-by-file past
+//! corrupted or incompatible snapshots (and starting fresh when nothing
+//! survives). By the bitwise-resume contract a resumed trial emits the
+//! same trace digest as an uninterrupted one. Checkpointed trials run
+//! sequentially and the JSON output switches to one row per trial,
+//! including `trace_digest`. `--step-delay-ms N` (a test hook) sleeps
+//! after every step so the crash-recovery harness can kill the process
+//! inside a checkpoint window.
+//!
+//! # Bisection
+//!
+//! `scenarios bisect --scenario NAME --engine-a A --parallelism-a PA \
+//! --engine-b B --parallelism-b PB [--seed N] [--every N] [--n N|--quick]`
+//! replays one trial under both configurations and isolates the first
+//! step at which their state digests diverge (see
+//! [`bisect_divergence`]), printing a one-step JSON report.
 
-use fastflood_bench::scenario::{library, run_scenario_trials, Outcome, Scenario, ScenarioRun};
+use fastflood_bench::scenario::{
+    bisect_divergence, library, run_scenario_checkpointed, run_scenario_trials, trace_digest,
+    BisectSide, CheckpointOpts, Outcome, Scenario, ScenarioRun,
+};
 use fastflood_core::{EngineMode, Parallelism};
+use fastflood_stats::seeds::derive_seed;
+use std::path::PathBuf;
 
 struct Args {
     quick: bool,
@@ -27,9 +56,42 @@ struct Args {
     trials: Option<usize>,
     threads: usize,
     n: Option<usize>,
+    checkpoint_every: u32,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+    step_delay_ms: u64,
+    // bisect-only
+    engine_b: EngineMode,
+    parallelism_b: Parallelism,
+    bisect_every: u32,
 }
 
-fn parse_args() -> Args {
+fn parse_engine(v: &str) -> EngineMode {
+    match v {
+        "adaptive" => EngineMode::Adaptive,
+        "rebuild" => EngineMode::Rebuild,
+        "oracle" => EngineMode::Oracle,
+        "bucket-join" => EngineMode::BucketJoin,
+        "incremental" => EngineMode::Incremental,
+        other => panic!("unknown engine {other:?}"),
+    }
+}
+
+fn parse_parallelism(v: &str) -> Parallelism {
+    match v {
+        "seq" | "sequential" => Parallelism::Sequential,
+        "chunked" => Parallelism::Chunked { threads: 0 },
+        sharded => match sharded.strip_prefix("sharded:") {
+            Some(k) => Parallelism::Sharded {
+                grid: k.parse().expect("--parallelism sharded:K takes a grid"),
+                threads: 0,
+            },
+            None => panic!("unknown parallelism {v:?} (seq|chunked|sharded:K)"),
+        },
+    }
+}
+
+fn parse_args(it: impl Iterator<Item = String>) -> Args {
     let mut args = Args {
         quick: false,
         scenario: None,
@@ -39,8 +101,15 @@ fn parse_args() -> Args {
         trials: None,
         threads: std::thread::available_parallelism().map_or(1, |t| t.get()),
         n: None,
+        checkpoint_every: 0,
+        checkpoint_dir: None,
+        resume: false,
+        step_delay_ms: 0,
+        engine_b: EngineMode::Adaptive,
+        parallelism_b: Parallelism::Sequential,
+        bisect_every: 16,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = it.peekable();
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| {
             it.next()
@@ -49,31 +118,12 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--quick" => args.quick = true,
             "--scenario" => args.scenario = Some(value("--scenario")),
-            "--engine" => {
-                let v = value("--engine");
-                args.engine = match v.as_str() {
-                    "adaptive" => EngineMode::Adaptive,
-                    "rebuild" => EngineMode::Rebuild,
-                    "oracle" => EngineMode::Oracle,
-                    "bucket-join" => EngineMode::BucketJoin,
-                    "incremental" => EngineMode::Incremental,
-                    other => panic!("unknown engine {other:?}"),
-                };
+            "--engine" | "--engine-a" => args.engine = parse_engine(&value(&flag)),
+            "--engine-b" => args.engine_b = parse_engine(&value("--engine-b")),
+            "--parallelism" | "--parallelism-a" => {
+                args.parallelism = parse_parallelism(&value(&flag));
             }
-            "--parallelism" => {
-                let v = value("--parallelism");
-                args.parallelism = match v.as_str() {
-                    "seq" | "sequential" => Parallelism::Sequential,
-                    "chunked" => Parallelism::Chunked { threads: 0 },
-                    sharded => match sharded.strip_prefix("sharded:") {
-                        Some(k) => Parallelism::Sharded {
-                            grid: k.parse().expect("--parallelism sharded:K takes a grid"),
-                            threads: 0,
-                        },
-                        None => panic!("unknown parallelism {v:?} (seq|chunked|sharded:K)"),
-                    },
-                };
-            }
+            "--parallelism-b" => args.parallelism_b = parse_parallelism(&value("--parallelism-b")),
             "--seed" => args.seed = value("--seed").parse().expect("--seed takes a u64"),
             "--trials" => {
                 args.trials = Some(value("--trials").parse().expect("--trials takes a count"))
@@ -82,8 +132,32 @@ fn parse_args() -> Args {
                 args.threads = value("--threads").parse().expect("--threads takes a count")
             }
             "--n" => args.n = Some(value("--n").parse().expect("--n takes a count")),
+            "--checkpoint-every" => {
+                args.checkpoint_every = value("--checkpoint-every")
+                    .parse()
+                    .expect("--checkpoint-every takes a step count");
+            }
+            "--checkpoint-dir" => args.checkpoint_dir = Some(value("--checkpoint-dir").into()),
+            "--resume" => {
+                args.resume = true;
+                let dir: PathBuf = value("--resume").into();
+                args.checkpoint_dir.get_or_insert(dir);
+            }
+            "--step-delay-ms" => {
+                args.step_delay_ms = value("--step-delay-ms")
+                    .parse()
+                    .expect("--step-delay-ms takes milliseconds");
+            }
+            "--every" => {
+                args.bisect_every = value("--every")
+                    .parse()
+                    .expect("--every takes a step count");
+            }
             other => panic!("unknown flag {other:?} (see the module docs)"),
         }
+    }
+    if args.checkpoint_every > 0 && args.checkpoint_dir.is_none() {
+        panic!("--checkpoint-every requires --checkpoint-dir (or --resume DIR)");
     }
     args
 }
@@ -161,8 +235,132 @@ fn scenario_json(sc: &Scenario, engine: EngineMode, runs: &[ScenarioRun]) -> Str
     )
 }
 
+/// Checkpointed trials run sequentially (each owns a snapshot
+/// directory) and report one JSON row per trial, digest included, so a
+/// resumed process can be compared against an uninterrupted reference
+/// across process boundaries.
+fn run_checkpointed(args: &Args, sc: &Scenario, trials: usize, rows: &mut Vec<String>) {
+    let base = args
+        .checkpoint_dir
+        .as_ref()
+        .expect("checkpointed runs carry a directory");
+    for trial in 0..trials {
+        let opts = CheckpointOpts {
+            dir: base.join(&sc.name).join(format!("trial{trial:02}")),
+            every: args.checkpoint_every,
+            resume: args.resume,
+            label: "run".to_string(),
+            step_delay_ms: args.step_delay_ms,
+        };
+        let seed = derive_seed(args.seed ^ sc.seed, trial as u64);
+        let (run, summary) =
+            run_scenario_checkpointed(sc, args.engine, args.parallelism, seed, &opts)
+                .unwrap_or_else(|e| panic!("scenario {:?} trial {trial} failed: {e}", sc.name));
+        for (path, why) in &summary.rejected {
+            eprintln!("  [trial {trial}] rejected {}: {why}", path.display());
+        }
+        let resumed = match &summary.resumed_from {
+            Some((path, step)) => {
+                eprintln!(
+                    "  [trial {trial}] resumed from {} (step {step})",
+                    path.display()
+                );
+                step.to_string()
+            }
+            None => "null".to_string(),
+        };
+        eprintln!(
+            "{:<26} n={:<5} trial={} -> {}",
+            sc.name,
+            sc.n,
+            trial,
+            run.outcome.label()
+        );
+        rows.push(format!(
+            concat!(
+                "  {{\"scenario\": {}, \"trial\": {}, \"outcome\": {}, ",
+                "\"trace_digest\": \"{:016x}\", \"resumed_from_step\": {}, ",
+                "\"rejected\": {}, \"written\": {}}}"
+            ),
+            json_str(&sc.name),
+            trial,
+            json_str(run.outcome.label()),
+            trace_digest(&run.trace),
+            resumed,
+            summary.rejected.len(),
+            summary.written.len(),
+        ));
+    }
+}
+
+fn main_bisect(args: &Args) {
+    let name = args
+        .scenario
+        .as_deref()
+        .expect("bisect requires --scenario NAME");
+    let sc = library()
+        .into_iter()
+        .find(|sc| sc.name == name)
+        .unwrap_or_else(|| panic!("no scenario named {name:?} in the library"));
+    let sc = match (args.n, args.quick) {
+        (Some(n), _) => sc.scaled(n),
+        (None, true) => sc.scaled(QUICK_N),
+        (None, false) => sc,
+    };
+    let seed = derive_seed(args.seed ^ sc.seed, 0);
+    let report = bisect_divergence(
+        &sc,
+        BisectSide {
+            engine: args.engine,
+            parallelism: args.parallelism,
+        },
+        BisectSide {
+            engine: args.engine_b,
+            parallelism: args.parallelism_b,
+        },
+        seed,
+        args.bisect_every,
+    )
+    .unwrap_or_else(|e| panic!("bisect of {name:?} failed: {e}"));
+    let first = report
+        .first_divergent
+        .map_or("null".to_string(), |t| t.to_string());
+    let sections = report
+        .differing_sections
+        .iter()
+        .map(|s| json_str(s))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!(
+        concat!(
+            "{{\"scenario\": {}, \"first_divergent\": {}, \"replay_from\": {}, ",
+            "\"differing_sections\": [{}], \"steps_a\": {}, \"steps_b\": {}}}"
+        ),
+        json_str(&sc.name),
+        first,
+        report.replay_from,
+        sections,
+        report.steps_a,
+        report.steps_b,
+    );
+    match report.first_divergent {
+        Some(t) => eprintln!(
+            "[bisect] first divergent step {t} (replayed from {}), sections: {:?}",
+            report.replay_from, report.differing_sections
+        ),
+        None => eprintln!("[bisect] runs agree end-to-end"),
+    }
+}
+
 fn main() {
-    let args = parse_args();
+    let mut cli = std::env::args().skip(1).peekable();
+    if cli.peek().map(String::as_str) == Some("bisect") {
+        cli.next();
+        let args = parse_args(cli);
+        main_bisect(&args);
+        return;
+    }
+    let args = parse_args(cli);
     let mut scenarios: Vec<Scenario> = library();
     if let Some(name) = &args.scenario {
         scenarios.retain(|sc| &sc.name == name);
@@ -172,6 +370,7 @@ fn main() {
         );
     }
 
+    let checkpointed = args.checkpoint_every > 0 || args.resume;
     let started = std::time::Instant::now();
     let mut rows = Vec::new();
     for sc in &scenarios {
@@ -183,6 +382,10 @@ fn main() {
         let trials = args
             .trials
             .unwrap_or(if args.quick { 2 } else { sc.trials });
+        if checkpointed {
+            run_checkpointed(&args, &sc, trials, &mut rows);
+            continue;
+        }
         let runs = run_scenario_trials(
             &sc,
             args.engine,

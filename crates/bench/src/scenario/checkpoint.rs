@@ -1,0 +1,608 @@
+//! Checkpointed scenario execution and divergence bisection.
+//!
+//! [`run_scenario_checkpointed`] wraps the [`Driver`] loop with periodic
+//! atomic snapshot writes and a **corruption fallback ladder** on
+//! resume: checkpoint files are tried newest-first, every rejection
+//! (truncated, bit-flipped, wrong version, incompatible scenario) is
+//! recorded with its precise reason, and when nothing in the directory
+//! survives the run simply starts fresh — a missing or hostile
+//! checkpoint directory can delay a run but never wedge or corrupt it.
+//!
+//! [`bisect_divergence`] turns a determinism-class violation into a
+//! one-step report: it replays two runs that should agree, checkpoints
+//! at a stride, and when their state digests split it restores both from
+//! the last agreeing pair and single-steps to the first divergent step,
+//! naming the snapshot sections that differ.
+
+use super::run::{with_model, Driver, ModelVisitor};
+use super::{Scenario, ScenarioError, ScenarioRun};
+use fastflood_core::checkpoint::{CheckpointError, Snapshot, CKPT_EXTENSION, TAG_META};
+use fastflood_core::{EngineMode, Parallelism};
+use fastflood_mobility::{Mobility, SnapshotState};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// How a checkpointed run writes and resumes snapshots.
+#[derive(Debug, Clone)]
+pub struct CheckpointOpts {
+    /// Directory holding this run's `*.ckpt` files.
+    pub dir: PathBuf,
+    /// Write a checkpoint every `every` steps; `0` disables writing
+    /// (resume-only runs).
+    pub every: u32,
+    /// Scan `dir` for the newest valid checkpoint before starting, and
+    /// resume from it when one survives the fallback ladder.
+    pub resume: bool,
+    /// File-name prefix; files are `{label}-step{t:08}.ckpt`, so
+    /// lexicographic order is step order.
+    pub label: String,
+    /// Test hook: sleep this long after every step, widening the window
+    /// in which the crash-recovery harness can kill the process between
+    /// checkpoints. `0` (the default) in real runs.
+    pub step_delay_ms: u64,
+}
+
+impl CheckpointOpts {
+    /// Checkpoints under `dir` every `every` steps with a default label
+    /// and no resume.
+    pub fn new(dir: impl Into<PathBuf>, every: u32) -> CheckpointOpts {
+        CheckpointOpts {
+            dir: dir.into(),
+            every,
+            resume: false,
+            label: "run".to_string(),
+            step_delay_ms: 0,
+        }
+    }
+}
+
+/// What a checkpointed run did with its snapshot files.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointSummary {
+    /// The file the run resumed from and the step it restored to, when
+    /// resume found a usable checkpoint.
+    pub resumed_from: Option<(PathBuf, u32)>,
+    /// Candidates rejected during resume, newest first, each with the
+    /// precise reason (decode failure or restore incompatibility).
+    pub rejected: Vec<(PathBuf, String)>,
+    /// Checkpoint files written by this run, in write order.
+    pub written: Vec<PathBuf>,
+}
+
+fn ckpt_err(e: CheckpointError) -> ScenarioError {
+    ScenarioError::Invalid(format!("checkpoint: {e}"))
+}
+
+/// The `*.ckpt` files under `dir`, newest (lexicographically last)
+/// first. An unreadable directory is an empty ladder, not an error —
+/// resume must never be worse than starting fresh.
+fn checkpoint_files_newest_first(dir: &Path) -> Vec<PathBuf> {
+    let mut names: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(CKPT_EXTENSION))
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    names.sort();
+    names.reverse();
+    names
+}
+
+/// Runs one scenario trial like
+/// [`run_scenario`](super::run_scenario), but checkpointed: a snapshot
+/// of the whole run (engine + scenario layer) is written atomically
+/// every `opts.every` steps, and with `opts.resume` the run first walks
+/// the directory's fallback ladder and continues from the newest
+/// checkpoint that decodes *and* restores. By the bitwise-resume
+/// contract the result is identical to the uninterrupted run, whether
+/// the run resumed or not.
+///
+/// # Errors
+///
+/// [`ScenarioError::Invalid`] when the scenario cannot be compiled, the
+/// checkpoint directory cannot be created, or a checkpoint write fails.
+/// Resume failures are **not** errors: they land in
+/// [`CheckpointSummary::rejected`] and the run starts fresh.
+pub fn run_scenario_checkpointed(
+    sc: &Scenario,
+    engine: EngineMode,
+    parallelism: Parallelism,
+    seed: u64,
+    opts: &CheckpointOpts,
+) -> Result<(ScenarioRun, CheckpointSummary), ScenarioError> {
+    sc.validate()?;
+    struct Ckpt<'a> {
+        sc: &'a Scenario,
+        engine: EngineMode,
+        parallelism: Parallelism,
+        seed: u64,
+        opts: &'a CheckpointOpts,
+    }
+    impl ModelVisitor for Ckpt<'_> {
+        type Out = (ScenarioRun, CheckpointSummary);
+        fn visit<M>(self, model: M) -> Result<Self::Out, ScenarioError>
+        where
+            M: Mobility + Clone,
+            M::State: SnapshotState,
+        {
+            let mut d = Driver::new(self.sc, model, self.engine, self.parallelism, self.seed)?;
+            let mut summary = CheckpointSummary::default();
+            if self.opts.resume {
+                for path in checkpoint_files_newest_first(&self.opts.dir) {
+                    let outcome = Snapshot::read_file(&path).and_then(|snap| d.restore(&snap));
+                    match outcome {
+                        Ok(()) => {
+                            summary.resumed_from = Some((path, d.time()));
+                            break;
+                        }
+                        Err(e) => summary.rejected.push((path, e.to_string())),
+                    }
+                }
+            }
+            if self.opts.every > 0 {
+                fs::create_dir_all(&self.opts.dir).map_err(|e| {
+                    ScenarioError::Invalid(format!(
+                        "checkpoint dir {}: {e}",
+                        self.opts.dir.display()
+                    ))
+                })?;
+            }
+            loop {
+                let t = d.time();
+                if self.opts.every > 0 && t > 0 && t % self.opts.every == 0 {
+                    let path = self.opts.dir.join(format!(
+                        "{}-step{:08}.{}",
+                        self.opts.label, t, CKPT_EXTENSION
+                    ));
+                    d.snapshot().write_atomic(&path).map_err(ckpt_err)?;
+                    summary.written.push(path);
+                }
+                if d.pump() {
+                    break;
+                }
+                d.step();
+                if self.opts.step_delay_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(self.opts.step_delay_ms));
+                }
+            }
+            Ok((d.finish(), summary))
+        }
+    }
+    with_model(
+        &sc.model,
+        Ckpt {
+            sc,
+            engine,
+            parallelism,
+            seed,
+            opts,
+        },
+    )
+}
+
+/// One side of a bisection: which engine mode and parallelism flavor a
+/// run uses.
+#[derive(Debug, Clone, Copy)]
+pub struct BisectSide {
+    /// The engine mode.
+    pub engine: EngineMode,
+    /// The parallelism flavor.
+    pub parallelism: Parallelism,
+}
+
+/// What [`bisect_divergence`] found.
+#[derive(Debug, Clone)]
+pub struct BisectReport {
+    /// The first step at which the two runs' state digests differ
+    /// (after that step's fault events were applied); `None` when the
+    /// runs agree end-to-end.
+    pub first_divergent: Option<u32>,
+    /// The step of the last agreeing checkpoint pair the fine replay
+    /// restored from.
+    pub replay_from: u32,
+    /// Names of the snapshot sections whose payloads differ at the
+    /// first divergent step (META excluded; `termination` when one run
+    /// ended while the other kept going).
+    pub differing_sections: Vec<String>,
+    /// Steps the first run had executed when the coarse scan stopped.
+    pub steps_a: u32,
+    /// Steps the second run had executed when the coarse scan stopped.
+    pub steps_b: u32,
+}
+
+/// Section tags (as printable names) whose payloads differ between two
+/// snapshots, META excluded.
+fn differing_sections(a: &Snapshot, b: &Snapshot) -> Vec<String> {
+    let mut tags: Vec<[u8; 4]> = a.tags().chain(b.tags()).collect();
+    tags.sort_unstable();
+    tags.dedup();
+    tags.iter()
+        .filter(|&&t| t != TAG_META)
+        .filter(|&&t| a.section(t) != b.section(t))
+        .map(|t| String::from_utf8_lossy(t).into_owned())
+        .collect()
+}
+
+/// Replays one scenario trial under two engine/parallelism combinations
+/// that *should* agree and isolates the first divergent step — the
+/// first step at which their state digests split.
+///
+/// Phase 1 runs both sides in lockstep, comparing digests every `every`
+/// steps and keeping the last agreeing snapshot pair. Phase 2 restores
+/// two fresh runs from that pair and single-steps with a digest probe
+/// after every step, so the report names the exact step — and the exact
+/// snapshot sections — where the runs part ways. Runs from different
+/// determinism classes (sequential vs chunked-flavor) genuinely diverge
+/// at their first move step; the bisector reports that honestly rather
+/// than treating it as an error.
+///
+/// # Errors
+///
+/// [`ScenarioError::Invalid`] when the scenario cannot be compiled or a
+/// phase-2 restore fails (which the bitwise contract rules out for
+/// snapshots this function itself just took).
+pub fn bisect_divergence(
+    sc: &Scenario,
+    a: BisectSide,
+    b: BisectSide,
+    seed: u64,
+    every: u32,
+) -> Result<BisectReport, ScenarioError> {
+    sc.validate()?;
+    struct Bisect<'a> {
+        sc: &'a Scenario,
+        a: BisectSide,
+        b: BisectSide,
+        seed: u64,
+        every: u32,
+    }
+    impl ModelVisitor for Bisect<'_> {
+        type Out = BisectReport;
+        fn visit<M>(self, model: M) -> Result<BisectReport, ScenarioError>
+        where
+            M: Mobility + Clone,
+            M::State: SnapshotState,
+        {
+            let every = self.every.max(1);
+            let new_pair = |side_a: BisectSide, side_b: BisectSide| {
+                Ok::<_, ScenarioError>((
+                    Driver::new(
+                        self.sc,
+                        model.clone(),
+                        side_a.engine,
+                        side_a.parallelism,
+                        self.seed,
+                    )?,
+                    Driver::new(
+                        self.sc,
+                        model.clone(),
+                        side_b.engine,
+                        side_b.parallelism,
+                        self.seed,
+                    )?,
+                ))
+            };
+
+            // -- phase 1: coarse lockstep scan at the checkpoint stride --
+            let (mut da, mut db) = new_pair(self.a, self.b)?;
+            let mut last_agree: Option<(u32, Snapshot, Snapshot)> = None;
+            let mut start_diverged: Option<(Snapshot, Snapshot)> = None;
+            loop {
+                let t = da.time();
+                if t % every == 0 {
+                    let (sa, sb) = (da.snapshot(), db.snapshot());
+                    if da.digest() == db.digest() {
+                        last_agree = Some((t, sa, sb));
+                    } else if last_agree.is_none() {
+                        // diverged at the very first probe (t = 0): no
+                        // agreeing pair exists, report directly
+                        start_diverged = Some((sa, sb));
+                        break;
+                    } else {
+                        break;
+                    }
+                }
+                let done_a = da.pump();
+                let done_b = db.pump();
+                if done_a != done_b {
+                    break;
+                }
+                if done_a {
+                    if da.digest() != db.digest() {
+                        break; // diverged inside the final partial stride
+                    }
+                    let (t0, ..) = last_agree.expect("t = 0 probe ran");
+                    return Ok(BisectReport {
+                        first_divergent: None,
+                        replay_from: t0,
+                        differing_sections: Vec::new(),
+                        steps_a: da.time(),
+                        steps_b: db.time(),
+                    });
+                }
+                da.step();
+                db.step();
+            }
+            let (steps_a, steps_b) = (da.time(), db.time());
+
+            if let Some((sa, sb)) = start_diverged {
+                return Ok(BisectReport {
+                    first_divergent: Some(0),
+                    replay_from: 0,
+                    differing_sections: differing_sections(&sa, &sb),
+                    steps_a,
+                    steps_b,
+                });
+            }
+
+            // -- phase 2: fine replay from the last agreeing pair --
+            let (t0, sa, sb) = last_agree.expect("divergence past an agreeing probe");
+            let (mut da, mut db) = new_pair(self.a, self.b)?;
+            da.restore(&sa).map_err(ckpt_err)?;
+            db.restore(&sb).map_err(ckpt_err)?;
+            let (mut first_divergent, mut sections) = (None, Vec::new());
+            loop {
+                let done_a = da.pump();
+                let done_b = db.pump();
+                let t = da.time();
+                if done_a != done_b {
+                    first_divergent = Some(t);
+                    sections = vec!["termination".to_string()];
+                    break;
+                }
+                let (sa, sb) = (da.snapshot(), db.snapshot());
+                if da.digest() != db.digest() {
+                    first_divergent = Some(t);
+                    sections = differing_sections(&sa, &sb);
+                    break;
+                }
+                if done_a {
+                    break; // defensive: the coarse divergence did not replay
+                }
+                da.step();
+                db.step();
+            }
+            Ok(BisectReport {
+                first_divergent,
+                replay_from: t0,
+                differing_sections: sections,
+                steps_a,
+                steps_b,
+            })
+        }
+    }
+    with_model(
+        &sc.model,
+        Bisect {
+            sc,
+            a,
+            b,
+            seed,
+            every,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_scenario;
+    use super::super::{CountSpec, Fault, FaultKind, InitSpec, MetricSpec, ModelSpec};
+    use super::super::{ProtocolSpec, SourceSpec};
+    use super::*;
+
+    fn faulted(n: usize) -> Scenario {
+        Scenario {
+            name: "ckpt-unit".to_string(),
+            seed: 1,
+            steps: 60,
+            trials: 1,
+            metric: MetricSpec::Flooding,
+            model: ModelSpec::Mrwp {
+                side: 12.0,
+                speed: 0.5,
+                pause: 0,
+            },
+            n,
+            radius: 2.5,
+            init: InitSpec::Stationary,
+            protocol: ProtocolSpec::Flooding,
+            clusters: Vec::new(),
+            source: SourceSpec::SwCorner,
+            exits: Vec::new(),
+            faults: vec![
+                Fault {
+                    at: 4,
+                    kind: FaultKind::Crash {
+                        count: CountSpec::Abs(4),
+                        region: None,
+                    },
+                },
+                Fault {
+                    at: 11,
+                    kind: FaultKind::Revive { count: 0 },
+                },
+            ],
+        }
+    }
+
+    /// Resume-identity comparison: everything except [`FallbackStats`],
+    /// which re-count from the resume point by design.
+    fn assert_same_run(a: &ScenarioRun, b: &ScenarioRun) {
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(
+            a.initial_giant_fraction.to_bits(),
+            b.initial_giant_fraction.to_bits()
+        );
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fastflood-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_and_resumes_from_newest() {
+        let sc = faulted(80);
+        let dir = tmp_dir("roundtrip");
+        let reference =
+            run_scenario(&sc, EngineMode::Adaptive, Parallelism::Sequential, 7).unwrap();
+
+        let mut opts = CheckpointOpts::new(&dir, 5);
+        let (run, summary) =
+            run_scenario_checkpointed(&sc, EngineMode::Adaptive, Parallelism::Sequential, 7, &opts)
+                .unwrap();
+        assert_eq!(run, reference, "checkpoint writes must not perturb the run");
+        assert!(summary.resumed_from.is_none());
+        assert!(summary.written.len() >= 2, "{:?}", summary.written);
+        assert!(summary.written.iter().all(|p| p.exists()));
+
+        opts.resume = true;
+        let (resumed, summary) =
+            run_scenario_checkpointed(&sc, EngineMode::Adaptive, Parallelism::Sequential, 7, &opts)
+                .unwrap();
+        let (path, step) = summary.resumed_from.expect("a valid checkpoint exists");
+        assert_eq!(step % 5, 0);
+        assert!(step > 0);
+        assert_eq!(
+            path.file_name(),
+            checkpoint_files_newest_first(&dir)[0].file_name()
+        );
+        assert!(summary.rejected.is_empty());
+        assert_same_run(&resumed, &reference);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_ladder_falls_past_bitflip_and_truncation() {
+        let sc = faulted(80);
+        let dir = tmp_dir("ladder");
+        let reference =
+            run_scenario(&sc, EngineMode::Adaptive, Parallelism::Sequential, 9).unwrap();
+        let mut opts = CheckpointOpts::new(&dir, 4);
+        run_scenario_checkpointed(&sc, EngineMode::Adaptive, Parallelism::Sequential, 9, &opts)
+            .unwrap();
+
+        let files = checkpoint_files_newest_first(&dir);
+        assert!(files.len() >= 3, "need a ladder: {files:?}");
+        // bit-flip the newest, truncate the second newest
+        let mut bytes = fs::read(&files[0]).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&files[0], &bytes).unwrap();
+        let bytes = fs::read(&files[1]).unwrap();
+        fs::write(&files[1], &bytes[..bytes.len() / 3]).unwrap();
+
+        opts.resume = true;
+        opts.every = 0; // resume-only: don't overwrite the corrupted files
+        let (resumed, summary) =
+            run_scenario_checkpointed(&sc, EngineMode::Adaptive, Parallelism::Sequential, 9, &opts)
+                .unwrap();
+        assert_eq!(summary.rejected.len(), 2, "{:?}", summary.rejected);
+        let (path, _) = summary.resumed_from.expect("third-newest survives");
+        assert_eq!(path, files[2]);
+        assert_same_run(&resumed, &reference);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_nothing_valid_starts_fresh() {
+        let sc = faulted(70);
+        let dir = tmp_dir("fresh");
+        let reference = run_scenario(&sc, EngineMode::Rebuild, Parallelism::Sequential, 3).unwrap();
+        fs::write(dir.join("bogus-step00000008.ckpt"), b"not a checkpoint").unwrap();
+        // a checkpoint from a *different* scenario decodes but must be
+        // rejected as incompatible
+        let other = faulted(50);
+        let mut opts = CheckpointOpts::new(&dir, 6);
+        opts.label = "other".to_string();
+        run_scenario_checkpointed(
+            &other,
+            EngineMode::Rebuild,
+            Parallelism::Sequential,
+            3,
+            &opts,
+        )
+        .unwrap();
+
+        let mut opts = CheckpointOpts::new(&dir, 0);
+        opts.resume = true;
+        let (run, summary) =
+            run_scenario_checkpointed(&sc, EngineMode::Rebuild, Parallelism::Sequential, 3, &opts)
+                .unwrap();
+        assert!(summary.resumed_from.is_none());
+        assert!(summary.rejected.len() >= 2, "{:?}", summary.rejected);
+        assert_eq!(run, reference, "fresh start after total ladder failure");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_from_missing_directory_is_a_fresh_start() {
+        let sc = faulted(60);
+        let mut opts = CheckpointOpts::new("/nonexistent/fastflood-ckpt", 0);
+        opts.resume = true;
+        let (run, summary) =
+            run_scenario_checkpointed(&sc, EngineMode::Adaptive, Parallelism::Sequential, 5, &opts)
+                .unwrap();
+        assert!(summary.resumed_from.is_none());
+        assert!(summary.rejected.is_empty());
+        let reference =
+            run_scenario(&sc, EngineMode::Adaptive, Parallelism::Sequential, 5).unwrap();
+        assert_eq!(run, reference);
+    }
+
+    #[test]
+    fn bisect_agreeing_runs_reports_no_divergence() {
+        let sc = faulted(70);
+        let report = bisect_divergence(
+            &sc,
+            BisectSide {
+                engine: EngineMode::Adaptive,
+                parallelism: Parallelism::Sequential,
+            },
+            BisectSide {
+                engine: EngineMode::Rebuild,
+                parallelism: Parallelism::Sequential,
+            },
+            11,
+            8,
+        )
+        .unwrap();
+        assert_eq!(report.first_divergent, None, "{report:?}");
+        assert!(report.differing_sections.is_empty());
+        assert_eq!(report.steps_a, report.steps_b);
+    }
+
+    #[test]
+    fn bisect_cross_class_isolates_the_first_move_step() {
+        let sc = faulted(70);
+        let report = bisect_divergence(
+            &sc,
+            BisectSide {
+                engine: EngineMode::Adaptive,
+                parallelism: Parallelism::Sequential,
+            },
+            BisectSide {
+                engine: EngineMode::Adaptive,
+                parallelism: Parallelism::Chunked { threads: 1 },
+            },
+            11,
+            8,
+        )
+        .unwrap();
+        // different determinism classes: identical at t = 0, split on the
+        // first move step — the fine replay must pin exactly that
+        assert_eq!(report.first_divergent, Some(1), "{report:?}");
+        assert_eq!(report.replay_from, 0);
+        assert!(
+            report.differing_sections.iter().any(|s| s == "POSN"),
+            "positions are where cross-class runs visibly part ways: {report:?}"
+        );
+    }
+}

@@ -215,6 +215,12 @@ impl Table {
                 Value::Num(v) if v >= 0.0 && v.fract() == 0.0 && v <= u32::MAX as f64 => {
                     Ok(Some(v as usize))
                 }
+                // counts feed u32 engine state (agent ids, steps): an
+                // oversized one is a precise error, not a silent wrap
+                Value::Num(v) if v > u32::MAX as f64 => Err(perr(
+                    e.line,
+                    format!("{key} must fit in u32 (max {}), got {v}", u32::MAX),
+                )),
                 _ => Err(perr(e.line, format!("{key} must be a nonnegative integer"))),
             },
         }
@@ -339,6 +345,7 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ScenarioError> {
     let mut faults = Vec::new();
 
     let mut seen_single: Vec<String> = Vec::new();
+    let mut fault_steps: Vec<u32> = Vec::new();
     for block in blocks {
         let mut t = Table {
             section: block.name.clone(),
@@ -491,6 +498,16 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ScenarioError> {
             "fault" => {
                 let (kind, kind_line) = require(t.take_str("kind")?, "fault", "kind")?;
                 let at = require(t.take_usize("at")?, "fault", "at")? as u32;
+                if fault_steps.contains(&at) {
+                    return Err(perr(
+                        block.line,
+                        format!(
+                            "duplicate [[fault]] at step {at}: one fault block per step \
+                             (use kind = \"churn\" for repeated faults)"
+                        ),
+                    ));
+                }
+                fault_steps.push(at);
                 let kind = match kind.as_str() {
                     "crash" => {
                         let count = match (t.take_usize("count")?, t.take_f64("frac")?) {
@@ -689,5 +706,69 @@ mod tests {
     fn duplicate_singleton_section_is_an_error() {
         let err = parse_scenario(&minimal("[population]\nn = 2\nradius = 1.0")).unwrap_err();
         assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    /// Every parse error names the offending 1-based line.
+    fn parse_line(err: &ScenarioError) -> usize {
+        match err {
+            ScenarioError::Parse { line, .. } => *line,
+            other => panic!("expected a line-numbered parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_a_line_numbered_error_not_a_panic() {
+        // cut mid-assignment: a key with no value
+        let err = parse_scenario("[scenario]\nname = \"t\"\nsteps =").unwrap_err();
+        assert_eq!(parse_line(&err), 3, "{err}");
+        // cut inside a string literal
+        let err = parse_scenario("[scenario]\nname = \"unterm").unwrap_err();
+        assert_eq!(parse_line(&err), 2, "{err}");
+        assert!(err.to_string().contains("string"), "{err}");
+        // cut inside an array literal
+        let err = parse_scenario(&minimal("[source]\nexits = [0.1, 0.2")).unwrap_err();
+        assert!(err.to_string().contains("array"), "{err}");
+        parse_line(&err);
+    }
+
+    #[test]
+    fn non_finite_numerics_are_rejected_with_a_line() {
+        for bad in ["nan", "inf", "-inf"] {
+            let err = parse_scenario(&minimal(&format!("[source]\nplace = {bad}"))).unwrap_err();
+            assert!(err.to_string().contains("finite"), "{bad}: {err}");
+            assert_eq!(parse_line(&err), 13, "{bad}: {err}");
+        }
+        let err = parse_scenario(&minimal("[source]\nexits = [0.0, inf]")).unwrap_err();
+        assert!(err.to_string().contains("finite"), "{err}");
+        parse_line(&err);
+    }
+
+    #[test]
+    fn duplicate_fault_steps_are_rejected_with_a_line() {
+        let two_at_seven = minimal(concat!(
+            "[[fault]]\nkind = \"crash\"\nat = 7\ncount = 3\n",
+            "[[fault]]\nkind = \"revive\"\nat = 7"
+        ));
+        let err = parse_scenario(&two_at_seven).unwrap_err();
+        assert!(
+            err.to_string().contains("duplicate [[fault]] at step 7"),
+            "{err}"
+        );
+        assert_eq!(parse_line(&err), 16, "the second block's line: {err}");
+        // distinct steps stay fine
+        let distinct = minimal(concat!(
+            "[[fault]]\nkind = \"crash\"\nat = 7\ncount = 3\n",
+            "[[fault]]\nkind = \"revive\"\nat = 8"
+        ));
+        assert_eq!(parse_scenario(&distinct).unwrap().faults.len(), 2);
+    }
+
+    #[test]
+    fn oversized_agent_count_is_rejected_with_the_u32_limit() {
+        let text = "[scenario]\nname = \"t\"\nsteps = 10\n[mobility]\nmodel = \"mrwp\"\n\
+                    side = 10.0\nspeed = 0.5\n[population]\nn = 5000000000\nradius = 1.0";
+        let err = parse_scenario(text).unwrap_err();
+        assert!(err.to_string().contains("4294967295"), "{err}");
+        assert_eq!(parse_line(&err), 9, "{err}");
     }
 }

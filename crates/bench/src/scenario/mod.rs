@@ -20,6 +20,13 @@
 //! engine mode × parallelism class and asserts bitwise trace agreement
 //! within each determinism class.
 //!
+//! Runs are resumable: [`Driver`] exposes the compile/pump/step loop
+//! explicitly, [`run_scenario_checkpointed`] wraps it with atomic
+//! snapshot writes and a corruption fallback ladder on resume, and
+//! [`bisect_divergence`] replays two runs that should agree from their
+//! last agreeing checkpoint pair to isolate the first divergent step
+//! (see `docs/ARCHITECTURE.md`, "Checkpoint & recovery contract").
+//!
 //! # Determinism contract
 //!
 //! Everything a scenario adds on top of the engine draws from dedicated
@@ -42,14 +49,20 @@
 //! # Ok::<(), fastflood_bench::scenario::ScenarioError>(())
 //! ```
 
+mod checkpoint;
 mod config;
 mod library;
 mod run;
 
+pub use checkpoint::{
+    bisect_divergence, run_scenario_checkpointed, BisectReport, BisectSide, CheckpointOpts,
+    CheckpointSummary,
+};
 pub use config::parse_scenario;
 pub use library::{library, scenario_by_name, SCENARIO_SOURCES};
 pub use run::{
-    run_scenario, run_scenario_trials, FallbackStats, FaultRecord, Outcome, ScenarioRun, Trace,
+    run_scenario, run_scenario_trials, trace_digest, Driver, FallbackStats, FaultRecord, Outcome,
+    ScenarioRun, Trace, TAG_SCFR, TAG_SCNE, TAG_SCPT, TAG_SCRC,
 };
 
 use std::error::Error;

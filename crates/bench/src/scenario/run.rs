@@ -6,25 +6,52 @@
 //! never from the simulation stream mid-run. Every engine mode therefore
 //! sees byte-identical layouts and fault schedules within a parallelism
 //! class, and the engine's cross-mode RNG lockstep survives injection.
+//!
+//! The run loop lives in [`Driver`], a resumable scenario executor: the
+//! canonical loop is `loop { /* checkpoint point */ if d.pump() { break }
+//! d.step() }`, and [`Driver::snapshot`] / [`Driver::restore`] freeze and
+//! thaw the *whole* run — engine state via `FloodingSim::snapshot` plus
+//! the scenario layer (fault-stream RNG, event cursor, partition slots,
+//! fault records) in extension sections — so a restored run replays the
+//! remaining schedule **bitwise-identically**.
 
 use super::{
     CountSpec, FaultKind, FracRect, InitSpec, ModelSpec, ProtocolSpec, Scenario, ScenarioError,
     SourceSpec,
 };
+use fastflood_core::checkpoint::{CheckpointError, Snapshot, TAG_CRNG, TAG_META};
 use fastflood_core::{
     CoreError, EngineMode, FloodingReport, FloodingSim, InitMode, Parallelism, Protocol, SimConfig,
     SimRng, SourcePlacement,
 };
 use fastflood_geom::Point;
 use fastflood_graph::DiskGraph;
-use fastflood_mobility::{DiskWalk, Mixture, Mobility, Mrwp, Placement, Rwp, Static, StreetMrwp};
+use fastflood_mobility::{
+    ByteReader, ByteWriter, DiskWalk, Mixture, Mobility, Mrwp, Placement, Rwp, SnapshotState,
+    Static, StreetMrwp,
+};
 use fastflood_stats::seeds::derive_seed;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, SeedableRng, SnapshotRng};
 
 /// Salt for the cluster-placement stream (`derive_seed(seed, PLACE_SALT)`).
 const PLACE_SALT: u64 = 0x706c_6163_656d_656e;
 /// Salt for the fault-selection stream (`derive_seed(seed, FAULT_SALT)`).
 const FAULT_SALT: u64 = 0x6661_756c_7473_2121;
+
+// ---- scenario-layer snapshot sections (stacked on the engine's set) ----
+
+/// Scenario identity: name, step budget, fingerprint, event cursor,
+/// initial giant fraction.
+pub const TAG_SCNE: [u8; 4] = *b"SCNE";
+/// The fault-selection RNG stream.
+pub const TAG_SCFR: [u8; 4] = *b"SCFR";
+/// Partition slots (agents silenced by each open partition window).
+pub const TAG_SCPT: [u8; 4] = *b"SCPT";
+/// Fault records applied so far (the trace's fault log).
+pub const TAG_SCRC: [u8; 4] = *b"SCRC";
+
+/// Fault-record kind labels, indexed by their snapshot code.
+const FAULT_KINDS: [&str; 4] = ["crash", "partition", "heal", "revive"];
 
 /// How one scenario trial ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +82,11 @@ impl Outcome {
 
 /// Engine fallback counters after a run (all zero for non-Incremental /
 /// non-BucketJoin engines).
+///
+/// These are observability counters, not simulation state: a run resumed
+/// from a checkpoint re-counts from the resume point, so they are
+/// deliberately **outside** the bitwise resume-identity contract (the
+/// same exclusion the sharded-agreement harness makes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FallbackStats {
     /// Steps the adaptive engine served via the bucket-join path.
@@ -102,6 +134,43 @@ pub struct Trace {
     pub position_bits: Vec<(u64, u64)>,
 }
 
+/// A stable 64-bit FNV-1a digest of a [`Trace`] — the one-line summary
+/// the crash-recovery harness prints so an interrupted-then-resumed run
+/// can be compared against its uninterrupted reference across process
+/// boundaries.
+pub fn trace_digest(trace: &Trace) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(&trace.source.to_le_bytes());
+    eat(&(trace.inform_time.len() as u64).to_le_bytes());
+    for &t in &trace.inform_time {
+        eat(&t.to_le_bytes());
+    }
+    eat(&(trace.spread.len() as u64).to_le_bytes());
+    for &c in &trace.spread {
+        eat(&c.to_le_bytes());
+    }
+    eat(&(trace.faults.len() as u64).to_le_bytes());
+    for f in &trace.faults {
+        eat(&f.step.to_le_bytes());
+        eat(f.kind.as_bytes());
+        eat(&(f.agents.len() as u64).to_le_bytes());
+        for &a in &f.agents {
+            eat(&a.to_le_bytes());
+        }
+    }
+    for &(x, y) in &trace.position_bits {
+        eat(&x.to_le_bytes());
+        eat(&y.to_le_bytes());
+    }
+    h
+}
+
 /// Everything [`run_scenario`] observes about one trial.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioRun {
@@ -125,6 +194,63 @@ fn invalid(msg: impl Into<String>) -> ScenarioError {
 
 fn core_err(e: CoreError) -> ScenarioError {
     invalid(e.to_string())
+}
+
+/// Generic consumer of a compiled mobility model — the one place the
+/// [`ModelSpec`]-to-model mapping is dispatched. Every in-tree model
+/// snapshots and clones, so visitors may rely on both.
+pub(crate) trait ModelVisitor {
+    /// What the visit produces.
+    type Out;
+
+    /// Runs with the compiled model.
+    fn visit<M>(self, model: M) -> Result<Self::Out, ScenarioError>
+    where
+        M: Mobility + Clone,
+        M::State: SnapshotState;
+}
+
+/// Compiles `spec` into its mobility model and hands it to `v`.
+pub(crate) fn with_model<V: ModelVisitor>(spec: &ModelSpec, v: V) -> Result<V::Out, ScenarioError> {
+    let model_err = |e: fastflood_mobility::MobilityError| invalid(e.to_string());
+    match spec {
+        ModelSpec::Mrwp { side, speed, pause } => v.visit(
+            Mrwp::new(*side, *speed)
+                .map_err(model_err)?
+                .with_pause(*pause),
+        ),
+        ModelSpec::Street {
+            side,
+            speed,
+            blocks,
+            pause,
+        } => v.visit(
+            StreetMrwp::new(*side, *speed, *blocks)
+                .map_err(model_err)?
+                .with_pause(*pause),
+        ),
+        ModelSpec::Rwp { side, speed } => v.visit(Rwp::new(*side, *speed).map_err(model_err)?),
+        ModelSpec::Disk {
+            side,
+            speed,
+            walk_radius,
+        } => v.visit(DiskWalk::new(*side, *speed, *walk_radius).map_err(model_err)?),
+        ModelSpec::Static { side } => {
+            v.visit(Static::new(*side, Placement::Uniform).map_err(model_err)?)
+        }
+        ModelSpec::MrwpMix {
+            side,
+            speeds,
+            weights,
+        } => {
+            let models = speeds
+                .iter()
+                .map(|&sp| Mrwp::new(*side, sp))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(model_err)?;
+            v.visit(Mixture::new(models, weights.clone()).map_err(model_err)?)
+        }
+    }
 }
 
 /// Runs one trial of a scenario under the given engine mode and
@@ -153,58 +279,35 @@ pub fn run_scenario(
     seed: u64,
 ) -> Result<ScenarioRun, ScenarioError> {
     sc.validate()?;
-    let model_err = |e: fastflood_mobility::MobilityError| invalid(e.to_string());
-    match &sc.model {
-        ModelSpec::Mrwp { side, speed, pause } => {
-            let model = Mrwp::new(*side, *speed)
-                .map_err(model_err)?
-                .with_pause(*pause);
-            drive(sc, model, engine, parallelism, seed)
+    struct Run<'a> {
+        sc: &'a Scenario,
+        engine: EngineMode,
+        parallelism: Parallelism,
+        seed: u64,
+    }
+    impl ModelVisitor for Run<'_> {
+        type Out = ScenarioRun;
+        fn visit<M>(self, model: M) -> Result<ScenarioRun, ScenarioError>
+        where
+            M: Mobility + Clone,
+            M::State: SnapshotState,
+        {
+            let mut d = Driver::new(self.sc, model, self.engine, self.parallelism, self.seed)?;
+            while !d.pump() {
+                d.step();
+            }
+            Ok(d.finish())
         }
-        ModelSpec::Street {
-            side,
-            speed,
-            blocks,
-            pause,
-        } => {
-            let model = StreetMrwp::new(*side, *speed, *blocks)
-                .map_err(model_err)?
-                .with_pause(*pause);
-            drive(sc, model, engine, parallelism, seed)
-        }
-        ModelSpec::Rwp { side, speed } => drive(
+    }
+    with_model(
+        &sc.model,
+        Run {
             sc,
-            Rwp::new(*side, *speed).map_err(model_err)?,
             engine,
             parallelism,
             seed,
-        ),
-        ModelSpec::Disk {
-            side,
-            speed,
-            walk_radius,
-        } => {
-            let model = DiskWalk::new(*side, *speed, *walk_radius).map_err(model_err)?;
-            drive(sc, model, engine, parallelism, seed)
-        }
-        ModelSpec::Static { side } => {
-            let model = Static::new(*side, Placement::Uniform).map_err(model_err)?;
-            drive(sc, model, engine, parallelism, seed)
-        }
-        ModelSpec::MrwpMix {
-            side,
-            speeds,
-            weights,
-        } => {
-            let models = speeds
-                .iter()
-                .map(|&v| Mrwp::new(*side, v))
-                .collect::<Result<Vec<_>, _>>()
-                .map_err(model_err)?;
-            let model = Mixture::new(models, weights.clone()).map_err(model_err)?;
-            drive(sc, model, engine, parallelism, seed)
-        }
-    }
+        },
+    )
 }
 
 /// Runs `trials` independent trials (seeds derived from `master_seed`)
@@ -322,148 +425,539 @@ fn nearest_agent(positions: &[Point], p: Point) -> usize {
     best
 }
 
-fn drive<M: Mobility>(
-    sc: &Scenario,
-    model: M,
-    engine: EngineMode,
-    parallelism: Parallelism,
-    seed: u64,
-) -> Result<ScenarioRun, ScenarioError> {
-    let init = match sc.init {
-        InitSpec::Stationary => InitMode::Stationary,
-        InitSpec::Uniform => InitMode::ColdUniform,
-    };
-    let protocol = match sc.protocol {
-        ProtocolSpec::Flooding => Protocol::Flooding,
-        ProtocolSpec::Parsimonious { p } => Protocol::Parsimonious { p },
-        ProtocolSpec::Gossip { k } => Protocol::Gossip { k },
-    };
-    let config = SimConfig::new(sc.n, sc.radius)
-        .seed(seed)
-        .source(SourcePlacement::Agent(0))
-        .init(init)
-        .protocol(protocol)
-        .engine(engine)
-        .parallelism(parallelism);
-    let mut sim = FloodingSim::new(model, config).map_err(core_err)?;
-    let side = sc.model.side();
+/// A resumable scenario executor: one compiled scenario trial, stepped
+/// explicitly by the caller.
+///
+/// The canonical loop — exactly what [`run_scenario`] does — is:
+///
+/// ```text
+/// let mut d = Driver::new(&sc, model, engine, parallelism, seed)?;
+/// loop {
+///     // <- checkpoint point: d.snapshot() freezes the run here
+///     if d.pump() { break; }
+///     d.step();
+/// }
+/// let run = d.finish();
+/// ```
+///
+/// [`Driver::pump`] applies the fault events scheduled for the current
+/// step and reports whether the run is over; [`Driver::step`] advances
+/// the simulation one step. Snapshots are taken at the **top** of the
+/// loop, *before* `pump` applies that step's events: the fault stream is
+/// frozen pre-application, so a restored run re-applies the same events
+/// with identical random picks and the continuation is bitwise-identical
+/// to the uninterrupted run.
+pub struct Driver<M: Mobility> {
+    sim: FloodingSim<M>,
+    sc: Scenario,
+    side: f64,
+    events: Vec<(u32, Event)>,
+    partition_slots: Vec<Vec<u32>>,
+    fault_rng: SimRng,
+    records: Vec<FaultRecord>,
+    next_event: usize,
+    initial_giant_fraction: f64,
+}
 
-    // Cluster layout: the lowest agent indices are re-placed uniformly
-    // inside their cluster's rectangle, from the dedicated placement
-    // stream (the in-rect point) + the simulation stream (the fresh
-    // trajectory init_at draws — identical across engine modes).
-    let mut place_rng = SimRng::seed_from_u64(derive_seed(seed, PLACE_SALT));
-    let mut next = 0usize;
-    for cluster in &sc.clusters {
-        let count = ((cluster.frac * sc.n as f64).ceil() as usize).min(sc.n - next);
-        for _ in 0..count {
-            let x = (cluster.rect.x0
-                + place_rng.gen::<f64>() * (cluster.rect.x1 - cluster.rect.x0))
-                * side;
-            let y = (cluster.rect.y0
-                + place_rng.gen::<f64>() * (cluster.rect.y1 - cluster.rect.y0))
-                * side;
-            sim.place_agent_at(next, Point::new(x, y))
-                .map_err(core_err)?;
-            next += 1;
+impl<M: Mobility> Driver<M> {
+    /// Compiles `sc` into a ready-to-run simulation: config + engine,
+    /// cluster layout (placement stream), source re-resolution, exit
+    /// seeding, initial-connectivity measurement, fault-schedule
+    /// expansion.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Invalid`] when the scenario cannot be compiled
+    /// (bad model parameters, ill-formed layout, engine rejection).
+    pub fn new(
+        sc: &Scenario,
+        model: M,
+        engine: EngineMode,
+        parallelism: Parallelism,
+        seed: u64,
+    ) -> Result<Driver<M>, ScenarioError> {
+        let init = match sc.init {
+            InitSpec::Stationary => InitMode::Stationary,
+            InitSpec::Uniform => InitMode::ColdUniform,
+        };
+        let protocol = match sc.protocol {
+            ProtocolSpec::Flooding => Protocol::Flooding,
+            ProtocolSpec::Parsimonious { p } => Protocol::Parsimonious { p },
+            ProtocolSpec::Gossip { k } => Protocol::Gossip { k },
+        };
+        let config = SimConfig::new(sc.n, sc.radius)
+            .seed(seed)
+            .source(SourcePlacement::Agent(0))
+            .init(init)
+            .protocol(protocol)
+            .engine(engine)
+            .parallelism(parallelism);
+        let mut sim = FloodingSim::new(model, config).map_err(core_err)?;
+        let side = sc.model.side();
+
+        // Cluster layout: the lowest agent indices are re-placed uniformly
+        // inside their cluster's rectangle, from the dedicated placement
+        // stream (the in-rect point) + the simulation stream (the fresh
+        // trajectory init_at draws — identical across engine modes).
+        let mut place_rng = SimRng::seed_from_u64(derive_seed(seed, PLACE_SALT));
+        let mut next = 0usize;
+        for cluster in &sc.clusters {
+            let count = ((cluster.frac * sc.n as f64).ceil() as usize).min(sc.n - next);
+            for _ in 0..count {
+                let x = (cluster.rect.x0
+                    + place_rng.gen::<f64>() * (cluster.rect.x1 - cluster.rect.x0))
+                    * side;
+                let y = (cluster.rect.y0
+                    + place_rng.gen::<f64>() * (cluster.rect.y1 - cluster.rect.y0))
+                    * side;
+                sim.place_agent_at(next, Point::new(x, y))
+                    .map_err(core_err)?;
+                next += 1;
+            }
         }
+
+        let placement = match sc.source {
+            SourceSpec::Random => SourcePlacement::Random,
+            SourceSpec::Center => SourcePlacement::Center,
+            SourceSpec::SwCorner => SourcePlacement::SwCorner,
+            SourceSpec::Agent(i) => SourcePlacement::Agent(i),
+            SourceSpec::Nearest(fx, fy) => {
+                SourcePlacement::Nearest(Point::new(fx * side, fy * side))
+            }
+        };
+        sim.reset_source(placement).map_err(core_err)?;
+
+        // Exit nodes: the agent nearest each exit is informed at t = 0 (an
+        // evacuation order propagating inward from the exits).
+        for &(fx, fy) in &sc.exits {
+            let exit = Point::new(fx * side, fy * side);
+            let agent = nearest_agent(sim.positions(), exit);
+            sim.inform_agent(agent);
+        }
+
+        let initial_giant_fraction =
+            DiskGraph::build(sim.model().region(), sc.radius, sim.positions())
+                .map_err(|e| invalid(e.to_string()))?
+                .components()
+                .giant_fraction();
+
+        let (events, slots) = expand_faults(sc);
+        Ok(Driver {
+            sim,
+            sc: sc.clone(),
+            side,
+            events,
+            partition_slots: vec![Vec::new(); slots],
+            fault_rng: SimRng::seed_from_u64(derive_seed(seed, FAULT_SALT)),
+            records: Vec::new(),
+            next_event: 0,
+            initial_giant_fraction,
+        })
     }
 
-    let placement = match sc.source {
-        SourceSpec::Random => SourcePlacement::Random,
-        SourceSpec::Center => SourcePlacement::Center,
-        SourceSpec::SwCorner => SourcePlacement::SwCorner,
-        SourceSpec::Agent(i) => SourcePlacement::Agent(i),
-        SourceSpec::Nearest(fx, fy) => SourcePlacement::Nearest(Point::new(fx * side, fy * side)),
-    };
-    sim.reset_source(placement).map_err(core_err)?;
-
-    // Exit nodes: the agent nearest each exit is informed at t = 0 (an
-    // evacuation order propagating inward from the exits).
-    for &(fx, fy) in &sc.exits {
-        let exit = Point::new(fx * side, fy * side);
-        let agent = nearest_agent(sim.positions(), exit);
-        sim.inform_agent(agent);
+    /// The simulation's current step counter.
+    pub fn time(&self) -> u32 {
+        self.sim.time()
     }
 
-    let initial_giant_fraction = DiskGraph::build(sim.model().region(), sc.radius, sim.positions())
-        .map_err(|e| invalid(e.to_string()))?
-        .components()
-        .giant_fraction();
-
-    let (events, slots) = expand_faults(sc);
-    let mut partition_slots: Vec<Vec<u32>> = vec![Vec::new(); slots];
-    let mut fault_rng = SimRng::seed_from_u64(derive_seed(seed, FAULT_SALT));
-    let mut records: Vec<FaultRecord> = Vec::new();
-    let mut next_event = 0usize;
-
-    loop {
-        let t = sim.time();
-        while next_event < events.len() && events[next_event].0 == t {
-            let record = apply_event(
-                &mut sim,
-                &events[next_event].1,
-                side,
-                &mut partition_slots,
-                &mut fault_rng,
+    /// Applies every fault event scheduled for the current step, then
+    /// reports whether the run is over: the step budget is spent, or
+    /// every live agent is informed with no fault events left that could
+    /// re-open the worklist.
+    pub fn pump(&mut self) -> bool {
+        let t = self.sim.time();
+        while self.next_event < self.events.len() && self.events[self.next_event].0 == t {
+            let (kind, agents) = apply_event(
+                &mut self.sim,
+                &self.events[self.next_event].1,
+                self.side,
+                &mut self.partition_slots,
+                &mut self.fault_rng,
             );
-            records.push(FaultRecord {
+            self.records.push(FaultRecord {
                 step: t,
-                kind: record.0,
-                agents: record.1,
+                kind,
+                agents,
             });
-            next_event += 1;
+            self.next_event += 1;
         }
-        if t >= sc.steps {
-            break;
-        }
-        // Keep stepping past (possibly vacuous) completion while fault
-        // events are still pending: a revive can re-open the worklist.
-        if sim.all_informed() && next_event >= events.len() {
-            break;
-        }
-        sim.step();
+        t >= self.sc.steps || (self.sim.all_informed() && self.next_event >= self.events.len())
     }
 
-    let report = sim.report();
-    let outcome = if report.live == 0 {
-        Outcome::Extinct
-    } else if report.completed {
-        Outcome::Flooded {
-            time: report
-                .flooding_time
-                .expect("completed runs have a flooding time"),
+    /// Advances the simulation one step (move + transmit).
+    pub fn step(&mut self) {
+        self.sim.step();
+    }
+
+    /// Collects the run's outcome, report, fallback counters, and
+    /// bitwise trace.
+    pub fn finish(&self) -> ScenarioRun {
+        let report = self.sim.report();
+        let outcome = if report.live == 0 {
+            Outcome::Extinct
+        } else if report.completed {
+            Outcome::Flooded {
+                time: report
+                    .flooding_time
+                    .expect("completed runs have a flooding time"),
+            }
+        } else {
+            Outcome::Timeout
+        };
+        let fallback = FallbackStats {
+            join_steps: self.sim.bucket_join_steps(),
+            full_rebuilds: self.sim.incremental_full_rebuilds(),
+            spike_rebuilds: self.sim.incremental_spike_rebuilds(),
+            diff_steps: self.sim.incremental_diff_steps(),
+            deferred_steps: self.sim.incremental_deferred_steps(),
+        };
+        let trace = Trace {
+            source: self.sim.source() as u32,
+            inform_time: (0..self.sc.n)
+                .map(|i| self.sim.inform_time(i).unwrap_or(u32::MAX))
+                .collect(),
+            spread: report.spread.clone(),
+            faults: self.records.clone(),
+            position_bits: self
+                .sim
+                .positions()
+                .iter()
+                .map(|p| (p.x.to_bits(), p.y.to_bits()))
+                .collect(),
+        };
+        ScenarioRun {
+            outcome,
+            report,
+            fallback,
+            trace,
+            initial_giant_fraction: self.initial_giant_fraction,
         }
-    } else {
-        Outcome::Timeout
-    };
-    let fallback = FallbackStats {
-        join_steps: sim.bucket_join_steps(),
-        full_rebuilds: sim.incremental_full_rebuilds(),
-        spike_rebuilds: sim.incremental_spike_rebuilds(),
-        diff_steps: sim.incremental_diff_steps(),
-        deferred_steps: sim.incremental_deferred_steps(),
-    };
-    let trace = Trace {
-        source: sim.source() as u32,
-        inform_time: (0..sc.n)
-            .map(|i| sim.inform_time(i).unwrap_or(u32::MAX))
-            .collect(),
-        spread: report.spread.clone(),
-        faults: records,
-        position_bits: sim
-            .positions()
-            .iter()
-            .map(|p| (p.x.to_bits(), p.y.to_bits()))
-            .collect(),
-    };
-    Ok(ScenarioRun {
-        outcome,
-        report,
-        fallback,
-        trace,
-        initial_giant_fraction,
-    })
+    }
+}
+
+/// Appends a `u64`-length-prefixed `u32` list.
+fn put_u32_list(w: &mut ByteWriter, xs: &[u32]) {
+    w.put_u64(xs.len() as u64);
+    for &x in xs {
+        w.put_u32(x);
+    }
+}
+
+/// Reads a list written by [`put_u32_list`]; `None` on truncation or a
+/// length that cannot fit the remaining bytes.
+fn get_u32_list(r: &mut ByteReader<'_>) -> Option<Vec<u32>> {
+    let len = usize::try_from(r.get_u64()?).ok()?;
+    if len > r.remaining() / 4 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(r.get_u32()?);
+    }
+    Some(out)
+}
+
+/// Shorthand for scenario-section corruption errors.
+fn scorrupt(section: [u8; 4], what: &'static str) -> CheckpointError {
+    CheckpointError::Corrupt { section, what }
+}
+
+/// A stable fingerprint of everything in a [`Scenario`] that shapes the
+/// replay — model, layout, schedule — so a checkpoint taken under one
+/// scenario definition is rejected by a same-named but edited one
+/// instead of silently replaying a different fault schedule.
+fn scenario_fingerprint(sc: &Scenario) -> u64 {
+    let mut w = ByteWriter::with_capacity(256);
+    w.put_bytes(sc.model.label().as_bytes());
+    w.put_f64(sc.model.side());
+    w.put_u64(sc.n as u64);
+    w.put_f64(sc.radius);
+    w.put_u8(matches!(sc.init, InitSpec::Uniform) as u8);
+    match sc.protocol {
+        ProtocolSpec::Flooding => {
+            w.put_u8(0);
+            w.put_f64(0.0);
+        }
+        ProtocolSpec::Parsimonious { p } => {
+            w.put_u8(1);
+            w.put_f64(p);
+        }
+        ProtocolSpec::Gossip { k } => {
+            w.put_u8(2);
+            w.put_f64(k as f64);
+        }
+    }
+    for c in &sc.clusters {
+        w.put_f64(c.frac);
+        w.put_f64(c.rect.x0);
+        w.put_f64(c.rect.y0);
+        w.put_f64(c.rect.x1);
+        w.put_f64(c.rect.y1);
+    }
+    match sc.source {
+        SourceSpec::Random => w.put_u8(0),
+        SourceSpec::Center => w.put_u8(1),
+        SourceSpec::SwCorner => w.put_u8(2),
+        SourceSpec::Agent(i) => {
+            w.put_u8(3);
+            w.put_u64(i as u64);
+        }
+        SourceSpec::Nearest(x, y) => {
+            w.put_u8(4);
+            w.put_f64(x);
+            w.put_f64(y);
+        }
+    }
+    for &(x, y) in &sc.exits {
+        w.put_f64(x);
+        w.put_f64(y);
+    }
+    for f in &sc.faults {
+        w.put_u32(f.at);
+        match &f.kind {
+            FaultKind::Crash { count, region } => {
+                w.put_u8(0);
+                match count {
+                    CountSpec::Frac(q) => {
+                        w.put_u8(0);
+                        w.put_f64(*q);
+                    }
+                    CountSpec::Abs(c) => {
+                        w.put_u8(1);
+                        w.put_u64(*c as u64);
+                    }
+                }
+                if let Some(r) = region {
+                    w.put_f64(r.x0);
+                    w.put_f64(r.y0);
+                    w.put_f64(r.x1);
+                    w.put_f64(r.y1);
+                }
+            }
+            FaultKind::Partition { duration, region } => {
+                w.put_u8(1);
+                w.put_u32(*duration);
+                w.put_f64(region.x0);
+                w.put_f64(region.y0);
+                w.put_f64(region.x1);
+                w.put_f64(region.y1);
+            }
+            FaultKind::Churn { duration, rate } => {
+                w.put_u8(2);
+                w.put_u32(*duration);
+                w.put_u64(*rate as u64);
+            }
+            FaultKind::Revive { count } => {
+                w.put_u8(3);
+                w.put_u64(*count as u64);
+            }
+        }
+    }
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in w.as_slice() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl<M> Driver<M>
+where
+    M: Mobility,
+    M::State: SnapshotState,
+{
+    /// Freezes the whole run: the engine's sections
+    /// (`FloodingSim::snapshot`) plus the scenario layer — identity
+    /// ([`TAG_SCNE`]), the fault-selection stream ([`TAG_SCFR`]), open
+    /// partition slots ([`TAG_SCPT`]), and the fault records applied so
+    /// far ([`TAG_SCRC`]).
+    ///
+    /// Take snapshots at the **top** of the run loop, before
+    /// [`Driver::pump`] applies the current step's events (see the type
+    /// docs): the fault stream is then frozen pre-application and the
+    /// restored run re-draws identical picks.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = self.sim.snapshot();
+
+        let mut w = ByteWriter::with_capacity(64 + self.sc.name.len());
+        w.put_block(self.sc.name.as_bytes());
+        w.put_u32(self.sc.steps);
+        w.put_u64(scenario_fingerprint(&self.sc));
+        w.put_u64(self.next_event as u64);
+        w.put_f64(self.initial_giant_fraction);
+        snap.push(TAG_SCNE, w.into_bytes());
+
+        let mut w = ByteWriter::with_capacity(40);
+        w.put_block(&self.fault_rng.state_bytes());
+        snap.push(TAG_SCFR, w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.put_u64(self.partition_slots.len() as u64);
+        for slot in &self.partition_slots {
+            put_u32_list(&mut w, slot);
+        }
+        snap.push(TAG_SCPT, w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.put_u64(self.records.len() as u64);
+        for rec in &self.records {
+            w.put_u32(rec.step);
+            let code = FAULT_KINDS
+                .iter()
+                .position(|&k| k == rec.kind)
+                .expect("fault records use the canonical kind labels");
+            w.put_u8(code as u8);
+            put_u32_list(&mut w, &rec.agents);
+        }
+        snap.push(TAG_SCRC, w.into_bytes());
+
+        snap
+    }
+
+    /// Thaws a snapshot taken by [`Driver::snapshot`] into this driver,
+    /// validating everything before touching any state: on error the
+    /// driver is untouched and still runs its own trial.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Incompatible`] when the snapshot came from a
+    /// different scenario (name, step budget, or definition
+    /// fingerprint), plus everything `FloodingSim::restore` rejects;
+    /// [`CheckpointError::Corrupt`] / [`CheckpointError::MissingSection`]
+    /// for structurally invalid scenario sections.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), CheckpointError> {
+        // -- validate the scenario layer into temporaries --
+        let mut r = ByteReader::new(snap.require(TAG_SCNE)?);
+        let name = r
+            .get_block()
+            .ok_or_else(|| scorrupt(TAG_SCNE, "truncated scenario name"))?;
+        if name != self.sc.name.as_bytes() {
+            return Err(CheckpointError::Incompatible {
+                what: format!(
+                    "scenario name: snapshot {:?}, run {:?}",
+                    String::from_utf8_lossy(name),
+                    self.sc.name
+                ),
+            });
+        }
+        let steps = r
+            .get_u32()
+            .ok_or_else(|| scorrupt(TAG_SCNE, "truncated step budget"))?;
+        if steps != self.sc.steps {
+            return Err(CheckpointError::Incompatible {
+                what: format!("step budget: snapshot {steps}, run {}", self.sc.steps),
+            });
+        }
+        let fingerprint = r
+            .get_u64()
+            .ok_or_else(|| scorrupt(TAG_SCNE, "truncated fingerprint"))?;
+        if fingerprint != scenario_fingerprint(&self.sc) {
+            return Err(CheckpointError::Incompatible {
+                what: format!(
+                    "scenario definition changed since the snapshot (same name {:?}, \
+                     different model/layout/schedule fingerprint)",
+                    self.sc.name
+                ),
+            });
+        }
+        let next_event = usize::try_from(
+            r.get_u64()
+                .ok_or_else(|| scorrupt(TAG_SCNE, "truncated event cursor"))?,
+        )
+        .map_err(|_| scorrupt(TAG_SCNE, "event cursor out of range"))?;
+        if next_event > self.events.len() {
+            return Err(scorrupt(TAG_SCNE, "event cursor past the schedule end"));
+        }
+        let giant = r
+            .get_f64()
+            .ok_or_else(|| scorrupt(TAG_SCNE, "truncated giant fraction"))?;
+        if !r.is_empty() {
+            return Err(scorrupt(TAG_SCNE, "trailing bytes"));
+        }
+
+        let mut r = ByteReader::new(snap.require(TAG_SCFR)?);
+        let rng_bytes = r
+            .get_block()
+            .ok_or_else(|| scorrupt(TAG_SCFR, "truncated rng state"))?;
+        let fault_rng = SimRng::from_state_bytes(rng_bytes)
+            .ok_or_else(|| scorrupt(TAG_SCFR, "invalid fault rng state"))?;
+        if !r.is_empty() {
+            return Err(scorrupt(TAG_SCFR, "trailing bytes"));
+        }
+
+        let n32 = self.sim.n() as u32;
+        let mut r = ByteReader::new(snap.require(TAG_SCPT)?);
+        let slot_count = r
+            .get_u64()
+            .ok_or_else(|| scorrupt(TAG_SCPT, "truncated slot count"))?;
+        if slot_count != self.partition_slots.len() as u64 {
+            return Err(scorrupt(TAG_SCPT, "partition slot count mismatch"));
+        }
+        let mut slots = Vec::with_capacity(self.partition_slots.len());
+        for _ in 0..slot_count {
+            let slot =
+                get_u32_list(&mut r).ok_or_else(|| scorrupt(TAG_SCPT, "truncated slot list"))?;
+            if slot.iter().any(|&a| a >= n32) {
+                return Err(scorrupt(TAG_SCPT, "agent id out of range"));
+            }
+            slots.push(slot);
+        }
+        if !r.is_empty() {
+            return Err(scorrupt(TAG_SCPT, "trailing bytes"));
+        }
+
+        let mut r = ByteReader::new(snap.require(TAG_SCRC)?);
+        let rec_count = r
+            .get_u64()
+            .ok_or_else(|| scorrupt(TAG_SCRC, "truncated record count"))?;
+        if rec_count > r.remaining() as u64 {
+            return Err(scorrupt(TAG_SCRC, "record count past the payload"));
+        }
+        let mut records = Vec::with_capacity(rec_count as usize);
+        for _ in 0..rec_count {
+            let step = r
+                .get_u32()
+                .ok_or_else(|| scorrupt(TAG_SCRC, "truncated record step"))?;
+            let code = r
+                .get_u8()
+                .ok_or_else(|| scorrupt(TAG_SCRC, "truncated record kind"))?;
+            let kind = *FAULT_KINDS
+                .get(code as usize)
+                .ok_or_else(|| scorrupt(TAG_SCRC, "unknown fault kind code"))?;
+            let agents =
+                get_u32_list(&mut r).ok_or_else(|| scorrupt(TAG_SCRC, "truncated agent list"))?;
+            if agents.iter().any(|&a| a >= n32) {
+                return Err(scorrupt(TAG_SCRC, "agent id out of range"));
+            }
+            records.push(FaultRecord { step, kind, agents });
+        }
+        if !r.is_empty() {
+            return Err(scorrupt(TAG_SCRC, "trailing bytes"));
+        }
+
+        // -- the engine validates its own sections and commits --
+        self.sim.restore(snap)?;
+
+        // -- commit the scenario layer --
+        self.fault_rng = fault_rng;
+        self.partition_slots = slots;
+        self.records = records;
+        self.next_event = next_event;
+        self.initial_giant_fraction = giant;
+        Ok(())
+    }
+
+    /// A 64-bit digest of the run's state, skipping the engine's META
+    /// section (recorded engine configuration) and the per-chunk stream
+    /// cache (CRNG, structurally absent in sequential runs) — so two
+    /// runs that differ only in engine mode or parallelism flavor
+    /// compare their *observable* simulation state. A divergence that
+    /// starts in the chunk streams surfaces here one step later, through
+    /// the positions it perturbs. This is the per-step probe the
+    /// divergence bisector walks.
+    pub fn digest(&self) -> u64 {
+        self.snapshot().digest(&[TAG_META, TAG_CRNG])
+    }
 }
 
 fn apply_event<M: Mobility, R: Rng + SeedableRng + Send>(
@@ -577,6 +1071,7 @@ mod tests {
         let b = run_scenario(&sc, EngineMode::Rebuild, Parallelism::Sequential, 9).unwrap();
         assert_eq!(a.trace, b.trace);
         assert_eq!(a.report, b.report);
+        assert_eq!(trace_digest(&a.trace), trace_digest(&b.trace));
     }
 
     #[test]
@@ -679,5 +1174,188 @@ mod tests {
             run_scenario_trials(&sc, EngineMode::Adaptive, Parallelism::Sequential, 1, 3, 11)
                 .unwrap();
         assert_eq!(runs, again, "trial seeds derive from master, not threads");
+    }
+
+    /// Faulted scenario used by the driver snapshot tests: a crash storm
+    /// straddled by the snapshot point plus a later revive.
+    fn faulted(n: usize) -> Scenario {
+        let mut sc = base(n);
+        sc.steps = 60;
+        sc.faults = vec![
+            Fault {
+                at: 4,
+                kind: FaultKind::Crash {
+                    count: CountSpec::Abs(5),
+                    region: None,
+                },
+            },
+            Fault {
+                at: 9,
+                kind: FaultKind::Revive { count: 2 },
+            },
+            Fault {
+                at: 13,
+                kind: FaultKind::Crash {
+                    count: CountSpec::Frac(0.1),
+                    region: Some(FracRect {
+                        x0: 0.0,
+                        y0: 0.0,
+                        x1: 0.6,
+                        y1: 1.0,
+                    }),
+                },
+            },
+        ];
+        sc
+    }
+
+    fn run_driver<M>(mut d: Driver<M>) -> ScenarioRun
+    where
+        M: Mobility,
+    {
+        while !d.pump() {
+            d.step();
+        }
+        d.finish()
+    }
+
+    #[test]
+    fn driver_snapshot_resume_replays_the_fault_schedule_bitwise() {
+        let sc = faulted(90);
+        let model = Mrwp::new(12.0, 0.5).unwrap();
+        for snap_at in [0u32, 4, 7, 13] {
+            let reference =
+                run_scenario(&sc, EngineMode::Adaptive, Parallelism::Sequential, 21).unwrap();
+
+            let mut d = Driver::new(
+                &sc,
+                model.clone(),
+                EngineMode::Adaptive,
+                Parallelism::Sequential,
+                21,
+            )
+            .unwrap();
+            let mut snap = None;
+            loop {
+                if d.time() == snap_at {
+                    snap = Some(d.snapshot());
+                }
+                if d.pump() {
+                    break;
+                }
+                d.step();
+            }
+            let snap = snap.expect("snapshot step reached");
+
+            // restore into a FRESH driver, built with a different seed so
+            // nothing can match by accident
+            let mut resumed = Driver::new(
+                &sc,
+                model.clone(),
+                EngineMode::Adaptive,
+                Parallelism::Sequential,
+                21,
+            )
+            .unwrap();
+            resumed
+                .restore(&Snapshot::decode(&snap.encode()).unwrap())
+                .unwrap();
+            assert_eq!(resumed.time(), snap_at);
+            let resumed_run = run_driver(resumed);
+            assert_eq!(resumed_run.trace, reference.trace, "snap at {snap_at}");
+            assert_eq!(resumed_run.report, reference.report);
+            assert_eq!(resumed_run.outcome, reference.outcome);
+            assert_eq!(
+                resumed_run.initial_giant_fraction.to_bits(),
+                reference.initial_giant_fraction.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn driver_restore_rejects_other_scenarios_and_edits() {
+        let sc = faulted(70);
+        let model = Mrwp::new(12.0, 0.5).unwrap();
+        let mut d = Driver::new(
+            &sc,
+            model.clone(),
+            EngineMode::Rebuild,
+            Parallelism::Sequential,
+            5,
+        )
+        .unwrap();
+        for _ in 0..6 {
+            d.pump();
+            d.step();
+        }
+        let snap = d.snapshot();
+
+        // different name
+        let mut other = sc.clone();
+        other.name = "renamed".into();
+        let mut fresh = Driver::new(
+            &other,
+            model.clone(),
+            EngineMode::Rebuild,
+            Parallelism::Sequential,
+            5,
+        )
+        .unwrap();
+        let err = fresh.restore(&snap).unwrap_err();
+        assert!(matches!(err, CheckpointError::Incompatible { .. }), "{err}");
+        assert_eq!(fresh.time(), 0, "rejected restore leaves driver untouched");
+
+        // same name, edited fault schedule -> fingerprint mismatch
+        let mut edited = sc.clone();
+        edited.faults[0].at = 5;
+        let mut fresh = Driver::new(
+            &edited,
+            model.clone(),
+            EngineMode::Rebuild,
+            Parallelism::Sequential,
+            5,
+        )
+        .unwrap();
+        let err = fresh.restore(&snap).unwrap_err();
+        assert!(
+            err.to_string().contains("fingerprint"),
+            "schedule edits must be caught: {err}"
+        );
+
+        // a clean restore still works afterwards
+        let mut fresh =
+            Driver::new(&sc, model, EngineMode::Rebuild, Parallelism::Sequential, 5).unwrap();
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.time(), 6);
+    }
+
+    #[test]
+    fn driver_digest_tracks_state_not_engine() {
+        let sc = base(50);
+        let model = Mrwp::new(12.0, 0.5).unwrap();
+        let mut a = Driver::new(
+            &sc,
+            model.clone(),
+            EngineMode::Adaptive,
+            Parallelism::Sequential,
+            3,
+        )
+        .unwrap();
+        let mut b =
+            Driver::new(&sc, model, EngineMode::Oracle, Parallelism::Sequential, 3).unwrap();
+        for _ in 0..5 {
+            assert_eq!(
+                a.digest(),
+                b.digest(),
+                "same class, different engines, same state digest"
+            );
+            a.pump();
+            b.pump();
+            a.step();
+            b.step();
+        }
+        let before = a.digest();
+        a.step();
+        assert_ne!(before, a.digest(), "stepping changes the digest");
     }
 }

@@ -98,15 +98,21 @@
 //! See `BENCH_engine.json` for measured step throughput and
 //! `docs/BENCHMARKING.md` for the protocol behind it.
 
+use crate::checkpoint::{
+    CheckpointError, Snapshot, TAG_AGNT, TAG_CRNG, TAG_FLOD, TAG_META, TAG_MRNG, TAG_POSN, TAG_TURN,
+};
 use crate::sharded::ShardedWorld;
 use crate::{CoreError, Zone, ZoneMap};
 use fastflood_geom::Point;
-use fastflood_mobility::{move_chunk_count, ChunkCtx, Mobility, TurnRecorder, MOVE_CHUNK};
+use fastflood_mobility::{
+    move_chunk_count, BlockRng, ByteReader, ByteWriter, ChunkCtx, Mobility, SnapshotState,
+    TurnRecorder, MOVE_CHUNK, RNG_BLOCK,
+};
 use fastflood_parallel::{default_threads, WorkerPool};
 use fastflood_spatial::{GridIndex, GridIndexBuffer};
 use fastflood_stats::seeds::derive_seed;
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, SeedableRng, SnapshotRng};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -376,6 +382,52 @@ impl SimConfig {
         self.parallelism = parallelism;
         self
     }
+
+    /// Checks every field for validity without building a simulator:
+    /// `n ≥ 1`, radius positive and finite (NaN and infinities are
+    /// rejected here instead of propagating into the grid geometry),
+    /// protocol parameters in range, a fixed source index in bounds,
+    /// and a nonzero shard grid. [`FloodingSim::with_rng`] calls this
+    /// first, so an invalid config never half-constructs a simulator.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadParameter`] naming the offending field.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.n == 0 {
+            return Err(CoreError::BadParameter("n must be at least 1"));
+        }
+        if self.radius <= 0.0 || !self.radius.is_finite() {
+            return Err(CoreError::BadParameter(
+                "radius must be positive and finite",
+            ));
+        }
+        match self.protocol {
+            Protocol::Parsimonious { p } if !(p > 0.0 && p <= 1.0) => {
+                return Err(CoreError::BadParameter("parsimonious p must be in (0, 1]"));
+            }
+            Protocol::Gossip { k: 0 } => {
+                return Err(CoreError::BadParameter("gossip k must be at least 1"));
+            }
+            _ => {}
+        }
+        if let SourcePlacement::Agent(i) = self.source {
+            if i >= self.n {
+                return Err(CoreError::BadParameter("source agent index out of range"));
+            }
+        }
+        if let SourcePlacement::Nearest(p) = self.source {
+            if !(p.x.is_finite() && p.y.is_finite()) {
+                return Err(CoreError::BadParameter(
+                    "source anchor point must be finite",
+                ));
+            }
+        }
+        if let Parallelism::Sharded { grid: 0, .. } = self.parallelism {
+            return Err(CoreError::BadParameter("shard grid must be at least 1"));
+        }
+        Ok(())
+    }
 }
 
 /// Outcome of a flooding run.
@@ -464,6 +516,10 @@ pub struct FloodingSim<M: Mobility, R: Rng + SeedableRng + Send = SimRng> {
     radius: f64,
     protocol: Protocol,
     engine: EngineMode,
+    /// The config seed everything was derived from; snapshots record it
+    /// so a restore into a differently-seeded run is rejected rather
+    /// than silently mixing two random universes.
+    seed: u64,
     rng: R,
     /// The population's trajectory state in the model's batched layout
     /// (hot/cold SoA for MRWP): the move pass is one
@@ -597,6 +653,7 @@ impl<M: Mobility + Clone, R: Rng + SeedableRng + Send + Clone> Clone for Floodin
             radius: self.radius,
             protocol: self.protocol,
             engine: self.engine,
+            seed: self.seed,
             rng: self.rng.clone(),
             batch: self.batch.clone(),
             positions: self.positions.clone(),
@@ -654,23 +711,7 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
     ///
     /// As [`FloodingSim::new`].
     pub fn with_rng(model: M, config: SimConfig) -> Result<FloodingSim<M, R>, CoreError> {
-        if config.n == 0 {
-            return Err(CoreError::BadParameter("n must be at least 1"));
-        }
-        if config.radius <= 0.0 || !config.radius.is_finite() {
-            return Err(CoreError::BadParameter(
-                "radius must be positive and finite",
-            ));
-        }
-        match config.protocol {
-            Protocol::Parsimonious { p } if !(p > 0.0 && p <= 1.0) => {
-                return Err(CoreError::BadParameter("parsimonious p must be in (0, 1]"));
-            }
-            Protocol::Gossip { k: 0 } => {
-                return Err(CoreError::BadParameter("gossip k must be at least 1"));
-            }
-            _ => {}
-        }
+        config.validate()?;
         let mut rng = R::seed_from_u64(config.seed);
         let region = model.region();
         let mut states = Vec::with_capacity(config.n);
@@ -691,12 +732,8 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
 
         let source = match config.source {
             SourcePlacement::Random => rng.gen_range(0..config.n),
-            SourcePlacement::Agent(i) => {
-                if i >= config.n {
-                    return Err(CoreError::BadParameter("source agent index out of range"));
-                }
-                i
-            }
+            // in bounds: validate() checked it
+            SourcePlacement::Agent(i) => i,
             SourcePlacement::Center => nearest_to(&positions, region.center()),
             SourcePlacement::SwCorner => nearest_to(&positions, region.min()),
             SourcePlacement::Nearest(p) => nearest_to(&positions, p),
@@ -758,6 +795,7 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
             radius: config.radius,
             protocol: config.protocol,
             engine: config.engine,
+            seed: config.seed,
             rng,
             positions,
             informed,
@@ -1802,6 +1840,523 @@ fn join_covered(
         .rebuild_subset_shared(region, bucket, positions, tx, geometry_points)
         .expect("positions finite, radius validated");
     grid.join_covered_by(tx_grid, radius, |u| newly.push(u as u32));
+}
+
+// ---- checkpoint / restore ----------------------------------------------
+
+/// [`EngineMode`] encoded for the snapshot META section. Recorded for
+/// provenance only; restore does not enforce it — the divergence
+/// bisector deliberately restores one engine's checkpoints into runs of
+/// another engine, which is sound because every mode draws the same
+/// random stream.
+fn engine_code(e: EngineMode) -> u8 {
+    match e {
+        EngineMode::Adaptive => 0,
+        EngineMode::Rebuild => 1,
+        EngineMode::Oracle => 2,
+        EngineMode::BucketJoin => 3,
+        EngineMode::Incremental => 4,
+    }
+}
+
+fn put_opt_u32(w: &mut ByteWriter, v: Option<u32>) {
+    w.put_u8(v.is_some() as u8);
+    w.put_u32(v.unwrap_or(0));
+}
+
+fn get_opt_u32(r: &mut ByteReader<'_>) -> Option<Option<u32>> {
+    let flag = r.get_u8()?;
+    let v = r.get_u32()?;
+    match flag {
+        0 => Some(None),
+        1 => Some(Some(v)),
+        _ => None,
+    }
+}
+
+fn put_u32_list(w: &mut ByteWriter, xs: &[u32]) {
+    w.put_u64(xs.len() as u64);
+    for &x in xs {
+        w.put_u32(x);
+    }
+}
+
+fn get_u32_list(r: &mut ByteReader<'_>) -> Option<Vec<u32>> {
+    let len = usize::try_from(r.get_u64()?).ok()?;
+    // a length longer than the bytes behind it cannot be honest, and
+    // must not drive with_capacity
+    if len > r.remaining() / 4 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(r.get_u32()?);
+    }
+    Some(out)
+}
+
+/// Shorthand constructor for section-level corruption errors.
+fn corrupt(section: [u8; 4], what: &'static str) -> CheckpointError {
+    CheckpointError::Corrupt { section, what }
+}
+
+impl<M, R> FloodingSim<M, R>
+where
+    M: Mobility,
+    R: Rng + SeedableRng + Send + SnapshotRng,
+    M::State: SnapshotState,
+{
+    /// Freezes the complete resumable state of the simulation into a
+    /// [`Snapshot`].
+    ///
+    /// Everything a **bitwise-identical** continuation needs is
+    /// serialized: the main RNG stream (mid-buffer, exact draw cursor),
+    /// the per-chunk move streams in the chunked-parallelism class
+    /// (inner generator plus block buffer and position), every agent's
+    /// trajectory state and position (positions accumulate
+    /// incrementally in the move kernel, so recomputing them from trip
+    /// geometry would differ in the last bits), the informed/crashed/
+    /// inform-time lanes, the flood rosters — `transmitters` verbatim,
+    /// because crash compaction (`swap_remove`) makes its order state
+    /// rather than something derivable from inform times — the spread
+    /// curve, zone completion times, and turn-recorder timestamps.
+    ///
+    /// Derived caches are deliberately *not* serialized: the spatial
+    /// grids, the incremental-sync ledger, the sharded world, and all
+    /// per-step scratch are re-derived or invalidated by
+    /// [`FloodingSim::restore`], and every transmit path rebuilds them
+    /// from a cold cache without consuming random draws. See
+    /// `docs/ARCHITECTURE.md` ("Checkpoint & recovery contract") for
+    /// the full section table and the serialize-vs-rebuild split.
+    pub fn snapshot(&self) -> Snapshot {
+        let n = self.n();
+        let mut snap = Snapshot::new();
+
+        let mut meta = ByteWriter::with_capacity(128);
+        meta.put_u64(n as u64);
+        meta.put_u64(self.seed);
+        meta.put_f64(self.radius);
+        meta.put_u32(self.time);
+        meta.put_u64(self.source as u64);
+        meta.put_u64(self.informed_count as u64);
+        meta.put_u32(self.join_steps);
+        match self.protocol {
+            Protocol::Flooding => {
+                meta.put_u8(0);
+                meta.put_f64(0.0);
+            }
+            Protocol::Parsimonious { p } => {
+                meta.put_u8(1);
+                meta.put_f64(p);
+            }
+            Protocol::Gossip { k } => {
+                meta.put_u8(2);
+                meta.put_f64(k as f64);
+            }
+        }
+        meta.put_u8(engine_code(self.engine));
+        // parallelism *class*, not exact mode: Chunked and Sharded draw
+        // from the same chunk streams and produce the same trace, so a
+        // snapshot moves freely between them
+        meta.put_u8(self.par.is_some() as u8);
+        meta.put_u32(self.par.as_ref().map_or(0, |p| p.chunks.len()) as u32);
+        // model fingerprint: per-agent layout tag + region + speed
+        meta.put_u32(<M::State as SnapshotState>::STATE_TAG);
+        let region = self.model.region();
+        meta.put_point(region.min());
+        meta.put_f64(region.width());
+        meta.put_f64(region.height());
+        meta.put_f64(self.model.speed());
+        put_opt_u32(&mut meta, self.central_zone_time);
+        put_opt_u32(&mut meta, self.suburb_time);
+        meta.put_u8(self.turns.is_some() as u8);
+        snap.push(TAG_META, meta.into_bytes());
+
+        let mut mrng = ByteWriter::new();
+        mrng.put_block(&self.rng.state_bytes());
+        snap.push(TAG_MRNG, mrng.into_bytes());
+
+        if let Some(par) = &self.par {
+            let mut w = ByteWriter::new();
+            for ctx in &par.chunks {
+                let (inner, buf, pos) = ctx.stream().snapshot_parts();
+                w.put_block(&inner.state_bytes());
+                for &b in buf {
+                    w.put_u64(b);
+                }
+                w.put_u64(pos as u64);
+            }
+            snap.push(TAG_CRNG, w.into_bytes());
+        }
+
+        let mut ag = ByteWriter::with_capacity(n * 64);
+        for a in 0..n {
+            self.model.batch_state(&self.batch, a).write_state(&mut ag);
+            ag.put_u8(self.informed[a] as u8);
+            ag.put_u8(self.crashed[a] as u8);
+            ag.put_u32(self.inform_time[a]);
+        }
+        snap.push(TAG_AGNT, ag.into_bytes());
+
+        let mut po = ByteWriter::with_capacity(n * 16);
+        for &p in &self.positions {
+            po.put_point(p);
+        }
+        snap.push(TAG_POSN, po.into_bytes());
+
+        let mut fl = ByteWriter::new();
+        put_u32_list(&mut fl, &self.uninformed);
+        put_u32_list(&mut fl, &self.transmitters);
+        put_u32_list(&mut fl, &self.spread);
+        snap.push(TAG_FLOD, fl.into_bytes());
+
+        if let Some(turns) = &self.turns {
+            let mut w = ByteWriter::new();
+            for a in 0..n {
+                put_u32_list(&mut w, turns.agent_timestamps(a));
+            }
+            snap.push(TAG_TURN, w.into_bytes());
+        }
+
+        snap
+    }
+
+    /// Restores the simulation to the exact state a
+    /// [`FloodingSim::snapshot`] captured.
+    ///
+    /// The contract this subsystem is property-tested against: after
+    /// `restore(snapshot_at_step_k)`, every subsequent step is
+    /// **bitwise-identical** to the uninterrupted run — positions,
+    /// rosters, spread curve, reports, random draws — for every engine
+    /// mode, parallelism mode within the snapshot's determinism class,
+    /// and thread count.
+    ///
+    /// Validation happens in two stages before any field is mutated:
+    /// *compatibility* (same `n`, seed, radius bits, protocol, model
+    /// fingerprint, parallelism class, chunk layout, and turn-recording
+    /// flag as this simulation — [`CheckpointError::Incompatible`]) and
+    /// *internal consistency* (RNG state bytes decode, rosters are
+    /// exactly the live informed/uninformed partition, indices are in
+    /// range, the spread curve matches the step count —
+    /// [`CheckpointError::Corrupt`]). On any error the simulation is
+    /// left untouched.
+    ///
+    /// Derived state is reconciled rather than read: `rank` is rebuilt
+    /// from the transmitter roster, the spatial grids and the
+    /// incremental-sync ledger reset to cold (the next transmit
+    /// rebuilds them without consuming draws), the sharded world is
+    /// marked dirty, and scratch buffers clear.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::MissingSection`], [`CheckpointError::Corrupt`],
+    /// or [`CheckpointError::Incompatible`], each naming precisely what
+    /// was wrong.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), CheckpointError> {
+        let n = self.n();
+        let incompat = |what: String| CheckpointError::Incompatible { what };
+
+        // ---- META: identity and shape --------------------------------
+        let mut r = ByteReader::new(snap.require(TAG_META)?);
+        let meta_err = || corrupt(TAG_META, "truncated metadata");
+        let snap_n = r.get_u64().ok_or_else(meta_err)?;
+        if snap_n != n as u64 {
+            return Err(incompat(format!("n: snapshot {snap_n}, sim {n}")));
+        }
+        let snap_seed = r.get_u64().ok_or_else(meta_err)?;
+        if snap_seed != self.seed {
+            return Err(incompat(format!(
+                "seed: snapshot {snap_seed}, sim {}",
+                self.seed
+            )));
+        }
+        let snap_radius = r.get_f64().ok_or_else(meta_err)?;
+        if snap_radius.to_bits() != self.radius.to_bits() {
+            return Err(incompat(format!(
+                "radius: snapshot {snap_radius}, sim {}",
+                self.radius
+            )));
+        }
+        let time = r.get_u32().ok_or_else(meta_err)?;
+        let source = usize::try_from(r.get_u64().ok_or_else(meta_err)?)
+            .map_err(|_| corrupt(TAG_META, "source index overflows"))?;
+        if source >= n {
+            return Err(corrupt(TAG_META, "source index out of range"));
+        }
+        let informed_count = usize::try_from(r.get_u64().ok_or_else(meta_err)?)
+            .map_err(|_| corrupt(TAG_META, "informed count overflows"))?;
+        let join_steps = r.get_u32().ok_or_else(meta_err)?;
+        let proto_tag = r.get_u8().ok_or_else(meta_err)?;
+        let proto_param = r.get_f64().ok_or_else(meta_err)?;
+        let proto_matches = match (proto_tag, self.protocol) {
+            (0, Protocol::Flooding) => true,
+            (1, Protocol::Parsimonious { p }) => proto_param.to_bits() == p.to_bits(),
+            (2, Protocol::Gossip { k }) => proto_param == k as f64,
+            _ => false,
+        };
+        if proto_tag > 2 {
+            return Err(corrupt(TAG_META, "unknown protocol tag"));
+        }
+        if !proto_matches {
+            return Err(incompat(format!(
+                "protocol: snapshot tag {proto_tag}, sim {:?}",
+                self.protocol
+            )));
+        }
+        let snap_engine = r.get_u8().ok_or_else(meta_err)?;
+        if snap_engine > 4 {
+            return Err(corrupt(TAG_META, "unknown engine code"));
+        }
+        // engine deliberately not enforced (see `engine_code`)
+        let snap_class = r.get_u8().ok_or_else(meta_err)?;
+        let sim_class = self.par.is_some() as u8;
+        if snap_class > 1 {
+            return Err(corrupt(TAG_META, "unknown parallelism class"));
+        }
+        if snap_class != sim_class {
+            return Err(incompat(format!(
+                "parallelism class: snapshot {}, sim {}",
+                class_name(snap_class),
+                class_name(sim_class)
+            )));
+        }
+        let snap_chunks = r.get_u32().ok_or_else(meta_err)? as usize;
+        let sim_chunks = self.par.as_ref().map_or(0, |p| p.chunks.len());
+        if snap_chunks != sim_chunks {
+            return Err(incompat(format!(
+                "move chunk count: snapshot {snap_chunks}, sim {sim_chunks}"
+            )));
+        }
+        let snap_tag = r.get_u32().ok_or_else(meta_err)?;
+        if snap_tag != <M::State as SnapshotState>::STATE_TAG {
+            return Err(incompat(format!(
+                "mobility model: snapshot state tag {snap_tag:#010x}, sim {:#010x}",
+                <M::State as SnapshotState>::STATE_TAG
+            )));
+        }
+        let region = self.model.region();
+        let snap_min = r.get_point().ok_or_else(meta_err)?;
+        let snap_w = r.get_f64().ok_or_else(meta_err)?;
+        let snap_h = r.get_f64().ok_or_else(meta_err)?;
+        let snap_speed = r.get_f64().ok_or_else(meta_err)?;
+        if snap_min.x.to_bits() != region.min().x.to_bits()
+            || snap_min.y.to_bits() != region.min().y.to_bits()
+            || snap_w.to_bits() != region.width().to_bits()
+            || snap_h.to_bits() != region.height().to_bits()
+            || snap_speed.to_bits() != self.model.speed().to_bits()
+        {
+            return Err(incompat(
+                "mobility model: region or speed differs from the snapshot's".into(),
+            ));
+        }
+        let central_zone_time =
+            get_opt_u32(&mut r).ok_or(corrupt(TAG_META, "malformed zone completion time"))?;
+        let suburb_time =
+            get_opt_u32(&mut r).ok_or(corrupt(TAG_META, "malformed zone completion time"))?;
+        let snap_turns = r.get_u8().ok_or_else(meta_err)?;
+        if snap_turns > 1 {
+            return Err(corrupt(TAG_META, "malformed turn-recording flag"));
+        }
+        if (snap_turns == 1) != self.turns.is_some() {
+            return Err(incompat(format!(
+                "turn recording: snapshot {}, sim {}",
+                snap_turns == 1,
+                self.turns.is_some()
+            )));
+        }
+        if !r.is_empty() {
+            return Err(corrupt(TAG_META, "trailing bytes"));
+        }
+
+        // ---- MRNG / CRNG: the random streams --------------------------
+        let mut r = ByteReader::new(snap.require(TAG_MRNG)?);
+        let rng = R::from_state_bytes(r.get_block().ok_or(corrupt(TAG_MRNG, "truncated"))?)
+            .ok_or(corrupt(TAG_MRNG, "invalid generator state"))?;
+        if !r.is_empty() {
+            return Err(corrupt(TAG_MRNG, "trailing bytes"));
+        }
+
+        let chunk_streams = if self.par.is_some() {
+            let mut r = ByteReader::new(snap.require(TAG_CRNG)?);
+            let mut streams = Vec::with_capacity(sim_chunks);
+            for _ in 0..sim_chunks {
+                let inner =
+                    R::from_state_bytes(r.get_block().ok_or(corrupt(TAG_CRNG, "truncated"))?)
+                        .ok_or(corrupt(TAG_CRNG, "invalid chunk generator state"))?;
+                let mut buf = [0u64; RNG_BLOCK];
+                for b in &mut buf {
+                    *b = r.get_u64().ok_or(corrupt(TAG_CRNG, "truncated"))?;
+                }
+                let pos = r.get_u64().ok_or(corrupt(TAG_CRNG, "truncated"))?;
+                let pos = usize::try_from(pos)
+                    .map_err(|_| corrupt(TAG_CRNG, "block position overflows"))?;
+                streams.push(
+                    BlockRng::from_snapshot_parts(inner, buf, pos)
+                        .ok_or(corrupt(TAG_CRNG, "block position out of range"))?,
+                );
+            }
+            if !r.is_empty() {
+                return Err(corrupt(TAG_CRNG, "trailing bytes"));
+            }
+            streams
+        } else {
+            if snap.section(TAG_CRNG).is_some() {
+                return Err(corrupt(TAG_CRNG, "present in a sequential snapshot"));
+            }
+            Vec::new()
+        };
+
+        // ---- AGNT / POSN: the population ------------------------------
+        let mut r = ByteReader::new(snap.require(TAG_AGNT)?);
+        let mut states = Vec::with_capacity(n);
+        let mut informed = Vec::with_capacity(n);
+        let mut crashed = Vec::with_capacity(n);
+        let mut inform_time = Vec::with_capacity(n);
+        for _ in 0..n {
+            states.push(
+                <M::State as SnapshotState>::read_state(&mut r)
+                    .ok_or(corrupt(TAG_AGNT, "invalid trajectory state"))?,
+            );
+            let inf = r.get_u8().ok_or(corrupt(TAG_AGNT, "truncated"))?;
+            let cra = r.get_u8().ok_or(corrupt(TAG_AGNT, "truncated"))?;
+            if inf > 1 || cra > 1 {
+                return Err(corrupt(TAG_AGNT, "malformed informed/crashed flag"));
+            }
+            informed.push(inf == 1);
+            crashed.push(cra == 1);
+            inform_time.push(r.get_u32().ok_or(corrupt(TAG_AGNT, "truncated"))?);
+        }
+        if !r.is_empty() {
+            return Err(corrupt(TAG_AGNT, "trailing bytes"));
+        }
+        if informed.iter().filter(|&&b| b).count() != informed_count {
+            return Err(corrupt(TAG_AGNT, "informed count disagrees with flags"));
+        }
+        if !informed[source] {
+            return Err(corrupt(TAG_AGNT, "source is not informed"));
+        }
+
+        let mut r = ByteReader::new(snap.require(TAG_POSN)?);
+        let mut positions = Vec::with_capacity(n);
+        for _ in 0..n {
+            let p = r.get_point().ok_or(corrupt(TAG_POSN, "truncated"))?;
+            if !(p.x.is_finite() && p.y.is_finite()) {
+                return Err(corrupt(TAG_POSN, "non-finite position"));
+            }
+            positions.push(p);
+        }
+        if !r.is_empty() {
+            return Err(corrupt(TAG_POSN, "trailing bytes"));
+        }
+
+        // ---- FLOD: rosters and spread curve ----------------------------
+        let mut r = ByteReader::new(snap.require(TAG_FLOD)?);
+        let flod_err = || corrupt(TAG_FLOD, "truncated roster");
+        let uninformed = get_u32_list(&mut r).ok_or_else(flod_err)?;
+        let transmitters = get_u32_list(&mut r).ok_or_else(flod_err)?;
+        let spread = get_u32_list(&mut r).ok_or_else(flod_err)?;
+        if !r.is_empty() {
+            return Err(corrupt(TAG_FLOD, "trailing bytes"));
+        }
+        // the worklist must be exactly the live uninformed agents,
+        // ascending — the transmit paths rely on the sort order
+        let mut expect = uninformed.iter();
+        for a in 0..n {
+            if !informed[a] && !crashed[a] && expect.next() != Some(&(a as u32)) {
+                return Err(corrupt(TAG_FLOD, "uninformed worklist mismatch"));
+            }
+        }
+        if expect.next().is_some()
+            || uninformed
+                .iter()
+                .any(|&u| (u as usize) >= n || informed[u as usize] || crashed[u as usize])
+        {
+            return Err(corrupt(TAG_FLOD, "uninformed worklist mismatch"));
+        }
+        // the transmitter roster is order-sensitive state (crash
+        // compaction), so only set membership is checked
+        let mut seen = vec![false; n];
+        for &t in &transmitters {
+            let t = t as usize;
+            if t >= n || !informed[t] || crashed[t] || seen[t] {
+                return Err(corrupt(TAG_FLOD, "transmitter roster mismatch"));
+            }
+            seen[t] = true;
+        }
+        if transmitters.len() != (0..n).filter(|&a| informed[a] && !crashed[a]).count() {
+            return Err(corrupt(TAG_FLOD, "transmitter roster mismatch"));
+        }
+        if spread.len() != time as usize + 1 {
+            return Err(corrupt(TAG_FLOD, "spread curve length disagrees with time"));
+        }
+
+        // ---- TURN: recorder timestamps ---------------------------------
+        let turns = if self.turns.is_some() {
+            let mut r = ByteReader::new(snap.require(TAG_TURN)?);
+            let mut lists = Vec::with_capacity(n);
+            for _ in 0..n {
+                lists.push(get_u32_list(&mut r).ok_or(corrupt(TAG_TURN, "truncated"))?);
+            }
+            if !r.is_empty() {
+                return Err(corrupt(TAG_TURN, "trailing bytes"));
+            }
+            Some(
+                TurnRecorder::from_timestamps(lists)
+                    .ok_or(corrupt(TAG_TURN, "timestamps not nondecreasing"))?,
+            )
+        } else {
+            if snap.section(TAG_TURN).is_some() {
+                return Err(corrupt(TAG_TURN, "present but recording is off"));
+            }
+            None
+        };
+
+        // ---- commit: everything validated, nothing can fail below ------
+        self.rng = rng;
+        if let Some(par) = &mut self.par {
+            for (ctx, stream) in par.chunks.iter_mut().zip(chunk_streams) {
+                ctx.set_stream(stream);
+            }
+        }
+        self.batch = self.model.batch_from_states(states);
+        self.positions = positions;
+        self.informed = informed;
+        self.crashed = crashed;
+        self.inform_time = inform_time;
+        self.informed_count = informed_count;
+        self.time = time;
+        self.spread = spread;
+        self.central_zone_time = central_zone_time;
+        self.suburb_time = suburb_time;
+        self.turns = turns;
+        self.source = source;
+        self.join_steps = join_steps;
+        self.uninformed = uninformed;
+        self.transmitters = transmitters;
+        // derived state: rank from the roster; caches cold; scratch clear
+        self.rank.iter_mut().for_each(|v| *v = u32::MAX);
+        for (i, &t) in self.transmitters.iter().enumerate() {
+            self.rank[t as usize] = i as u32;
+        }
+        self.inc = IncrementalSync::default();
+        self.newly.clear();
+        self.tx_scratch.clear();
+        self.cand.clear();
+        self.stamp.iter_mut().for_each(|s| *s = u32::MAX);
+        if let Some(sh) = &mut self.sharded {
+            sh.mark_dirty();
+        }
+        Ok(())
+    }
+}
+
+/// Human name of a parallelism determinism class in error messages.
+fn class_name(class: u8) -> &'static str {
+    if class == 0 {
+        "sequential"
+    } else {
+        "chunked/sharded"
+    }
 }
 
 /// Cross-step synchronization state of the incremental re-bin path.

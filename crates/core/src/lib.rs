@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod density;
 mod flooding;
 mod params;
@@ -44,6 +45,7 @@ mod sharded;
 mod trials;
 mod zones;
 
+pub use checkpoint::{CheckpointError, Snapshot};
 pub use density::DensityMonitor;
 pub use flooding::{
     EngineMode, FloodingReport, FloodingSim, InitMode, Parallelism, Protocol, SimConfig, SimRng,

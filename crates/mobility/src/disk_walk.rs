@@ -2,6 +2,7 @@
 //! \[10, 11\], used as the "uniform stationary distribution" baseline.
 
 use crate::model::{step_batch_chunked_aos, step_batch_sequential, ChunkCtx};
+use crate::snapshot::{ByteReader, ByteWriter, SnapshotState};
 use crate::{Mobility, MobilityError, StepEvents};
 use fastflood_geom::{Point, Rect};
 use fastflood_parallel::WorkerPool;
@@ -52,6 +53,25 @@ impl DiskWalkState {
     /// The current trip destination.
     pub fn dest(&self) -> Point {
         self.dest
+    }
+}
+
+impl SnapshotState for DiskWalkState {
+    const STATE_TAG: u32 = u32::from_le_bytes(*b"DISK");
+
+    /// Layout: segment endpoints then progress — the whole state.
+    fn write_state(&self, w: &mut ByteWriter) {
+        w.put_point(self.start);
+        w.put_point(self.dest);
+        w.put_f64(self.s);
+    }
+
+    fn read_state(r: &mut ByteReader<'_>) -> Option<DiskWalkState> {
+        Some(DiskWalkState {
+            start: r.get_point()?,
+            dest: r.get_point()?,
+            s: r.get_f64()?,
+        })
     }
 }
 

@@ -54,6 +54,7 @@ mod mixture;
 mod model;
 mod mrwp;
 mod rwp;
+pub mod snapshot;
 mod statik;
 mod street_grid;
 mod turns;
@@ -66,6 +67,7 @@ pub use model::{
 };
 pub use mrwp::{Mrwp, MrwpBatch, MrwpState};
 pub use rwp::{Rwp, RwpState};
+pub use snapshot::{ByteReader, ByteWriter, SnapshotState};
 pub use statik::{Placement, Static, StaticState};
 pub use street_grid::{StreetMrwp, StreetMrwpState};
 pub use turns::TurnRecorder;

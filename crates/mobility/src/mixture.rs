@@ -11,6 +11,7 @@
 //! distributions, so perfect simulation carries over componentwise.
 
 use crate::model::{step_batch_chunked_aos, step_batch_sequential, ChunkCtx};
+use crate::snapshot::{ByteReader, ByteWriter, SnapshotState};
 use crate::{Mobility, MobilityError, StepEvents};
 use fastflood_geom::{Point, Rect};
 use fastflood_parallel::WorkerPool;
@@ -53,6 +54,26 @@ pub struct Mixture<M> {
 pub struct MixtureState<S> {
     class: u32,
     inner: S,
+}
+
+impl<S: SnapshotState> SnapshotState for MixtureState<S> {
+    /// The component tag mixed with a mixture marker, so a mixture
+    /// snapshot is never confused with a bare component snapshot (their
+    /// per-agent layouts differ by the class prefix).
+    const STATE_TAG: u32 = S::STATE_TAG ^ u32::from_le_bytes(*b"MIX!");
+
+    /// Layout: the assigned class, then the component state.
+    fn write_state(&self, w: &mut ByteWriter) {
+        w.put_u32(self.class);
+        self.inner.write_state(w);
+    }
+
+    fn read_state(r: &mut ByteReader<'_>) -> Option<MixtureState<S>> {
+        Some(MixtureState {
+            class: r.get_u32()?,
+            inner: S::read_state(r)?,
+        })
+    }
 }
 
 impl<M: Mobility> Mixture<M> {

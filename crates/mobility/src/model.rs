@@ -91,6 +91,24 @@ impl<R> BlockRng<R> {
             pos: RNG_BLOCK,
         }
     }
+
+    /// Decomposes the wrapper into `(inner, buffer, position)` for
+    /// checkpointing. Unconsumed buffered words are part of the stream
+    /// state: a snapshot taken mid-block must resume serving the same
+    /// words, so the buffer and cursor travel with the inner generator.
+    pub fn snapshot_parts(&self) -> (&R, &[u64; RNG_BLOCK], usize) {
+        (&self.inner, &self.buf, self.pos)
+    }
+
+    /// Rebuilds a wrapper from [`BlockRng::snapshot_parts`] output,
+    /// continuing the word stream bitwise-identically. Returns `None`
+    /// when `pos` is out of range (`> RNG_BLOCK`).
+    pub fn from_snapshot_parts(inner: R, buf: [u64; RNG_BLOCK], pos: usize) -> Option<BlockRng<R>> {
+        if pos > RNG_BLOCK {
+            return None;
+        }
+        Some(BlockRng { inner, buf, pos })
+    }
 }
 
 impl<R: RngCore> RngCore for BlockRng<R> {
@@ -175,6 +193,17 @@ impl<R> ChunkCtx<R> {
     /// The chunk's measured drift for this step.
     pub fn drift(&self) -> f64 {
         self.drift
+    }
+
+    /// The chunk's private stream, for checkpointing (buffer included).
+    pub fn stream(&self) -> &BlockRng<R> {
+        &self.rng
+    }
+
+    /// Replaces the chunk's private stream on restore; the per-step
+    /// scratch is untouched (it is reset by [`ChunkCtx::begin`] anyway).
+    pub fn set_stream(&mut self, rng: BlockRng<R>) {
+        self.rng = rng;
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::distributions::{sample_spatial, sample_trip_length_biased};
 use crate::model::{drain_chunks, move_chunk_count, ChunkCtx, MOVE_CHUNK};
+use crate::snapshot::{ByteReader, ByteWriter, SnapshotState};
 use crate::{Mobility, MobilityError, StepEvents};
 use fastflood_geom::{Axis, LPath, Point, Rect};
 use fastflood_parallel::{run_chunks6, WorkerPool};
@@ -121,6 +122,42 @@ impl MrwpState {
     /// Whether the agent is currently pausing at a way-point.
     pub fn is_paused(&self) -> bool {
         self.pause_left > 0
+    }
+}
+
+impl SnapshotState for MrwpState {
+    const STATE_TAG: u32 = u32::from_le_bytes(*b"MRWP");
+
+    /// Layout: path (start, dest, first_axis), `s`, `pause_left`, then
+    /// the `step_from` leg cache (`leg_end`, `vx`, `vy`). The cache is
+    /// serialized — not recomputed — because its warm/cold status
+    /// determines which stepping branch the next step takes, and a
+    /// bitwise resume must take the identical branch.
+    fn write_state(&self, w: &mut ByteWriter) {
+        w.put_point(self.path.start());
+        w.put_point(self.path.dest());
+        w.put_axis(self.path.first_axis());
+        w.put_f64(self.s);
+        w.put_u32(self.pause_left);
+        w.put_f64(self.leg_end);
+        w.put_f64(self.vx);
+        w.put_f64(self.vy);
+    }
+
+    fn read_state(r: &mut ByteReader<'_>) -> Option<MrwpState> {
+        let start = r.get_point()?;
+        let dest = r.get_point()?;
+        let axis = r.get_axis()?;
+        // corner/leg lengths are a pure function of the endpoints: rebuilt
+        let path = LPath::new(start, dest, axis);
+        Some(MrwpState {
+            path,
+            s: r.get_f64()?,
+            pause_left: r.get_u32()?,
+            leg_end: r.get_f64()?,
+            vx: r.get_f64()?,
+            vy: r.get_f64()?,
+        })
     }
 }
 

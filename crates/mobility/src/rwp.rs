@@ -2,6 +2,7 @@
 //! baseline against MRWP.
 
 use crate::model::{step_batch_chunked_aos, step_batch_sequential, ChunkCtx};
+use crate::snapshot::{ByteReader, ByteWriter, SnapshotState};
 use crate::{Mobility, MobilityError, StepEvents};
 use fastflood_geom::{Point, Rect};
 use fastflood_parallel::WorkerPool;
@@ -58,6 +59,25 @@ impl RwpState {
     /// Distance traveled along the current segment.
     pub fn progress(&self) -> f64 {
         self.s
+    }
+}
+
+impl SnapshotState for RwpState {
+    const STATE_TAG: u32 = u32::from_le_bytes(*b"RWP ");
+
+    /// Layout: segment endpoints then progress — the whole state.
+    fn write_state(&self, w: &mut ByteWriter) {
+        w.put_point(self.start);
+        w.put_point(self.dest);
+        w.put_f64(self.s);
+    }
+
+    fn read_state(r: &mut ByteReader<'_>) -> Option<RwpState> {
+        Some(RwpState {
+            start: r.get_point()?,
+            dest: r.get_point()?,
+            s: r.get_f64()?,
+        })
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::distributions::sample_spatial;
 use crate::model::ChunkCtx;
+use crate::snapshot::{ByteReader, ByteWriter, SnapshotState};
 use crate::{Mobility, MobilityError, StepEvents};
 use fastflood_geom::{Point, Rect};
 use fastflood_parallel::WorkerPool;
@@ -52,6 +53,19 @@ pub struct Static {
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StaticState(Point);
+
+impl SnapshotState for StaticState {
+    const STATE_TAG: u32 = u32::from_le_bytes(*b"STAT");
+
+    /// Layout: the position — the whole state.
+    fn write_state(&self, w: &mut ByteWriter) {
+        w.put_point(self.0);
+    }
+
+    fn read_state(r: &mut ByteReader<'_>) -> Option<StaticState> {
+        r.get_point().map(StaticState)
+    }
+}
 
 impl Static {
     /// Creates the model over `[0, side]²`.

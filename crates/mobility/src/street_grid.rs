@@ -12,6 +12,7 @@
 
 use crate::distributions::sample_trip_length_biased;
 use crate::model::{step_batch_chunked_aos, step_batch_sequential, ChunkCtx};
+use crate::snapshot::{ByteReader, ByteWriter, SnapshotState};
 use crate::{Mobility, MobilityError, StepEvents};
 use fastflood_geom::{Axis, LPath, Point, Rect};
 use fastflood_parallel::WorkerPool;
@@ -68,6 +69,31 @@ impl StreetMrwpState {
     /// Whether the agent is currently paused at an intersection.
     pub fn is_paused(&self) -> bool {
         self.pause_left > 0
+    }
+}
+
+impl SnapshotState for StreetMrwpState {
+    const STATE_TAG: u32 = u32::from_le_bytes(*b"STRT");
+
+    /// Layout: path (start, dest, first_axis), `s`, `pause_left`; the
+    /// L-path's derived geometry is rebuilt exactly on read.
+    fn write_state(&self, w: &mut ByteWriter) {
+        w.put_point(self.path.start());
+        w.put_point(self.path.dest());
+        w.put_axis(self.path.first_axis());
+        w.put_f64(self.s);
+        w.put_u32(self.pause_left);
+    }
+
+    fn read_state(r: &mut ByteReader<'_>) -> Option<StreetMrwpState> {
+        let start = r.get_point()?;
+        let dest = r.get_point()?;
+        let axis = r.get_axis()?;
+        Some(StreetMrwpState {
+            path: LPath::new(start, dest, axis),
+            s: r.get_f64()?,
+            pause_left: r.get_u32()?,
+        })
     }
 }
 

@@ -41,6 +41,29 @@ impl TurnRecorder {
         self.timestamps.len()
     }
 
+    /// The recorded (sorted) direction-change timestamps of one agent,
+    /// for checkpointing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range.
+    pub fn agent_timestamps(&self, agent: usize) -> &[u32] {
+        &self.timestamps[agent]
+    }
+
+    /// Rebuilds a recorder from per-agent timestamp lists (the inverse
+    /// of [`TurnRecorder::agent_timestamps`], used by checkpoint
+    /// restore). Returns `None` when any agent's list is not
+    /// nondecreasing — such data cannot have come from a recorder.
+    pub fn from_timestamps(timestamps: Vec<Vec<u32>>) -> Option<TurnRecorder> {
+        for ts in &timestamps {
+            if ts.windows(2).any(|w| w[0] > w[1]) {
+                return None;
+            }
+        }
+        Some(TurnRecorder { timestamps })
+    }
+
     /// Records `count` direction changes for `agent` at time step `t`.
     ///
     /// Time steps must be fed in nondecreasing order per agent (the

@@ -102,8 +102,12 @@ struct JobState {
     tasks: usize,
     /// Workers that have not yet finished the current epoch.
     running: usize,
-    /// A task panicked during the current epoch.
-    panicked: bool,
+    /// The payload of the first task panic of the current epoch; the
+    /// dispatcher re-raises it with `resume_unwind` after the barrier,
+    /// so `panic::catch_unwind` callers above the pool see the original
+    /// panic value (assert messages, custom payloads), not a generic
+    /// pool error.
+    panic_payload: Option<Box<dyn std::any::Any + Send + 'static>>,
     /// The pool is being dropped; workers exit.
     shutdown: bool,
 }
@@ -163,8 +167,13 @@ fn worker(shared: Arc<PoolShared>) {
             // hands this index to this execution only.
             let outcome =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*job.0)(t) }));
-            if outcome.is_err() {
-                lock_state(&shared).panicked = true;
+            if let Err(payload) = outcome {
+                let mut st = lock_state(&shared);
+                // keep the first payload when several tasks panic in
+                // one epoch; later ones are casualties of the same bug
+                if st.panic_payload.is_none() {
+                    st.panic_payload = Some(payload);
+                }
                 break;
             }
         }
@@ -242,7 +251,7 @@ impl WorkerPool {
                 job: None,
                 tasks: 0,
                 running: 0,
-                panicked: false,
+                panic_payload: None,
                 shutdown: false,
             }),
             work: Condvar::new(),
@@ -284,7 +293,10 @@ impl WorkerPool {
     /// # Panics
     ///
     /// Panics if any task panicked (after all tasks finished or
-    /// unwound), propagating the failure to the dispatcher.
+    /// unwound), re-raising the **first panicking task's own payload**
+    /// on the dispatching thread via `resume_unwind` — so the original
+    /// message survives — and leaving the pool fully reusable (every
+    /// worker stays alive and serves subsequent dispatches).
     pub fn run(&self, tasks: usize, job: &(dyn Fn(usize) + Sync)) {
         if tasks == 0 {
             return;
@@ -325,7 +337,7 @@ impl WorkerPool {
             st.job = Some(job_ptr);
             st.tasks = tasks;
             st.running = self.handles.len();
-            st.panicked = false;
+            st.panic_payload = None;
             // workers read `next` only after observing the new epoch
             // under the same mutex, so the relaxed store is ordered
             shared.next.store(0, Ordering::Relaxed);
@@ -346,12 +358,12 @@ impl WorkerPool {
                 job(t);
             }
         }
-        let panicked = {
-            let mut st = lock_state(shared);
-            std::mem::replace(&mut st.panicked, false)
-        };
-        if panicked {
-            panic!("worker pool task panicked");
+        let payload = lock_state(shared).panic_payload.take();
+        if let Some(payload) = payload {
+            // re-raise the task's own panic value: callers that catch
+            // and inspect (test harnesses, crash reporters) see the
+            // original message, and the pool stays reusable
+            std::panic::resume_unwind(payload);
         }
     }
 }
@@ -613,6 +625,51 @@ mod tests {
             sum.fetch_add(i, Ordering::Relaxed);
         });
         assert_eq!(sum.into_inner(), 45);
+    }
+
+    #[test]
+    fn task_panic_payload_reaches_the_dispatcher_intact() {
+        // the dispatcher must re-raise the task's own panic value, not
+        // a generic "a task panicked" message: harnesses above the pool
+        // downcast payloads to report what actually went wrong
+        let pool = WorkerPool::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(64, &|i| {
+                if i == 21 {
+                    panic!("distinctive payload {i}");
+                }
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("payload survives as a string");
+        assert_eq!(msg, "distinctive payload 21");
+        // and the pool is immediately reusable at full parallelism
+        for h in &pool.handles {
+            assert!(!h.is_finished(), "worker died on a task panic");
+        }
+        let sum = AtomicUsize::new(0);
+        pool.run(32, &|i| {
+            sum.fetch_add(i + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 32 * 33 / 2);
+        // a second panicking dispatch still reports its own payload
+        // (the first epoch's payload was consumed, not left behind)
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 3 {
+                    panic!("second failure");
+                }
+            });
+        }));
+        let payload = result.expect_err("second panic must propagate");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("second failure")
+        );
     }
 
     #[test]

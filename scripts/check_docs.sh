@@ -84,6 +84,23 @@ doc_expect fastflood_core/struct.FloodingSim.html sharded_world
 doc_expect fastflood_spatial/struct.GridIndexBuffer.html for_each_in_rect
 doc_expect fastflood_bench/scenario/enum.MetricSpec.html "evacuation-notice"
 
+# ---- checkpoint/restore subsystem ----
+doc_expect fastflood_core/checkpoint/struct.Snapshot.html write_atomic
+doc_expect fastflood_core/checkpoint/struct.Snapshot.html "checksummed"
+doc_expect fastflood_core/checkpoint/enum.CheckpointError.html ChecksumMismatch
+doc_expect fastflood_core/checkpoint/enum.CheckpointError.html Incompatible
+doc_expect fastflood_core/checkpoint/fn.latest_valid.html "falling back"
+doc_expect fastflood_core/struct.FloodingSim.html snapshot
+doc_expect fastflood_core/struct.FloodingSim.html "bitwise-identical"
+doc_expect fastflood_mobility/snapshot/trait.SnapshotState.html STATE_TAG
+doc_expect fastflood_mobility/snapshot/struct.ByteWriter.html put_block
+doc_expect rand/trait.SnapshotRng.html state_bytes
+doc_expect fastflood_bench/scenario/struct.Driver.html "checkpoint point"
+doc_expect fastflood_bench/scenario/fn.run_scenario_checkpointed.html "fallback ladder"
+doc_expect fastflood_bench/scenario/fn.bisect_divergence.html "first divergent"
+doc_expect fastflood_bench/scenario/struct.BisectReport.html differing_sections
+doc_expect fastflood_bench/scenario/fn.trace_digest.html digest
+
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED"
   exit 1

@@ -41,6 +41,14 @@ FASTFLOOD_THREADS=2 cargo test -q -p fastflood-bench --test scenario_agreement
 # every shard grid when its phases actually run on worker threads
 FASTFLOOD_THREADS=2 cargo test -q -p fastflood-core --test sharded_world
 FASTFLOOD_THREADS=2 cargo test -q -p fastflood-bench --test scenario_sharded
+# the checkpoint-resume property suite again under real 2-thread
+# dispatch: restore + step must stay bitwise-identical to the
+# uninterrupted run for every engine mode and parallelism flavor even
+# when the chunked/sharded kernels really run on worker threads
+FASTFLOOD_THREADS=2 cargo test -q -p fastflood-core --test checkpoint_resume
+# kill-resume smoke: SIGKILL a checkpointing scenario run mid-flood,
+# resume from its snapshot directory, require the uninterrupted digest
+scripts/crash_recovery_smoke.sh
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

@@ -235,6 +235,25 @@ pub trait SeedableRng: Sized {
     }
 }
 
+/// A generator whose full internal state can be exported and re-imported
+/// as opaque bytes — the primitive under checkpoint/restore: a generator
+/// rebuilt via [`SnapshotRng::from_state_bytes`] continues the stream
+/// **bitwise-identically** from where [`SnapshotRng::state_bytes`] froze
+/// it (including any buffered-but-unserved words of block generators).
+///
+/// The byte layout is generator-specific and versioned only by the
+/// embedding snapshot format; it is not meant for cross-generator or
+/// cross-crate exchange.
+pub trait SnapshotRng: Sized {
+    /// Serializes the generator's complete internal state.
+    fn state_bytes(&self) -> Vec<u8>;
+
+    /// Rebuilds a generator from [`SnapshotRng::state_bytes`] output.
+    /// Returns `None` when the bytes are the wrong length or encode an
+    /// invalid state (e.g. the all-zero xoshiro fixed point).
+    fn from_state_bytes(bytes: &[u8]) -> Option<Self>;
+}
+
 #[inline]
 pub(crate) fn splitmix64_next(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);

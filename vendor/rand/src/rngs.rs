@@ -1,6 +1,6 @@
 //! Concrete generators: ChaCha12 [`StdRng`] and xoshiro256++ [`SmallRng`].
 
-use crate::{RngCore, SeedableRng};
+use crate::{RngCore, SeedableRng, SnapshotRng};
 
 /// The workspace's strong default generator: ChaCha with 12 rounds, the
 /// same algorithm upstream `rand 0.8` uses for its `StdRng`.
@@ -110,6 +110,51 @@ impl SeedableRng for StdRng {
     }
 }
 
+impl SnapshotRng for StdRng {
+    /// Layout: key (8×u32 LE), counter (u64 LE), cursor (u64 LE),
+    /// buf (16×u32 LE) — 112 bytes. The buffer and cursor are part of
+    /// the state: a snapshot taken mid-block must resume serving the
+    /// same unread words.
+    fn state_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(112);
+        for k in self.key {
+            out.extend_from_slice(&k.to_le_bytes());
+        }
+        out.extend_from_slice(&self.counter.to_le_bytes());
+        out.extend_from_slice(&(self.cursor as u64).to_le_bytes());
+        for w in self.buf {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    fn from_state_bytes(bytes: &[u8]) -> Option<StdRng> {
+        if bytes.len() != 112 {
+            return None;
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+        let mut key = [0u32; 8];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = u32_at(i * 4);
+        }
+        let counter = u64::from_le_bytes(bytes[32..40].try_into().expect("8 bytes"));
+        let cursor = u64::from_le_bytes(bytes[40..48].try_into().expect("8 bytes"));
+        if cursor > 16 {
+            return None;
+        }
+        let mut buf = [0u32; 16];
+        for (i, w) in buf.iter_mut().enumerate() {
+            *w = u32_at(48 + i * 4);
+        }
+        Some(StdRng {
+            key,
+            counter,
+            buf,
+            cursor: cursor as usize,
+        })
+    }
+}
+
 /// A small fast generator: xoshiro256++ (Blackman–Vigna).
 ///
 /// Passes BigCrush, state is 4 machine words, and one output is a handful
@@ -160,6 +205,34 @@ impl SeedableRng for SmallRng {
     }
 }
 
+impl SnapshotRng for SmallRng {
+    /// Layout: the four state words as u64 LE — 32 bytes. xoshiro has no
+    /// output buffer, so the words are the whole state.
+    fn state_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        for w in self.s {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    fn from_state_bytes(bytes: &[u8]) -> Option<SmallRng> {
+        if bytes.len() != 32 {
+            return None;
+        }
+        let mut s = [0u64; 4];
+        for (i, w) in s.iter_mut().enumerate() {
+            *w = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        }
+        // the all-zero state is xoshiro's fixed point: an exported state
+        // can never be all-zero (from_seed remixes), so reject it
+        if s.iter().all(|&w| w == 0) {
+            return None;
+        }
+        Some(SmallRng { s })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +258,47 @@ mod tests {
         let av: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
         let bv: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
         assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn smallrng_state_roundtrip_is_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..17 {
+            rng.next_u64();
+        }
+        let bytes = rng.state_bytes();
+        let mut copy = SmallRng::from_state_bytes(&bytes).expect("valid state");
+        for _ in 0..64 {
+            assert_eq!(rng.next_u64(), copy.next_u64());
+        }
+    }
+
+    #[test]
+    fn stdrng_state_roundtrip_resumes_mid_block() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // leave the cursor mid-buffer: the snapshot must carry the
+        // unread words, not regenerate the block
+        for _ in 0..5 {
+            rng.next_u32();
+        }
+        let bytes = rng.state_bytes();
+        let mut copy = StdRng::from_state_bytes(&bytes).expect("valid state");
+        for _ in 0..64 {
+            assert_eq!(rng.next_u32(), copy.next_u32());
+        }
+    }
+
+    #[test]
+    fn state_bytes_reject_garbage() {
+        assert!(SmallRng::from_state_bytes(&[0u8; 31]).is_none());
+        assert!(
+            SmallRng::from_state_bytes(&[0u8; 32]).is_none(),
+            "zero fixed point"
+        );
+        assert!(StdRng::from_state_bytes(&[0u8; 111]).is_none());
+        let mut bad = StdRng::seed_from_u64(1).state_bytes();
+        bad[40] = 17; // cursor out of range
+        assert!(StdRng::from_state_bytes(&bad).is_none());
     }
 
     #[test]
