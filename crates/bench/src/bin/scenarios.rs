@@ -251,6 +251,8 @@ fn run_checkpointed(args: &Args, sc: &Scenario, trials: usize, rows: &mut Vec<St
             resume: args.resume,
             label: "run".to_string(),
             step_delay_ms: args.step_delay_ms,
+            cancel: None,
+            panic_at_step: None,
         };
         let seed = derive_seed(args.seed ^ sc.seed, trial as u64);
         let (run, summary) =

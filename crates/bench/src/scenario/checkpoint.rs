@@ -17,7 +17,7 @@
 use super::run::{with_model, Driver, ModelVisitor};
 use super::{Scenario, ScenarioError, ScenarioRun};
 use fastflood_core::checkpoint::{CheckpointError, Snapshot, CKPT_EXTENSION, TAG_META};
-use fastflood_core::{EngineMode, Parallelism};
+use fastflood_core::{CancelToken, EngineMode, Parallelism};
 use fastflood_mobility::{Mobility, SnapshotState};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -41,6 +41,19 @@ pub struct CheckpointOpts {
     /// in which the crash-recovery harness can kill the process between
     /// checkpoints. `0` (the default) in real runs.
     pub step_delay_ms: u64,
+    /// Cooperative cancellation observed between steps (`None` = never
+    /// cancelled). On cancellation the run writes one final checkpoint
+    /// (when `every > 0`) so the partial state is resumable, then
+    /// returns early with [`CheckpointSummary::interrupted`] set; by
+    /// the bitwise-resume contract a later resumed run completes
+    /// identically to one that was never interrupted.
+    pub cancel: Option<CancelToken>,
+    /// Chaos hook (like `step_delay_ms`, a test knob): panic before
+    /// executing the step at exactly this time, simulating a worker
+    /// dying mid-flood. The panic unwinds out of the driver loop —
+    /// supervision layers catch it, resume from the newest checkpoint,
+    /// and decide whether the hook applies again on the retry.
+    pub panic_at_step: Option<u32>,
 }
 
 impl CheckpointOpts {
@@ -53,6 +66,8 @@ impl CheckpointOpts {
             resume: false,
             label: "run".to_string(),
             step_delay_ms: 0,
+            cancel: None,
+            panic_at_step: None,
         }
     }
 }
@@ -68,6 +83,10 @@ pub struct CheckpointSummary {
     pub rejected: Vec<(PathBuf, String)>,
     /// Checkpoint files written by this run, in write order.
     pub written: Vec<PathBuf>,
+    /// The run stopped early because its [`CheckpointOpts::cancel`]
+    /// token was cancelled; the returned [`ScenarioRun`] is partial and
+    /// (with `every > 0`) the last entry of `written` restores it.
+    pub interrupted: bool,
 }
 
 fn ckpt_err(e: CheckpointError) -> ScenarioError {
@@ -152,13 +171,27 @@ pub fn run_scenario_checkpointed(
             }
             loop {
                 let t = d.time();
-                if self.opts.every > 0 && t > 0 && t % self.opts.every == 0 {
+                let cancelled = self
+                    .opts
+                    .cancel
+                    .as_ref()
+                    .is_some_and(CancelToken::is_cancelled);
+                // a cancelled run flushes one final (off-stride)
+                // checkpoint so its partial progress is resumable
+                if self.opts.every > 0 && t > 0 && (cancelled || t % self.opts.every == 0) {
                     let path = self.opts.dir.join(format!(
                         "{}-step{:08}.{}",
                         self.opts.label, t, CKPT_EXTENSION
                     ));
                     d.snapshot().write_atomic(&path).map_err(ckpt_err)?;
                     summary.written.push(path);
+                }
+                if cancelled {
+                    summary.interrupted = true;
+                    break;
+                }
+                if self.opts.panic_at_step == Some(t) {
+                    panic!("chaos hook: panic_at_step reached step {t}");
                 }
                 if d.pump() {
                     break;
@@ -555,6 +588,141 @@ mod tests {
         let reference =
             run_scenario(&sc, EngineMode::Adaptive, Parallelism::Sequential, 5).unwrap();
         assert_eq!(run, reference);
+    }
+
+    /// A scenario too slow to flood on its own within the test window,
+    /// so a watcher thread always gets to cancel mid-run.
+    fn slow(n: usize) -> Scenario {
+        let mut sc = faulted(n);
+        sc.steps = 10_000;
+        sc.radius = 0.6;
+        sc
+    }
+
+    #[test]
+    fn pre_cancelled_run_returns_immediately_as_interrupted() {
+        let sc = faulted(80);
+        let dir = tmp_dir("precancel");
+        let mut opts = CheckpointOpts::new(&dir, 5);
+        let token = CancelToken::new();
+        token.cancel();
+        opts.cancel = Some(token);
+        let (run, summary) =
+            run_scenario_checkpointed(&sc, EngineMode::Adaptive, Parallelism::Sequential, 7, &opts)
+                .unwrap();
+        assert!(summary.interrupted);
+        assert!(summary.written.is_empty(), "nothing to persist at t = 0");
+        assert_eq!(run.report.steps_run, 0, "no step may run past the flag");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_run_flushes_a_final_checkpoint_and_resumes_identically() {
+        let sc = slow(70);
+        let dir = tmp_dir("cancel");
+        let reference =
+            run_scenario(&sc, EngineMode::Adaptive, Parallelism::Sequential, 21).unwrap();
+
+        let mut opts = CheckpointOpts::new(&dir, 5);
+        opts.step_delay_ms = 2;
+        let token = CancelToken::new();
+        opts.cancel = Some(token.clone());
+        let watcher = {
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                // cancel as soon as the run has persisted something, so
+                // the interruption always lands mid-run
+                while checkpoint_files_newest_first(&dir).is_empty() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                token.cancel();
+            })
+        };
+        let (partial, summary) = run_scenario_checkpointed(
+            &sc,
+            EngineMode::Adaptive,
+            Parallelism::Sequential,
+            21,
+            &opts,
+        )
+        .unwrap();
+        watcher.join().unwrap();
+        assert!(summary.interrupted, "the watcher must have cancelled");
+        assert!(!summary.written.is_empty());
+        let stopped_at = partial.report.steps_run;
+        assert!(
+            stopped_at > 0 && stopped_at < sc.steps,
+            "cancellation must land mid-run, stopped at {stopped_at}"
+        );
+        // the final flush makes the exact stop step resumable
+        let newest = &checkpoint_files_newest_first(&dir)[0];
+        assert!(newest
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains(&format!("step{stopped_at:08}")));
+
+        let mut opts = CheckpointOpts::new(&dir, 0);
+        opts.resume = true;
+        let (resumed, summary) = run_scenario_checkpointed(
+            &sc,
+            EngineMode::Adaptive,
+            Parallelism::Sequential,
+            21,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(summary.resumed_from.as_ref().unwrap().1, stopped_at);
+        assert!(!summary.interrupted);
+        assert_same_run(&resumed, &reference);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panic_at_step_unwinds_and_the_checkpoint_ladder_recovers() {
+        let sc = faulted(80);
+        let dir = tmp_dir("chaos");
+        let reference =
+            run_scenario(&sc, EngineMode::Adaptive, Parallelism::Sequential, 17).unwrap();
+
+        let mut opts = CheckpointOpts::new(&dir, 5);
+        opts.panic_at_step = Some(12);
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_scenario_checkpointed(
+                &sc,
+                EngineMode::Adaptive,
+                Parallelism::Sequential,
+                17,
+                &opts,
+            )
+        }));
+        let payload = crashed.expect_err("the chaos hook must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic carries its message");
+        assert!(msg.contains("panic_at_step"), "{msg}");
+        assert!(
+            !checkpoint_files_newest_first(&dir).is_empty(),
+            "checkpoints from before the crash must survive"
+        );
+
+        // restart like a supervisor would: resume, no chaos hook
+        let mut opts = CheckpointOpts::new(&dir, 5);
+        opts.resume = true;
+        let (resumed, summary) = run_scenario_checkpointed(
+            &sc,
+            EngineMode::Adaptive,
+            Parallelism::Sequential,
+            17,
+            &opts,
+        )
+        .unwrap();
+        let (_, step) = summary.resumed_from.expect("a pre-crash checkpoint");
+        assert!(step > 0 && step < 12, "resumed below the crash step");
+        assert_same_run(&resumed, &reference);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

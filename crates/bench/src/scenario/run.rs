@@ -21,8 +21,8 @@ use super::{
 };
 use fastflood_core::checkpoint::{CheckpointError, Snapshot, TAG_CRNG, TAG_META};
 use fastflood_core::{
-    CoreError, EngineMode, FloodingReport, FloodingSim, InitMode, Parallelism, Protocol, SimConfig,
-    SimRng, SourcePlacement,
+    CancelToken, CoreError, EngineMode, FloodingReport, FloodingSim, InitMode, Parallelism,
+    Protocol, SimConfig, SimRng, SourcePlacement,
 };
 use fastflood_geom::Point;
 use fastflood_graph::DiskGraph;
@@ -558,6 +558,22 @@ impl<M: Mobility> Driver<M> {
     /// The simulation's current step counter.
     pub fn time(&self) -> u32 {
         self.sim.time()
+    }
+
+    /// Attaches a cooperative [`CancelToken`] to the underlying sim, so
+    /// code driving the sim through [`FloodingSim::run`]-style loops —
+    /// and callers polling [`Driver::cancel_requested`] between
+    /// [`Driver::pump`]/[`Driver::step`] iterations, as
+    /// [`run_scenario_checkpointed`](super::run_scenario_checkpointed)
+    /// does — observes cancellation at step boundaries. The token is
+    /// runtime plumbing, not simulation state: snapshots ignore it.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.sim.set_cancel_token(token);
+    }
+
+    /// Whether an attached [`CancelToken`] has been cancelled.
+    pub fn cancel_requested(&self) -> bool {
+        self.sim.cancel_requested()
     }
 
     /// Applies every fault event scheduled for the current step, then

@@ -1,0 +1,87 @@
+//! Cooperative cancellation for long-running step loops.
+//!
+//! A [`CancelToken`] is a cloneable flag shared between a controller (a
+//! watchdog thread, a drain handler, a user's Ctrl-C hook) and the code
+//! doing the work. Cancellation is **cooperative**: nothing is
+//! interrupted mid-step — the step loop observes the flag at its next
+//! iteration boundary and returns early, so every data structure is
+//! left at a consistent step boundary, checkpoints taken after the
+//! early return are valid, and a later resume is bitwise-identical to a
+//! run that was never cancelled. The token carries no *reason*; a
+//! controller that cancels for different causes (deadline vs. drain)
+//! records the cause on its own side.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable, thread-safe cancellation flag; all clones observe one
+/// underlying flag, and cancellation is sticky (there is no reset — a
+/// new unit of work gets a new token).
+///
+/// # Examples
+///
+/// ```
+/// use fastflood_core::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let watcher = token.clone();
+/// assert!(!watcher.is_cancelled());
+/// token.cancel();
+/// assert!(watcher.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Raises the flag; every clone observes it from now on.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled());
+        assert!(!c.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn fresh_tokens_are_independent() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_is_visible_across_threads() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        let h = std::thread::spawn(move || {
+            c.cancel();
+        });
+        h.join().unwrap();
+        assert!(t.is_cancelled());
+    }
+}

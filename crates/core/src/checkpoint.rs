@@ -397,9 +397,20 @@ impl Snapshot {
         h
     }
 
-    /// Writes the snapshot to `path` atomically: the encoding goes to a
-    /// `.tmp` sibling which is fsync'd and renamed into place, so a
-    /// crash mid-write never leaves a torn file under the final name.
+    /// Writes the snapshot to `path` atomically and durably: the
+    /// encoding goes to a `.tmp` sibling which is fsync'd and renamed
+    /// into place, then the **parent directory** is fsync'd.
+    ///
+    /// The guarantee after `Ok(())`: the file exists under its final
+    /// name with complete contents even across a power failure. The
+    /// file fsync makes the *contents* durable and the rename makes the
+    /// swap atomic, but on journaling filesystems the rename itself is
+    /// a directory-entry mutation that only becomes durable when the
+    /// directory is synced — without it, a crash right after `rename`
+    /// can roll the directory back to a state where the checkpoint
+    /// never existed. Platforms whose directory handles refuse fsync
+    /// (e.g. Windows) skip that last step and keep the weaker
+    /// atomic-but-not-crash-durable contract.
     ///
     /// # Errors
     ///
@@ -411,7 +422,17 @@ impl Snapshot {
             f.write_all(&self.encode())?;
             f.sync_all()?;
             drop(f);
-            fs::rename(&tmp, path)
+            fs::rename(&tmp, path)?;
+            if cfg!(unix) {
+                // `path` came from the caller and may be relative with
+                // no parent component; resolve "" to the cwd
+                let parent = match path.parent() {
+                    Some(p) if !p.as_os_str().is_empty() => p,
+                    _ => Path::new("."),
+                };
+                fs::File::open(parent)?.sync_all()?;
+            }
+            Ok(())
         })();
         if result.is_err() {
             let _ = fs::remove_file(&tmp);

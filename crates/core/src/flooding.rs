@@ -98,6 +98,7 @@
 //! See `BENCH_engine.json` for measured step throughput and
 //! `docs/BENCHMARKING.md` for the protocol behind it.
 
+use crate::cancel::CancelToken;
 use crate::checkpoint::{
     CheckpointError, Snapshot, TAG_AGNT, TAG_CRNG, TAG_FLOD, TAG_META, TAG_MRNG, TAG_POSN, TAG_TURN,
 };
@@ -108,7 +109,7 @@ use fastflood_mobility::{
     move_chunk_count, BlockRng, ByteReader, ByteWriter, ChunkCtx, Mobility, SnapshotState,
     TurnRecorder, MOVE_CHUNK, RNG_BLOCK,
 };
-use fastflood_parallel::{default_threads, WorkerPool};
+use fastflood_parallel::{default_threads, shared_pool, WorkerPool};
 use fastflood_spatial::{GridIndex, GridIndexBuffer};
 use fastflood_stats::seeds::derive_seed;
 use rand::rngs::SmallRng;
@@ -586,6 +587,10 @@ pub struct FloodingSim<M: Mobility, R: Rng + SeedableRng + Send = SimRng> {
     /// bookkeeping; the flooding/parsimonious transmit routes through
     /// it instead of the engine-mode join.
     sharded: Option<ShardedWorld>,
+    /// Cooperative cancellation checked by [`FloodingSim::run`] between
+    /// steps (`None` = never cancelled). Not part of simulation state:
+    /// snapshots ignore it and clones share the same token.
+    cancel: Option<CancelToken>,
 }
 
 /// Retained state of [`Parallelism::Chunked`]: the worker pool and the
@@ -683,6 +688,7 @@ impl<M: Mobility + Clone, R: Rng + SeedableRng + Send + Clone> Clone for Floodin
             phases: self.phases,
             par: self.par.clone(),
             sharded: self.sharded.clone(),
+            cancel: self.cancel.clone(),
         }
     }
 }
@@ -783,7 +789,12 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
                     })
                     .collect();
                 Some(ParState {
-                    pool: Arc::new(WorkerPool::new(threads)),
+                    // process-shared per thread count: many concurrent
+                    // sims (a job runtime, repeated constructions in a
+                    // server) reuse one set of worker threads; a busy
+                    // pool runs late dispatches inline, so sharing
+                    // never changes results
+                    pool: shared_pool(threads),
                     chunks,
                 })
             }
@@ -848,6 +859,7 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
             phases: StepPhases::default(),
             par,
             sharded,
+            cancel: None,
         })
     }
 
@@ -1408,14 +1420,35 @@ impl<M: Mobility, R: Rng + SeedableRng + Send> FloodingSim<M, R> {
         self.newly.len()
     }
 
-    /// Runs until everyone is informed or `max_steps` have been executed
-    /// (counting from the current time), returning the report.
+    /// Runs until everyone is informed, `max_steps` have been executed
+    /// (counting from the current time), or an attached
+    /// [`CancelToken`] is cancelled, returning the report.
+    ///
+    /// Cancellation is cooperative and step-aligned: the flag is
+    /// checked between steps, so the sim is always left at a
+    /// consistent step boundary (snapshot-safe, resumable). Callers
+    /// distinguish "cancelled" from "ran out of steps" by asking the
+    /// token, not the report.
     pub fn run(&mut self, max_steps: u32) -> FloodingReport {
         let deadline = self.time.saturating_add(max_steps);
-        while !self.all_informed() && self.time < deadline {
+        while !self.all_informed() && self.time < deadline && !self.cancel_requested() {
             self.step();
         }
         self.report()
+    }
+
+    /// Attaches a [`CancelToken`] observed by [`FloodingSim::run`]
+    /// between steps; replaces any previous token. The token is runtime
+    /// plumbing, not simulation state: snapshots do not record it and
+    /// restore does not clear it.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Whether an attached [`CancelToken`] has been cancelled (`false`
+    /// when no token is attached).
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// Pre-reserves the spread curve for `steps` further steps, so a

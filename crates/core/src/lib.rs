@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 pub mod checkpoint;
 mod density;
 mod flooding;
@@ -45,6 +46,7 @@ mod sharded;
 mod trials;
 mod zones;
 
+pub use cancel::CancelToken;
 pub use checkpoint::{CheckpointError, Snapshot};
 pub use density::DensityMonitor;
 pub use flooding::{

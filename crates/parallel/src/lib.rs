@@ -26,9 +26,11 @@
 //!
 //! # Safety
 //!
-//! This is the only crate in the workspace that contains `unsafe` code
-//! (`fastflood-core`, `-mobility` and `-spatial` all
-//! `forbid(unsafe_code)`). The helpers below expose safe APIs whose
+//! This is the only *library* crate in the workspace that contains
+//! `unsafe` code (`fastflood-core`, `-mobility` and `-spatial` all
+//! `forbid(unsafe_code)`; the `floodd` binary additionally carries one
+//! `unsafe` block registering its SIGTERM handler). The helpers below
+//! expose safe APIs whose
 //! soundness rests on two pool invariants: each task index is handed to
 //! exactly one execution, and [`WorkerPool::run`] does not return (even
 //! by unwinding) before every worker is done with the job.
@@ -38,7 +40,7 @@
 use std::cell::Cell;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, Weak};
 use std::thread::JoinHandle;
 
 /// Default worker-thread count: the `FASTFLOOD_THREADS` environment
@@ -366,6 +368,68 @@ impl WorkerPool {
             std::panic::resume_unwind(payload);
         }
     }
+}
+
+/// Registry entries: live pools keyed by thread count, held weakly so
+/// an idle process drops its workers.
+type PoolRegistry = Vec<(usize, Weak<WorkerPool>)>;
+
+/// Process-wide registry behind [`shared_pool`].
+fn shared_registry() -> &'static Mutex<PoolRegistry> {
+    static REGISTRY: OnceLock<Mutex<PoolRegistry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Returns the process-shared pool for `threads` executors, creating it
+/// on first use.
+///
+/// Callers that each want "a pool with T threads" (several concurrent
+/// sims in a job runtime, repeated sim constructions in a long-lived
+/// server) get **one** set of worker threads instead of one per caller:
+/// the registry hands out the same `Arc<WorkerPool>` for equal thread
+/// counts as long as at least one caller keeps it alive, and lets the
+/// workers exit when the last reference drops (the registry holds only
+/// a [`Weak`]). Contention is safe by construction — a pool that is
+/// busy with a dispatch from another thread runs late-comers inline
+/// ([`WorkerPool::run`]), so sharing never changes results, only how
+/// many OS threads exist.
+///
+/// Calls from inside a pool task bypass the registry and return a
+/// private (workerless) pool: registering one would hand outer callers
+/// a pool that can never parallelize.
+///
+/// # Examples
+///
+/// ```
+/// use fastflood_parallel::shared_pool;
+/// use std::sync::Arc;
+///
+/// let a = shared_pool(3);
+/// let b = shared_pool(3);
+/// assert!(Arc::ptr_eq(&a, &b), "equal thread counts share one pool");
+/// assert!(!Arc::ptr_eq(&a, &shared_pool(2)));
+/// ```
+pub fn shared_pool(threads: usize) -> Arc<WorkerPool> {
+    let threads = threads.max(1);
+    if in_pool_task() {
+        return Arc::new(WorkerPool::new(threads));
+    }
+    let mut reg = shared_registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    // drop registry entries whose pools have died before scanning, so
+    // the list stays bounded by the number of distinct live counts
+    reg.retain(|(_, weak)| weak.strong_count() > 0);
+    if let Some(pool) = reg
+        .iter()
+        .find(|(t, _)| *t == threads)
+        .and_then(|(_, weak)| weak.upgrade())
+    {
+        return pool;
+    }
+    let pool = Arc::new(WorkerPool::new(threads));
+    reg.push((threads, Arc::downgrade(&pool)));
+    pool
 }
 
 /// Clears the dispatcher's in-task flag however its participation loop
@@ -779,6 +843,50 @@ mod tests {
             },
         );
         assert_eq!(one[0], 7, "the empty input still runs its one chunk");
+    }
+
+    #[test]
+    fn shared_pool_reuses_per_thread_count_and_expires() {
+        // distinctive counts so parallel-running tests in this binary
+        // don't race us on the same registry slots
+        let a = shared_pool(5);
+        let b = shared_pool(5);
+        assert!(Arc::ptr_eq(&a, &b), "equal counts must share one pool");
+        let c = shared_pool(7);
+        assert!(!Arc::ptr_eq(&a, &c), "distinct counts get distinct pools");
+        assert_eq!(c.threads(), 7);
+        // both callers drop their references: the registry's weak entry
+        // dies and the next request builds a fresh pool
+        drop(a);
+        drop(b);
+        let d = shared_pool(5);
+        assert_eq!(d.threads(), 5);
+        let sum = AtomicUsize::new(0);
+        d.run(11, &|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 55);
+    }
+
+    #[test]
+    fn shared_pool_from_inside_a_task_is_private() {
+        let outer = shared_pool(9);
+        let inner_is_outer = Mutex::new(Vec::new());
+        outer.run(4, &|_| {
+            let inner = shared_pool(9);
+            inner_is_outer
+                .lock()
+                .unwrap()
+                .push((Arc::ptr_eq(&inner, &outer), inner.handles.len()));
+            inner.run(2, &|_| {});
+        });
+        for &(same, workers) in inner_is_outer.lock().unwrap().iter() {
+            assert!(!same, "in-task request must not hand back the busy pool");
+            assert_eq!(workers, 0, "in-task pools must not spawn workers");
+        }
+        // and the private pool was not registered: the registry still
+        // serves the original
+        assert!(Arc::ptr_eq(&outer, &shared_pool(9)));
     }
 
     #[test]

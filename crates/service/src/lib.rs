@@ -1,0 +1,41 @@
+//! Supervised flooding service: a fault-tolerant multi-sim job runtime.
+//!
+//! This crate is the seam between the deterministic engine
+//! (`fastflood-core` + the scenario layer in `fastflood-bench`) and the
+//! serving story: a [`Supervisor`] that schedules scenario jobs across
+//! a bounded worker set, and the `floodd` binary that exposes it over a
+//! newline-delimited JSON TCP protocol ([`server`], protocol reference
+//! in `docs/SERVICE.md`).
+//!
+//! The design premise is that **every failure mode is a policy
+//! decision**, built from three engine-level primitives:
+//!
+//! * cooperative cancellation (`fastflood_core::CancelToken`, observed
+//!   by driver loops at step boundaries) → deadlines and graceful
+//!   drain;
+//! * bitwise checkpoint/restore with a corruption fallback ladder
+//!   (`run_scenario_checkpointed`) → crash restart that provably
+//!   converges to the uninterrupted answer (equal trace digests);
+//! * panic-payload propagation through the shared `WorkerPool` →
+//!   panic isolation per job attempt without poisoning the pool for
+//!   the other jobs riding it.
+//!
+//! See the "Supervision contract" section of `docs/ARCHITECTURE.md`
+//! for the invariants, and [`supervisor`] for the lifecycle state
+//! machine.
+//!
+//! Unlike the engine crates (which `forbid(unsafe_code)`), the `floodd`
+//! binary contains one `unsafe` block: the SIGTERM handler
+//! registration for graceful drain.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod server;
+pub mod supervisor;
+
+pub use json::Json;
+pub use supervisor::{
+    estimate_snapshot_bytes, Chaos, DegradedAnswer, JobId, JobPhase, JobSpec, JobStatus,
+    Submission, Supervisor, SupervisorConfig, SupervisorStats,
+};

@@ -101,6 +101,23 @@ doc_expect fastflood_bench/scenario/fn.bisect_divergence.html "first divergent"
 doc_expect fastflood_bench/scenario/struct.BisectReport.html differing_sections
 doc_expect fastflood_bench/scenario/fn.trace_digest.html digest
 
+# ---- supervised service layer ----
+doc_expect fastflood_core/struct.CancelToken.html cloneable
+doc_expect fastflood_core/struct.CancelToken.html sticky
+doc_expect fastflood_core/struct.FloodingSim.html set_cancel_token
+doc_expect fastflood_parallel/fn.shared_pool.html "process-shared"
+doc_expect fastflood_core/checkpoint/struct.Snapshot.html "parent directory"
+doc_expect fastflood_bench/scenario/struct.CheckpointOpts.html cancel
+doc_expect fastflood_bench/scenario/struct.CheckpointOpts.html panic_at_step
+doc_expect fastflood_bench/scenario/struct.CheckpointSummary.html interrupted
+doc_expect fastflood_service/supervisor/struct.Supervisor.html drain
+doc_expect fastflood_service/supervisor/struct.SupervisorConfig.html memory_budget_bytes
+doc_expect fastflood_service/supervisor/enum.JobPhase.html watchdog
+doc_expect fastflood_service/supervisor/enum.Submission.html Degraded
+doc_expect fastflood_service/supervisor/fn.estimate_snapshot_bytes.html checkpoint_probe
+doc_expect fastflood_service/server/fn.serve.html drain
+doc_expect fastflood_service/json/enum.Json.html "key order"
+
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED"
   exit 1

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Service smoke at the shell level, run by tier1.sh: start a real
+# `floodd` daemon on an ephemeral port, submit a job whose first
+# attempt chaos-panics mid-flood (the supervisor must restart it from
+# its checkpoint and complete it), submit a clean companion job, then
+# SIGTERM the daemon and require a graceful drain report on stdout.
+# The TCP client is bash's own /dev/tcp redirection — no extra tools.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p fastflood-service --bin floodd
+BIN=target/release/floodd
+DIR="$(mktemp -d)"
+PID=""
+cleanup() {
+  [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+"$BIN" --addr 127.0.0.1:0 --checkpoint-root "$DIR/ckpt" \
+  --checkpoint-every 1 --backoff-base-ms 1 --backoff-cap-ms 10 \
+  > "$DIR/out.log" 2>"$DIR/err.log" &
+PID=$!
+
+# the first stdout line is {"listening":"HOST:PORT"}
+for _ in $(seq 1 200); do
+  grep -q '"listening"' "$DIR/out.log" 2>/dev/null && break
+  kill -0 "$PID" 2>/dev/null || { echo "service smoke: floodd died at startup"; cat "$DIR/err.log"; exit 1; }
+  sleep 0.05
+done
+ADDR="$(grep -o '"listening":"[^"]*"' "$DIR/out.log" | head -n1 | cut -d'"' -f4)"
+HOST="${ADDR%:*}"
+PORT="${ADDR##*:}"
+[ -n "$PORT" ] || { echo "service smoke: no listen address"; exit 1; }
+
+# one request line in, one response line out, per connection
+request() {
+  exec 3<>"/dev/tcp/$HOST/$PORT"
+  printf '%s\n' "$1" >&3
+  local line
+  IFS= read -r line <&3
+  exec 3<&- 3>&-
+  printf '%s\n' "$line"
+}
+
+PONG="$(request '{"op":"ping"}')"
+grep -q '"pong":true' <<<"$PONG" || { echo "service smoke: no pong: $PONG"; exit 1; }
+
+# job 1: chaos-panic at step 2 on the first attempt — the supervisor
+# must restart it from the step-2 checkpoint and finish (attempts: 2)
+SUB='{"op":"submit","scenario":"uniform-baseline","n":60,"steps":600,"seed":7,"chaos_panic_at":2}'
+R="$(request "$SUB")"
+JOB="$(grep -o '"job":[0-9]*' <<<"$R" | cut -d: -f2)"
+[ -n "$JOB" ] || { echo "service smoke: chaos submit rejected: $R"; exit 1; }
+DONE="$(request '{"op":"wait","job":'"$JOB"',"timeout_ms":120000}')"
+grep -q '"state":"done"' <<<"$DONE" \
+  || { echo "service smoke: chaos job did not complete: $DONE"; exit 1; }
+grep -q '"attempts":2' <<<"$DONE" \
+  || { echo "service smoke: chaos job was not restarted: $DONE"; exit 1; }
+
+# job 2: a clean run on the same daemon completes first try
+R="$(request '{"op":"submit","scenario":"uniform-baseline","n":60,"steps":600,"seed":8}')"
+JOB="$(grep -o '"job":[0-9]*' <<<"$R" | cut -d: -f2)"
+[ -n "$JOB" ] || { echo "service smoke: clean submit rejected: $R"; exit 1; }
+DONE="$(request '{"op":"wait","job":'"$JOB"',"timeout_ms":120000}')"
+grep -q '"state":"done"' <<<"$DONE" && grep -q '"attempts":1' <<<"$DONE" \
+  || { echo "service smoke: clean job failed: $DONE"; exit 1; }
+
+# SIGTERM: the daemon must drain gracefully and print the report
+kill -TERM "$PID"
+for _ in $(seq 1 200); do
+  kill -0 "$PID" 2>/dev/null || break
+  sleep 0.05
+done
+wait "$PID" 2>/dev/null || { echo "service smoke: floodd exited non-zero"; exit 1; }
+PID=""
+grep -q '"drained"' "$DIR/out.log" \
+  || { echo "service smoke: no drain report on stdout"; cat "$DIR/out.log"; exit 1; }
+echo "service smoke OK (chaos restart + clean job + graceful drain)"

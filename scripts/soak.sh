@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Chaos soak for the flooding service — NOT part of tier-1 (it is
+# minutes-long by design; tier-1 runs scripts/service_smoke.sh instead).
+#
+# Each round starts a fresh `floodd` on a shared checkpoint root,
+# submits a slow checkpointing job, SIGKILLs the whole daemon mid-run
+# (no drain, no warning — the worst crash), then restarts the daemon
+# and resubmits. Across every round the job's completed digest must be
+# the same uninterrupted reference value: however many times the
+# service is murdered, resume-from-checkpoint must converge to the
+# bitwise-identical answer.
+#
+#   scripts/soak.sh [ROUNDS]   # default 5
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ROUNDS="${1:-5}"
+cargo build --release -q -p fastflood-service --bin floodd
+BIN=target/release/floodd
+DIR="$(mktemp -d)"
+PID=""
+cleanup() {
+  [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+start_daemon() { # start_daemon EXTRA_ARGS...
+  : > "$DIR/out.log"
+  "$BIN" --addr 127.0.0.1:0 --checkpoint-root "$DIR/ckpt" "$@" \
+    > "$DIR/out.log" 2>>"$DIR/err.log" &
+  PID=$!
+  for _ in $(seq 1 200); do
+    grep -q '"listening"' "$DIR/out.log" 2>/dev/null && break
+    kill -0 "$PID" 2>/dev/null || { echo "soak: floodd died at startup"; exit 1; }
+    sleep 0.05
+  done
+  ADDR="$(grep -o '"listening":"[^"]*"' "$DIR/out.log" | head -n1 | cut -d'"' -f4)"
+  HOST="${ADDR%:*}"
+  PORT="${ADDR##*:}"
+}
+
+request() {
+  exec 3<>"/dev/tcp/$HOST/$PORT"
+  printf '%s\n' "$1" >&3
+  local line
+  IFS= read -r line <&3
+  exec 3<&- 3>&-
+  printf '%s\n' "$line"
+}
+
+ckpt_count() {
+  { find "$DIR/ckpt" -name '*.ckpt' 2>/dev/null || true; } | wc -l
+}
+
+# sparse population: never floods inside the budget, so with a step
+# delay the job always outlives the kill
+SLOW='"scenario":"uniform-baseline","n":70,"steps":2000,"seed":424242'
+REFERENCE=""
+
+for round in $(seq 1 "$ROUNDS"); do
+  # phase 1: crawl, checkpoint densely, SIGKILL mid-run
+  start_daemon --checkpoint-every 2
+  BASE="$(ckpt_count)"
+  R="$(request '{"op":"submit",'"$SLOW"',"step_delay_ms":20}')"
+  grep -q '"job":' <<<"$R" || { echo "soak: submit rejected: $R"; exit 1; }
+  for _ in $(seq 1 400); do
+    [ "$(ckpt_count)" -gt $((BASE + 1)) ] && break
+    sleep 0.05
+  done
+  kill -9 "$PID" 2>/dev/null || true
+  wait "$PID" 2>/dev/null || true
+  PID=""
+
+  # phase 2: fresh daemon, same root — resume at full speed
+  start_daemon --checkpoint-every 100
+  R="$(request '{"op":"submit",'"$SLOW"'}')"
+  JOB="$(grep -o '"job":[0-9]*' <<<"$R" | cut -d: -f2)"
+  DONE="$(request '{"op":"wait","job":'"$JOB"',"timeout_ms":300000}')"
+  grep -q '"state":"done"' <<<"$DONE" \
+    || { echo "soak: round $round did not complete: $DONE"; exit 1; }
+  DIGEST="$(grep -o '"digest":"[0-9a-f]*"' <<<"$DONE" | cut -d'"' -f4)"
+  if [ -z "$REFERENCE" ]; then
+    REFERENCE="$DIGEST"
+  elif [ "$DIGEST" != "$REFERENCE" ]; then
+    echo "soak: round $round digest $DIGEST != reference $REFERENCE"
+    exit 1
+  fi
+  kill -TERM "$PID" 2>/dev/null || true
+  wait "$PID" 2>/dev/null || true
+  PID=""
+  echo "soak: round $round OK (digest $DIGEST)"
+done
+echo "soak: $ROUNDS kill/restart rounds, one digest: $REFERENCE"

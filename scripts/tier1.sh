@@ -49,6 +49,10 @@ FASTFLOOD_THREADS=2 cargo test -q -p fastflood-core --test checkpoint_resume
 # kill-resume smoke: SIGKILL a checkpointing scenario run mid-flood,
 # resume from its snapshot directory, require the uninterrupted digest
 scripts/crash_recovery_smoke.sh
+# service smoke: a real floodd daemon must restart a chaos-panicked job
+# from its checkpoint, finish a clean job, and drain on SIGTERM
+# (scripts/soak.sh is the longer kill/restart loop — not tier-1-gated)
+scripts/service_smoke.sh
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
